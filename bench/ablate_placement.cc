@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Ablation: next-fit vs best-fit placement over the contiguity map.
+ * The paper chooses next-fit because it defers racing between
+ * consecutive placement requests (§III-C); best-fit packs tighter but
+ * makes the next placement start right where the last one is still
+ * being filled. Measured on the multi-VMA BT workload and on two
+ * interleaved SVM instances.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "policies/ideal.hh"
+
+using namespace contig;
+
+namespace
+{
+
+/**
+ * A CA variant whose *every* placement (first fault and sub-VMA) uses
+ * best-fit instead of next-fit.
+ */
+class BestFitCaPolicy : public CaPagingPolicy
+{
+  public:
+    std::string name() const override { return "ca-bestfit"; }
+
+    AllocResult
+    allocate(Kernel &kernel, Process &proc, Vma &vma, Vpn vpn,
+             unsigned order) override
+    {
+        // Reuse the CA fast path by trying the parent first while the
+        // VMA already has offsets; override only virgin placements.
+        if (vma.hasCaOffsets())
+            return CaPagingPolicy::allocate(kernel, proc, vma, vpn,
+                                            order);
+        AllocResult res;
+        PhysicalMemory &pm = kernel.physMem();
+        for (unsigned i = 0; i < pm.numNodes(); ++i) {
+            Zone &zone = pm.zone((proc.homeNode() + i) % pm.numNodes());
+            auto c = zone.contigMap().placeBestFit(vma.pages());
+            if (!c)
+                continue;
+            if (pm.allocSpecific(c->startPfn, order)) {
+                res.pfn = c->startPfn;
+                vma.pushCaOffset(vpn,
+                                 static_cast<std::int64_t>(vpn) -
+                                     static_cast<std::int64_t>(res.pfn));
+                return res;
+            }
+        }
+        if (auto pfn = pm.alloc(order, proc.homeNode()))
+            res.pfn = pfn.value();
+        return res;
+    }
+};
+
+struct Result
+{
+    double covBt = 0.0;
+    std::uint64_t svmMappingsA = 0;
+    std::uint64_t svmMappingsB = 0;
+};
+
+Result
+run(bool next_fit)
+{
+    Result out;
+    {
+        KernelConfig cfg = kernelConfigFor(PolicyKind::Ca);
+        std::unique_ptr<AllocationPolicy> pol;
+        if (next_fit)
+            pol = std::make_unique<CaPagingPolicy>();
+        else
+            pol = std::make_unique<BestFitCaPolicy>();
+        Kernel k(cfg, std::move(pol));
+        auto wl = makeWorkload("bt", {0.5, 7});
+        Process &p = k.createProcess("bt");
+        wl->setup(p);
+        out.covBt = coverageTopK(extractSegs(p.pageTable()), 32);
+    }
+    {
+        KernelConfig cfg = kernelConfigFor(PolicyKind::Ca);
+        std::unique_ptr<AllocationPolicy> pol;
+        if (next_fit)
+            pol = std::make_unique<CaPagingPolicy>();
+        else
+            pol = std::make_unique<BestFitCaPolicy>();
+        Kernel k(cfg, std::move(pol));
+        Process &a = k.createProcess("svm-a");
+        Process &b = k.createProcess("svm-b");
+        Vma &va = a.mmap(150ull << 20);
+        Vma &vb = b.mmap(150ull << 20);
+        const std::uint64_t total = 150ull << 20;
+        const std::uint64_t chunk = 4ull << 20;
+        for (std::uint64_t off = 0; off < total; off += chunk) {
+            const std::uint64_t len = std::min(chunk, total - off);
+            a.touchRange(va.start() + off, len);
+            b.touchRange(vb.start() + off, len);
+        }
+        out.svmMappingsA = coverage(extractSegs(a.pageTable())).mappings;
+        out.svmMappingsB = coverage(extractSegs(b.pageTable())).mappings;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    printScaledBanner();
+
+    Result nf = run(true);
+    Result bf = run(false);
+
+    Report rep("Ablation — placement policy over the contiguity map");
+    rep.header({"metric", "next-fit (paper)", "best-fit"});
+    rep.row({"BT cov32 (5 interleaved VMAs)", Report::pct(nf.covBt),
+             Report::pct(bf.covBt)});
+    rep.row({"2xSVM interleaved, #1 mappings",
+             std::to_string(nf.svmMappingsA),
+             std::to_string(bf.svmMappingsA)});
+    rep.row({"2xSVM interleaved, #2 mappings",
+             std::to_string(nf.svmMappingsB),
+             std::to_string(bf.svmMappingsB)});
+    rep.print();
+
+    std::printf("\nexpected: next-fit defers racing between concurrent "
+                "placements (interleaved faults), matching or beating "
+                "best-fit there\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces Fig. 1c: coverage of the 32 largest mappings over the
+ * execution of XSBench — Translation Ranger coalesces asynchronously
+ * (coverage rises late, after post-allocation migrations), while CA
+ * paging generates contiguity instantly, at allocation time.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace contig;
+
+namespace
+{
+
+/** Sample the cov32 timeline at this fault cadence. */
+constexpr std::uint64_t kSamplePeriod = 512;
+
+std::vector<std::pair<std::uint64_t, double>>
+timelineFor(PolicyKind kind)
+{
+    NativeSystem sys(kind, 7);
+    auto wl = makeWorkload("xsbench", {1.0, 7});
+    auto r = sys.run(*wl, kSamplePeriod);
+
+    // Ranger's coalescing continues after the allocation phase:
+    // extend the timeline with post-allocation daemon epochs (the
+    // steady-state part of the paper's x-axis).
+    auto timeline = r.cov32Timeline;
+    Process *proc = wl->process();
+    const std::uint64_t allocation_end = timeline.back().first;
+    for (int epoch = 1; epoch <= 24; ++epoch) {
+        sys.kernel().policy().onTick(sys.kernel());
+        auto cov = coverage(extractSegs(proc->pageTable()));
+        timeline.emplace_back(allocation_end + epoch * kSamplePeriod,
+                              cov.cov32);
+    }
+    sys.finish(*wl);
+    return timeline;
+}
+
+double
+at(const std::vector<std::pair<std::uint64_t, double>> &tl, double frac)
+{
+    if (tl.empty())
+        return 0.0;
+    std::size_t idx = static_cast<std::size_t>(frac * (tl.size() - 1));
+    return tl[idx].second;
+}
+
+} // namespace
+
+int
+main()
+{
+    printScaledBanner();
+
+    auto ranger = timelineFor(PolicyKind::Ranger);
+    auto ca = timelineFor(PolicyKind::Ca);
+
+    Report rep("Fig. 1c — cov32 over XSBench execution "
+               "(allocation phase + steady state)");
+    rep.header({"execution", "ranger", "CA"});
+    for (int pct = 0; pct <= 100; pct += 10) {
+        rep.row({std::to_string(pct) + "%",
+                 Report::pct(at(ranger, pct / 100.0)),
+                 Report::pct(at(ca, pct / 100.0))});
+    }
+    rep.print();
+
+    std::printf("\npaper: CA reaches high coverage immediately "
+                "(allocation-time contiguity); ranger's migrations "
+                "take most of the execution to coalesce\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces Fig. 8: contiguity under external fragmentation. The
+ * hog micro-benchmark pins 0/10/25/50 % of memory in scattered 2-4 MiB
+ * chunks before each workload runs; geometric-mean coverage metrics
+ * are reported per policy and pressure level (BT excluded — its
+ * footprint does not fit the hogged machine, as in the paper).
+ * Expected shape: THP/Ingens flat and poor; eager collapses as
+ * pressure grows (aligned blocks vanish); CA stays close to ideal by
+ * harvesting unaligned contiguity; ranger stays high via migrations.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace contig;
+
+namespace
+{
+
+const std::vector<PolicyKind> kPolicies{
+    PolicyKind::Thp,   PolicyKind::Ingens, PolicyKind::Ca,
+    PolicyKind::Eager, PolicyKind::Ranger, PolicyKind::Ideal};
+
+const std::vector<double> kPressure{0.0, 0.10, 0.25, 0.50};
+
+/** All workloads except BT (does not fit under hog-50). */
+std::vector<std::string>
+workloads()
+{
+    std::vector<std::string> out;
+    for (const auto &n : paperWorkloads())
+        if (n != "bt")
+            out.push_back(n);
+    return out;
+}
+
+/**
+ * The paper excludes hashjoin from eager paging (its pre-allocation
+ * bloat does not fit); we do the same.
+ */
+bool
+excluded(PolicyKind kind, const std::string &name)
+{
+    return kind == PolicyKind::Eager && name == "hashjoin";
+}
+
+} // namespace
+
+int
+main()
+{
+    printScaledBanner();
+
+    Report rep("Fig. 8 — contiguity under memory pressure "
+               "(geomean over svm/pagerank/hashjoin/xsbench)");
+    rep.header({"hog", "policy", "cov32", "cov128", "maps-for-99%"});
+
+    for (double pressure : kPressure) {
+        for (PolicyKind kind : kPolicies) {
+            std::vector<double> c32, c128, m99;
+            for (const auto &name : workloads()) {
+                if (excluded(kind, name))
+                    continue;
+                NativeSystem sys(kind, 7);
+                if (pressure > 0.0)
+                    sys.hog(pressure);
+                auto wl = makeWorkload(name, {1.0, 7});
+                auto r = sys.run(*wl);
+                c32.push_back(std::max(r.avg.cov32, 1e-6));
+                c128.push_back(std::max(r.avg.cov128, 1e-6));
+                m99.push_back(static_cast<double>(
+                    std::max<std::uint64_t>(r.avg.mappingsFor99, 1)));
+                sys.finish(*wl);
+            }
+            char hog[16];
+            std::snprintf(hog, sizeof(hog), "hog-%.0f%%",
+                          pressure * 100);
+            rep.row({hog, policyName(kind), Report::pct(geomean(c32)),
+                     Report::pct(geomean(c128)),
+                     Report::num(geomean(m99), 1)});
+        }
+    }
+    rep.print();
+
+    std::printf("\npaper: CA covers ~94%% with 128 mappings under "
+                "hog-50 and tracks ideal; eager degrades sharply; "
+                "THP/Ingens unaffected but poor throughout\n");
+    return 0;
+}

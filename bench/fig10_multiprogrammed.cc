@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Reproduces Fig. 10: two SVM-like instances populate their memory
+ * *interleaved* on one machine; the 32-largest-mappings coverage of
+ * each instance is tracked over time. CA paging's next-fit placement
+ * keeps the two footprints from interfering; eager pre-allocates
+ * both; ranger has to scan and migrate both processes and lags.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace contig;
+
+namespace
+{
+
+/** The SVM-like region set (sizes as in SvmWorkload's big regions). */
+const std::uint64_t kRegionBytes[] = {150ull << 20, 50ull << 20,
+                                      38ull << 20};
+
+struct Pair
+{
+    std::vector<double> a, b;
+};
+
+Pair
+runPair(PolicyKind kind)
+{
+    NativeSystem sys(kind, 7);
+    Kernel &k = sys.kernel();
+    Process &pa = k.createProcess("svm-a", 0);
+    Process &pb = k.createProcess("svm-b", 0);
+
+    std::vector<Vma *> va, vb;
+    for (std::uint64_t bytes : kRegionBytes) {
+        va.push_back(&pa.mmap(bytes));
+        vb.push_back(&pb.mmap(bytes));
+    }
+
+    Pair out;
+    auto sample = [&]() {
+        out.a.push_back(coverageTopK(extractSegs(pa.pageTable()), 32));
+        out.b.push_back(coverageTopK(extractSegs(pb.pageTable()), 32));
+    };
+
+    // Interleave the two instances' population at 4 MiB granularity,
+    // the whole point of the multi-programmed experiment.
+    const std::uint64_t chunk = 4ull << 20;
+    std::uint64_t ticks = 0;
+    for (std::size_t r = 0; r < va.size(); ++r) {
+        const std::uint64_t bytes = kRegionBytes[r];
+        for (std::uint64_t off = 0; off < bytes; off += chunk) {
+            const std::uint64_t len = std::min(chunk, bytes - off);
+            pa.touchRange(va[r]->start() + off, len);
+            pb.touchRange(vb[r]->start() + off, len);
+            if (++ticks % 8 == 0)
+                sample();
+        }
+    }
+
+    // Steady state: daemons (ranger) keep working.
+    for (int epoch = 0; epoch < 24; ++epoch) {
+        k.policy().onTick(k);
+        sample();
+    }
+    return out;
+}
+
+double
+at(const std::vector<double> &v, double frac)
+{
+    if (v.empty())
+        return 0.0;
+    return v[static_cast<std::size_t>(frac * (v.size() - 1))];
+}
+
+} // namespace
+
+int
+main()
+{
+    printScaledBanner();
+
+    auto ca = runPair(PolicyKind::Ca);
+    auto eager = runPair(PolicyKind::Eager);
+    auto ranger = runPair(PolicyKind::Ranger);
+
+    Report rep("Fig. 10 — cov32 of two interleaved SVM instances "
+               "over time");
+    rep.header({"time", "CA #1", "CA #2", "eager #1", "eager #2",
+                "ranger #1", "ranger #2"});
+    for (int pct = 0; pct <= 100; pct += 10) {
+        double f = pct / 100.0;
+        rep.row({std::to_string(pct) + "%", Report::pct(at(ca.a, f)),
+                 Report::pct(at(ca.b, f)), Report::pct(at(eager.a, f)),
+                 Report::pct(at(eager.b, f)),
+                 Report::pct(at(ranger.a, f)),
+                 Report::pct(at(ranger.b, f))});
+    }
+    rep.print();
+
+    std::printf("\npaper: CA keeps both instances highly contiguous "
+                "(next-fit prevents interference over the same free "
+                "blocks); ranger fails to coalesce both footprints\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces Fig. 12: contiguity of the full 2-D (gVA -> hPA)
+ * mappings in virtualized execution, with the policy applied in
+ * guest and host independently and workloads running consecutively
+ * in one VM (no reboots) — so guest/host mapping mismatches
+ * accumulate as the paper describes.
+ * Expected shape: CA cuts mappings-for-99% by roughly an order of
+ * magnitude vs THP; 32-mapping coverage slightly below native CA.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace contig;
+
+namespace
+{
+
+struct Row
+{
+    CoverageMetrics avg;
+};
+
+std::vector<Row>
+measure(PolicyKind kind)
+{
+    VirtSystem sys(kind, kind, 7);
+    std::vector<Row> rows;
+    for (const auto &name : paperWorkloads()) {
+        auto wl = makeWorkload(name, {1.0, 7});
+        auto r = sys.run(*wl);
+        rows.push_back(Row{r.avg});
+        sys.finish(*wl);
+    }
+    return rows;
+}
+
+} // namespace
+
+int
+main()
+{
+    printScaledBanner();
+
+    const std::vector<PolicyKind> kinds{PolicyKind::Thp, PolicyKind::Ca};
+    Report rep("Fig. 12 — virtualized 2-D contiguity, consecutive "
+               "runs in one VM (time-averaged)");
+    rep.header({"workload", "policy", "cov32", "cov128",
+                "maps-for-99%"});
+
+    for (PolicyKind kind : kinds) {
+        auto rows = measure(kind);
+        std::vector<double> c32, c128, m99;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const auto &m = rows[i].avg;
+            rep.row({paperWorkloads()[i], policyName(kind),
+                     Report::pct(m.cov32), Report::pct(m.cov128),
+                     std::to_string(m.mappingsFor99)});
+            c32.push_back(std::max(m.cov32, 1e-6));
+            c128.push_back(std::max(m.cov128, 1e-6));
+            m99.push_back(static_cast<double>(
+                std::max<std::uint64_t>(m.mappingsFor99, 1)));
+        }
+        rep.row({"geomean", policyName(kind),
+                 Report::pct(geomean(c32)), Report::pct(geomean(c128)),
+                 Report::num(geomean(m99), 1)});
+    }
+    rep.print();
+
+    std::printf("\npaper: CA ~86%%/~96%% coverage with 32/128 "
+                "mappings, ~90 mappings for 99%% (vs thousands "
+                "for THP)\n");
+    return 0;
+}

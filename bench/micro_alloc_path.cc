@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Micro-benchmark (google-benchmark): the cost of the allocation fast
+ * path itself — the software-overhead claim behind Fig. 11. Measures
+ * the simulator's demand-fault path under default THP vs CA paging
+ * (placement decisions, contiguity-map upkeep, PTE-bit marking) and
+ * the raw buddy/contiguity-map primitives CA paging leans on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hh"
+
+using namespace contig;
+
+namespace
+{
+
+void
+BM_FaultPath(benchmark::State &state, PolicyKind kind)
+{
+    NativeSystem sys(kind, 7);
+    Process &proc = sys.kernel().createProcess("bench");
+    const std::uint64_t bytes = 64ull << 20;
+    std::vector<Vma *> vmas;
+    std::size_t i = 0;
+
+    for (auto _ : state) {
+        state.PauseTiming();
+        Vma &vma = proc.mmap(bytes);
+        state.ResumeTiming();
+        // 32 huge faults through the full fault path.
+        proc.touchRange(vma.start(), bytes);
+        state.PauseTiming();
+        vmas.push_back(&vma);
+        if (++i % 8 == 0) { // keep the machine from filling up
+            for (Vma *v : vmas)
+                proc.munmap(*v);
+            vmas.clear();
+        }
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(state.iterations() * (bytes >> kHugeShift));
+}
+
+void
+BM_BuddyAllocFree(benchmark::State &state)
+{
+    FrameArray frames(16 * pagesInOrder(kMaxOrder));
+    BuddyAllocator buddy(frames, 0, frames.size());
+    const unsigned order = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        auto pfn = buddy.alloc(order);
+        benchmark::DoNotOptimize(pfn);
+        buddy.free(*pfn, order);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_BuddyAllocSpecific(benchmark::State &state)
+{
+    FrameArray frames(16 * pagesInOrder(kMaxOrder));
+    BuddyAllocator buddy(frames, 0, frames.size());
+    Pfn target = 5 * pagesInOrder(kMaxOrder) + 512;
+    for (auto _ : state) {
+        bool ok = buddy.allocSpecific(target, kHugeOrder);
+        benchmark::DoNotOptimize(ok);
+        buddy.free(target, kHugeOrder);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_ContiguityMapPlacement(benchmark::State &state)
+{
+    // A map with many clusters: the next-fit scan cost CA paging adds
+    // to first faults.
+    const std::uint64_t block = pagesInOrder(kMaxOrder);
+    ContiguityMap map(block);
+    const int clusters = static_cast<int>(state.range(0));
+    for (int i = 0; i < clusters; ++i)
+        map.onBlockFree(2 * i * block); // every other block: no merge
+    for (auto _ : state) {
+        auto c = map.placeNextFit(block / 2);
+        benchmark::DoNotOptimize(c);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_FaultPath, thp, PolicyKind::Thp)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FaultPath, ca, PolicyKind::Ca)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BuddyAllocFree)->Arg(0)->Arg(kHugeOrder);
+BENCHMARK(BM_BuddyAllocSpecific);
+BENCHMARK(BM_ContiguityMapPlacement)->Arg(8)->Arg(64)->Arg(512);

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Micro-benchmark (google-benchmark): throughput of the translation
+ * pipeline — TLB hierarchy lookups, nested walks, and the SpOT
+ * prediction engine — the per-access cost that bounds how many
+ * simulated accesses the figure benches can afford.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hh"
+
+using namespace contig;
+
+namespace
+{
+
+void
+BM_TlbHierarchyAccess(benchmark::State &state)
+{
+    TlbHierarchy tlb(ScaledDefaults::tlb());
+    Rng rng(7);
+    const std::uint64_t pages = 1u << static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        Vpn vpn = rng.below(pages) * 512;
+        if (tlb.access(vpn, kHugeOrder) == TlbLevel::Miss)
+            tlb.fill(vpn, kHugeOrder);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_SpotPredictUpdate(benchmark::State &state)
+{
+    SpotEngine spot(ScaledDefaults::spot());
+    Rng rng(7);
+    for (auto _ : state) {
+        Addr pc = 0x400000 + (rng.below(8) << 6);
+        spot.predict(pc);
+        spot.update(pc, 12345, true);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_TranslationPipeline(benchmark::State &state, XlatScheme scheme)
+{
+    // The full virtualized per-access pipeline on a real workload.
+    static VirtSystem sys(PolicyKind::Ca, PolicyKind::Ca, 7);
+    static auto wl = [] {
+        auto w = makeWorkload("pagerank", {0.25, 7});
+        Process &p = sys.guest().createProcess("bench");
+        w->setup(p);
+        return w;
+    }();
+
+    XlatConfig cfg;
+    cfg.tlb = ScaledDefaults::tlb();
+    cfg.walker = ScaledDefaults::walker();
+    cfg.scheme = scheme;
+    cfg.spot = ScaledDefaults::spot();
+    cfg.rangeTlb = ScaledDefaults::rangeTlb();
+    TranslationSim sim(cfg, wl->process()->pageTable(), sys.vm());
+    if (scheme == XlatScheme::Rmm)
+        sim.setSegments(extract2d(*wl->process(), sys.vm()));
+
+    Rng rng(9);
+    for (auto _ : state)
+        sim.access(wl->nextAccess(rng));
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+BENCHMARK(BM_TlbHierarchyAccess)->Arg(3)->Arg(8);
+BENCHMARK(BM_SpotPredictUpdate);
+BENCHMARK_CAPTURE(BM_TranslationPipeline, base, XlatScheme::Base);
+BENCHMARK_CAPTURE(BM_TranslationPipeline, spot, XlatScheme::Spot);
+BENCHMARK_CAPTURE(BM_TranslationPipeline, rmm, XlatScheme::Rmm);

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces Table VI: memory bloat — physical memory allocated
+ * beyond what a 4 KiB demand-paging baseline would allocate — per
+ * workload for THP, Ingens, CA, and eager paging.
+ * Expected shape: THP and CA identical and small (partial tail huge
+ * pages); Ingens smaller still (promotes only utilized regions);
+ * eager bloats by the full VMA slack (up to ~47% for hashjoin).
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace contig;
+
+namespace
+{
+
+/** Allocated-minus-touched bytes for one workload under one policy. */
+std::uint64_t
+bloatBytes(const std::string &name, PolicyKind kind)
+{
+    NativeSystem sys(kind, 7);
+    auto wl = makeWorkload(name, {1.0, 7});
+    auto r = sys.run(*wl, 1u << 30);
+    // Ingens promotes asynchronously; let the daemon settle so its
+    // (small) promotion bloat is counted.
+    for (int epoch = 0; epoch < 8; ++epoch)
+        sys.kernel().policy().onTick(sys.kernel());
+    std::uint64_t allocated = wl->process()->allocatedPages();
+    std::uint64_t touched = wl->process()->touchedPages();
+    (void)r;
+    sys.finish(*wl);
+    return (allocated - touched) * kPageSize;
+}
+
+} // namespace
+
+int
+main()
+{
+    printScaledBanner();
+
+    const std::vector<PolicyKind> kinds{PolicyKind::Thp,
+                                        PolicyKind::Ingens,
+                                        PolicyKind::Ca,
+                                        PolicyKind::Eager};
+
+    Report rep("Table VI — bloat vs 4 KiB demand paging "
+               "[absolute (fraction of footprint)]");
+    rep.header({"workload", "THP", "Ingens", "CA", "eager"});
+    for (const auto &name : paperWorkloads()) {
+        auto ref = makeWorkload(name, {1.0, 7});
+        const double footprint =
+            static_cast<double>(ref->footprintBytes());
+        std::vector<std::string> row{name};
+        for (PolicyKind kind : kinds) {
+            std::uint64_t b = bloatBytes(name, kind);
+            row.push_back(Report::bytes(b) + " (" +
+                          Report::pct(b / footprint) + ")");
+        }
+        rep.row(row);
+    }
+    rep.print();
+
+    std::printf("\npaper: THP/CA bloat is MBs (<0.1%%); Ingens less; "
+                "eager up to 47.5%% (hashjoin) of GBs\n");
+    return 0;
+}

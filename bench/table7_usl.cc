@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces Table VII: the unsafe-load (USL) estimation comparing
+ * SpOT's transient-execution exposure with Spectre-style branch
+ * speculation, using the paper's two equations over measured event
+ * rates (geometric mean across the workloads).
+ * Expected shape: DTLB misses are a small fraction of branches
+ * (~0.25% vs ~5.9% of instructions), but SpOT's speculation window
+ * (a full nested walk) is longer than branch resolution, so SpOT
+ * USLs land at a few percent of instructions vs Spectre's ~16%.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace contig;
+
+int
+main()
+{
+    printScaledBanner();
+
+    VirtSystem sys(PolicyKind::Ca, PolicyKind::Ca, 7);
+    std::vector<double> branches, misses, spectre, spot;
+    for (const auto &name : paperWorkloads()) {
+        auto wl = makeWorkload(name, {1.0, 7});
+        Process &proc = sys.guest().createProcess(name);
+        wl->setup(proc);
+        auto r = runTranslation(*wl, &sys.vm(), XlatScheme::Spot,
+                                ScaledDefaults::kAccessesPerRun);
+        auto usl = estimateUsl(r.stats, ScaledDefaults::perf());
+        branches.push_back(usl.branchesPerInstr);
+        misses.push_back(std::max(usl.dtlbMissesPerInstr, 1e-9));
+        spectre.push_back(usl.spectreUslPerInstr);
+        spot.push_back(std::max(usl.spotUslPerInstr, 1e-9));
+        wl->teardown();
+        sys.guest().exitProcess(proc);
+    }
+
+    Report rep("Table VII — unsafe-load estimation "
+               "(geomean, per instruction)");
+    rep.header({"branches/instr", "DTLB misses/instr",
+                "Spectre USL/instr", "SpOT USL/instr"});
+    rep.row({Report::pct(geomean(branches)),
+             Report::pct(geomean(misses), 3),
+             Report::pct(geomean(spectre)),
+             Report::pct(geomean(spot), 2)});
+    rep.print();
+
+    std::printf("\npaper: 5.87%% branches, 0.25%% DTLB misses, "
+                "16.5%% Spectre USL, 2.9%% SpOT USL -> InvisiSpec-"
+                "style mitigation costs <2%% for SpOT\n");
+    return 0;
+}

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * contigsim — command-line driver over the library: run any workload
+ * under any allocation policy, natively or virtualized, with any
+ * translation scheme, and print contiguity + translation metrics.
+ *
+ *   contigsim [options]
+ *     --workload NAME   svm|pagerank|hashjoin|xsbench|bt|tlbfriendly
+ *                       (default pagerank)
+ *     --policy NAME     thp|4k|ca|eager|ingens|ranger|ideal
+ *                       (default ca; used for guest AND host)
+ *     --virt            run inside a VM (nested paging)
+ *     --scheme NAME     base|spot|rmm|ds   (default base)
+ *     --scale F         footprint multiplier (default 1.0)
+ *     --accesses N      steady-state accesses (default 2000000)
+ *     --hog F           pre-fragment: pin fraction F of memory
+ *     --seed N          RNG seed (default 7)
+ *     --pt-levels N     4 or 5 (default 4)
+ *
+ * Examples:
+ *   contigsim --workload xsbench --policy ca --virt --scheme spot
+ *   contigsim --workload svm --policy eager --hog 0.25
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace contig;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload = "pagerank";
+    std::string policy = "ca";
+    bool virt = false;
+    std::string scheme = "base";
+    double scale = 1.0;
+    std::uint64_t accesses = 2'000'000;
+    double hog = 0.0;
+    std::uint64_t seed = 7;
+    unsigned ptLevels = 4;
+};
+
+PolicyKind
+parsePolicy(const std::string &name)
+{
+    if (name == "thp")
+        return PolicyKind::Thp;
+    if (name == "4k")
+        return PolicyKind::Base4k;
+    if (name == "ca")
+        return PolicyKind::Ca;
+    if (name == "eager")
+        return PolicyKind::Eager;
+    if (name == "ingens")
+        return PolicyKind::Ingens;
+    if (name == "ranger")
+        return PolicyKind::Ranger;
+    if (name == "ideal")
+        return PolicyKind::Ideal;
+    fatal("unknown policy '%s'", name.c_str());
+}
+
+XlatScheme
+parseScheme(const std::string &name)
+{
+    if (name == "base")
+        return XlatScheme::Base;
+    if (name == "spot")
+        return XlatScheme::Spot;
+    if (name == "rmm")
+        return XlatScheme::Rmm;
+    if (name == "ds")
+        return XlatScheme::Ds;
+    fatal("unknown scheme '%s'", name.c_str());
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--workload")
+            opt.workload = next();
+        else if (arg == "--policy")
+            opt.policy = next();
+        else if (arg == "--virt")
+            opt.virt = true;
+        else if (arg == "--scheme")
+            opt.scheme = next();
+        else if (arg == "--scale")
+            opt.scale = std::atof(next());
+        else if (arg == "--accesses")
+            opt.accesses = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--hog")
+            opt.hog = std::atof(next());
+        else if (arg == "--seed")
+            opt.seed = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--pt-levels")
+            opt.ptLevels = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--help" || arg == "-h") {
+            std::printf("see the header comment of "
+                        "examples/contigsim.cpp for usage\n");
+            std::exit(0);
+        } else {
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    return opt;
+}
+
+void
+printContigMetrics(const char *tag, const CoverageMetrics &m)
+{
+    std::printf("%s: %llu mappings | cov32 %s | cov128 %s | "
+                "99%% in %llu mappings\n",
+                tag, static_cast<unsigned long long>(m.mappings),
+                Report::pct(m.cov32).c_str(),
+                Report::pct(m.cov128).c_str(),
+                static_cast<unsigned long long>(m.mappingsFor99));
+}
+
+void
+printXlat(const char *tag, const XlatRunResult &r)
+{
+    std::printf("%s: overhead %s | %llu walks (avg %.1f cycles)",
+                tag, Report::pct(r.overhead.overhead, 2).c_str(),
+                static_cast<unsigned long long>(r.stats.walks),
+                r.stats.avgWalkCycles());
+    if (r.stats.spotCorrect + r.stats.spotMispredicted +
+            r.stats.spotNoPrediction >
+        0) {
+        const double w = std::max<double>(r.stats.walks, 1);
+        std::printf(" | SpOT %s correct / %s mis / %s none",
+                    Report::pct(r.stats.spotCorrect / w).c_str(),
+                    Report::pct(r.stats.spotMispredicted / w).c_str(),
+                    Report::pct(r.stats.spotNoPrediction / w).c_str());
+    }
+    if (r.stats.rangeHits)
+        std::printf(" | %llu range hits",
+                    static_cast<unsigned long long>(r.stats.rangeHits));
+    if (r.stats.segmentHits)
+        std::printf(" | %llu segment hits",
+                    static_cast<unsigned long long>(
+                        r.stats.segmentHits));
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+    printScaledBanner();
+
+    const PolicyKind kind = parsePolicy(opt.policy);
+    const XlatScheme scheme = parseScheme(opt.scheme);
+    auto wl = makeWorkload(opt.workload, {opt.scale, opt.seed});
+    std::printf("workload %s (%s touched, %s reserved) | policy %s | "
+                "%s | scheme %s\n",
+                opt.workload.c_str(),
+                Report::bytes(wl->footprintBytes()).c_str(),
+                Report::bytes(wl->reservedBytes()).c_str(),
+                opt.policy.c_str(),
+                opt.virt ? "virtualized" : "native",
+                opt.scheme.c_str());
+
+    if (opt.virt) {
+        VirtSystem sys(kind, kind, opt.seed);
+        if (opt.hog > 0) {
+            Rng rng(opt.seed);
+            hogMemory(sys.guest(), opt.hog, rng);
+        }
+        auto r = sys.run(*wl);
+        printContigMetrics("2-D contiguity (final)", r.final);
+        std::printf("faults: %llu (p99 %.1f us)\n",
+                    static_cast<unsigned long long>(r.faults),
+                    r.p99FaultLatencyUs);
+        auto x = runTranslation(*wl, &sys.vm(), scheme, opt.accesses,
+                                opt.seed + 1);
+        printXlat("translation", x);
+    } else {
+        NativeSystem sys(kind, opt.seed);
+        if (opt.hog > 0)
+            sys.hog(opt.hog);
+        auto r = sys.run(*wl);
+        printContigMetrics("contiguity (final)", r.final);
+        std::printf("faults: %llu (p99 %.1f us) | migrations: %llu\n",
+                    static_cast<unsigned long long>(r.faults),
+                    r.p99FaultLatencyUs,
+                    static_cast<unsigned long long>(r.migratedPages));
+        auto x = runTranslation(*wl, nullptr, scheme, opt.accesses,
+                                opt.seed + 1);
+        printXlat("translation", x);
+    }
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fragmentation study: how allocation policies cope as a machine
+ * fills with unmovable memory.
+ *
+ * Sweeps hog pressure over a machine, runs an SVM-like workload under
+ * default THP, eager pre-allocation and CA paging at each level, and
+ * prints the contiguity each policy salvages plus the free-block
+ * landscape it leaves behind.
+ *
+ *   ./examples/fragmentation_study [max_hog_percent]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace contig;
+
+namespace
+{
+
+struct Row
+{
+    double cov32;
+    std::uint64_t maps99;
+    double bigFreeFrac; //!< free memory still in >=16 MiB blocks
+};
+
+Row
+runOne(PolicyKind kind, double pressure)
+{
+    NativeSystem sys(kind, 42);
+    if (pressure > 0)
+        sys.hog(pressure);
+    auto wl = makeWorkload("svm", {1.0, 42});
+    auto r = sys.run(*wl);
+
+    auto hist = freeBlockDistribution(sys.kernel().physMem());
+    const double total = std::max<double>(hist.totalWeight(), 1);
+    std::uint64_t big = 0;
+    for (unsigned b = 12; b < 40; ++b) // 2^12 pages = 16 MiB
+        big += hist.bucket(b);
+
+    Row row{r.final.cov32, r.final.mappingsFor99, big / total};
+    sys.finish(*wl);
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int max_pct = argc > 1 ? std::atoi(argv[1]) : 50;
+    printScaledBanner();
+
+    Report rep("SVM under increasing external fragmentation");
+    rep.header({"hog", "policy", "cov32", "maps-for-99%",
+                "free in >=16MiB blocks"});
+    for (int pct = 0; pct <= max_pct; pct += 25) {
+        for (PolicyKind kind :
+             {PolicyKind::Thp, PolicyKind::Eager, PolicyKind::Ca}) {
+            Row row = runOne(kind, pct / 100.0);
+            rep.row({std::to_string(pct) + "%", policyName(kind),
+                     Report::pct(row.cov32),
+                     std::to_string(row.maps99),
+                     Report::pct(row.bigFreeFrac)});
+        }
+    }
+    rep.print();
+
+    std::printf("\nTakeaway: eager paging needs *aligned* free blocks "
+                "and collapses as they vanish; CA paging's contiguity "
+                "map tracks unaligned free runs, so it keeps finding "
+                "near-VMA-sized placements long after the buddy "
+                "allocator's high orders are empty.\n");
+    return 0;
+}

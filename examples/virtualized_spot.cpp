@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Walkthrough: memory virtualization with CA paging + SpOT.
+ *
+ * Boots a VM whose guest and host kernels both run CA paging, ages it
+ * by running the five paper workloads consecutively (no reboots), and
+ * for each shows:
+ *   - the 2-D (gVA -> hPA) contiguity the two CA instances created,
+ *   - the nested-paging walk overhead with and without SpOT,
+ *   - SpOT's per-miss outcome breakdown (correct / mispredicted /
+ *     no prediction).
+ *
+ *   ./examples/virtualized_spot [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace contig;
+
+int
+main(int argc, char **argv)
+{
+    const double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+    printScaledBanner();
+    std::printf("workload scale: %.2f\n", scale);
+
+    VirtSystem sys(PolicyKind::Ca, PolicyKind::Ca, 42);
+
+    Report rep("CA paging + SpOT inside one ageing VM");
+    rep.header({"workload", "2-D maps for 99%", "base overhead",
+                "SpOT overhead", "correct", "mispred", "no-pred"});
+
+    for (const auto &name : paperWorkloads()) {
+        auto wl = makeWorkload(name, {scale, 42});
+        Process &proc = sys.guest().createProcess(name);
+        wl->setup(proc);
+
+        auto cov = coverage(extract2d(proc, sys.vm()));
+        auto base =
+            runTranslation(*wl, &sys.vm(), XlatScheme::Base, 600'000);
+        auto spot =
+            runTranslation(*wl, &sys.vm(), XlatScheme::Spot, 600'000);
+
+        const double walks =
+            spot.stats.walks ? static_cast<double>(spot.stats.walks)
+                             : 1.0;
+        rep.row({name, std::to_string(cov.mappingsFor99),
+                 Report::pct(base.overhead.overhead),
+                 Report::pct(spot.overhead.overhead, 2),
+                 Report::pct(spot.stats.spotCorrect / walks),
+                 Report::pct(spot.stats.spotMispredicted / walks),
+                 Report::pct(spot.stats.spotNoPrediction / walks)});
+
+        wl->teardown();
+        sys.guest().exitProcess(proc);
+    }
+    rep.print();
+
+    std::printf("\nTakeaway: the guest and host CA instances never "
+                "coordinate, yet their independent placements compose "
+                "into full 2-D contiguous mappings that a 32-entry "
+                "PC-indexed offset predictor turns into near-zero "
+                "translation overhead.\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Alignment and interval helpers shared by the buddy allocator, the
+ * page tables and the range extractors.
+ */
+
+#ifndef CONTIG_BASE_ALIGN_HH
+#define CONTIG_BASE_ALIGN_HH
+
+#include <cstdint>
+
+namespace contig
+{
+
+/** Round value down to a multiple of align (align must be a power of 2). */
+constexpr std::uint64_t
+alignDown(std::uint64_t value, std::uint64_t align)
+{
+    return value & ~(align - 1);
+}
+
+/** Round value up to a multiple of align (align must be a power of 2). */
+constexpr std::uint64_t
+alignUp(std::uint64_t value, std::uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** True iff value is a multiple of align (align must be a power of 2). */
+constexpr bool
+isAligned(std::uint64_t value, std::uint64_t align)
+{
+    return (value & (align - 1)) == 0;
+}
+
+/** Floor of log2(value); value must be nonzero. */
+constexpr unsigned
+log2Floor(std::uint64_t value)
+{
+    unsigned r = 0;
+    while (value >>= 1)
+        ++r;
+    return r;
+}
+
+/** True iff value is a power of two (and nonzero). */
+constexpr bool
+isPow2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Half-open interval [begin, end) overlap test. */
+constexpr bool
+intervalsOverlap(std::uint64_t a_begin, std::uint64_t a_end,
+                 std::uint64_t b_begin, std::uint64_t b_end)
+{
+    return a_begin < b_end && b_begin < a_end;
+}
+
+} // namespace contig
+
+#endif // CONTIG_BASE_ALIGN_HH

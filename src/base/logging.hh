@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal gem5-flavoured logging and invariant-checking helpers.
+ * panic() flags internal simulator bugs (aborts); fatal() flags user
+ * configuration errors (clean exit); warn()/inform() are advisory.
+ */
+
+#ifndef CONTIG_BASE_LOGGING_HH
+#define CONTIG_BASE_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace contig
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Format helper: printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace contig
+
+/** Abort: something happened that indicates a bug in the simulator. */
+#define panic(...) \
+    ::contig::panicImpl(__FILE__, __LINE__, ::contig::csprintf(__VA_ARGS__))
+
+/** Clean exit: the user asked for something unsupportable. */
+#define fatal(...) \
+    ::contig::fatalImpl(__FILE__, __LINE__, ::contig::csprintf(__VA_ARGS__))
+
+#define warn(...) ::contig::warnImpl(::contig::csprintf(__VA_ARGS__))
+#define inform(...) ::contig::informImpl(::contig::csprintf(__VA_ARGS__))
+
+/** Invariant check that survives release builds. */
+#define contig_assert(cond, ...)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            panic("assertion failed: %s: %s", #cond,                      \
+                  ::contig::csprintf(__VA_ARGS__).c_str());                \
+        }                                                                  \
+    } while (0)
+
+#endif // CONTIG_BASE_LOGGING_HH

@@ -1,0 +1,138 @@
+#include "base/rng.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace contig
+{
+
+namespace
+{
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    contig_assert(bound > 0, "Rng::below bound must be positive");
+    // Lemire's nearly-divisionless method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        std::uint64_t t = -bound % bound;
+        while (l < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t
+Rng::between(std::uint64_t lo, std::uint64_t hi)
+{
+    contig_assert(lo <= hi, "Rng::between empty range");
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s)
+    : n_(n), s_(s)
+{
+    contig_assert(n > 0, "ZipfSampler needs at least one item");
+    if (s_ < 1e-9)
+        s_ = 1e-9; // avoid division by zero; ~uniform
+    invSMinusOne_ = 1.0 / (1.0 - s_);
+    hx0_ = h(0.5) - 1.0;
+    hxm_ = h(static_cast<double>(n_) + 0.5);
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    if (std::fabs(s_ - 1.0) < 1e-9)
+        return std::log(x);
+    return std::pow(x, 1.0 - s_) * invSMinusOne_;
+}
+
+double
+ZipfSampler::hInv(double x) const
+{
+    if (std::fabs(s_ - 1.0) < 1e-9)
+        return std::exp(x);
+    return std::pow(x * (1.0 - s_), invSMinusOne_);
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng)
+{
+    // Rejection-inversion over the harmonic density.
+    while (true) {
+        double u = hx0_ + rng.uniform() * (hxm_ - hx0_);
+        double x = hInv(u);
+        std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        if (k > n_)
+            k = n_;
+        // Acceptance test: exact for the tail, cheap for the head.
+        if (k - x <= 0.5 ||
+            u >= h(static_cast<double>(k) + 0.5) -
+                     std::pow(static_cast<double>(k), -s_)) {
+            return k - 1; // ranks are 0-based
+        }
+    }
+}
+
+} // namespace contig

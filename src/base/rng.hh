@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for reproducible
+ * experiments: a xoshiro256** core plus the distribution samplers the
+ * synthetic workloads need (uniform, Zipf/power-law, geometric).
+ */
+
+#ifndef CONTIG_BASE_RNG_HH
+#define CONTIG_BASE_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace contig
+{
+
+/**
+ * Deterministic 64-bit PRNG (xoshiro256**). Seeded via SplitMix64 so a
+ * single 64-bit seed fully determines the stream.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using Lemire's method. bound > 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** True with the given probability. */
+    bool chance(double p);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = below(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Zipf(N, s) sampler over {0, ..., n-1} using the rejection-inversion
+ * method of Hormann & Derflinger, O(1) per sample. Used by the graph
+ * and hash-join workload generators to model power-law access skew.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n Number of items (ranks 0..n-1; rank 0 is hottest).
+     * @param s Skew exponent, s >= 0 (s == 0 degenerates to uniform).
+     */
+    ZipfSampler(std::uint64_t n, double s);
+
+    /** Draw one rank. */
+    std::uint64_t sample(Rng &rng);
+
+    std::uint64_t n() const { return n_; }
+    double skew() const { return s_; }
+
+  private:
+    double h(double x) const;
+    double hInv(double x) const;
+
+    std::uint64_t n_;
+    double s_;
+    double hx0_;
+    double hxm_;
+    double invSMinusOne_;
+};
+
+} // namespace contig
+
+#endif // CONTIG_BASE_RNG_HH

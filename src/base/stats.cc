@@ -1,0 +1,58 @@
+#include "base/stats.hh"
+
+#include <cmath>
+
+namespace contig
+{
+
+double
+Percentiles::quantile(double q)
+{
+    if (samples_.empty())
+        return 0.0;
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    if (q <= 0.0)
+        return samples_.front();
+    if (q >= 1.0)
+        return samples_.back();
+    double idx = q * (samples_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(idx);
+    double frac = idx - lo;
+    if (lo + 1 >= samples_.size())
+        return samples_.back();
+    return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+void
+Log2Histogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    unsigned b = 0;
+    while ((std::uint64_t{1} << (b + 1)) <= value && b < 63)
+        ++b;
+    if (buckets_.size() <= b)
+        buckets_.resize(b + 1, 0);
+    buckets_[b] += weight;
+    total_ += weight;
+}
+
+std::uint64_t
+Log2Histogram::bucket(unsigned i) const
+{
+    return i < buckets_.size() ? buckets_[i] : 0;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += std::log(v);
+    return std::exp(acc / values.size());
+}
+
+} // namespace contig

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Lightweight statistics primitives: named counters, scalar summaries
+ * (mean/min/max), exact-percentile reservoirs and log2-bucketed
+ * histograms. Every subsystem exposes a Stats-like struct built from
+ * these so benches and tests can interrogate behaviour.
+ */
+
+#ifndef CONTIG_BASE_STATS_HH
+#define CONTIG_BASE_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace contig
+{
+
+/**
+ * Scalar summary accumulator: count, sum, min, max and mean of a
+ * stream of samples.
+ */
+class Summary
+{
+  public:
+    void
+    add(double x)
+    {
+        if (count_ == 0 || x < min_)
+            min_ = x;
+        if (count_ == 0 || x > max_)
+            max_ = x;
+        sum_ += x;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    void reset() { *this = Summary{}; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Exact percentile tracker. Stores all samples; fine for the
+ * page-fault-latency scale of this simulator (tens of thousands of
+ * samples per run).
+ */
+class Percentiles
+{
+  public:
+    void add(double x) { samples_.push_back(x); sorted_ = false; }
+
+    /** Value at quantile q in [0, 1]; 0 if empty. */
+    double quantile(double q);
+
+    std::size_t count() const { return samples_.size(); }
+    void reset() { samples_.clear(); sorted_ = false; }
+
+  private:
+    std::vector<double> samples_;
+    bool sorted_ = false;
+};
+
+/**
+ * Power-of-two bucketed histogram over unsigned values: bucket i counts
+ * samples in [2^i, 2^(i+1)). Used e.g. for the free-block size
+ * distribution of Fig. 9.
+ */
+class Log2Histogram
+{
+  public:
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+
+    /** Count (weighted) in bucket for values whose log2 floor is i. */
+    std::uint64_t bucket(unsigned i) const;
+    unsigned numBuckets() const { return buckets_.size(); }
+    std::uint64_t totalWeight() const { return total_; }
+    void reset() { buckets_.clear(); total_ = 0; }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A flat registry of named counters. Subsystems register deltas; the
+ * experiment drivers snapshot and print them.
+ */
+class CounterSet
+{
+  public:
+    void inc(const std::string &name, std::uint64_t by = 1)
+    { counters_[name] += by; }
+
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    const std::map<std::string, std::uint64_t> &all() const
+    { return counters_; }
+
+    void reset() { counters_.clear(); }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+/** Geometric mean of a set of positive values; 0 if empty. */
+double geomean(const std::vector<double> &values);
+
+} // namespace contig
+
+#endif // CONTIG_BASE_STATS_HH

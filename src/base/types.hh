@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Fundamental address types and page-size constants used across the
+ * reproduction. Addresses come in three flavours matching the paper's
+ * terminology: guest virtual (Gva), guest physical (Gpa) and host
+ * physical (Hpa). In native (non-virtualized) configurations Gpa is
+ * unused and Hpa plays the role of the plain physical address.
+ */
+
+#ifndef CONTIG_BASE_TYPES_HH
+#define CONTIG_BASE_TYPES_HH
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+
+namespace contig
+{
+
+/** Raw 64-bit address value. */
+using Addr = std::uint64_t;
+
+/** Physical frame number: physical address >> kPageShift. */
+using Pfn = std::uint64_t;
+
+/** Sentinel for "no frame". */
+constexpr Pfn kInvalidPfn = ~Pfn{0};
+
+/** Virtual page number: virtual address >> kPageShift. */
+using Vpn = std::uint64_t;
+
+/** Base page geometry (x86-64 4 KiB pages). */
+constexpr unsigned kPageShift = 12;
+constexpr Addr kPageSize = Addr{1} << kPageShift;
+constexpr Addr kPageMask = kPageSize - 1;
+
+/** Transparent huge page geometry (2 MiB). */
+constexpr unsigned kHugeOrder = 9;
+constexpr unsigned kHugeShift = kPageShift + kHugeOrder;
+constexpr Addr kHugeSize = Addr{1} << kHugeShift;
+constexpr Addr kHugeMask = kHugeSize - 1;
+
+/**
+ * Largest buddy order tracked by the stock allocator (Linux default
+ * MAX_ORDER = 11, i.e. 4 MiB aligned blocks of 2^11 base pages).
+ * Eager paging raises this limit (see EagerPolicy).
+ */
+constexpr unsigned kMaxOrder = 11;
+
+/** Number of base pages in a block of the given buddy order. */
+constexpr std::uint64_t
+pagesInOrder(unsigned order)
+{
+    return std::uint64_t{1} << order;
+}
+
+/**
+ * Strongly typed address. The Tag parameter distinguishes the three
+ * address spaces at compile time so that e.g. a guest physical address
+ * can never be passed where a host physical address is expected.
+ */
+template <typename Tag>
+struct TypedAddr
+{
+    Addr value = 0;
+
+    constexpr TypedAddr() = default;
+    constexpr explicit TypedAddr(Addr v) : value(v) {}
+
+    constexpr auto operator<=>(const TypedAddr &) const = default;
+
+    constexpr TypedAddr operator+(Addr off) const
+    { return TypedAddr{value + off}; }
+    constexpr TypedAddr operator-(Addr off) const
+    { return TypedAddr{value - off}; }
+    constexpr Addr operator-(TypedAddr other) const
+    { return value - other.value; }
+    TypedAddr &operator+=(Addr off) { value += off; return *this; }
+
+    /** Page number of this address (address >> kPageShift). */
+    constexpr std::uint64_t pageNumber() const
+    { return value >> kPageShift; }
+
+    /** Offset of this address within its base page. */
+    constexpr Addr pageOffset() const { return value & kPageMask; }
+
+    /** Address rounded down to its base-page boundary. */
+    constexpr TypedAddr pageBase() const
+    { return TypedAddr{value & ~kPageMask}; }
+
+    /** Address rounded down to its huge-page boundary. */
+    constexpr TypedAddr hugeBase() const
+    { return TypedAddr{value & ~kHugeMask}; }
+};
+
+struct GvaTag {};
+struct GpaTag {};
+struct HpaTag {};
+
+/** Guest (or native process) virtual address. */
+using Gva = TypedAddr<GvaTag>;
+/** Guest physical address (the hypervisor's "virtual" dimension). */
+using Gpa = TypedAddr<GpaTag>;
+/** Host physical address (a real machine frame). */
+using Hpa = TypedAddr<HpaTag>;
+
+/** Identifier of a NUMA node / zone. */
+using NodeId = unsigned;
+
+/** Simulated cycle count. */
+using Cycles = std::uint64_t;
+
+} // namespace contig
+
+namespace std
+{
+
+template <typename Tag>
+struct hash<contig::TypedAddr<Tag>>
+{
+    size_t operator()(const contig::TypedAddr<Tag> &a) const noexcept
+    { return std::hash<contig::Addr>{}(a.value); }
+};
+
+} // namespace std
+
+#endif // CONTIG_BASE_TYPES_HH

@@ -1,0 +1,169 @@
+#include "contig/analysis.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "mm/process.hh"
+#include "phys/phys_mem.hh"
+#include "virt/vm.hh"
+
+namespace contig
+{
+
+namespace
+{
+
+/** Append a run to segs, merging with the last when contiguous. */
+void
+appendRun(std::vector<Seg> &segs, Vpn vpn, Pfn pfn, std::uint64_t pages)
+{
+    if (!segs.empty()) {
+        Seg &last = segs.back();
+        if (last.vpn + last.pages == vpn &&
+            last.pfn + last.pages == pfn) {
+            last.pages += pages;
+            return;
+        }
+    }
+    segs.push_back(Seg{vpn, pfn, pages});
+}
+
+} // namespace
+
+std::vector<Seg>
+extractSegs(const PageTable &pt)
+{
+    std::vector<Seg> segs;
+    pt.forEachLeaf([&](Vpn vpn, const Mapping &m) {
+        appendRun(segs, vpn, m.pfn, pagesInOrder(m.order));
+    });
+    return segs;
+}
+
+std::vector<Seg>
+extract2d(const Process &guest_proc, const VirtualMachine &vm)
+{
+    std::vector<Seg> segs;
+    guest_proc.pageTable().forEachLeaf([&](Vpn vpn, const Mapping &m) {
+        // Compose this guest leaf with the nested mappings that back
+        // its guest-frame range.
+        const std::uint64_t n = pagesInOrder(m.order);
+        std::uint64_t off = 0;
+        while (off < n) {
+            auto nested = vm.nestedLookup(m.pfn + off);
+            if (!nested) {
+                ++off; // unbacked guest frame: skip
+                continue;
+            }
+            // The nested leaf covers the guest frames up to its end.
+            const std::uint64_t nested_pages = pagesInOrder(nested->order);
+            const Vpn host_vpn = vm.hostVpnFor(m.pfn + off);
+            const Vpn nested_base = host_vpn & ~(nested_pages - 1);
+            std::uint64_t span = nested_base + nested_pages - host_vpn;
+            span = std::min(span, n - off);
+            appendRun(segs, vpn + off, nested->pfn, span);
+            off += span;
+        }
+    });
+    return segs;
+}
+
+CoverageMetrics
+coverage(const std::vector<Seg> &segs)
+{
+    CoverageMetrics m;
+    m.mappings = segs.size();
+    std::vector<std::uint64_t> sizes;
+    sizes.reserve(segs.size());
+    for (const Seg &s : segs) {
+        m.totalPages += s.pages;
+        sizes.push_back(s.pages);
+    }
+    if (m.totalPages == 0)
+        return m;
+    std::sort(sizes.begin(), sizes.end(), std::greater<>());
+
+    std::uint64_t acc = 0;
+    const std::uint64_t target99 =
+        (m.totalPages * 99 + 99) / 100; // ceil(0.99 * total)
+    bool found99 = false;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        acc += sizes[i];
+        if (i + 1 == 32)
+            m.cov32 = static_cast<double>(acc) / m.totalPages;
+        if (i + 1 == 128)
+            m.cov128 = static_cast<double>(acc) / m.totalPages;
+        if (!found99 && acc >= target99) {
+            m.mappingsFor99 = i + 1;
+            found99 = true;
+        }
+    }
+    if (sizes.size() < 32)
+        m.cov32 = 1.0;
+    if (sizes.size() < 128)
+        m.cov128 = 1.0;
+    return m;
+}
+
+double
+coverageTopK(const std::vector<Seg> &segs, std::uint64_t k)
+{
+    std::vector<std::uint64_t> sizes;
+    std::uint64_t total = 0;
+    for (const Seg &s : segs) {
+        sizes.push_back(s.pages);
+        total += s.pages;
+    }
+    if (total == 0)
+        return 0.0;
+    std::sort(sizes.begin(), sizes.end(), std::greater<>());
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < sizes.size() && i < k; ++i)
+        acc += sizes[i];
+    return static_cast<double>(acc) / total;
+}
+
+Log2Histogram
+freeBlockDistribution(const PhysicalMemory &pm)
+{
+    Log2Histogram hist;
+    for (unsigned n = 0; n < pm.numNodes(); ++n) {
+        const Zone &zone = pm.zone(n);
+        // Top-order contiguity: the unaligned clusters of the map.
+        for (const Cluster &c : zone.contigMap().snapshot())
+            hist.add(c.pages, c.pages);
+        // Sub-top-order free blocks from the buddy lists.
+        const unsigned top = zone.buddy().maxOrder();
+        for (unsigned o = 0; o < top; ++o) {
+            zone.buddy().forEachFreeBlock(o, [&](Pfn) {
+                hist.add(pagesInOrder(o), pagesInOrder(o));
+            });
+        }
+    }
+    return hist;
+}
+
+CoverageMetrics
+CoverageTimeline::average() const
+{
+    CoverageMetrics avg;
+    if (samples_.empty())
+        return avg;
+    double c32 = 0, c128 = 0, maps = 0, for99 = 0, total = 0;
+    for (const auto &s : samples_) {
+        c32 += s.cov32;
+        c128 += s.cov128;
+        maps += s.mappings;
+        for99 += s.mappingsFor99;
+        total += s.totalPages;
+    }
+    const double n = samples_.size();
+    avg.cov32 = c32 / n;
+    avg.cov128 = c128 / n;
+    avg.mappings = static_cast<std::uint64_t>(maps / n);
+    avg.mappingsFor99 = static_cast<std::uint64_t>(for99 / n);
+    avg.totalPages = static_cast<std::uint64_t>(total / n);
+    return avg;
+}
+
+} // namespace contig

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Contiguity analytics: extraction of maximal contiguous mappings
+ * (1-D native, 2-D virtualized via gPT ⋈ nPT composition — the
+ * paper's VMI tool), and the metrics of §VI-A: memory-footprint
+ * coverage of the K largest mappings and the number of mappings
+ * needed to cover 99% of the footprint. Also the free-block size
+ * distribution of Fig. 9.
+ */
+
+#ifndef CONTIG_CONTIG_ANALYSIS_HH
+#define CONTIG_CONTIG_ANALYSIS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/stats.hh"
+#include "mm/page_table.hh"
+
+namespace contig
+{
+
+class PhysicalMemory;
+class VirtualMachine;
+class Process;
+
+/**
+ * One maximal contiguous mapping: `pages` virtually consecutive base
+ * pages mapped to physically consecutive frames. In virtualized
+ * extraction, vpn is a gVA page and pfn a host frame (full 2-D).
+ */
+struct Seg
+{
+    Vpn vpn = 0;
+    Pfn pfn = 0;
+    std::uint64_t pages = 0;
+
+    std::int64_t
+    offset() const
+    {
+        return static_cast<std::int64_t>(vpn) -
+               static_cast<std::int64_t>(pfn);
+    }
+};
+
+/**
+ * Extract maximal contiguous mappings from one page table (native:
+ * VA -> PA). Adjacent leaves merge when virtually consecutive and
+ * sharing the same offset.
+ */
+std::vector<Seg> extractSegs(const PageTable &pt);
+
+/**
+ * Extract full 2-D (gVA -> hPA) maximal contiguous mappings of a
+ * guest process running inside a VM: compose each guest leaf with the
+ * nested mappings covering its gPA range, then merge (the in-house
+ * VMI tool of §V).
+ */
+std::vector<Seg> extract2d(const Process &guest_proc,
+                           const VirtualMachine &vm);
+
+/** The coverage metrics of Figs. 7/8/10/12. */
+struct CoverageMetrics
+{
+    std::uint64_t totalPages = 0;    //!< mapped footprint
+    std::uint64_t mappings = 0;      //!< number of contiguous mappings
+    double cov32 = 0.0;              //!< fraction covered by 32 largest
+    double cov128 = 0.0;             //!< fraction covered by 128 largest
+    std::uint64_t mappingsFor99 = 0; //!< mappings to reach 99 %
+};
+
+/** Compute the metrics from an extracted segment list. */
+CoverageMetrics coverage(const std::vector<Seg> &segs);
+
+/**
+ * Fraction of `total_pages` covered by the `k` largest segments
+ * (Fig. 1b/1c/10 use k = 32).
+ */
+double coverageTopK(const std::vector<Seg> &segs, std::uint64_t k);
+
+/**
+ * Free-block size distribution (Fig. 9): a log2 histogram of the
+ * machine's free *unaligned* cluster sizes, weighted by pages. Sizes
+ * below the top-order block granularity are accounted from the buddy
+ * free lists directly.
+ */
+Log2Histogram freeBlockDistribution(const PhysicalMemory &pm);
+
+/**
+ * Timeline sampler: averages coverage metrics over an execution by
+ * sampling at a fixed fault cadence (the "averaged throughout
+ * application's execution time" of §VI-A).
+ */
+class CoverageTimeline
+{
+  public:
+    void
+    addSample(const CoverageMetrics &m)
+    {
+        samples_.push_back(m);
+    }
+
+    const std::vector<CoverageMetrics> &samples() const
+    { return samples_; }
+
+    /** Time-averaged metrics across all samples. */
+    CoverageMetrics average() const;
+
+  private:
+    std::vector<CoverageMetrics> samples_;
+};
+
+} // namespace contig
+
+#endif // CONTIG_CONTIG_ANALYSIS_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Canonical scaled experiment constants (DESIGN.md, "Scaling rules").
+ * The paper's 256 GiB 2-socket machine, 29-167 GiB workloads and
+ * Broadwell TLBs scale down by ~x64 with all ratios preserved:
+ * footprint/machine and footprint/TLB-reach match the paper's regime,
+ * so miss behaviour (and therefore every reported *shape*) carries
+ * over while runs finish in seconds.
+ */
+
+#ifndef CONTIG_CORE_CONFIG_HH
+#define CONTIG_CORE_CONFIG_HH
+
+#include "mm/kernel.hh"
+#include "perfmodel/model.hh"
+#include "tlb/translation_sim.hh"
+#include "virt/vm.hh"
+
+namespace contig
+{
+
+struct ScaledDefaults
+{
+    /** Host: 2 NUMA nodes x 1 GiB (paper: 2 x 128 GiB). */
+    static constexpr std::uint64_t kHostNodeBytes = 1ull << 30;
+    static constexpr unsigned kHostNodes = 2;
+
+    /** Guest: 2 nodes x 768 MiB (paper VM: 2-socket, 256 GiB). */
+    static constexpr std::uint64_t kGuestNodeBytes = 768ull << 20;
+    static constexpr unsigned kGuestNodes = 2;
+
+    /** Eager paging raises MAX_ORDER so the buddy tracks 1 GiB blocks. */
+    static constexpr unsigned kEagerMaxOrder = 18;
+
+    static KernelConfig
+    hostKernel()
+    {
+        KernelConfig cfg;
+        cfg.phys.bytesPerNode = kHostNodeBytes;
+        cfg.phys.numNodes = kHostNodes;
+        return cfg;
+    }
+
+    static VmConfig
+    vm()
+    {
+        VmConfig cfg;
+        cfg.guestBytesPerNode = kGuestNodeBytes;
+        cfg.guestNodes = kGuestNodes;
+        return cfg;
+    }
+
+    /**
+     * Scaled TLBs (paper, Table II, /64):
+     * L1 4K 16-entry 4-way, L1 2M 8-entry 4-way, L2 24-entry 6-way.
+     */
+    static TlbHierConfig
+    tlb()
+    {
+        TlbHierConfig cfg;
+        cfg.l1_4k = {4, 4};
+        cfg.l1_2m = {2, 4};
+        cfg.l2 = {4, 6};
+        return cfg;
+    }
+
+    static WalkerConfig
+    walker()
+    {
+        WalkerConfig cfg;
+        cfg.cyclesPerRef = 18;
+        cfg.pscEntries = 16;
+        cfg.nestedTlbEntries = 16;
+        return cfg;
+    }
+
+    /** SpOT prediction table (Table II): 32 entries, 4-way. */
+    static SpotConfig
+    spot()
+    {
+        SpotConfig cfg;
+        cfg.sets = 8;
+        cfg.ways = 4;
+        cfg.flushPenaltyCycles = 20;
+        return cfg;
+    }
+
+    /** vRMM range TLB (Table II): 32 entries, fully associative. */
+    static RangeTlbConfig
+    rangeTlb()
+    {
+        return RangeTlbConfig{32};
+    }
+
+    static PerfModelConfig perf() { return PerfModelConfig{}; }
+
+    /** Steady-state accesses simulated per translation run. */
+    static constexpr std::uint64_t kAccessesPerRun = 2'000'000;
+};
+
+} // namespace contig
+
+#endif // CONTIG_CORE_CONFIG_HH

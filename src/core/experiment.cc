@@ -1,0 +1,251 @@
+#include "core/experiment.hh"
+
+#include "base/logging.hh"
+#include "policies/ca_paging.hh"
+#include "policies/eager.hh"
+#include "policies/ideal.hh"
+#include "policies/ingens.hh"
+#include "policies/ranger.hh"
+
+namespace contig
+{
+
+std::unique_ptr<AllocationPolicy>
+makePolicy(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Thp:
+        return std::make_unique<DefaultThpPolicy>();
+      case PolicyKind::Base4k:
+        return std::make_unique<Base4kPolicy>();
+      case PolicyKind::Ca:
+        return std::make_unique<CaPagingPolicy>();
+      case PolicyKind::Eager:
+        return std::make_unique<EagerPolicy>();
+      case PolicyKind::Ingens:
+        return std::make_unique<IngensPolicy>();
+      case PolicyKind::Ranger:
+        return std::make_unique<RangerPolicy>();
+      case PolicyKind::Ideal:
+        return std::make_unique<IdealPolicy>();
+    }
+    panic("unknown policy kind");
+}
+
+std::string
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Thp: return "THP";
+      case PolicyKind::Base4k: return "4K";
+      case PolicyKind::Ca: return "CA";
+      case PolicyKind::Eager: return "eager";
+      case PolicyKind::Ingens: return "ingens";
+      case PolicyKind::Ranger: return "ranger";
+      case PolicyKind::Ideal: return "ideal";
+    }
+    panic("unknown policy kind");
+}
+
+KernelConfig
+kernelConfigFor(PolicyKind kind)
+{
+    KernelConfig cfg = ScaledDefaults::hostKernel();
+    // The sorted top-order free list is CA paging's own
+    // fragmentation-restraint optimization; stock kernels keep
+    // unsorted lists whose order we scramble to model an aged
+    // machine's churn.
+    const bool ca_like =
+        kind == PolicyKind::Ca || kind == PolicyKind::Ideal;
+    cfg.phys.zone.sortedTopList = ca_like;
+    cfg.phys.zone.scrambleSeed = ca_like ? 0 : 0xC0FFEE;
+    if (kind == PolicyKind::Eager)
+        cfg.phys.zone.maxOrder = ScaledDefaults::kEagerMaxOrder;
+    if (kind == PolicyKind::Base4k)
+        cfg.thpEnabled = false;
+    return cfg;
+}
+
+namespace
+{
+
+/**
+ * Shared run logic: hook fault sampling, run setup, compute metrics.
+ * `extract` pulls the current segment list (native or 2-D).
+ */
+ContigRunResult
+runSampled(Kernel &kernel, Process &proc, Workload &wl,
+           std::uint64_t sample_period,
+           const std::function<std::vector<Seg>()> &extract)
+{
+    ContigRunResult res;
+    CoverageTimeline timeline;
+
+    const std::uint64_t faults0 = kernel.faultStats().faults;
+    const std::uint64_t migr0 = kernel.counters().get("migrate.pages");
+    const std::uint64_t shoot0 =
+        kernel.counters().get("migrate.shootdowns");
+    const Cycles cycles0 = kernel.faultStats().totalCycles;
+    const std::uint64_t mcyc0 = kernel.counters().get("migrate.cycles") +
+                                kernel.counters().get("promote.cycles");
+
+    std::uint64_t since_sample = 0;
+    auto prev_hook = kernel.onFault;
+    kernel.onFault = [&](const FaultEvent &ev) {
+        if (prev_hook)
+            prev_hook(ev);
+        if (++since_sample >= sample_period) {
+            since_sample = 0;
+            auto m = coverage(extract());
+            timeline.addSample(m);
+            res.cov32Timeline.emplace_back(
+                kernel.faultStats().faults - faults0, m.cov32);
+        }
+    };
+
+    wl.setup(proc);
+
+    kernel.onFault = prev_hook;
+
+    // Steady state: the compute phase dominates real executions, so
+    // the time-average weighs post-allocation samples too. Daemon
+    // policies (ranger, ingens) keep working here.
+    const int steady_samples = std::max<int>(
+        24, 3 * static_cast<int>(timeline.samples().size()));
+    for (int i = 0; i < steady_samples; ++i) {
+        kernel.policy().onTick(kernel);
+        auto m = coverage(extract());
+        timeline.addSample(m);
+        res.cov32Timeline.emplace_back(
+            kernel.faultStats().faults - faults0 + (i + 1), m.cov32);
+    }
+
+    res.final = coverage(extract());
+    timeline.addSample(res.final);
+    res.cov32Timeline.emplace_back(kernel.faultStats().faults - faults0,
+                                   res.final.cov32);
+    res.avg = timeline.average();
+    res.faults = kernel.faultStats().faults - faults0;
+    res.p99FaultLatencyUs = kernel.faultStats().latencyUs.quantile(0.99);
+    res.migratedPages = kernel.counters().get("migrate.pages") - migr0;
+    res.shootdowns =
+        kernel.counters().get("migrate.shootdowns") - shoot0;
+    res.allocatedPages = proc.allocatedPages();
+    res.touchedPages = proc.touchedPages();
+    res.swCycles =
+        static_cast<double>(kernel.faultStats().totalCycles - cycles0) +
+        static_cast<double>(kernel.counters().get("migrate.cycles") +
+                            kernel.counters().get("promote.cycles") -
+                            mcyc0);
+    return res;
+}
+
+} // namespace
+
+NativeSystem::NativeSystem(PolicyKind kind, std::uint64_t seed)
+    : kind_(kind),
+      kernel_(std::make_unique<Kernel>(kernelConfigFor(kind),
+                                       makePolicy(kind))),
+      rng_(seed)
+{
+}
+
+void
+NativeSystem::hog(double fraction)
+{
+    hogMemory(*kernel_, fraction, rng_);
+}
+
+ContigRunResult
+NativeSystem::run(Workload &wl, std::uint64_t sample_period)
+{
+    Process &proc = kernel_->createProcess(wl.name());
+    return runSampled(*kernel_, proc, wl, sample_period, [&] {
+        return extractSegs(proc.pageTable());
+    });
+}
+
+void
+NativeSystem::finish(Workload &wl)
+{
+    Process *proc = wl.process();
+    contig_assert(proc, "finish before run");
+    wl.teardown();
+    kernel_->exitProcess(*proc);
+}
+
+VirtSystem::VirtSystem(PolicyKind host_kind, PolicyKind guest_kind,
+                       std::uint64_t seed)
+    : hostKind_(host_kind), guestKind_(guest_kind),
+      host_(std::make_unique<Kernel>(kernelConfigFor(host_kind),
+                                     makePolicy(host_kind))),
+      rng_(seed)
+{
+    VmConfig vcfg = ScaledDefaults::vm();
+    vcfg.guestKernel.thpEnabled = guest_kind != PolicyKind::Base4k;
+    const bool guest_ca = guest_kind == PolicyKind::Ca ||
+                          guest_kind == PolicyKind::Ideal;
+    vcfg.guestKernel.phys.zone.sortedTopList = guest_ca;
+    vcfg.guestKernel.phys.zone.scrambleSeed = guest_ca ? 0 : 0xFACADE;
+    if (guest_kind == PolicyKind::Eager)
+        vcfg.guestKernel.phys.zone.maxOrder =
+            ScaledDefaults::kEagerMaxOrder;
+    vm_ = std::make_unique<VirtualMachine>(*host_,
+                                           makePolicy(guest_kind), vcfg);
+}
+
+ContigRunResult
+VirtSystem::run(Workload &wl, std::uint64_t sample_period)
+{
+    Process &proc = vm_->guest().createProcess(wl.name());
+    return runSampled(vm_->guest(), proc, wl, sample_period, [&] {
+        return extract2d(proc, *vm_);
+    });
+}
+
+void
+VirtSystem::finish(Workload &wl)
+{
+    Process *proc = wl.process();
+    contig_assert(proc, "finish before run");
+    wl.teardown();
+    vm_->guest().exitProcess(*proc);
+}
+
+XlatRunResult
+runTranslation(Workload &wl, const VirtualMachine *vm, XlatScheme scheme,
+               std::uint64_t accesses, std::uint64_t seed)
+{
+    Process *proc = wl.process();
+    contig_assert(proc, "runTranslation before workload setup");
+
+    XlatConfig cfg;
+    cfg.tlb = ScaledDefaults::tlb();
+    cfg.walker = ScaledDefaults::walker();
+    cfg.scheme = scheme;
+    cfg.spot = ScaledDefaults::spot();
+    cfg.rangeTlb = ScaledDefaults::rangeTlb();
+
+    std::unique_ptr<TranslationSim> sim;
+    if (vm) {
+        sim = std::make_unique<TranslationSim>(cfg, proc->pageTable(),
+                                               *vm);
+        if (scheme == XlatScheme::Rmm || scheme == XlatScheme::Ds)
+            sim->setSegments(extract2d(*proc, *vm));
+    } else {
+        sim = std::make_unique<TranslationSim>(cfg, proc->pageTable());
+        if (scheme == XlatScheme::Rmm || scheme == XlatScheme::Ds)
+            sim->setSegments(extractSegs(proc->pageTable()));
+    }
+
+    Rng rng(seed);
+    for (std::uint64_t i = 0; i < accesses; ++i)
+        sim->access(wl.nextAccess(rng));
+
+    XlatRunResult res;
+    res.stats = sim->stats();
+    res.overhead = overheadOf(res.stats, ScaledDefaults::perf());
+    return res;
+}
+
+} // namespace contig

@@ -1,0 +1,88 @@
+#include "core/report.hh"
+
+#include <algorithm>
+
+#include "core/config.hh"
+
+namespace contig
+{
+
+void
+Report::print() const
+{
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        widths[c] = columns_[c].size();
+    for (const auto &r : rows_)
+        for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    std::printf("\n== %s ==\n", caption_.c_str());
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        std::printf("%-*s  ", static_cast<int>(widths[c]),
+                    columns_[c].c_str());
+    std::printf("\n");
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        std::printf("%s  ", std::string(widths[c], '-').c_str());
+    std::printf("\n");
+    for (const auto &r : rows_) {
+        for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+            std::printf("%-*s  ", static_cast<int>(widths[c]),
+                        r[c].c_str());
+        std::printf("\n");
+    }
+    std::fflush(stdout);
+}
+
+std::string
+Report::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Report::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+std::string
+Report::bytes(std::uint64_t b)
+{
+    char buf[64];
+    if (b >= (1ull << 30))
+        std::snprintf(buf, sizeof(buf), "%.2fGiB",
+                      static_cast<double>(b) / (1ull << 30));
+    else if (b >= (1ull << 20))
+        std::snprintf(buf, sizeof(buf), "%.1fMiB",
+                      static_cast<double>(b) / (1ull << 20));
+    else
+        std::snprintf(buf, sizeof(buf), "%.1fKiB",
+                      static_cast<double>(b) / (1ull << 10));
+    return buf;
+}
+
+void
+printScaledBanner()
+{
+    const auto tlb = ScaledDefaults::tlb();
+    std::printf(
+        "scaled machine: %u nodes x %s host, %u x %s guest | "
+        "TLB L1-4K %ue / L1-2M %ue / L2 %ue | SpOT %ux%u | "
+        "range TLB %ue (paper config / ~64, ratios preserved)\n",
+        ScaledDefaults::kHostNodes,
+        Report::bytes(ScaledDefaults::kHostNodeBytes).c_str(),
+        ScaledDefaults::kGuestNodes,
+        Report::bytes(ScaledDefaults::kGuestNodeBytes).c_str(),
+        tlb.l1_4k.sets * tlb.l1_4k.ways, tlb.l1_2m.sets * tlb.l1_2m.ways,
+        tlb.l2.sets * tlb.l2.ways, ScaledDefaults::spot().sets,
+        ScaledDefaults::spot().ways, ScaledDefaults::rangeTlb().entries);
+    std::fflush(stdout);
+}
+
+} // namespace contig

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Plain-text table printing for the bench binaries: fixed-width
+ * columns, a caption line naming the paper table/figure being
+ * reproduced, and the scaled-configuration banner every bench prints
+ * so results are interpretable standalone.
+ */
+
+#ifndef CONTIG_CORE_REPORT_HH
+#define CONTIG_CORE_REPORT_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace contig
+{
+
+/** Simple fixed-width text table. */
+class Report
+{
+  public:
+    /** @param caption e.g. "Fig. 7 — native contiguity, no pressure" */
+    explicit Report(std::string caption) : caption_(std::move(caption)) {}
+
+    void
+    header(std::vector<std::string> cols)
+    {
+        columns_ = std::move(cols);
+    }
+
+    void
+    row(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Print to stdout. */
+    void print() const;
+
+    /** Format helpers. */
+    static std::string num(double v, int precision = 2);
+    static std::string pct(double fraction, int precision = 1);
+    static std::string bytes(std::uint64_t b);
+
+  private:
+    std::string caption_;
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print the scaled-machine banner (every bench calls this once). */
+void printScaledBanner();
+
+} // namespace contig
+
+#endif // CONTIG_CORE_REPORT_HH

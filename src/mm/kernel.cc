@@ -1,0 +1,398 @@
+#include "mm/kernel.hh"
+
+#include <algorithm>
+
+#include "base/align.hh"
+#include "base/logging.hh"
+
+namespace contig
+{
+
+Kernel::Kernel(const KernelConfig &cfg,
+               std::unique_ptr<AllocationPolicy> policy)
+    : cfg_(cfg), physMem_(cfg.phys), policy_(std::move(policy))
+{
+    contig_assert(policy_ != nullptr, "kernel needs an allocation policy");
+}
+
+Kernel::~Kernel()
+{
+    // Destroy processes before the kernel pool and physical memory:
+    // their page-table destructors return node frames via
+    // freeKernelFrame().
+    processes_.clear();
+}
+
+Process &
+Kernel::createProcess(const std::string &name, NodeId home_node)
+{
+    contig_assert(home_node < physMem_.numNodes(), "bad home node");
+    processes_.push_back(
+        std::make_unique<Process>(*this, nextPid_++, name, home_node));
+    return *processes_.back();
+}
+
+void
+Kernel::exitProcess(Process &proc)
+{
+    // Tear down every VMA (policy hook + page release).
+    std::vector<Vma *> vmas;
+    proc.addressSpace().forEachVma([&](Vma &vma) { vmas.push_back(&vma); });
+    for (Vma *vma : vmas)
+        munmap(proc, *vma);
+
+    auto it = std::find_if(processes_.begin(), processes_.end(),
+                           [&](const auto &p) { return p.get() == &proc; });
+    contig_assert(it != processes_.end(), "exit of unknown process");
+    processes_.erase(it);
+}
+
+Process *
+Kernel::findProcess(std::uint32_t pid)
+{
+    for (auto &p : processes_)
+        if (p->pid() == pid)
+            return p.get();
+    return nullptr;
+}
+
+File &
+Kernel::createFile(std::uint64_t size_pages)
+{
+    return pageCache_.createFile(size_pages);
+}
+
+void
+Kernel::dropCaches()
+{
+    pageCache_.dropCaches(*this);
+}
+
+void
+Kernel::readFile(File &file, std::uint64_t page_start,
+                 std::uint64_t n_pages)
+{
+    contig_assert(page_start + n_pages <= file.sizePages(),
+                  "readFile beyond EOF");
+    for (std::uint64_t p = page_start; p < page_start + n_pages; ++p) {
+        if (file.isCached(p))
+            continue;
+        if (pageCache_.ensureCached(*this, file, p) == kInvalidPfn)
+            fatal("out of memory reading file %u", file.id());
+    }
+}
+
+Vma &
+Kernel::mmapAnon(Process &proc, std::uint64_t bytes)
+{
+    Vma &vma = proc.addressSpace().mmap(bytes, VmaKind::Anon);
+    policy_->onMmap(*this, proc, vma);
+    return vma;
+}
+
+Vma &
+Kernel::mmapFile(Process &proc, std::uint32_t file_id, std::uint64_t bytes,
+                 std::uint64_t file_offset_pages)
+{
+    Vma &vma = proc.addressSpace().mmap(bytes, VmaKind::File, std::nullopt,
+                                        file_id, file_offset_pages);
+    policy_->onMmap(*this, proc, vma);
+    return vma;
+}
+
+void
+Kernel::unmapVmaPages(Process &proc, Vma &vma)
+{
+    PageTable &pt = proc.pageTable();
+    const Vpn start = vma.start().pageNumber();
+    const Vpn end = start + vma.pages();
+
+    // Collect the leaves first: unmapping while iterating would
+    // invalidate the traversal.
+    std::vector<std::pair<Vpn, Mapping>> leaves;
+    pt.forEachLeaf([&](Vpn vpn, const Mapping &m) {
+        if (vpn >= start && vpn < end)
+            leaves.emplace_back(vpn, m);
+    });
+    for (auto &[vpn, m] : leaves) {
+        pt.unmap(vpn, m.order);
+        const std::uint64_t n = pagesInOrder(m.order);
+        for (std::uint64_t i = 0; i < n; ++i)
+            --physMem_.frame(m.pfn + i).mapCount;
+        putFrame(m.pfn, m.order);
+    }
+}
+
+void
+Kernel::munmap(Process &proc, Vma &vma)
+{
+    policy_->onMunmap(*this, proc, vma);
+    unmapVmaPages(proc, vma);
+    proc.addressSpace().munmap(vma);
+}
+
+void
+Kernel::claimFrames(Pfn pfn, unsigned order, FrameOwner kind,
+                    std::uint32_t owner_id, Addr owner_vaddr)
+{
+    const std::uint64_t n = pagesInOrder(order);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Frame &f = physMem_.frame(pfn + i);
+        f.ownerKind = kind;
+        f.ownerId = owner_id;
+        f.ownerVaddr = owner_vaddr + i * kPageSize;
+        f.refCount = 0;
+        f.mapCount = 0;
+    }
+    physMem_.frame(pfn).refCount = 1;
+    if (backingHook)
+        backingHook(pfn, order);
+}
+
+void
+Kernel::getFrame(Pfn pfn)
+{
+    ++physMem_.frame(pfn).refCount;
+}
+
+void
+Kernel::putFrame(Pfn pfn, unsigned order)
+{
+    Frame &f = physMem_.frame(pfn);
+    contig_assert(f.refCount > 0, "putFrame on unreferenced frame");
+    if (--f.refCount == 0) {
+        const std::uint64_t n = pagesInOrder(order);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Frame &g = physMem_.frame(pfn + i);
+            g.ownerKind = FrameOwner::None;
+            g.ownerId = kNoOwner;
+            g.ownerVaddr = 0;
+        }
+        physMem_.free(pfn, order);
+    }
+}
+
+Pfn
+Kernel::allocKernelFrame(NodeId node)
+{
+    if (kernelPool_.empty()) {
+        if (auto blk = physMem_.alloc(kKernelPoolOrder, node)) {
+            claimFrames(*blk, kKernelPoolOrder, FrameOwner::PageTable,
+                        kNoOwner, 0);
+            const std::uint64_t n = pagesInOrder(kKernelPoolOrder);
+            kernelPoolPages_ += n;
+            // Hand out ascending: push descending.
+            for (std::uint64_t i = n; i > 0; --i)
+                kernelPool_.push_back(*blk + i - 1);
+        } else if (auto single = physMem_.alloc(0, node)) {
+            // Memory too fragmented for a chunk: fall back to one page.
+            claimFrames(*single, 0, FrameOwner::PageTable, kNoOwner, 0);
+            kernelPoolPages_ += 1;
+            kernelPool_.push_back(*single);
+        } else {
+            fatal("out of memory allocating a kernel (page-table) frame");
+        }
+    }
+    Pfn pfn = kernelPool_.back();
+    kernelPool_.pop_back();
+    return pfn;
+}
+
+void
+Kernel::freeKernelFrame(Pfn pfn)
+{
+    // Node frames return to the pool, not to the buddy allocator —
+    // matching the sticky behaviour of per-CPU lists.
+    kernelPool_.push_back(pfn);
+}
+
+void
+Kernel::touch(Process &proc, Gva gva, Access access)
+{
+    Vma *vma = proc.addressSpace().findVma(gva);
+    contig_assert(vma, "touch outside any VMA (gva 0x%llx)",
+                  static_cast<unsigned long long>(gva.value));
+
+    const Vpn vpn = gva.pageNumber();
+    auto m = proc.pageTable().lookup(vpn);
+    if (m && m->valid()) {
+        if (access == Access::Write && m->cow)
+            cowFault(proc, *vma, vpn, *m);
+        proc.noteTouched(*vma, vpn);
+        return;
+    }
+
+    if (vma->kind() == VmaKind::File)
+        fileFault(proc, *vma, vpn);
+    else
+        anonFault(proc, *vma, vpn);
+    proc.noteTouched(*vma, vpn);
+}
+
+void
+Kernel::anonFault(Process &proc, Vma &vma, Vpn vpn)
+{
+    unsigned order = 0;
+    if (cfg_.thpEnabled && policy_->allowsHugeFaults() &&
+        vma.coversAligned(vpn, kHugeOrder)) {
+        // THP faults require the whole aligned huge range unmapped.
+        Vpn huge_base = vpn & ~(pagesInOrder(kHugeOrder) - 1);
+        bool range_clear = true;
+        for (Vpn v = huge_base;
+             v < huge_base + pagesInOrder(kHugeOrder) && range_clear;
+             v += 1) {
+            if (proc.pageTable().lookup(v))
+                range_clear = false;
+        }
+        if (range_clear)
+            order = kHugeOrder;
+    }
+
+    Vpn base = vpn & ~(pagesInOrder(order) - 1);
+    AllocResult res = policy_->allocate(*this, proc, vma, base, order);
+    if (!res.ok()) {
+        // Direct reclaim: evict clean page-cache pages and retry.
+        dropCaches();
+        counters_.inc("reclaim.direct");
+        res = policy_->allocate(*this, proc, vma, base, order);
+    }
+    if (!res.ok() && order == kHugeOrder) {
+        ++faultStats_.hugeFallbacks;
+        order = 0;
+        base = vpn;
+        res = policy_->allocate(*this, proc, vma, base, order);
+    }
+    if (!res.ok())
+        fatal("out of memory: anon fault in %s (vma %u)",
+              proc.name().c_str(), vma.id());
+
+    claimFrames(res.pfn, order, FrameOwner::Anon, proc.pid(),
+                base << kPageShift);
+    proc.pageTable().map(base, res.pfn, order, true, false);
+    const std::uint64_t n = pagesInOrder(order);
+    for (std::uint64_t i = 0; i < n; ++i)
+        ++physMem_.frame(res.pfn + i).mapCount;
+    vma.allocatedPages += n;
+
+    const Cycles cycles = cfg_.faultBaseCycles +
+                          cfg_.zeroCyclesPerPage * n + res.placementCycles;
+    policy_->onMapped(*this, proc, vma, base, res.pfn, order);
+    finishFault(proc, vma, base, res.pfn, order, cycles, false, false);
+}
+
+void
+Kernel::cowFault(Process &proc, Vma &vma, Vpn vpn, const Mapping &m)
+{
+    const unsigned order = m.order;
+    const Vpn base = vpn & ~(pagesInOrder(order) - 1);
+
+    AllocResult res = policy_->allocate(*this, proc, vma, base, order);
+    if (!res.ok())
+        fatal("out of memory: COW fault in %s", proc.name().c_str());
+
+    claimFrames(res.pfn, order, FrameOwner::Anon, proc.pid(),
+                base << kPageShift);
+    proc.pageTable().unmap(base, order);
+    const std::uint64_t n = pagesInOrder(order);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        --physMem_.frame(m.pfn + i).mapCount;
+        ++physMem_.frame(res.pfn + i).mapCount;
+    }
+    putFrame(m.pfn, order);
+    proc.pageTable().map(base, res.pfn, order, true, false);
+
+    const Cycles cycles = cfg_.faultBaseCycles +
+                          cfg_.copyCyclesPerPage * n + res.placementCycles;
+    ++faultStats_.cowFaults;
+    policy_->onMapped(*this, proc, vma, base, res.pfn, order);
+    finishFault(proc, vma, base, res.pfn, order, cycles, true, false);
+}
+
+void
+Kernel::fileFault(Process &proc, Vma &vma, Vpn vpn)
+{
+    File &file = pageCache_.file(vma.fileId());
+    const std::uint64_t file_page =
+        vma.fileOffsetPages() + (vpn - vma.start().pageNumber());
+    contig_assert(file_page < file.sizePages(),
+                  "file fault beyond EOF (page %llu)",
+                  static_cast<unsigned long long>(file_page));
+
+    Pfn pfn = pageCache_.ensureCached(*this, file, file_page);
+    if (pfn == kInvalidPfn)
+        fatal("out of memory: page-cache fault in %s", proc.name().c_str());
+
+    // File mappings are shared read-only in this model.
+    proc.pageTable().map(vpn, pfn, 0, false, false);
+    getFrame(pfn);
+    ++physMem_.frame(pfn).mapCount;
+    vma.allocatedPages += 1;
+
+    ++faultStats_.fileFaults;
+    const Cycles cycles = cfg_.faultBaseCycles;
+    finishFault(proc, vma, vpn, pfn, 0, cycles, false, true);
+}
+
+void
+Kernel::finishFault(Process &proc, Vma &vma, Vpn vpn, Pfn pfn,
+                    unsigned order, Cycles cycles, bool cow, bool file)
+{
+    ++faultStats_.faults;
+    if (!cow && !file) {
+        if (order == kHugeOrder)
+            ++faultStats_.hugeFaults;
+        else
+            ++faultStats_.baseFaults;
+    }
+    faultStats_.totalCycles += cycles;
+    faultStats_.latencyUs.add(static_cast<double>(cycles) /
+                              cfg_.cyclesPerUs);
+
+    if (onFault) {
+        FaultEvent ev;
+        ev.proc = &proc;
+        ev.vma = &vma;
+        ev.vpn = vpn;
+        ev.pfn = pfn;
+        ev.order = order;
+        ev.cow = cow;
+        ev.file = file;
+        onFault(ev);
+    }
+
+    if (faultStats_.faults % cfg_.tickPeriodFaults == 0)
+        policy_->onTick(*this);
+}
+
+void
+Kernel::forkInto(Process &parent, Process &child)
+{
+    // Clone anonymous VMAs COW-style.
+    parent.addressSpace().forEachVma([&](Vma &pvma) {
+        if (pvma.kind() != VmaKind::Anon)
+            return;
+        Vma &cvma = child.addressSpace().mmap(
+            pvma.bytes(), VmaKind::Anon, pvma.start());
+        PageTable &ppt = parent.pageTable();
+        PageTable &cpt = child.pageTable();
+        const Vpn start = pvma.start().pageNumber();
+        const Vpn end = start + pvma.pages();
+        std::vector<std::pair<Vpn, Mapping>> leaves;
+        ppt.forEachLeaf([&](Vpn vpn, const Mapping &m) {
+            if (vpn >= start && vpn < end)
+                leaves.emplace_back(vpn, m);
+        });
+        for (auto &[vpn, m] : leaves) {
+            // Write-protect the parent's leaf and share it COW.
+            ppt.setWritable(vpn, false, true);
+            cpt.map(vpn, m.pfn, m.order, false, true);
+            getFrame(m.pfn);
+            const std::uint64_t n = pagesInOrder(m.order);
+            for (std::uint64_t i = 0; i < n; ++i)
+                ++physMem_.frame(m.pfn + i).mapCount;
+            cvma.allocatedPages += n;
+        }
+    });
+}
+
+} // namespace contig

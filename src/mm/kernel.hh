@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The Kernel: one OS instance (host machine, or a guest OS inside a
+ * VM). Owns the physical memory, the page cache, the processes and
+ * the active AllocationPolicy, and implements the demand-paging fault
+ * path that CA paging and the baseline policies steer.
+ *
+ * Guest kernels are plain Kernel instances over the guest-physical
+ * address space; their `backingHook` calls into the host to model
+ * nested faults (first-touch of a guest frame raises a host fault).
+ */
+
+#ifndef CONTIG_MM_KERNEL_HH
+#define CONTIG_MM_KERNEL_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "base/stats.hh"
+#include "mm/page_cache.hh"
+#include "mm/policy.hh"
+#include "mm/process.hh"
+#include "phys/phys_mem.hh"
+
+namespace contig
+{
+
+/** Cost-model + behaviour knobs for one kernel instance. */
+struct KernelConfig
+{
+    PhysMemConfig phys;
+    /** Transparent huge pages enabled (the "THP" configurations). */
+    bool thpEnabled = true;
+    /** Fixed fault-handling cost (entry, PTE install, bookkeeping). */
+    Cycles faultBaseCycles = 2000;
+    /** Cost of zeroing one 4 KiB page at allocation. */
+    Cycles zeroCyclesPerPage = 2200;
+    /** Cost of copying one 4 KiB page (COW, migrations). */
+    Cycles copyCyclesPerPage = 2000;
+    /** Cycles per microsecond (2.2 GHz machine). */
+    double cyclesPerUs = 2200.0;
+    /** Policy daemon cadence, in faults. */
+    std::uint64_t tickPeriodFaults = 256;
+    /** Page-table radix depth: 4, or 5 (LA57) for huge-memory hosts. */
+    unsigned pageTableLevels = kPtLevels;
+};
+
+/** Aggregate fault-path statistics (Table V inputs). */
+struct FaultStats
+{
+    std::uint64_t faults = 0;
+    std::uint64_t hugeFaults = 0;
+    std::uint64_t baseFaults = 0;
+    std::uint64_t cowFaults = 0;
+    std::uint64_t fileFaults = 0;
+    /** Huge allocations that failed and fell back to 4 KiB. */
+    std::uint64_t hugeFallbacks = 0;
+    Cycles totalCycles = 0;
+    Percentiles latencyUs;
+};
+
+/** One fault, as reported to experiment observers. */
+struct FaultEvent
+{
+    Process *proc = nullptr;
+    Vma *vma = nullptr;
+    Vpn vpn = 0;
+    Pfn pfn = kInvalidPfn;
+    unsigned order = 0;
+    bool cow = false;
+    bool file = false;
+};
+
+class Kernel
+{
+  public:
+    Kernel(const KernelConfig &cfg, std::unique_ptr<AllocationPolicy> policy);
+    ~Kernel();
+
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+
+    // --- processes ----------------------------------------------------
+
+    Process &createProcess(const std::string &name, NodeId home_node = 0);
+    /** Tear down a process, unmapping and freeing all its memory. */
+    void exitProcess(Process &proc);
+    std::size_t processCount() const { return processes_.size(); }
+
+    /** Visit every live process. */
+    template <typename Fn>
+    void
+    forEachProcess(Fn &&fn)
+    {
+        for (auto &p : processes_)
+            fn(*p);
+    }
+
+    /** The live process with this pid, or nullptr. */
+    Process *findProcess(std::uint32_t pid);
+
+    // --- files / page cache --------------------------------------------
+
+    File &createFile(std::uint64_t size_pages);
+    PageCache &pageCache() { return pageCache_; }
+    /** Evict all page-cache pages (echo 3 > drop_caches). */
+    void dropCaches();
+
+    /**
+     * read()-style file ingestion: populate the page cache for
+     * [page_start, page_start + n_pages) without mapping anything into
+     * a process. This is how the workloads load their datasets — the
+     * cache pages pollute physical memory (a long-lived fragmentation
+     * source, §III-C) but are not part of any process footprint.
+     */
+    void readFile(File &file, std::uint64_t page_start,
+                  std::uint64_t n_pages);
+
+    // --- fault path (used by Process) -----------------------------------
+
+    /** mmap/munmap bookkeeping incl. policy hooks. */
+    Vma &mmapAnon(Process &proc, std::uint64_t bytes);
+    Vma &mmapFile(Process &proc, std::uint32_t file_id, std::uint64_t bytes,
+                  std::uint64_t file_offset_pages);
+    void munmap(Process &proc, Vma &vma);
+
+    /** The access entry point: fault / COW-resolve as needed. */
+    void touch(Process &proc, Gva gva, Access access);
+
+    /** COW-share every anon mapping of parent into child (fork). */
+    void forkInto(Process &parent, Process &child);
+
+    // --- services for policies ------------------------------------------
+
+    PhysicalMemory &physMem() { return physMem_; }
+    const PhysicalMemory &physMem() const { return physMem_; }
+    AllocationPolicy &policy() { return *policy_; }
+
+    /**
+     * Take ownership of a freshly buddy-allocated block: set owner
+     * metadata, refcount the head and trigger the backing hook. Every
+     * allocation that ends up mapped must pass through here.
+     */
+    void claimFrames(Pfn pfn, unsigned order, FrameOwner kind,
+                     std::uint32_t owner_id, Addr owner_vaddr);
+
+    /** Increment the share count of a mapped block (COW, page cache). */
+    void getFrame(Pfn pfn);
+    /** Drop one reference; frees the block back to buddy at zero. */
+    void putFrame(Pfn pfn, unsigned order);
+
+    /**
+     * Allocate one frame for kernel metadata (page-table nodes).
+     * Served from a pooled chunk (the per-CPU page-list analogue) so
+     * metadata allocations do not nibble single pages next to CA
+     * paging's data targets.
+     */
+    Pfn allocKernelFrame(NodeId node = 0);
+    void freeKernelFrame(Pfn pfn);
+    /** Pages currently reserved by the kernel metadata pool. */
+    std::uint64_t kernelPoolPages() const { return kernelPoolPages_; }
+
+    // --- clock / observation ---------------------------------------------
+
+    /** Simulated time = faults handled so far (all processes). */
+    std::uint64_t now() const { return faultStats_.faults; }
+
+    const KernelConfig &config() const { return cfg_; }
+    FaultStats &faultStats() { return faultStats_; }
+    const FaultStats &faultStats() const { return faultStats_; }
+    CounterSet &counters() { return counters_; }
+
+    /** Observer invoked after every fault (timeline sampling). */
+    std::function<void(const FaultEvent &)> onFault;
+
+    /**
+     * Guest kernels: invoked whenever guest frames [pfn, pfn+2^order)
+     * are allocated, to raise the corresponding nested (host) faults.
+     */
+    std::function<void(Pfn, unsigned)> backingHook;
+
+  private:
+    void anonFault(Process &proc, Vma &vma, Vpn vpn);
+    void cowFault(Process &proc, Vma &vma, Vpn vpn, const Mapping &m);
+    void fileFault(Process &proc, Vma &vma, Vpn vpn);
+    void finishFault(Process &proc, Vma &vma, Vpn vpn, Pfn pfn,
+                     unsigned order, Cycles cycles, bool cow, bool file);
+    void unmapVmaPages(Process &proc, Vma &vma);
+
+    KernelConfig cfg_;
+    PhysicalMemory physMem_;
+    std::unique_ptr<AllocationPolicy> policy_;
+    PageCache pageCache_;
+    std::vector<std::unique_ptr<Process>> processes_;
+    std::uint32_t nextPid_ = 1;
+    FaultStats faultStats_;
+    CounterSet counters_;
+    /** Free node frames of the kernel metadata pool. */
+    std::vector<Pfn> kernelPool_;
+    std::uint64_t kernelPoolPages_ = 0;
+    /** Chunk order for pool refills (64 pages, like a pcp batch). */
+    static constexpr unsigned kKernelPoolOrder = 6;
+};
+
+} // namespace contig
+
+#endif // CONTIG_MM_KERNEL_HH

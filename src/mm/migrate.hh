@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Page migration: relocate a mapped leaf onto a chosen free frame.
+ * This is the primitive behind the post-allocation baselines —
+ * Translation Ranger's defragmentation and Ingens' huge-page
+ * promotion — and carries their modelled costs (copy cycles and TLB
+ * shootdowns), which Fig. 11 reports as runtime overhead.
+ */
+
+#ifndef CONTIG_MM_MIGRATE_HH
+#define CONTIG_MM_MIGRATE_HH
+
+#include "base/types.hh"
+
+namespace contig
+{
+
+class Kernel;
+class Process;
+
+/** Why a migration attempt did not happen. */
+enum class MigrateResult : std::uint8_t
+{
+    Done,          //!< page moved
+    AlreadyThere,  //!< leaf already at the destination
+    DestBusy,      //!< destination frames not free
+    Shared,        //!< frame shared (COW/page cache); not movable here
+    NotMapped,     //!< no leaf at that vpn
+};
+
+/**
+ * Move the leaf covering `vpn` in `proc` to the frame `dest_pfn`
+ * (same order as the existing leaf; dest must be order-aligned).
+ * On success the old block returns to the buddy allocator. Costs are
+ * charged to kernel counters: "migrate.pages", "migrate.shootdowns",
+ * "migrate.cycles".
+ */
+MigrateResult migrateLeaf(Kernel &kernel, Process &proc, Vpn vpn,
+                          Pfn dest_pfn);
+
+/**
+ * Exchange the leaf covering `vpn` in `proc` with the anonymous leaf
+ * of the same order currently occupying `dest_pfn` (possibly in a
+ * different process) — the exchange_pages() primitive Translation
+ * Ranger uses to defragment through occupied memory. Costs are
+ * charged like two migrations.
+ */
+MigrateResult swapLeaves(Kernel &kernel, Process &proc, Vpn vpn,
+                         Pfn dest_pfn);
+
+/**
+ * Promote 512 base mappings covering the huge-aligned region at
+ * `huge_vpn` into one 2 MiB leaf on a freshly allocated huge frame
+ * (Ingens-style promotion). All 512 leaves must be present 4 KiB
+ * anon mappings. Returns false (and changes nothing) otherwise.
+ * Costs are charged to "promote.pages" / "promote.cycles".
+ */
+bool promoteHuge(Kernel &kernel, Process &proc, Vpn huge_vpn);
+
+} // namespace contig
+
+#endif // CONTIG_MM_MIGRATE_HH

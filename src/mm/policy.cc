@@ -1,0 +1,44 @@
+#include "mm/policy.hh"
+
+#include "mm/kernel.hh"
+
+namespace contig
+{
+
+AllocResult
+AllocationPolicy::allocateFilePage(Kernel &kernel, File &file,
+                                   std::uint64_t file_page)
+{
+    (void)file;
+    (void)file_page;
+    AllocResult res;
+    if (auto pfn = kernel.physMem().alloc(0, 0))
+        res.pfn = *pfn;
+    return res;
+}
+
+AllocResult
+DefaultThpPolicy::allocate(Kernel &kernel, Process &proc, Vma &vma,
+                           Vpn vpn, unsigned order)
+{
+    (void)vma;
+    (void)vpn;
+    AllocResult res;
+    if (auto pfn = kernel.physMem().alloc(order, proc.homeNode()))
+        res.pfn = *pfn;
+    return res;
+}
+
+AllocResult
+Base4kPolicy::allocate(Kernel &kernel, Process &proc, Vma &vma, Vpn vpn,
+                       unsigned order)
+{
+    (void)vma;
+    (void)vpn;
+    AllocResult res;
+    if (auto pfn = kernel.physMem().alloc(order, proc.homeNode()))
+        res.pfn = *pfn;
+    return res;
+}
+
+} // namespace contig

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A simulated process: an address space plus the touch/fork interface
+ * the workloads drive. All faulting goes through the owning Kernel so
+ * that the active AllocationPolicy steers every physical placement.
+ */
+
+#ifndef CONTIG_MM_PROCESS_HH
+#define CONTIG_MM_PROCESS_HH
+
+#include <memory>
+#include <string>
+
+#include "mm/address_space.hh"
+
+namespace contig
+{
+
+class Kernel;
+
+/** Kind of memory access (write triggers COW resolution). */
+enum class Access : std::uint8_t { Read, Write };
+
+/**
+ * One process. Created through Kernel::createProcess; destroyed via
+ * Kernel::exitProcess (which returns its frames).
+ */
+class Process
+{
+  public:
+    Process(Kernel &kernel, std::uint32_t pid, std::string name,
+            NodeId home_node);
+
+    std::uint32_t pid() const { return pid_; }
+    const std::string &name() const { return name_; }
+    NodeId homeNode() const { return homeNode_; }
+
+    AddressSpace &addressSpace() { return as_; }
+    const AddressSpace &addressSpace() const { return as_; }
+    PageTable &pageTable() { return as_.pageTable(); }
+    const PageTable &pageTable() const { return as_.pageTable(); }
+
+    Kernel &kernel() { return kernel_; }
+
+    /** Create an anonymous VMA of `bytes`. */
+    Vma &mmap(std::uint64_t bytes);
+
+    /** Map `bytes` of a page-cache file starting at file_offset_pages. */
+    Vma &mmapFile(std::uint32_t file_id, std::uint64_t bytes,
+                  std::uint64_t file_offset_pages = 0);
+
+    /** Unmap and free a VMA's memory. */
+    void munmap(Vma &vma);
+
+    /**
+     * Touch one address: demand-fault if unmapped, resolve COW on
+     * write. This is the workloads' only way to populate memory.
+     */
+    void touch(Gva gva, Access access = Access::Write);
+
+    /** Touch every page of [gva, gva+bytes) in ascending order. */
+    void touchRange(Gva gva, std::uint64_t bytes,
+                    Access access = Access::Write);
+
+    /** Record that vpn inside vma was accessed (touched-page stats). */
+    void noteTouched(Vma &vma, Vpn vpn);
+
+    /**
+     * Fork: clone the address space COW-style into a new process
+     * (anonymous VMAs only). Returns the child.
+     */
+    Process &fork(const std::string &child_name);
+
+    /**
+     * Whether defragmentation daemons (ranger) should scan this
+     * process. Co-running pressure processes (the hog) are not
+     * scanned — their pages are still exchanged away on demand.
+     */
+    bool defragEligible = true;
+
+    /** Total pages touched across all live VMAs. */
+    std::uint64_t touchedPages() const;
+    /** Total pages of physical memory backing all live VMAs. */
+    std::uint64_t allocatedPages() const;
+
+  private:
+    Kernel &kernel_;
+    std::uint32_t pid_;
+    std::string name_;
+    NodeId homeNode_;
+    AddressSpace as_;
+};
+
+} // namespace contig
+
+#endif // CONTIG_MM_PROCESS_HH

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Virtual memory areas (the `vm_area_struct` analogue), carrying the
+ * CA-paging metadata the paper adds: a FIFO of up to 64 per-sub-region
+ * Offsets (paper §III-C, "Dealing with external fragmentation") and the
+ * replacement guard used to serialize racing re-placements across
+ * concurrent faults (§III-C, "Avoiding multithreading pitfalls").
+ */
+
+#ifndef CONTIG_MM_VMA_HH
+#define CONTIG_MM_VMA_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace contig
+{
+
+/** How many (vaddr, Offset) pairs CA paging tracks per VMA. */
+constexpr std::size_t kMaxCaOffsets = 64;
+
+/** What backs a VMA. */
+enum class VmaKind : std::uint8_t
+{
+    Anon,     //!< anonymous memory (heap, mmap MAP_ANONYMOUS)
+    File,     //!< file-backed mapping served through the page cache
+    GuestRam, //!< a VM's guest-physical memory, backed in the host
+};
+
+/**
+ * One Offset record: all pages of a contiguous mapping share
+ * offset = vpn - pfn (the paper defines it over addresses; we keep it
+ * in page units). The fault vaddr that created the record is kept so
+ * faults pick the record whose origin is closest (§III-C).
+ */
+struct CaOffset
+{
+    Vpn originVpn = 0;          //!< vpn of the fault that set this offset
+    std::int64_t offsetPages = 0; //!< vpn - pfn for this sub-region
+};
+
+/**
+ * A contiguous virtual address range of one process.
+ */
+class Vma
+{
+  public:
+    Vma(std::uint32_t id, Gva start, std::uint64_t bytes, VmaKind kind,
+        std::uint32_t file_id = 0, std::uint64_t file_offset_pages = 0)
+        : id_(id), start_(start), bytes_(bytes), kind_(kind),
+          fileId_(file_id), fileOffsetPages_(file_offset_pages)
+    {}
+
+    std::uint32_t id() const { return id_; }
+    Gva start() const { return start_; }
+    Gva end() const { return start_ + bytes_; }
+    std::uint64_t bytes() const { return bytes_; }
+    std::uint64_t pages() const { return bytes_ >> kPageShift; }
+    VmaKind kind() const { return kind_; }
+    std::uint32_t fileId() const { return fileId_; }
+    std::uint64_t fileOffsetPages() const { return fileOffsetPages_; }
+
+    bool
+    contains(Gva a) const
+    {
+        return a >= start_ && a < end();
+    }
+
+    /** True iff the order-sized region around vpn lies inside the VMA. */
+    bool
+    coversAligned(Vpn vpn, unsigned order) const
+    {
+        const std::uint64_t n = pagesInOrder(order);
+        Vpn base = vpn & ~(n - 1);
+        return base >= start_.pageNumber() &&
+               base + n <= start_.pageNumber() + pages();
+    }
+
+    // --- CA paging metadata -------------------------------------------
+
+    /** Record a new Offset (FIFO eviction beyond kMaxCaOffsets). */
+    void
+    pushCaOffset(Vpn origin_vpn, std::int64_t offset_pages)
+    {
+        if (caOffsets_.size() >= kMaxCaOffsets)
+            caOffsets_.pop_front();
+        caOffsets_.push_back(CaOffset{origin_vpn, offset_pages});
+    }
+
+    /**
+     * The Offset whose origin vpn is closest to the faulting vpn
+     * (§III-C: "picks the Offset associated with the virtual address
+     * closest to the currently faulting").
+     */
+    std::optional<CaOffset>
+    nearestCaOffset(Vpn vpn) const
+    {
+        const CaOffset *best = nullptr;
+        std::uint64_t best_dist = ~std::uint64_t{0};
+        for (const auto &o : caOffsets_) {
+            std::uint64_t dist = o.originVpn > vpn ? o.originVpn - vpn
+                                                   : vpn - o.originVpn;
+            if (!best || dist < best_dist) {
+                best = &o;
+                best_dist = dist;
+            }
+        }
+        if (!best)
+            return std::nullopt;
+        return *best;
+    }
+
+    bool hasCaOffsets() const { return !caOffsets_.empty(); }
+    std::size_t caOffsetCount() const { return caOffsets_.size(); }
+
+    /** Drop the oldest Offset (ablation hook for shallower FIFOs). */
+    void
+    popOldestCaOffset()
+    {
+        if (!caOffsets_.empty())
+            caOffsets_.pop_front();
+    }
+
+    /**
+     * Replacement guard: only the first failing thread may trigger a
+     * re-placement; others retry (§III-C). Returns true if the caller
+     * acquired the right to re-place.
+     */
+    bool
+    tryBeginReplacement()
+    {
+        if (replacementActive_)
+            return false;
+        replacementActive_ = true;
+        return true;
+    }
+
+    void endReplacement() { replacementActive_ = false; }
+    bool replacementActive() const { return replacementActive_; }
+
+    // --- accounting -----------------------------------------------------
+
+    /** Pages actually touched by the application. */
+    std::uint64_t touchedPages = 0;
+    /** Pages of physical memory allocated to back this VMA. */
+    std::uint64_t allocatedPages = 0;
+    /** Lazily sized per-page touched bits (bloat accounting). */
+    std::vector<bool> touchedBitmap;
+
+  private:
+    std::uint32_t id_;
+    Gva start_;
+    std::uint64_t bytes_;
+    VmaKind kind_;
+    std::uint32_t fileId_;
+    std::uint64_t fileOffsetPages_;
+
+    std::deque<CaOffset> caOffsets_;
+    bool replacementActive_ = false;
+};
+
+} // namespace contig
+
+#endif // CONTIG_MM_VMA_HH

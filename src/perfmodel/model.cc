@@ -1,0 +1,46 @@
+#include "perfmodel/model.hh"
+
+namespace contig
+{
+
+OverheadResult
+overheadOf(const XlatStats &xs, const PerfModelConfig &cfg)
+{
+    OverheadResult r;
+    const double instructions =
+        static_cast<double>(xs.accesses) * cfg.instructionsPerAccess;
+    r.idealCycles = instructions * cfg.baseCpi;
+    r.translationCycles = static_cast<double>(xs.exposedCycles);
+    if (r.idealCycles > 0.0)
+        r.overhead = r.translationCycles / r.idealCycles;
+    return r;
+}
+
+UslEstimate
+estimateUsl(const XlatStats &xs, const PerfModelConfig &cfg)
+{
+    UslEstimate e;
+    const double instructions =
+        static_cast<double>(xs.accesses) * cfg.instructionsPerAccess;
+    if (instructions <= 0.0)
+        return e;
+
+    e.branchesPerInstr = cfg.branchFraction;
+    e.dtlbMissesPerInstr = static_cast<double>(xs.walks) / instructions;
+
+    // Loads per cycle under ideal execution.
+    const double loads_per_cycle = cfg.loadFraction / cfg.baseCpi;
+
+    // Eq. (1): every branch opens a transient window of
+    // branch-resolution cycles during which loads are unsafe.
+    e.spectreUslPerInstr = cfg.branchFraction *
+                           cfg.branchResolutionCycles * loads_per_cycle;
+
+    // Eq. (2): every DTLB miss opens a window as long as the page
+    // walk during which SpOT-speculated loads are unsafe.
+    e.spotUslPerInstr =
+        e.dtlbMissesPerInstr * xs.avgWalkCycles() * loads_per_cycle;
+    return e;
+}
+
+} // namespace contig

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The linear performance model of Table IV: every configuration's
+ * address-translation overhead is the cycles its translation events
+ * cost, relative to an ideal execution with zero translation
+ * overhead. In the paper T_ideal comes from measured counters
+ * (T_THP - C_THP); here it comes from the simulated instruction
+ * stream (accesses * instructions-per-access * base CPI), which is
+ * the same quantity by construction.
+ *
+ * Also implements Table VII's unsafe-load (USL) estimation for the
+ * security-mitigation discussion.
+ */
+
+#ifndef CONTIG_PERFMODEL_MODEL_HH
+#define CONTIG_PERFMODEL_MODEL_HH
+
+#include <cstdint>
+
+#include "tlb/translation_sim.hh"
+
+namespace contig
+{
+
+/** Machine-level constants of the cost model. */
+struct PerfModelConfig
+{
+    /** Non-memory instructions retired per simulated memory access. */
+    double instructionsPerAccess = 4.0;
+    /** Ideal CPI (no translation overhead). */
+    double baseCpi = 1.0;
+    /** Branch fraction of the instruction mix (Table VII). */
+    double branchFraction = 0.0587;
+    /** Branch resolution latency in cycles (Table VII). */
+    double branchResolutionCycles = 20.0;
+    /** Load fraction of the instruction mix. */
+    double loadFraction = 0.14;
+};
+
+/** Overhead result for one configuration. */
+struct OverheadResult
+{
+    double idealCycles = 0.0;
+    double translationCycles = 0.0;
+    /** Overhead relative to ideal execution (the bars of Fig. 13). */
+    double overhead = 0.0;
+};
+
+/**
+ * Compute a configuration's translation overhead from the simulated
+ * event counts, per Table IV:
+ *   T_ideal   = instructions * baseCpi
+ *   O_config  = exposed translation cycles / T_ideal
+ * SpOT's exposed cycles already account for hidden walks and flush
+ * penalties; vRMM's for background range walks; DS's for segment
+ * bypasses.
+ */
+OverheadResult overheadOf(const XlatStats &xs,
+                          const PerfModelConfig &cfg = {});
+
+/** Table VII inputs/outputs: USL estimation. */
+struct UslEstimate
+{
+    double branchesPerInstr = 0.0;
+    double dtlbMissesPerInstr = 0.0;
+    double spectreUslPerInstr = 0.0; //!< eq. (1)
+    double spotUslPerInstr = 0.0;    //!< eq. (2)
+};
+
+/**
+ * Estimate the unsafe-load exposure of SpOT vs Spectre-style branch
+ * speculation (Table VII):
+ *   Spectre USL = #branches * branch-resolution-cycles * loads/cycle
+ *   SpOT USL    = #DTLB misses * avg-page-walk-cycles * loads/cycle
+ */
+UslEstimate estimateUsl(const XlatStats &xs,
+                        const PerfModelConfig &cfg = {});
+
+} // namespace contig
+
+#endif // CONTIG_PERFMODEL_MODEL_HH

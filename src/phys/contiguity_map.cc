@@ -1,0 +1,218 @@
+#include "phys/contiguity_map.hh"
+
+#include "base/align.hh"
+#include "base/logging.hh"
+
+namespace contig
+{
+
+ContiguityMap::ContiguityMap(std::uint64_t block_pages)
+    : blockPages_(block_pages)
+{
+    contig_assert(block_pages > 0, "block size must be positive");
+}
+
+void
+ContiguityMap::onBlockFree(Pfn block_base)
+{
+    ++stats_.inserts;
+    trackedPages_ += blockPages_;
+
+    Pfn start = block_base;
+    std::uint64_t pages = blockPages_;
+
+    // Merge with a preceding cluster that ends exactly at block_base.
+    auto next = clusters_.upper_bound(block_base);
+    if (next != clusters_.begin()) {
+        auto prev = std::prev(next);
+        contig_assert(prev->first + prev->second <= block_base,
+                      "block freed inside an existing cluster");
+        if (prev->first + prev->second == block_base) {
+            start = prev->first;
+            pages += prev->second;
+            ++stats_.merges;
+            next = clusters_.erase(prev);
+        }
+    }
+    // Merge with a following cluster that starts exactly at the end.
+    if (next != clusters_.end() &&
+        next->first == block_base + blockPages_) {
+        pages += next->second;
+        ++stats_.merges;
+        if (roverValid_ && rover_ == next->first)
+            rover_ = start;
+        clusters_.erase(next);
+    }
+    clusters_[start] = pages;
+}
+
+void
+ContiguityMap::onBlockAllocated(Pfn block_base)
+{
+    ++stats_.removes;
+    auto it = clusters_.upper_bound(block_base);
+    contig_assert(it != clusters_.begin(),
+                  "allocated block not tracked by contiguity map");
+    --it;
+    contig_assert(it->first <= block_base &&
+                      block_base + blockPages_ <= it->first + it->second,
+                  "allocated block not inside its cluster");
+
+    const Pfn start = it->first;
+    const std::uint64_t pages = it->second;
+    const bool rover_here = roverValid_ && rover_ == start;
+    clusters_.erase(it);
+    trackedPages_ -= blockPages_;
+
+    const std::uint64_t left = block_base - start;
+    const std::uint64_t right = (start + pages) - (block_base + blockPages_);
+    if (left > 0)
+        clusters_[start] = left;
+    if (right > 0)
+        clusters_[block_base + blockPages_] = right;
+    if (left > 0 && right > 0)
+        ++stats_.splits;
+
+    if (rover_here)
+        rover_ = right > 0 ? block_base + blockPages_
+                           : (left > 0 ? start : rover_);
+    if (clusters_.empty())
+        roverValid_ = false;
+}
+
+ContiguityMap::Map::const_iterator
+ContiguityMap::roverIter() const
+{
+    if (clusters_.empty())
+        return clusters_.end();
+    if (!roverValid_)
+        return clusters_.begin();
+    // The rover may point into the middle of a cluster (just past the
+    // previous placement's reservation): find the cluster containing
+    // it, else the next one.
+    auto it = clusters_.upper_bound(rover_);
+    if (it != clusters_.begin()) {
+        auto prev = std::prev(it);
+        if (rover_ < prev->first + prev->second)
+            return prev;
+    }
+    if (it == clusters_.end())
+        it = clusters_.begin();
+    return it;
+}
+
+std::optional<Cluster>
+ContiguityMap::placeNextFit(std::uint64_t req_pages)
+{
+    ++stats_.placements;
+    if (clusters_.empty())
+        return std::nullopt;
+
+    // True next-fit: placements resume from where the previous one
+    // left off — *past its reservation* — so consecutive placement
+    // requests (other VMAs, page-cache readahead, other processes)
+    // are steered away from the region a previous placement is still
+    // filling on demand (the racing deferral of §III-C).
+    auto advance_rover = [&](Pfn region_start, std::uint64_t used) {
+        rover_ = region_start + alignUp(used, blockPages_);
+        roverValid_ = true;
+    };
+
+    auto start_it = roverIter();
+    auto it = start_it;
+    bool first = true;
+    Cluster best{0, 0};
+    do {
+        ++stats_.placementScanSteps;
+        // For the cluster containing the rover, only the part at and
+        // after the rover is considered (we "left off" there).
+        Pfn usable_start = it->first;
+        std::uint64_t usable_pages = it->second;
+        if (first && roverValid_ && rover_ > it->first &&
+            rover_ < it->first + it->second) {
+            usable_start = rover_;
+            usable_pages = it->first + it->second - rover_;
+        }
+        first = false;
+
+        if (usable_pages >= req_pages) {
+            advance_rover(usable_start, req_pages);
+            return Cluster{usable_start, usable_pages};
+        }
+        if (usable_pages > best.pages)
+            best = Cluster{usable_start, usable_pages};
+        ++it;
+        if (it == clusters_.end())
+            it = clusters_.begin();
+    } while (it != start_it);
+
+    // Nothing fits: next-fit settles for the largest region found.
+    if (best.pages == 0)
+        return std::nullopt;
+    advance_rover(best.startPfn, best.pages);
+    return best;
+}
+
+std::optional<Cluster>
+ContiguityMap::placeBestFit(std::uint64_t req_pages) const
+{
+    if (clusters_.empty())
+        return std::nullopt;
+    const Map::value_type *best_fit = nullptr;
+    const Map::value_type *largest = nullptr;
+    for (const auto &kv : clusters_) {
+        if (!largest || kv.second > largest->second)
+            largest = &kv;
+        if (kv.second >= req_pages &&
+            (!best_fit || kv.second < best_fit->second)) {
+            best_fit = &kv;
+        }
+    }
+    const Map::value_type *pick = best_fit ? best_fit : largest;
+    return Cluster{pick->first, pick->second};
+}
+
+std::optional<Cluster>
+ContiguityMap::largest() const
+{
+    if (clusters_.empty())
+        return std::nullopt;
+    const Map::value_type *largest = nullptr;
+    for (const auto &kv : clusters_)
+        if (!largest || kv.second > largest->second)
+            largest = &kv;
+    return Cluster{largest->first, largest->second};
+}
+
+std::vector<Cluster>
+ContiguityMap::snapshot() const
+{
+    std::vector<Cluster> out;
+    out.reserve(clusters_.size());
+    for (const auto &kv : clusters_)
+        out.push_back(Cluster{kv.first, kv.second});
+    return out;
+}
+
+bool
+ContiguityMap::checkInvariants() const
+{
+    std::uint64_t pages = 0;
+    Pfn prev_end = 0;
+    bool first = true;
+    for (const auto &[start, len] : clusters_) {
+        if (len == 0 || len % blockPages_ != 0 ||
+            start % blockPages_ != 0) {
+            return false;
+        }
+        // Clusters must be maximal: no two adjacent clusters may touch.
+        if (!first && start <= prev_end)
+            return false;
+        prev_end = start + len;
+        pages += len;
+        first = false;
+    }
+    return pages == trackedPages_;
+}
+
+} // namespace contig

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Frame descriptors: the simulator's analogue of Linux's `struct page`
+ * array (`mem_map`). One descriptor per base (4 KiB) frame of a
+ * physical address space. CA paging consults these descriptors
+ * (refcount/mapcount) to decide whether an allocation target is free,
+ * exactly as the paper describes (§III-B).
+ */
+
+#ifndef CONTIG_PHYS_FRAME_HH
+#define CONTIG_PHYS_FRAME_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace contig
+{
+
+constexpr std::uint32_t kNoOwner = std::numeric_limits<std::uint32_t>::max();
+
+/** What kind of object a frame currently backs (for reverse mapping). */
+enum class FrameOwner : std::uint8_t
+{
+    None,      //!< unallocated or kernel-internal
+    Anon,      //!< anonymous process memory
+    PageCache, //!< file-backed page-cache page
+    PageTable, //!< page-table node
+};
+
+/**
+ * Per-frame metadata. Mirrors the `struct page` fields the paper's
+ * mechanisms rely on: `_count`/`_mapcount` for the free check, buddy
+ * linkage for the free lists, and a reverse-mapping triple used by the
+ * migration-based baselines (Ranger, Ingens promotion).
+ */
+struct Frame
+{
+    /** References held (0 while the frame sits in the buddy allocator). */
+    std::uint32_t refCount = 0;
+    /** Number of page-table mappings pointing at this frame. */
+    std::uint32_t mapCount = 0;
+
+    /** Buddy order of the free block this frame heads (valid if freeHead). */
+    std::uint8_t order = 0;
+    /** True for every frame inside a free buddy block. */
+    bool freeFlag = false;
+    /** True only for the first frame of a free block on a free list. */
+    bool freeHead = false;
+
+    /** Intrusive free-list linkage (heads only). */
+    Pfn freeNext = kInvalidPfn;
+    Pfn freePrev = kInvalidPfn;
+
+    /** Reverse mapping: which process/file and which virtual page. */
+    FrameOwner ownerKind = FrameOwner::None;
+    std::uint32_t ownerId = kNoOwner; //!< process id or file id
+    Addr ownerVaddr = 0;              //!< owning gva (or file offset)
+};
+
+/**
+ * The mem_map: a flat array of Frame descriptors covering one physical
+ * address space (host machine or a VM's guest-physical space).
+ */
+class FrameArray
+{
+  public:
+    explicit FrameArray(std::uint64_t n_frames) : frames_(n_frames) {}
+
+    Frame &
+    operator[](Pfn pfn)
+    {
+        contig_assert(pfn < frames_.size(), "pfn %llu out of range",
+                      static_cast<unsigned long long>(pfn));
+        return frames_[pfn];
+    }
+
+    const Frame &
+    operator[](Pfn pfn) const
+    {
+        contig_assert(pfn < frames_.size(), "pfn %llu out of range",
+                      static_cast<unsigned long long>(pfn));
+        return frames_[pfn];
+    }
+
+    std::uint64_t size() const { return frames_.size(); }
+
+  private:
+    std::vector<Frame> frames_;
+};
+
+} // namespace contig
+
+#endif // CONTIG_PHYS_FRAME_HH

@@ -1,0 +1,18 @@
+#include "phys/zone.hh"
+
+namespace contig
+{
+
+Zone::Zone(FrameArray &frames, NodeId node, Pfn base_pfn,
+           std::uint64_t n_frames, const ZoneConfig &cfg)
+    : node_(node),
+      contigMap_(pagesInOrder(cfg.maxOrder)),
+      buddy_(frames, base_pfn, n_frames, cfg.maxOrder, cfg.sortedTopList,
+             cfg.scrambleSeed)
+{
+    buddy_.setTopListHooks(
+        [this](Pfn pfn) { contigMap_.onBlockFree(pfn); },
+        [this](Pfn pfn) { contigMap_.onBlockAllocated(pfn); });
+}
+
+} // namespace contig

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A Zone couples one buddy allocator with one contiguity map, matching
+ * Linux's per-NUMA-node `struct zone` (the paper keeps one
+ * contiguity_map instance per zone, §III-B).
+ */
+
+#ifndef CONTIG_PHYS_ZONE_HH
+#define CONTIG_PHYS_ZONE_HH
+
+#include <memory>
+#include <optional>
+
+#include "phys/buddy.hh"
+#include "phys/contiguity_map.hh"
+
+namespace contig
+{
+
+/** Tunables for one zone / the whole physical memory. */
+struct ZoneConfig
+{
+    unsigned maxOrder = kMaxOrder;
+    /** Keep the top-order free list address sorted (CA optimization). */
+    bool sortedTopList = true;
+    /**
+     * Seed the free lists in scrambled order (0 = ascending),
+     * modelling the churn a real machine's lists accumulate from
+     * boot-time allocations and per-CPU batching. Ignored when
+     * sortedTopList is set (the list is sorted either way).
+     */
+    std::uint64_t scrambleSeed = 0;
+};
+
+/**
+ * One NUMA node's physical memory: a PFN range, its buddy allocator
+ * and its contiguity map, kept in sync through the buddy's top-list
+ * hooks.
+ */
+class Zone
+{
+  public:
+    Zone(FrameArray &frames, NodeId node, Pfn base_pfn,
+         std::uint64_t n_frames, const ZoneConfig &cfg = {});
+
+    Zone(const Zone &) = delete;
+    Zone &operator=(const Zone &) = delete;
+
+    NodeId node() const { return node_; }
+    Pfn basePfn() const { return buddy_.basePfn(); }
+    std::uint64_t numFrames() const { return buddy_.numFrames(); }
+
+    BuddyAllocator &buddy() { return buddy_; }
+    const BuddyAllocator &buddy() const { return buddy_; }
+    ContiguityMap &contigMap() { return contigMap_; }
+    const ContiguityMap &contigMap() const { return contigMap_; }
+
+    bool
+    contains(Pfn pfn) const
+    {
+        return pfn >= basePfn() && pfn < basePfn() + numFrames();
+    }
+
+  private:
+    NodeId node_;
+    ContiguityMap contigMap_;
+    BuddyAllocator buddy_;
+};
+
+} // namespace contig
+
+#endif // CONTIG_PHYS_ZONE_HH

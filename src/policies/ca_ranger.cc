@@ -1,0 +1,74 @@
+#include "policies/ca_ranger.hh"
+
+#include "mm/kernel.hh"
+
+namespace contig
+{
+
+CaRangerPolicy::CaRangerPolicy(const CaRangerConfig &cfg)
+    : CaPagingPolicy(cfg.ca), cfg_(cfg), ranger_(cfg.ranger)
+{
+}
+
+double
+CaRangerPolicy::largestRunCoverage(Process &proc, const Vma &vma)
+{
+    const Vpn start = vma.start().pageNumber();
+    const Vpn end = start + vma.pages();
+    std::uint64_t best = 0, cur = 0, mapped = 0;
+    std::int64_t last_off = 0;
+    Vpn last_end = 0;
+    bool have = false;
+    proc.pageTable().forEachLeaf([&](Vpn vpn, const Mapping &m) {
+        if (vpn < start || vpn >= end)
+            return;
+        const std::uint64_t n = pagesInOrder(m.order);
+        const std::int64_t off = static_cast<std::int64_t>(vpn) -
+                                 static_cast<std::int64_t>(m.pfn);
+        if (have && off == last_off && vpn == last_end)
+            cur += n;
+        else
+            cur = n;
+        last_off = off;
+        last_end = vpn + n;
+        have = true;
+        best = std::max(best, cur);
+        mapped += n;
+    });
+    return mapped ? static_cast<double>(best) / mapped : 1.0;
+}
+
+void
+CaRangerPolicy::onTick(Kernel &kernel)
+{
+    // Gate the daemon on actual need: CA paging usually leaves
+    // nothing to repair, so the migration cost of ranger is paid only
+    // where placement was forced to fragment.
+    bool any_unhealthy = false;
+    kernel.forEachProcess([&](Process &proc) {
+        if (!proc.defragEligible)
+            return;
+        proc.addressSpace().forEachVma([&](Vma &vma) {
+            if (vma.kind() == VmaKind::File || vma.allocatedPages == 0)
+                return;
+            if (largestRunCoverage(proc, vma) <
+                cfg_.repairBelowCoverage) {
+                any_unhealthy = true;
+                ++cstats_.vmasRepaired;
+            } else {
+                ++cstats_.vmasSkippedHealthy;
+            }
+        });
+    });
+    if (any_unhealthy)
+        ranger_.onTick(kernel);
+}
+
+void
+CaRangerPolicy::onMunmap(Kernel &kernel, Process &proc, Vma &vma)
+{
+    CaPagingPolicy::onMunmap(kernel, proc, vma);
+    ranger_.onMunmap(kernel, proc, vma);
+}
+
+} // namespace contig

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * CA paging + Translation Ranger — the combination the paper's
+ * summary recommends (§VI-C): "We consider the two approaches
+ * mutually assisted and their combination a good strategy to shield
+ * contiguity against external fragmentation", analogous to how
+ * khugepaged complements THP allocations.
+ *
+ * Faults go through CA paging (allocation-time contiguity, no
+ * migration cost in the common case); a background ranger-style
+ * daemon repairs only the VMAs whose coverage fell below a threshold
+ * (sub-VMA placements under pressure, NUMA spills), using
+ * migration/exchange. On an unfragmented machine the daemon finds
+ * nothing to do.
+ */
+
+#ifndef CONTIG_POLICIES_CA_RANGER_HH
+#define CONTIG_POLICIES_CA_RANGER_HH
+
+#include "policies/ca_paging.hh"
+#include "policies/ranger.hh"
+
+namespace contig
+{
+
+struct CaRangerConfig
+{
+    CaPagingConfig ca;
+    RangerConfig ranger;
+    /** Repair a VMA only if one mapping covers less than this. */
+    double repairBelowCoverage = 0.95;
+};
+
+struct CaRangerStats
+{
+    std::uint64_t vmasRepaired = 0;
+    std::uint64_t vmasSkippedHealthy = 0;
+};
+
+class CaRangerPolicy : public CaPagingPolicy
+{
+  public:
+    explicit CaRangerPolicy(const CaRangerConfig &cfg = {});
+
+    std::string name() const override { return "ca+ranger"; }
+
+    void onTick(Kernel &kernel) override;
+
+    void onMunmap(Kernel &kernel, Process &proc, Vma &vma) override;
+
+    const CaRangerStats &comboStats() const { return cstats_; }
+    const RangerPolicy &ranger() const { return ranger_; }
+
+  private:
+    /** Fraction of the VMA covered by its largest contiguous run. */
+    static double largestRunCoverage(Process &proc, const Vma &vma);
+
+    CaRangerConfig cfg_;
+    /** The embedded defragmenter (its allocate() is never used). */
+    RangerPolicy ranger_;
+    CaRangerStats cstats_;
+};
+
+} // namespace contig
+
+#endif // CONTIG_POLICIES_CA_RANGER_HH

@@ -1,0 +1,107 @@
+#include "policies/eager.hh"
+
+#include "base/align.hh"
+#include "base/logging.hh"
+#include "mm/kernel.hh"
+
+namespace contig
+{
+
+void
+EagerPolicy::onMmap(Kernel &kernel, Process &proc, Vma &vma)
+{
+    if (vma.kind() == VmaKind::File)
+        return; // file pages come from the page cache on demand
+
+    PhysicalMemory &pm = kernel.physMem();
+    PageTable &pt = proc.pageTable();
+    const unsigned max_order = pm.zone(proc.homeNode()).buddy().maxOrder();
+
+    Vpn vpn = vma.start().pageNumber();
+    std::uint64_t remaining = vma.pages();
+    Cycles cycles = kernel.config().faultBaseCycles;
+
+    while (remaining > 0) {
+        // Largest power-of-two block that fits the remaining request,
+        // bounded by MAX_ORDER, aligned with the current vpn.
+        unsigned order = std::min<unsigned>(max_order,
+                                            log2Floor(remaining));
+        // vpn must be order-aligned for clean huge sub-mappings.
+        while (order > 0 && !isAligned(vpn, pagesInOrder(order)))
+            --order;
+
+        std::optional<Pfn> blk;
+        unsigned got = order;
+        for (;;) {
+            blk = pm.alloc(got, proc.homeNode());
+            if (blk || got == 0)
+                break;
+            --got; // fragmentation: settle for smaller aligned blocks
+        }
+        if (!blk)
+            fatal("eager paging: out of memory backing vma %u", vma.id());
+        if (got < kHugeOrder)
+            stats_.smallBlockPages += pagesInOrder(got);
+        ++stats_.blocks;
+
+        // Map the block at huge granularity where possible.
+        const std::uint64_t n = pagesInOrder(got);
+        claimAndMap(kernel, proc, vma, vpn, *blk, got);
+
+        vpn += n;
+        remaining -= n;
+        stats_.preallocatedPages += n;
+        cycles += kernel.config().zeroCyclesPerPage * n;
+        (void)pt;
+    }
+
+    // The whole pre-allocation is charged as one fault-like event: the
+    // mmap stalls while the kernel zeroes every block (Table V's 99th
+    // latency for eager paging).
+    kernel.faultStats().totalCycles += cycles;
+    kernel.faultStats().latencyUs.add(static_cast<double>(cycles) /
+                                      kernel.config().cyclesPerUs);
+    ++kernel.faultStats().faults;
+}
+
+void
+EagerPolicy::claimAndMap(Kernel &kernel, Process &proc, Vma &vma, Vpn vpn,
+                         Pfn pfn, unsigned order)
+{
+    PageTable &pt = proc.pageTable();
+    PhysicalMemory &pm = kernel.physMem();
+    std::uint64_t n = pagesInOrder(order);
+
+    std::uint64_t done = 0;
+    while (done < n) {
+        const bool huge_ok =
+            order >= kHugeOrder && n - done >= pagesInOrder(kHugeOrder) &&
+            isAligned(vpn + done, pagesInOrder(kHugeOrder)) &&
+            isAligned(pfn + done, pagesInOrder(kHugeOrder));
+        const unsigned map_order = huge_ok ? kHugeOrder : 0;
+        const std::uint64_t step = pagesInOrder(map_order);
+        kernel.claimFrames(pfn + done, map_order, FrameOwner::Anon,
+                           proc.pid(), (vpn + done) << kPageShift);
+        pt.map(vpn + done, pfn + done, map_order, true, false);
+        for (std::uint64_t i = 0; i < step; ++i)
+            ++pm.frame(pfn + done + i).mapCount;
+        vma.allocatedPages += step;
+        done += step;
+    }
+}
+
+AllocResult
+EagerPolicy::allocate(Kernel &kernel, Process &proc, Vma &vma, Vpn vpn,
+                      unsigned order)
+{
+    // Reached only for pages eager pre-allocation did not cover (e.g.
+    // COW copies): plain buddy allocation.
+    (void)vma;
+    (void)vpn;
+    AllocResult res;
+    if (auto pfn = kernel.physMem().alloc(order, proc.homeNode()))
+        res.pfn = *pfn;
+    return res;
+}
+
+} // namespace contig

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Eager paging — the pre-allocation baseline of RMM (Karakostas et
+ * al., ISCA'15), as evaluated by the paper (Figs. 1b/7/8, Tables
+ * V/VI): the kernel MAX_ORDER is raised (a PhysMemConfig knob) so the
+ * buddy allocator keeps very large blocks, and at mmap time the whole
+ * VMA is backed immediately from the largest available aligned
+ * blocks. The trade-offs this reproduces:
+ *  - great contiguity on a fresh machine,
+ *  - collapse under external fragmentation (aligned blocks only),
+ *  - memory bloat (allocated-but-never-touched pages, Table VI),
+ *  - enormous page-fault tail latency from bulk zeroing (Table V).
+ */
+
+#ifndef CONTIG_POLICIES_EAGER_HH
+#define CONTIG_POLICIES_EAGER_HH
+
+#include "mm/policy.hh"
+
+namespace contig
+{
+
+/** Observable eager-paging behaviour. */
+struct EagerStats
+{
+    std::uint64_t preallocatedPages = 0;
+    std::uint64_t blocks = 0;
+    /** Pages that could not be served from blocks >= hugeOrder. */
+    std::uint64_t smallBlockPages = 0;
+};
+
+class EagerPolicy : public AllocationPolicy
+{
+  public:
+    std::string name() const override { return "eager"; }
+
+    void onMmap(Kernel &kernel, Process &proc, Vma &vma) override;
+
+    AllocResult allocate(Kernel &kernel, Process &proc, Vma &vma,
+                         Vpn vpn, unsigned order) override;
+
+    const EagerStats &stats() const { return stats_; }
+
+  private:
+    /** Take ownership of a block and map it at 2 MiB/4 KiB grain. */
+    void claimAndMap(Kernel &kernel, Process &proc, Vma &vma, Vpn vpn,
+                     Pfn pfn, unsigned order);
+
+    EagerStats stats_;
+};
+
+} // namespace contig
+
+#endif // CONTIG_POLICIES_EAGER_HH

@@ -1,0 +1,47 @@
+#include "policies/ideal.hh"
+
+#include "mm/kernel.hh"
+
+namespace contig
+{
+
+std::optional<Cluster>
+IdealPolicy::bestFitAnywhere(Kernel &kernel, NodeId home,
+                             std::uint64_t req_pages) const
+{
+    PhysicalMemory &pm = kernel.physMem();
+    std::optional<Cluster> best;
+    std::optional<Cluster> largest;
+    const unsigned n = pm.numNodes();
+    for (unsigned i = 0; i < n; ++i) {
+        const Zone &zone = pm.zone((home + i) % n);
+        auto c = zone.contigMap().placeBestFit(req_pages);
+        if (!c)
+            continue;
+        if (!largest || c->pages > largest->pages)
+            largest = c;
+        if (c->pages >= req_pages &&
+            (!best || c->pages < best->pages)) {
+            best = c;
+        }
+    }
+    return best ? best : largest;
+}
+
+void
+IdealPolicy::onMmap(Kernel &kernel, Process &proc, Vma &vma)
+{
+    if (vma.kind() == VmaKind::File)
+        return;
+    // Offline assignment: freeze the Offset now, against the current
+    // free-cluster state, before the first fault.
+    auto cluster = bestFitAnywhere(kernel, proc.homeNode(), vma.pages());
+    if (!cluster)
+        return; // no top-order contiguity at all; faults will fall back
+    const Vpn start_vpn = vma.start().pageNumber();
+    vma.pushCaOffset(start_vpn,
+                     static_cast<std::int64_t>(start_vpn) -
+                         static_cast<std::int64_t>(cluster->startPfn));
+}
+
+} // namespace contig

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Ideal paging — the paper's contiguity upper bound: an offline
+ * best-fit assignment of each VMA onto the free-cluster state as it
+ * stands when the VMA is created, before any of its pages are
+ * touched. Faults then follow the assigned Offset exactly like CA
+ * paging (with best-fit sub-placements on failure).
+ */
+
+#ifndef CONTIG_POLICIES_IDEAL_HH
+#define CONTIG_POLICIES_IDEAL_HH
+
+#include <optional>
+
+#include "phys/contiguity_map.hh"
+#include "policies/ca_paging.hh"
+
+namespace contig
+{
+
+class IdealPolicy : public CaPagingPolicy
+{
+  public:
+    IdealPolicy() = default;
+
+    std::string name() const override { return "ideal"; }
+
+    /** Offline placement: assign the VMA a region at creation time. */
+    void onMmap(Kernel &kernel, Process &proc, Vma &vma) override;
+
+  private:
+    /** Best-fit placement over all zones' contiguity maps. */
+    std::optional<Cluster> bestFitAnywhere(Kernel &kernel, NodeId home,
+                                           std::uint64_t req_pages) const;
+};
+
+} // namespace contig
+
+#endif // CONTIG_POLICIES_IDEAL_HH

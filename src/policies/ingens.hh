@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ingens-style huge-page management (Kwon et al., OSDI'16), as the
+ * paper's low-bloat baseline: allocations happen at 4 KiB granularity
+ * and a background daemon asynchronously promotes huge-aligned
+ * regions to 2 MiB pages once their utilization crosses a threshold.
+ * Contiguity is therefore bounded by the huge-page size (Fig. 7) but
+ * bloat stays minimal (Table VI).
+ */
+
+#ifndef CONTIG_POLICIES_INGENS_HH
+#define CONTIG_POLICIES_INGENS_HH
+
+#include "mm/policy.hh"
+
+namespace contig
+{
+
+struct IngensConfig
+{
+    /** Touched fraction of a 2 MiB region required for promotion. */
+    double utilizationThreshold = 0.9;
+    /** Promotion budget per daemon tick (huge regions). */
+    unsigned promotionsPerTick = 8;
+};
+
+struct IngensStats
+{
+    std::uint64_t promotions = 0;
+    std::uint64_t promotionFailures = 0;
+    std::uint64_t scans = 0;
+};
+
+class IngensPolicy : public AllocationPolicy
+{
+  public:
+    explicit IngensPolicy(const IngensConfig &cfg = {});
+
+    std::string name() const override { return "ingens"; }
+
+    /** Ingens allocates 4 KiB synchronously; huge pages come later. */
+    bool allowsHugeFaults() const override { return false; }
+
+    AllocResult allocate(Kernel &kernel, Process &proc, Vma &vma,
+                         Vpn vpn, unsigned order) override;
+
+    void onTick(Kernel &kernel) override;
+
+    const IngensStats &stats() const { return stats_; }
+
+  private:
+    IngensConfig cfg_;
+    IngensStats stats_;
+};
+
+} // namespace contig
+
+#endif // CONTIG_POLICIES_INGENS_HH

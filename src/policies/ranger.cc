@@ -1,0 +1,168 @@
+#include "policies/ranger.hh"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "base/align.hh"
+#include "mm/kernel.hh"
+#include "mm/migrate.hh"
+
+namespace contig
+{
+
+RangerPolicy::RangerPolicy(const RangerConfig &cfg) : cfg_(cfg) {}
+
+AllocResult
+RangerPolicy::allocate(Kernel &kernel, Process &proc, Vma &vma, Vpn vpn,
+                       unsigned order)
+{
+    // Faults use the stock THP allocation; contiguity comes later.
+    (void)vma;
+    (void)vpn;
+    AllocResult res;
+    if (auto pfn = kernel.physMem().alloc(order, proc.homeNode()))
+        res.pfn = *pfn;
+    return res;
+}
+
+void
+RangerPolicy::onMunmap(Kernel &kernel, Process &proc, Vma &vma)
+{
+    (void)kernel;
+    (void)proc;
+    targets_.erase(vma.id());
+}
+
+const std::vector<RangerPolicy::TargetRegion> &
+RangerPolicy::targetsFor(Kernel &kernel, Process &proc, Vma &vma)
+{
+    std::vector<TargetRegion> &regions = targets_[vma.id()];
+    if (!regions.empty())
+        return regions;
+
+    // Anchor-based target selection, as in Translation Ranger: the
+    // region is anchored at the physical location of the VMA's first
+    // mapped page and covers the whole VMA; the exchange primitive
+    // lets migrations proceed through occupied memory, so the region
+    // need not be free. Only conflicts with other VMAs' regions force
+    // the anchor to shift.
+    PhysicalMemory &mem = kernel.physMem();
+    auto overlaps = [&](Pfn start_pfn, std::uint64_t pages) {
+        for (const auto &kv : targets_) {
+            for (const TargetRegion &tr : kv.second) {
+                if (start_pfn < tr.basePfn + tr.pages &&
+                    tr.basePfn < start_pfn + pages) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    };
+
+    // Fast path: a free cluster that fits the whole VMA (no
+    // exchanges needed, migrations into free frames only).
+    for (unsigned n = 0; n < mem.numNodes(); ++n) {
+        auto cl = mem.zone((proc.homeNode() + n) %
+                           mem.numNodes()).contigMap()
+                      .placeBestFit(vma.pages());
+        if (cl && cl->pages >= vma.pages() &&
+            !overlaps(cl->startPfn, vma.pages())) {
+            regions.push_back(TargetRegion{0, vma.pages(),
+                                           cl->startPfn});
+            ++stats_.regionsAssigned;
+            return regions;
+        }
+    }
+
+    // Find the first mapped leaf to anchor on.
+    const Vpn vma_start = vma.start().pageNumber();
+    const Vpn vma_end = vma_start + vma.pages();
+    std::optional<Pfn> anchor;
+    proc.pageTable().forEachLeaf([&](Vpn vpn, const Mapping &m) {
+        if (anchor || vpn < vma_start || vpn >= vma_end)
+            return;
+        const std::uint64_t rel = vpn - vma_start;
+        anchor = m.pfn >= rel ? m.pfn - rel : 0;
+    });
+    if (!anchor)
+        return regions; // nothing mapped yet
+
+    // Clamp and shift until the region fits and conflicts with no
+    // other VMA's region.
+    const std::uint64_t total = mem.totalFrames();
+    if (vma.pages() > total)
+        return regions;
+    Pfn base = std::min<Pfn>(*anchor, total - vma.pages());
+    const std::uint64_t step = pagesInOrder(kMaxOrder);
+    for (std::uint64_t tries = 0; tries * step < total; ++tries) {
+        Pfn cand = (base + tries * step) % (total - vma.pages() + 1);
+        cand = alignDown(cand, pagesInOrder(kHugeOrder));
+        if (!overlaps(cand, vma.pages())) {
+            regions.push_back(TargetRegion{0, vma.pages(), cand});
+            ++stats_.regionsAssigned;
+            break;
+        }
+    }
+    return regions;
+}
+
+void
+RangerPolicy::onTick(Kernel &kernel)
+{
+    ++stats_.epochs;
+    std::uint64_t budget = cfg_.pagesPerEpoch;
+
+    kernel.forEachProcess([&](Process &proc) {
+        if (budget == 0 || !proc.defragEligible)
+            return;
+        proc.addressSpace().forEachVma([&](Vma &vma) {
+            if (budget == 0 || vma.kind() == VmaKind::File)
+                return;
+            const auto &regions = targetsFor(kernel, proc, vma);
+            if (regions.empty())
+                return;
+
+            // Walk the VMA's leaves and migrate out-of-place ones to
+            // their slot in the covering target region.
+            const Vpn vma_start = vma.start().pageNumber();
+            const Vpn vma_end = vma_start + vma.pages();
+            std::vector<std::pair<Vpn, Pfn>> to_move;
+            proc.pageTable().forEachLeaf([&](Vpn vpn, const Mapping &m) {
+                if (vpn < vma_start || vpn >= vma_end)
+                    return;
+                const std::uint64_t rel = vpn - vma_start;
+                for (const TargetRegion &tr : regions) {
+                    if (rel < tr.startPage ||
+                        rel >= tr.startPage + tr.pages) {
+                        continue;
+                    }
+                    Pfn want = tr.basePfn + (rel - tr.startPage);
+                    if (m.pfn != want)
+                        to_move.emplace_back(vpn, want);
+                    break;
+                }
+            });
+            for (auto &[vpn, want] : to_move) {
+                if (budget == 0)
+                    break;
+                auto res = migrateLeaf(kernel, proc, vpn, want);
+                if (res == MigrateResult::DestBusy) {
+                    // Occupied destination: exchange pages instead,
+                    // like Translation Ranger's exchange_pages().
+                    res = swapLeaves(kernel, proc, vpn, want);
+                }
+                if (res == MigrateResult::Done) {
+                    auto m = proc.pageTable().lookup(vpn);
+                    const std::uint64_t n = pagesInOrder(m->order);
+                    stats_.migratedPages += n;
+                    budget -= std::min(budget, n);
+                } else if (res == MigrateResult::DestBusy) {
+                    ++stats_.skippedBusy;
+                }
+            }
+        });
+    });
+}
+
+} // namespace contig

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Translation-Ranger-style asynchronous defragmentation (Yan et al.,
+ * ISCA'19), the paper's post-allocation baseline: faults allocate via
+ * the default THP path, and a periodic daemon migrates each VMA's
+ * pages towards a contiguous target region. Reproduces the behaviour
+ * the paper highlights: contiguity arrives *late* (Fig. 1c) and
+ * migrations cost runtime and TLB shootdowns (Fig. 11), but the end
+ * state is robust to fragmentation (Fig. 8) because occupied memory
+ * is vacated rather than searched.
+ */
+
+#ifndef CONTIG_POLICIES_RANGER_HH
+#define CONTIG_POLICIES_RANGER_HH
+
+#include <map>
+
+#include "mm/policy.hh"
+
+namespace contig
+{
+
+struct RangerConfig
+{
+    /** Migration budget per daemon epoch, in base pages. */
+    std::uint64_t pagesPerEpoch = 4096;
+};
+
+struct RangerStats
+{
+    std::uint64_t epochs = 0;
+    std::uint64_t migratedPages = 0;
+    std::uint64_t skippedBusy = 0;
+    std::uint64_t regionsAssigned = 0;
+};
+
+class RangerPolicy : public AllocationPolicy
+{
+  public:
+    explicit RangerPolicy(const RangerConfig &cfg = {});
+
+    std::string name() const override { return "ranger"; }
+
+    AllocResult allocate(Kernel &kernel, Process &proc, Vma &vma,
+                         Vpn vpn, unsigned order) override;
+
+    void onMunmap(Kernel &kernel, Process &proc, Vma &vma) override;
+
+    void onTick(Kernel &kernel) override;
+
+    const RangerStats &stats() const { return stats_; }
+
+  private:
+    /** One target region: VMA pages [startPage, startPage+pages) go
+     *  to physical frames [basePfn, basePfn+pages). */
+    struct TargetRegion
+    {
+        std::uint64_t startPage;
+        std::uint64_t pages;
+        Pfn basePfn;
+    };
+
+    /** Chosen target regions per VMA id. */
+    std::map<std::uint32_t, std::vector<TargetRegion>> targets_;
+
+    /**
+     * Pick/refresh the target regions for a VMA: the largest free
+     * clusters, assigned greedily front-to-back (up to
+     * kMaxRegionsPerVma), so coalescing proceeds even when no single
+     * cluster fits the whole VMA.
+     */
+    const std::vector<TargetRegion> &targetsFor(Kernel &kernel,
+                                                Process &proc, Vma &vma);
+
+    static constexpr unsigned kMaxRegionsPerVma = 8;
+
+    RangerConfig cfg_;
+    RangerStats stats_;
+};
+
+} // namespace contig
+
+#endif // CONTIG_POLICIES_RANGER_HH

@@ -1,0 +1,133 @@
+#include "spot/spot.hh"
+
+#include "base/logging.hh"
+
+namespace contig
+{
+
+SpotEngine::SpotEngine(const SpotConfig &cfg)
+    : cfg_(cfg), entries_(cfg.sets * cfg.ways)
+{
+    contig_assert(cfg.sets > 0 && cfg.ways > 0, "degenerate SpOT table");
+}
+
+unsigned
+SpotEngine::setOf(Addr pc) const
+{
+    // Fold the PC a little before indexing: instruction addresses
+    // share low-bit alignment.
+    return static_cast<unsigned>(((pc >> 6) ^ (pc >> 12)) % cfg_.sets);
+}
+
+SpotEngine::Entry *
+SpotEngine::find(Addr pc)
+{
+    Entry *base = &entries_[setOf(pc) * cfg_.ways];
+    for (unsigned w = 0; w < cfg_.ways; ++w)
+        if (base[w].valid && base[w].pcTag == pc)
+            return &base[w];
+    return nullptr;
+}
+
+std::optional<std::int64_t>
+SpotEngine::predict(Addr pc)
+{
+    ++stats_.lookups;
+    pending_.reset();
+    pendingPc_ = pc;
+    Entry *e = find(pc);
+    if (e && e->confidence > cfg_.confidenceThreshold) {
+        e->lastUse = ++clock_;
+        pending_ = e->offset;
+    }
+    return pending_;
+}
+
+SpotOutcome
+SpotEngine::update(Addr pc, std::int64_t true_offset, bool contig_ok)
+{
+    // Classify the in-flight speculation first.
+    SpotOutcome outcome;
+    if (pending_ && pendingPc_ == pc) {
+        outcome = (*pending_ == true_offset) ? SpotOutcome::Correct
+                                             : SpotOutcome::Mispredicted;
+    } else {
+        outcome = SpotOutcome::NoPrediction;
+    }
+    pending_.reset();
+    switch (outcome) {
+      case SpotOutcome::Correct:
+        ++stats_.correct;
+        break;
+      case SpotOutcome::Mispredicted:
+        ++stats_.mispredicted;
+        break;
+      case SpotOutcome::NoPrediction:
+        ++stats_.noPrediction;
+        break;
+    }
+
+    const bool fills_allowed = contig_ok || !cfg_.requireContigBits;
+
+    Entry *e = find(pc);
+    if (e) {
+        // Confidence bookkeeping happens on every walk, speculated or
+        // not (§IV-C, "predictions are still calculated and compared").
+        if (e->offset == true_offset) {
+            if (e->confidence < 3)
+                ++e->confidence;
+        } else if (e->confidence > 0) {
+            --e->confidence;
+        }
+        // Offsets are replaced only at zero confidence, and only with
+        // offsets the OS marked as belonging to large mappings.
+        if (e->confidence == 0 && e->offset != true_offset) {
+            if (fills_allowed) {
+                e->offset = true_offset;
+                e->confidence = 1;
+                ++stats_.offsetReplacements;
+            }
+        }
+        e->lastUse = ++clock_;
+        return outcome;
+    }
+
+    // No entry for this PC: try to fill one.
+    if (!fills_allowed) {
+        ++stats_.fillsBlockedByBits;
+        return outcome;
+    }
+    Entry *base = &entries_[setOf(pc) * cfg_.ways];
+    Entry *victim = nullptr;
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        Entry &cand = base[w];
+        if (!cand.valid) {
+            victim = &cand;
+            break;
+        }
+        // Only zero-confidence entries may be evicted; LRU among them.
+        if (cand.confidence == 0 &&
+            (!victim || cand.lastUse < victim->lastUse)) {
+            victim = &cand;
+        }
+    }
+    if (!victim)
+        return outcome; // set full of confident entries: drop the fill
+    victim->valid = true;
+    victim->pcTag = pc;
+    victim->offset = true_offset;
+    victim->confidence = 1;
+    victim->lastUse = ++clock_;
+    ++stats_.fills;
+    return outcome;
+}
+
+void
+SpotEngine::flush()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+    pending_.reset();
+}
+
+} // namespace contig

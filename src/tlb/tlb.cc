@@ -1,0 +1,130 @@
+#include "tlb/tlb.hh"
+
+#include "base/logging.hh"
+
+namespace contig
+{
+
+Tlb::Tlb(const TlbConfig &cfg, unsigned page_order)
+    : cfg_(cfg), pageOrder_(page_order),
+      entries_(cfg.sets * cfg.ways)
+{
+    contig_assert(cfg.sets > 0 && cfg.ways > 0, "degenerate TLB");
+}
+
+Vpn
+Tlb::tagOf(Vpn vpn) const
+{
+    return vpn >> pageOrder_;
+}
+
+unsigned
+Tlb::setOf(Vpn vpn) const
+{
+    return static_cast<unsigned>(tagOf(vpn) % cfg_.sets);
+}
+
+bool
+Tlb::lookup(Vpn vpn)
+{
+    ++stats_.lookups;
+    const Vpn tag = tagOf(vpn);
+    Entry *base = &entries_[setOf(vpn) * cfg_.ways];
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lastUse = ++clock_;
+            ++stats_.hits;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Tlb::probe(Vpn vpn) const
+{
+    const Vpn tag = tagOf(vpn);
+    const Entry *base = &entries_[setOf(vpn) * cfg_.ways];
+    for (unsigned w = 0; w < cfg_.ways; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Tlb::fill(Vpn vpn)
+{
+    ++stats_.fills;
+    const Vpn tag = tagOf(vpn);
+    Entry *base = &entries_[setOf(vpn) * cfg_.ways];
+    Entry *victim = nullptr;
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.tag == tag) {
+            e.lastUse = ++clock_; // refill of a present entry
+            return;
+        }
+        if (!e.valid) {
+            if (!victim || victim->valid)
+                victim = &e;
+        } else if (!victim || (victim->valid &&
+                               e.lastUse < victim->lastUse)) {
+            victim = &e;
+        }
+    }
+    if (victim->valid)
+        ++stats_.evictions;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = ++clock_;
+}
+
+void
+Tlb::flush()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+}
+
+TlbHierarchy::TlbHierarchy(const TlbHierConfig &cfg)
+    : l1_4k_(cfg.l1_4k, 0), l1_2m_(cfg.l1_2m, kHugeOrder),
+      l2_4k_({cfg.l2.sets, (cfg.l2.ways + 1) / 2}, 0),
+      l2_2m_({cfg.l2.sets, (cfg.l2.ways + 1) / 2}, kHugeOrder)
+{
+}
+
+TlbLevel
+TlbHierarchy::access(Vpn vpn, unsigned order)
+{
+    ++accesses_;
+    Tlb &l1 = (order == kHugeOrder) ? l1_2m_ : l1_4k_;
+    if (l1.lookup(vpn))
+        return TlbLevel::L1;
+    Tlb &l2 = (order == kHugeOrder) ? l2_2m_ : l2_4k_;
+    if (l2.lookup(vpn)) {
+        l1.fill(vpn); // promote to L1
+        return TlbLevel::L2;
+    }
+    ++l2Misses_;
+    return TlbLevel::Miss;
+}
+
+void
+TlbHierarchy::fill(Vpn vpn, unsigned order)
+{
+    Tlb &l1 = (order == kHugeOrder) ? l1_2m_ : l1_4k_;
+    Tlb &l2 = (order == kHugeOrder) ? l2_2m_ : l2_4k_;
+    l1.fill(vpn);
+    l2.fill(vpn);
+}
+
+void
+TlbHierarchy::flush()
+{
+    l1_4k_.flush();
+    l1_2m_.flush();
+    l2_4k_.flush();
+    l2_2m_.flush();
+}
+
+} // namespace contig

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Set-associative TLB with LRU replacement, page-size aware. Models
+ * the L1 DTLBs (separate 4 KiB / 2 MiB arrays) and the unified L2
+ * STLB of the evaluation machine (Table II), scaled per DESIGN.md so
+ * that footprint/TLB-reach stays in the paper's regime.
+ */
+
+#ifndef CONTIG_TLB_TLB_HH
+#define CONTIG_TLB_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace contig
+{
+
+/** Geometry of one TLB array. */
+struct TlbConfig
+{
+    unsigned sets = 4;
+    unsigned ways = 4;
+};
+
+/** Hit/miss counters of one TLB array. */
+struct TlbStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t evictions = 0;
+};
+
+/**
+ * One TLB array holding entries of a single page order (0 or
+ * kHugeOrder). Tags are the order-aligned vpn.
+ */
+class Tlb
+{
+  public:
+    Tlb(const TlbConfig &cfg, unsigned page_order);
+
+    /** True (and LRU updated) iff the page covering vpn is present. */
+    bool lookup(Vpn vpn);
+
+    /** Probe without statistics or LRU update. */
+    bool probe(Vpn vpn) const;
+
+    /** Insert the page covering vpn, evicting LRU if needed. */
+    void fill(Vpn vpn);
+
+    void flush();
+
+    unsigned pageOrder() const { return pageOrder_; }
+    unsigned entries() const { return cfg_.sets * cfg_.ways; }
+    const TlbStats &stats() const { return stats_; }
+
+  private:
+    struct Entry
+    {
+        Vpn tag = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    Vpn tagOf(Vpn vpn) const;
+    unsigned setOf(Vpn vpn) const;
+
+    TlbConfig cfg_;
+    unsigned pageOrder_;
+    std::vector<Entry> entries_; // sets * ways, row-major by set
+    std::uint64_t clock_ = 0;
+    TlbStats stats_;
+};
+
+/** Geometry of the full data-TLB hierarchy. */
+struct TlbHierConfig
+{
+    TlbConfig l1_4k{4, 4};  //!< 16 entries
+    TlbConfig l1_2m{2, 4};  //!< 8 entries
+    TlbConfig l2{2, 6};     //!< 12 entries, unified
+};
+
+/** Where an access was satisfied. */
+enum class TlbLevel : std::uint8_t { L1, L2, Miss };
+
+/**
+ * Two-level hierarchy: L1 split by page size, unified L2. On an L2
+ * miss the caller performs the walk and calls fill().
+ */
+class TlbHierarchy
+{
+  public:
+    explicit TlbHierarchy(const TlbHierConfig &cfg = {});
+
+    /** Look up the translation for vpn at the given page order. */
+    TlbLevel access(Vpn vpn, unsigned order);
+
+    /** Install a translation after a walk (L1 + L2). */
+    void fill(Vpn vpn, unsigned order);
+
+    void flush();
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t l2Misses() const { return l2Misses_; }
+
+    const Tlb &l1For(unsigned order) const
+    { return order == kHugeOrder ? l1_2m_ : l1_4k_; }
+    const Tlb &l2_4k() const { return l2_4k_; }
+    const Tlb &l2_2m() const { return l2_2m_; }
+
+  private:
+    Tlb l1_4k_;
+    Tlb l1_2m_;
+    // The unified L2 is modelled as two arrays sharing one budget:
+    // sets*ways entries for each page size would double the reach, so
+    // each array gets half the ways.
+    Tlb l2_4k_;
+    Tlb l2_2m_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t l2Misses_ = 0;
+};
+
+} // namespace contig
+
+#endif // CONTIG_TLB_TLB_HH

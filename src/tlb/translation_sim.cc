@@ -1,0 +1,146 @@
+#include "tlb/translation_sim.hh"
+
+#include "base/logging.hh"
+
+namespace contig
+{
+
+TranslationSim::TranslationSim(const XlatConfig &cfg, const PageTable &pt)
+    : cfg_(cfg), tlb_(cfg.tlb),
+      walker_(std::make_unique<Walker>(pt, cfg.walker))
+{
+    init();
+}
+
+TranslationSim::TranslationSim(const XlatConfig &cfg,
+                               const PageTable &guest_pt,
+                               const VirtualMachine &vm)
+    : cfg_(cfg), tlb_(cfg.tlb),
+      walker_(std::make_unique<Walker>(guest_pt, vm, cfg.walker))
+{
+    init();
+}
+
+void
+TranslationSim::init()
+{
+    if (cfg_.scheme == XlatScheme::Spot)
+        spot_ = std::make_unique<SpotEngine>(cfg_.spot);
+}
+
+void
+TranslationSim::setSegments(std::vector<Seg> segs)
+{
+    if (cfg_.scheme == XlatScheme::Rmm) {
+        rangeTable_ = std::make_unique<RangeTable>(std::move(segs));
+        rangeTlb_ =
+            std::make_unique<RangeTlb>(cfg_.rangeTlb, *rangeTable_);
+    } else if (cfg_.scheme == XlatScheme::Ds) {
+        // Dual direct mode: the workload's primary regions translate
+        // through the segment registers. Merge the mapped segments
+        // into maximal virtual spans (physical contiguity is the
+        // host-side segment reservation the scheme assumes).
+        std::sort(segs.begin(), segs.end(),
+                  [](const Seg &a, const Seg &b) {
+                      return a.vpn < b.vpn;
+                  });
+        for (const Seg &s : segs) {
+            if (!segments_.empty()) {
+                DirectSegment &last = segments_.back();
+                if (last.base() + last.pages() == s.vpn) {
+                    segments_.back() = DirectSegment(
+                        last.base(), last.pages() + s.pages);
+                    continue;
+                }
+            }
+            segments_.emplace_back(s.vpn, s.pages);
+        }
+    }
+}
+
+void
+TranslationSim::access(const MemAccess &a)
+{
+    ++stats_.accesses;
+    const Vpn vpn = a.va.pageNumber();
+
+    // Direct Segments: segment accesses bypass the TLB path entirely.
+    if (!segments_.empty()) {
+        auto it = std::upper_bound(
+            segments_.begin(), segments_.end(), vpn,
+            [](Vpn v, const DirectSegment &s) { return v < s.base(); });
+        if (it != segments_.begin() && std::prev(it)->contains(vpn)) {
+            ++stats_.segmentHits;
+            return;
+        }
+    }
+
+    // We do not know the mapped page size before looking it up; probe
+    // the hierarchy as hardware does, trying both sizes. The walk
+    // below re-fills with the true order.
+    TlbLevel lvl = tlb_.access(vpn, kHugeOrder);
+    if (lvl == TlbLevel::Miss)
+        lvl = tlb_.access(vpn, 0);
+    if (lvl == TlbLevel::L1) {
+        ++stats_.l1Hits;
+        return;
+    }
+    if (lvl == TlbLevel::L2) {
+        ++stats_.l2Hits;
+        return;
+    }
+
+    // L2 miss: the verification/page walk always happens.
+    auto prediction = spot_ ? spot_->predict(a.pc)
+                            : std::optional<std::int64_t>{};
+    WalkResult walk = walker_->walk(vpn);
+    contig_assert(walk.hit, "access to unmapped va 0x%llx",
+                  static_cast<unsigned long long>(a.va.value));
+
+    ++stats_.walks;
+    stats_.walkRefs += walk.refs;
+    stats_.walkCycles += walk.cycles;
+
+    Cycles exposed = walk.cycles;
+    switch (cfg_.scheme) {
+      case XlatScheme::Base:
+        break;
+      case XlatScheme::Spot: {
+          const bool contig_ok =
+              walker_->virtualized()
+                  ? (walk.guestContigBit && walk.nestedContigBit)
+                  : walk.guestContigBit;
+          SpotOutcome out = spot_->update(a.pc, walk.offset, contig_ok);
+          switch (out) {
+            case SpotOutcome::Correct:
+              ++stats_.spotCorrect;
+              exposed = 0; // walk latency fully hidden
+              break;
+            case SpotOutcome::Mispredicted:
+              ++stats_.spotMispredicted;
+              exposed = walk.cycles + cfg_.spot.flushPenaltyCycles;
+              break;
+            case SpotOutcome::NoPrediction:
+              ++stats_.spotNoPrediction;
+              break;
+          }
+          (void)prediction;
+          break;
+      }
+      case XlatScheme::Rmm: {
+          contig_assert(rangeTlb_, "Rmm scheme without segments");
+          if (rangeTlb_->access(vpn)) {
+              ++stats_.rangeHits;
+              exposed = 0; // range hit: translation without a walk
+          }
+          break;
+      }
+      case XlatScheme::Ds:
+        break; // non-segment accesses pay the normal walk
+    }
+
+    stats_.exposedCycles += exposed;
+    tlb_.fill(vpn, walk.mapping.order);
+}
+
+} // namespace contig

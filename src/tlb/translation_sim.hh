@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The address-translation simulator: replays a (pc, gVA) access
+ * stream through the TLB hierarchy and, on L2 misses, through the
+ * configured translation scheme — plain walks, SpOT speculation,
+ * a vRMM range TLB, or Direct Segments. Produces the event counts
+ * (walks, correct/mis/no predictions, range hits) that the Table IV
+ * performance model converts into the overheads of Fig. 13.
+ */
+
+#ifndef CONTIG_TLB_TRANSLATION_SIM_HH
+#define CONTIG_TLB_TRANSLATION_SIM_HH
+
+#include <memory>
+#include <optional>
+
+#include "ranges/ranges.hh"
+#include "spot/spot.hh"
+#include "tlb/tlb.hh"
+#include "tlb/walker.hh"
+
+namespace contig
+{
+
+/** One memory instruction execution. */
+struct MemAccess
+{
+    Addr pc = 0;
+    Gva va{0};
+};
+
+/** Which accelerator sits on the L2-miss path. */
+enum class XlatScheme : std::uint8_t
+{
+    Base,  //!< plain page walks
+    Spot,  //!< SpOT speculation
+    Rmm,   //!< vRMM range TLB
+    Ds,    //!< Direct Segments dual mode
+};
+
+/** Aggregated simulation results. */
+struct XlatStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t walks = 0;          //!< L2 misses that walked
+    std::uint64_t walkRefs = 0;
+    Cycles walkCycles = 0;            //!< raw walk cost (before hiding)
+    Cycles exposedCycles = 0;         //!< translation cost after scheme
+    /** SpOT outcome counts (Fig. 14). */
+    std::uint64_t spotCorrect = 0;
+    std::uint64_t spotMispredicted = 0;
+    std::uint64_t spotNoPrediction = 0;
+    /** vRMM / DS event counts. */
+    std::uint64_t rangeHits = 0;
+    std::uint64_t segmentHits = 0;
+
+    double
+    avgWalkCycles() const
+    {
+        return walks ? static_cast<double>(walkCycles) / walks : 0.0;
+    }
+};
+
+/** Everything the simulator needs for one configuration. */
+struct XlatConfig
+{
+    TlbHierConfig tlb;
+    WalkerConfig walker;
+    XlatScheme scheme = XlatScheme::Base;
+    SpotConfig spot;
+    RangeTlbConfig rangeTlb;
+};
+
+/**
+ * One translation pipeline instance. Construct with a native page
+ * table or a (guest PT, VM) pair, plus optional scheme state.
+ */
+class TranslationSim
+{
+  public:
+    /** Native. */
+    TranslationSim(const XlatConfig &cfg, const PageTable &pt);
+
+    /** Virtualized. */
+    TranslationSim(const XlatConfig &cfg, const PageTable &guest_pt,
+                   const VirtualMachine &vm);
+
+    /**
+     * Provide the extracted 2-D segments (required for Rmm, and for
+     * Ds if no explicit segment is set — the largest segment becomes
+     * the direct segment).
+     */
+    void setSegments(std::vector<Seg> segs);
+
+    /** Simulate one access. */
+    void access(const MemAccess &a);
+
+    const XlatStats &stats() const { return stats_; }
+    const Walker &walker() const { return *walker_; }
+    const SpotEngine *spot() const { return spot_.get(); }
+    const RangeTlb *rangeTlb() const { return rangeTlb_.get(); }
+
+  private:
+    void init();
+
+    XlatConfig cfg_;
+    TlbHierarchy tlb_;
+    std::unique_ptr<Walker> walker_;
+    std::unique_ptr<SpotEngine> spot_;
+    std::unique_ptr<RangeTable> rangeTable_;
+    std::unique_ptr<RangeTlb> rangeTlb_;
+    /**
+     * DS dual direct mode: the virtual spans covered directly
+     * (merged from the mapped segments — the primary region the
+     * segment register pair covers when the VM boots).
+     */
+    std::vector<DirectSegment> segments_;
+    XlatStats stats_;
+};
+
+} // namespace contig
+
+#endif // CONTIG_TLB_TRANSLATION_SIM_HH

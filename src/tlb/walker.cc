@@ -1,0 +1,170 @@
+#include "tlb/walker.hh"
+
+#include "base/logging.hh"
+#include "virt/vm.hh"
+
+namespace contig
+{
+
+Walker::Walker(const PageTable &pt, const WalkerConfig &cfg)
+    : pt_(pt), cfg_(cfg), psc_(cfg.pscEntries),
+      nestedTlb_(cfg.nestedTlbEntries)
+{
+}
+
+Walker::Walker(const PageTable &guest_pt, const VirtualMachine &vm,
+               const WalkerConfig &cfg)
+    : pt_(guest_pt), vm_(&vm), cfg_(cfg), psc_(cfg.pscEntries),
+      nestedTlb_(cfg.nestedTlbEntries)
+{
+}
+
+bool
+Walker::cacheLookup(std::vector<CacheEntry> &cache, std::uint64_t tag)
+{
+    for (auto &e : cache) {
+        if (e.valid && e.tag == tag) {
+            e.lastUse = ++clock_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Walker::cacheFill(std::vector<CacheEntry> &cache, std::uint64_t tag)
+{
+    CacheEntry *victim = &cache[0];
+    for (auto &e : cache) {
+        if (e.valid && e.tag == tag) {
+            e.lastUse = ++clock_;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = ++clock_;
+}
+
+void
+Walker::flushCaches()
+{
+    for (auto &e : psc_)
+        e.valid = false;
+    for (auto &e : nestedTlb_)
+        e.valid = false;
+}
+
+std::optional<Mapping>
+Walker::nestedTranslate(Pfn gfn, unsigned &refs)
+{
+    contig_assert(vm_, "nested translation without a VM");
+    if (cfg_.nestedTlbEnabled) {
+        ++stats_.nestedTlbLookups;
+        // The nested TLB caches gPA->hPA at 2 MiB grain (host backing
+        // is predominantly THP-mapped).
+        if (cacheLookup(nestedTlb_, gfn >> kHugeOrder)) {
+            ++stats_.nestedTlbHits;
+            auto m = vm_->nestedLookup(gfn);
+            return m;
+        }
+    }
+    WalkTrace trace;
+    vm_->nestedWalk(gfn, trace);
+    refs += trace.nodeFrames.size();
+    if (!trace.hit)
+        return std::nullopt;
+    // Refill the nested TLB with whatever nested leaf was resolved.
+    if (cfg_.nestedTlbEnabled)
+        cacheFill(nestedTlb_, gfn >> kHugeOrder);
+    return trace.mapping;
+}
+
+WalkResult
+Walker::walk(Vpn vpn)
+{
+    WalkResult res;
+    ++stats_.walks;
+
+    WalkTrace gtrace;
+    pt_.walk(vpn, gtrace);
+
+    // PSC: L4+L3 reads skipped on a hit (tag covers 1 GiB regions).
+    unsigned guest_refs = gtrace.nodeFrames.size();
+    unsigned skipped = 0;
+    if (cfg_.pscEnabled && guest_refs > 2) {
+        const std::uint64_t tag = vpn >> 18;
+        if (cacheLookup(psc_, tag)) {
+            ++stats_.pscHits;
+            // Root and L3 reads avoided; the last two levels (the
+            // PDE/leaf reads) are always performed.
+            skipped = std::min(2u, guest_refs - 2);
+        } else {
+            cacheFill(psc_, tag);
+        }
+    }
+
+    unsigned refs = 0;
+    if (!vm_) {
+        refs = guest_refs - skipped;
+    } else {
+        // Nested: each remaining guest node read needs a nested
+        // translation of the node's gPA plus the node read itself.
+        for (std::size_t i = skipped; i < gtrace.nodeFrames.size(); ++i) {
+            nestedTranslate(gtrace.nodeFrames[i], refs);
+            refs += 1; // the guest PTE read
+        }
+    }
+
+    if (!gtrace.hit) {
+        res.hit = false;
+        res.refs = refs;
+        res.cycles = refs * cfg_.cyclesPerRef;
+        stats_.totalRefs += refs;
+        return res;
+    }
+
+    Mapping leaf = gtrace.mapping;
+    // Exact frame for this vpn inside the (possibly huge) leaf.
+    const Vpn leaf_base = vpn & ~(pagesInOrder(leaf.order) - 1);
+    const Pfn exact_gfn = leaf.pfn + (vpn - leaf_base);
+
+    if (!vm_) {
+        res.hit = true;
+        res.mapping = leaf;
+        res.guestContigBit = leaf.contigBit;
+        res.offset = static_cast<std::int64_t>(vpn) -
+                     static_cast<std::int64_t>(exact_gfn);
+    } else {
+        // Final nested walk for the data gPA.
+        auto nested = nestedTranslate(exact_gfn, refs);
+        if (!nested) {
+            res.hit = false;
+            res.refs = refs;
+            res.cycles = refs * cfg_.cyclesPerRef;
+            stats_.totalRefs += refs;
+            return res;
+        }
+        res.hit = true;
+        res.mapping = *nested;
+        // The effective 2-D page order is the smaller of the two.
+        res.mapping.order = std::min<unsigned>(leaf.order, nested->order);
+        res.guestContigBit = leaf.contigBit;
+        res.nestedContigBit = nested->contigBit;
+        res.offset = static_cast<std::int64_t>(vpn) -
+                     static_cast<std::int64_t>(nested->pfn);
+    }
+
+    res.refs = refs;
+    res.cycles = refs * cfg_.cyclesPerRef;
+    stats_.totalRefs += refs;
+    return res;
+}
+
+} // namespace contig

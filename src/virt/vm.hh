@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The hypervisor substrate: a VirtualMachine couples a guest kernel
+ * (a full Kernel instance whose "physical" memory is the guest-
+ * physical address space) with a host backing process whose single
+ * GuestRam VMA holds the gPA->hPA dimension.
+ *
+ * Nested paging falls out naturally:
+ *  - the guest OS runs CA paging (or any policy) over gVA->gPA,
+ *  - the host OS independently runs its own policy over gPA->hPA
+ *    (the backing VMA's demand faults are the "nested faults"),
+ *  - the host process's page table *is* the nested page table.
+ *
+ * First touch of any guest frame triggers the backing hook, which
+ * faults the corresponding host page — so 2nd-dimension mappings are
+ * created exactly when a real VM would take a nested EPT violation,
+ * and persist as the VM ages (paper §III-C, "Virtualized execution").
+ */
+
+#ifndef CONTIG_VIRT_VM_HH
+#define CONTIG_VIRT_VM_HH
+
+#include <map>
+#include <memory>
+
+#include "mm/kernel.hh"
+
+namespace contig
+{
+
+/** Guest machine shape. */
+struct VmConfig
+{
+    /** Guest-physical memory per guest NUMA node. */
+    std::uint64_t guestBytesPerNode = 512ull << 20;
+    unsigned guestNodes = 1;
+    /** Guest kernel knobs (THP on/off etc.). */
+    KernelConfig guestKernel;
+};
+
+class VirtualMachine
+{
+  public:
+    /**
+     * @param host The host kernel (its active policy serves nested
+     *        faults).
+     * @param guest_policy The guest OS allocation policy.
+     */
+    VirtualMachine(Kernel &host,
+                   std::unique_ptr<AllocationPolicy> guest_policy,
+                   const VmConfig &cfg = {});
+    ~VirtualMachine();
+
+    VirtualMachine(const VirtualMachine &) = delete;
+    VirtualMachine &operator=(const VirtualMachine &) = delete;
+
+    Kernel &guest() { return *guest_; }
+    const Kernel &guest() const { return *guest_; }
+    Kernel &host() { return host_; }
+
+    /** The host process backing guest RAM. */
+    Process &backing() { return *backing_; }
+
+    /** Host virtual page of a guest frame (inside the backing VMA). */
+    Vpn hostVpnFor(Pfn gfn) const
+    { return ramVma_->start().pageNumber() + gfn; }
+
+    /**
+     * The nested translation of a guest frame: the host mapping
+     * covering it, with pfn adjusted to the exact frame. Nullopt if
+     * the guest frame was never backed.
+     */
+    std::optional<Mapping> nestedLookup(Pfn gfn) const;
+
+    /**
+     * Nested page-table walk for a guest frame, recording the nPT
+     * node frames read (for the 2-D walk cost model).
+     */
+    void nestedWalk(Pfn gfn, WalkTrace &trace) const;
+
+    /** The nested page table (the backing process's table). */
+    const PageTable &nestedPageTable() const
+    { return backing_->pageTable(); }
+
+    /** Total guest frames backed in the host so far. */
+    std::uint64_t backedPages() const { return ramVma_->allocatedPages; }
+
+    // --- shadow paging (extension; see bench/ext_shadow_paging) ---------
+
+    /**
+     * Trap this guest process's page-table updates and maintain a
+     * shadow gVA->hPA table for it. Each guest PTE update costs one
+     * modelled VM exit (shadowExits() counts them). Existing leaves
+     * are synchronized immediately.
+     */
+    void enableShadowPaging(Process &guest_proc);
+
+    /** The shadow table of a shadow-paged process. */
+    const PageTable &shadowTable(const Process &guest_proc) const;
+
+    /** VM exits taken for shadow page-table synchronization. */
+    std::uint64_t shadowExits() const { return shadowExits_; }
+
+  private:
+    void syncShadow(PageTable &shadow, Vpn vpn, const Mapping &m,
+                    bool present);
+
+    Kernel &host_;
+    Process *backing_;
+    Vma *ramVma_;
+    std::unique_ptr<Kernel> guest_;
+    /** Shadow tables keyed by guest process pid. */
+    std::map<std::uint32_t, std::unique_ptr<PageTable>> shadows_;
+    std::uint64_t shadowExits_ = 0;
+};
+
+} // namespace contig
+
+#endif // CONTIG_VIRT_VM_HH

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "base/rng.hh"
+
+using namespace contig;
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowOneAlwaysZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = rng.between(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowRoughlyUniform)
+{
+    Rng rng(13);
+    const std::uint64_t buckets = 8;
+    std::vector<int> hist(buckets, 0);
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++hist[rng.below(buckets)];
+    for (auto c : hist)
+        EXPECT_NEAR(c, n / static_cast<int>(buckets), n / 100);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(17);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    auto orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Zipf, RanksWithinRange)
+{
+    Rng rng(23);
+    ZipfSampler z(1000, 0.99);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(z.sample(rng), 1000u);
+}
+
+TEST(Zipf, SkewFavorsLowRanks)
+{
+    Rng rng(29);
+    ZipfSampler z(10000, 1.1);
+    int head = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        if (z.sample(rng) < 100)
+            ++head;
+    // With s=1.1 over 10k items, the top 1% of ranks should take a
+    // large share of the draws (far more than the uniform 1%).
+    EXPECT_GT(head, n / 4);
+}
+
+TEST(Zipf, NearZeroSkewIsRoughlyUniform)
+{
+    Rng rng(31);
+    ZipfSampler z(100, 0.0);
+    std::vector<int> hist(100, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++hist[z.sample(rng)];
+    int mn = *std::min_element(hist.begin(), hist.end());
+    int mx = *std::max_element(hist.begin(), hist.end());
+    EXPECT_GT(mn, 0);
+    EXPECT_LT(mx, 3 * n / 100);
+}
+
+TEST(Zipf, SingleItem)
+{
+    Rng rng(37);
+    ZipfSampler z(1, 1.0);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(z.sample(rng), 0u);
+}

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "base/stats.hh"
+
+using namespace contig;
+
+TEST(Summary, Empty)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(Summary, Basic)
+{
+    Summary s;
+    s.add(1.0);
+    s.add(3.0);
+    s.add(2.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+}
+
+TEST(Summary, NegativeValues)
+{
+    Summary s;
+    s.add(-5.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.min(), -5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Percentiles, EmptyIsZero)
+{
+    Percentiles p;
+    EXPECT_EQ(p.quantile(0.5), 0.0);
+}
+
+TEST(Percentiles, MedianAndTails)
+{
+    Percentiles p;
+    for (int i = 1; i <= 101; ++i)
+        p.add(i);
+    EXPECT_DOUBLE_EQ(p.quantile(0.5), 51.0);
+    EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.quantile(1.0), 101.0);
+}
+
+TEST(Percentiles, P99)
+{
+    Percentiles p;
+    for (int i = 0; i < 1000; ++i)
+        p.add(1.0);
+    p.add(100.0);
+    EXPECT_LT(p.quantile(0.98), 2.0);
+    EXPECT_GT(p.quantile(0.9999), 50.0);
+}
+
+TEST(Percentiles, AddAfterQueryResorts)
+{
+    Percentiles p;
+    p.add(10.0);
+    EXPECT_DOUBLE_EQ(p.quantile(0.5), 10.0);
+    p.add(0.0);
+    EXPECT_DOUBLE_EQ(p.quantile(0.0), 0.0);
+}
+
+TEST(Log2Histogram, Buckets)
+{
+    Log2Histogram h;
+    h.add(1);  // bucket 0: [1,2)
+    h.add(2);  // bucket 1: [2,4)
+    h.add(3);  // bucket 1
+    h.add(4);  // bucket 2: [4,8)
+    h.add(1024); // bucket 10
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.bucket(10), 1u);
+    EXPECT_EQ(h.totalWeight(), 5u);
+}
+
+TEST(Log2Histogram, Weighted)
+{
+    Log2Histogram h;
+    h.add(8, 100);
+    EXPECT_EQ(h.bucket(3), 100u);
+    EXPECT_EQ(h.totalWeight(), 100u);
+}
+
+TEST(Log2Histogram, ZeroGoesToBucketZero)
+{
+    Log2Histogram h;
+    h.add(0);
+    EXPECT_EQ(h.bucket(0), 1u);
+}
+
+TEST(CounterSet, IncrementAndGet)
+{
+    CounterSet c;
+    EXPECT_EQ(c.get("missing"), 0u);
+    c.inc("x");
+    c.inc("x", 4);
+    EXPECT_EQ(c.get("x"), 5u);
+}
+
+TEST(Geomean, Basic)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-9);
+    EXPECT_NEAR(geomean({5.0}), 5.0, 1e-9);
+}

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "base/align.hh"
+#include "base/types.hh"
+
+using namespace contig;
+
+TEST(Types, PageConstants)
+{
+    EXPECT_EQ(kPageSize, 4096u);
+    EXPECT_EQ(kHugeSize, 2u * 1024 * 1024);
+    EXPECT_EQ(pagesInOrder(kHugeOrder), 512u);
+    EXPECT_EQ(pagesInOrder(kMaxOrder), 2048u);
+}
+
+TEST(Types, TypedAddrArithmetic)
+{
+    Gva a{0x1000};
+    Gva b = a + 0x234;
+    EXPECT_EQ(b.value, 0x1234u);
+    EXPECT_EQ(b - a, 0x234u);
+    EXPECT_EQ(b.pageBase().value, 0x1000u);
+    EXPECT_EQ(b.pageOffset(), 0x234u);
+    EXPECT_EQ(b.pageNumber(), 1u);
+}
+
+TEST(Types, HugeBase)
+{
+    Gva a{kHugeSize + 0x3456};
+    EXPECT_EQ(a.hugeBase().value, kHugeSize);
+}
+
+TEST(Types, Comparisons)
+{
+    Hpa a{10}, b{20};
+    EXPECT_LT(a, b);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a + 10, b);
+}
+
+TEST(Align, UpDown)
+{
+    EXPECT_EQ(alignDown(0x12345, 0x1000), 0x12000u);
+    EXPECT_EQ(alignUp(0x12345, 0x1000), 0x13000u);
+    EXPECT_EQ(alignUp(0x12000, 0x1000), 0x12000u);
+    EXPECT_TRUE(isAligned(0x12000, 0x1000));
+    EXPECT_FALSE(isAligned(0x12001, 0x1000));
+}
+
+TEST(Align, Log2AndPow2)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(4096), 12u);
+    EXPECT_TRUE(isPow2(4096));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(12));
+}
+
+TEST(Align, IntervalsOverlap)
+{
+    EXPECT_TRUE(intervalsOverlap(0, 10, 5, 15));
+    EXPECT_FALSE(intervalsOverlap(0, 10, 10, 20));
+    EXPECT_TRUE(intervalsOverlap(5, 6, 0, 100));
+}

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "base/align.hh"
+#include "contig/analysis.hh"
+#include "mm/kernel.hh"
+
+using namespace contig;
+
+TEST(ExtractSegs, MergesAdjacentLeavesWithSameOffset)
+{
+    PageTable pt;
+    // Three 4 KiB leaves forming one contiguous run...
+    pt.map(100, 500, 0);
+    pt.map(101, 501, 0);
+    pt.map(102, 502, 0);
+    // ...a hole, then a differently-offset leaf.
+    pt.map(104, 900, 0);
+    auto segs = extractSegs(pt);
+    ASSERT_EQ(segs.size(), 2u);
+    EXPECT_EQ(segs[0].vpn, 100u);
+    EXPECT_EQ(segs[0].pfn, 500u);
+    EXPECT_EQ(segs[0].pages, 3u);
+    EXPECT_EQ(segs[1].pages, 1u);
+}
+
+TEST(ExtractSegs, HugeAnd4kMergeAcrossSizes)
+{
+    PageTable pt;
+    // A huge leaf followed by 4 KiB leaves continuing the same offset.
+    pt.map(512, 2048, kHugeOrder);
+    pt.map(1024, 2560, 0);
+    pt.map(1025, 2561, 0);
+    auto segs = extractSegs(pt);
+    ASSERT_EQ(segs.size(), 1u);
+    EXPECT_EQ(segs[0].pages, 514u);
+}
+
+TEST(ExtractSegs, VirtuallyAdjacentButPhysicallyNotSplits)
+{
+    PageTable pt;
+    pt.map(10, 100, 0);
+    pt.map(11, 200, 0); // virtually adjacent, different offset
+    auto segs = extractSegs(pt);
+    EXPECT_EQ(segs.size(), 2u);
+}
+
+TEST(Coverage, MetricsBasic)
+{
+    std::vector<Seg> segs;
+    // One 9900-page segment and 100 single pages: 99% needs 1 seg.
+    segs.push_back(Seg{0, 0, 9900});
+    for (int i = 0; i < 100; ++i)
+        segs.push_back(Seg{static_cast<Vpn>(20000 + 10 * i),
+                           static_cast<Pfn>(50000 + 10 * i), 1});
+    auto m = coverage(segs);
+    EXPECT_EQ(m.totalPages, 10000u);
+    EXPECT_EQ(m.mappings, 101u);
+    EXPECT_EQ(m.mappingsFor99, 1u);
+    EXPECT_NEAR(m.cov32, 0.9931, 0.001);
+    EXPECT_EQ(m.cov128, 1.0);
+}
+
+TEST(Coverage, FewerThan32MappingsIsFullCoverage)
+{
+    std::vector<Seg> segs{Seg{0, 0, 10}, Seg{100, 100, 20}};
+    auto m = coverage(segs);
+    EXPECT_EQ(m.cov32, 1.0);
+    EXPECT_EQ(m.cov128, 1.0);
+    EXPECT_EQ(m.mappingsFor99, 2u);
+}
+
+TEST(Coverage, EmptyIsZero)
+{
+    auto m = coverage({});
+    EXPECT_EQ(m.totalPages, 0u);
+    EXPECT_EQ(m.mappingsFor99, 0u);
+}
+
+TEST(Coverage, TopKHelper)
+{
+    std::vector<Seg> segs{Seg{0, 0, 60}, Seg{100, 100, 30},
+                          Seg{200, 200, 10}};
+    EXPECT_NEAR(coverageTopK(segs, 1), 0.6, 1e-9);
+    EXPECT_NEAR(coverageTopK(segs, 2), 0.9, 1e-9);
+    EXPECT_NEAR(coverageTopK(segs, 3), 1.0, 1e-9);
+}
+
+TEST(CoverageTimeline, AveragesSamples)
+{
+    CoverageTimeline tl;
+    CoverageMetrics a;
+    a.cov32 = 0.2;
+    a.mappings = 10;
+    CoverageMetrics b;
+    b.cov32 = 0.8;
+    b.mappings = 30;
+    tl.addSample(a);
+    tl.addSample(b);
+    auto avg = tl.average();
+    EXPECT_NEAR(avg.cov32, 0.5, 1e-9);
+    EXPECT_EQ(avg.mappings, 20u);
+}
+
+TEST(FreeBlocks, FreshMachineIsOneClusterPerZone)
+{
+    KernelConfig cfg;
+    cfg.phys.bytesPerNode = 64ull << 20;
+    cfg.phys.numNodes = 2;
+    Kernel k(cfg, std::make_unique<DefaultThpPolicy>());
+    auto hist = freeBlockDistribution(k.physMem());
+    // All free pages live in blocks of >= one zone's size.
+    const std::uint64_t zone_pages = (64ull << 20) >> kPageShift;
+    std::uint64_t big = 0;
+    for (unsigned b = log2Floor(zone_pages); b < 40; ++b)
+        big += hist.bucket(b);
+    EXPECT_EQ(big, 2 * zone_pages);
+}
+
+TEST(FreeBlocks, AllocationsShiftDistributionDown)
+{
+    KernelConfig cfg;
+    cfg.phys.bytesPerNode = 64ull << 20;
+    cfg.phys.numNodes = 1;
+    Kernel k(cfg, std::make_unique<DefaultThpPolicy>());
+    // Pin a page in the middle of the zone.
+    ASSERT_TRUE(k.physMem().allocSpecific(8192, 0));
+    auto hist = freeBlockDistribution(k.physMem());
+    const std::uint64_t zone_pages = (64ull << 20) >> kPageShift;
+    std::uint64_t full = 0;
+    for (unsigned b = log2Floor(zone_pages); b < 40; ++b)
+        full += hist.bucket(b);
+    EXPECT_EQ(full, 0u); // no zone-sized cluster any more
+    EXPECT_GT(hist.totalWeight(), 0u);
+}

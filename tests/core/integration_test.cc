@@ -1,0 +1,172 @@
+/**
+ * Integration tests: whole-system behaviours spanning the allocator,
+ * the VM layer, the TLB simulator and the prediction hardware — the
+ * paper's end-to-end claims in miniature.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "ranges/ranges.hh"
+
+using namespace contig;
+
+namespace
+{
+
+WorkloadConfig
+quick(std::uint64_t seed = 5)
+{
+    WorkloadConfig cfg;
+    cfg.scale = 0.15;
+    cfg.seed = seed;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Integration, CaBeatsThpOnContiguity)
+{
+    NativeSystem thp(PolicyKind::Thp, 5);
+    NativeSystem ca(PolicyKind::Ca, 5);
+    auto w1 = makeWorkload("pagerank", quick());
+    auto w2 = makeWorkload("pagerank", quick());
+    auto r_thp = thp.run(*w1);
+    auto r_ca = ca.run(*w2);
+    EXPECT_LT(r_ca.final.mappingsFor99, r_thp.final.mappingsFor99 / 4);
+    EXPECT_GE(r_ca.final.cov32, r_thp.final.cov32);
+    thp.finish(*w1);
+    ca.finish(*w2);
+}
+
+TEST(Integration, VirtualizedCaCreates2dContiguity)
+{
+    VirtSystem sys(PolicyKind::Ca, PolicyKind::Ca, 5);
+    auto wl = makeWorkload("xsbench", quick());
+    auto r = sys.run(*wl);
+    // 99% of the footprint in a handful of full 2-D mappings.
+    EXPECT_LE(r.final.mappingsFor99, 16u);
+    sys.finish(*wl);
+}
+
+TEST(Integration, SpotHidesMostNestedWalks)
+{
+    VirtSystem sys(PolicyKind::Ca, PolicyKind::Ca, 5);
+    auto wl = makeWorkload("pagerank", quick());
+    Process &proc = sys.guest().createProcess("pr");
+    wl->setup(proc);
+    auto base = runTranslation(*wl, &sys.vm(), XlatScheme::Base, 300000);
+    auto spot = runTranslation(*wl, &sys.vm(), XlatScheme::Spot, 300000);
+    ASSERT_GT(base.stats.walks, 100u);
+    // SpOT hides the vast majority of the translation overhead.
+    EXPECT_LT(spot.overhead.overhead, base.overhead.overhead / 5);
+    const double correct_frac =
+        static_cast<double>(spot.stats.spotCorrect) / spot.stats.walks;
+    EXPECT_GT(correct_frac, 0.9);
+    wl->teardown();
+}
+
+TEST(Integration, SpotWithoutCaContiguityCannotPredict)
+{
+    // The hardware needs the software: default THP's scattered 2 MiB
+    // mappings give SpOT nothing stable to predict.
+    VirtSystem sys(PolicyKind::Thp, PolicyKind::Thp, 5);
+    auto wl = makeWorkload("pagerank", quick());
+    Process &proc = sys.guest().createProcess("pr");
+    wl->setup(proc);
+    auto spot = runTranslation(*wl, &sys.vm(), XlatScheme::Spot, 300000);
+    const double correct_frac =
+        spot.stats.walks
+            ? static_cast<double>(spot.stats.spotCorrect) /
+                  spot.stats.walks
+            : 0.0;
+    EXPECT_LT(correct_frac, 0.5);
+    wl->teardown();
+}
+
+TEST(Integration, RmmRangeTlbCoversCaMappings)
+{
+    VirtSystem sys(PolicyKind::Ca, PolicyKind::Ca, 5);
+    auto wl = makeWorkload("hashjoin", quick());
+    Process &proc = sys.guest().createProcess("hj");
+    wl->setup(proc);
+    auto rmm = runTranslation(*wl, &sys.vm(), XlatScheme::Rmm, 300000);
+    // With tens of ranges and a 32-entry range TLB, nearly every miss
+    // is served from a cached range.
+    EXPECT_LT(rmm.overhead.overhead, 0.005);
+    wl->teardown();
+}
+
+TEST(Integration, DirectSegmentsEliminateOverhead)
+{
+    VirtSystem sys(PolicyKind::Ca, PolicyKind::Ca, 5);
+    auto wl = makeWorkload("xsbench", quick());
+    Process &proc = sys.guest().createProcess("xs");
+    wl->setup(proc);
+    auto ds = runTranslation(*wl, &sys.vm(), XlatScheme::Ds, 300000);
+    EXPECT_EQ(ds.stats.walks, 0u);
+    EXPECT_EQ(ds.overhead.overhead, 0.0);
+    wl->teardown();
+}
+
+TEST(Integration, VirtualizedWalksCostMoreThanNative)
+{
+    NativeSystem nsys(PolicyKind::Thp, 5);
+    auto w1 = makeWorkload("xsbench", quick());
+    Process &np = nsys.kernel().createProcess("xs");
+    w1->setup(np);
+    auto native = runTranslation(*w1, nullptr, XlatScheme::Base, 300000);
+
+    VirtSystem vsys(PolicyKind::Thp, PolicyKind::Thp, 5);
+    auto w2 = makeWorkload("xsbench", quick());
+    Process &vp = vsys.guest().createProcess("xs");
+    w2->setup(vp);
+    auto virt = runTranslation(*w2, &vsys.vm(), XlatScheme::Base, 300000);
+
+    EXPECT_GT(virt.stats.avgWalkCycles(),
+              1.5 * native.stats.avgWalkCycles());
+    EXPECT_GT(virt.overhead.overhead, native.overhead.overhead);
+    w1->teardown();
+    w2->teardown();
+}
+
+TEST(Integration, FragmentationHurtsEagerMoreThanCa)
+{
+    auto run = [](PolicyKind kind) {
+        NativeSystem sys(kind, 5);
+        sys.hog(0.4);
+        auto wl = makeWorkload("svm", quick());
+        auto r = sys.run(*wl);
+        double cov = r.final.cov32;
+        sys.finish(*wl);
+        return cov;
+    };
+    EXPECT_GT(run(PolicyKind::Ca), run(PolicyKind::Eager));
+}
+
+TEST(Integration, UslEstimateShapes)
+{
+    VirtSystem sys(PolicyKind::Ca, PolicyKind::Ca, 5);
+    auto wl = makeWorkload("pagerank", quick());
+    Process &proc = sys.guest().createProcess("pr");
+    wl->setup(proc);
+    auto r = runTranslation(*wl, &sys.vm(), XlatScheme::Spot, 300000);
+    auto usl = estimateUsl(r.stats);
+    // TLB-miss speculation windows are far rarer than branch windows.
+    EXPECT_LT(usl.dtlbMissesPerInstr, usl.branchesPerInstr / 4);
+    EXPECT_LT(usl.spotUslPerInstr, usl.spectreUslPerInstr);
+    wl->teardown();
+}
+
+TEST(Integration, PolicyFactoryCoversAllKinds)
+{
+    for (PolicyKind kind :
+         {PolicyKind::Thp, PolicyKind::Base4k, PolicyKind::Ca,
+          PolicyKind::Eager, PolicyKind::Ingens, PolicyKind::Ranger,
+          PolicyKind::Ideal}) {
+        auto policy = makePolicy(kind);
+        ASSERT_TRUE(policy);
+        EXPECT_FALSE(policyName(kind).empty());
+        EXPECT_FALSE(policy->name().empty());
+    }
+}

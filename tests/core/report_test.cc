@@ -1,0 +1,40 @@
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+
+using namespace contig;
+
+TEST(Report, NumFormatting)
+{
+    EXPECT_EQ(Report::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Report::num(3.14159, 0), "3");
+    EXPECT_EQ(Report::num(-1.5, 1), "-1.5");
+}
+
+TEST(Report, PctFormatting)
+{
+    EXPECT_EQ(Report::pct(0.5), "50.0%");
+    EXPECT_EQ(Report::pct(0.1234, 2), "12.34%");
+    EXPECT_EQ(Report::pct(1.0, 0), "100%");
+}
+
+TEST(Report, BytesFormatting)
+{
+    EXPECT_EQ(Report::bytes(512), "0.5KiB");
+    EXPECT_EQ(Report::bytes(5ull << 20), "5.0MiB");
+    EXPECT_EQ(Report::bytes(3ull << 30), "3.00GiB");
+}
+
+TEST(Report, PrintDoesNotCrash)
+{
+    Report rep("test table");
+    rep.header({"a", "longer column"});
+    rep.row({"1", "2"});
+    rep.row({"wide cell value", "3"});
+    rep.row({"short"});
+    ::testing::internal::CaptureStdout();
+    rep.print();
+    std::string out = ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("test table"), std::string::npos);
+    EXPECT_NE(out.find("wide cell value"), std::string::npos);
+}

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "perfmodel/model.hh"
+
+using namespace contig;
+
+namespace
+{
+
+XlatStats
+statsWith(std::uint64_t accesses, Cycles exposed, std::uint64_t walks,
+          Cycles walk_cycles)
+{
+    XlatStats s;
+    s.accesses = accesses;
+    s.exposedCycles = exposed;
+    s.walks = walks;
+    s.walkCycles = walk_cycles;
+    return s;
+}
+
+} // namespace
+
+TEST(PerfModel, ZeroTranslationCostIsZeroOverhead)
+{
+    auto r = overheadOf(statsWith(1'000'000, 0, 0, 0));
+    EXPECT_EQ(r.overhead, 0.0);
+    EXPECT_GT(r.idealCycles, 0.0);
+}
+
+TEST(PerfModel, OverheadIsExposedOverIdeal)
+{
+    PerfModelConfig cfg;
+    cfg.instructionsPerAccess = 4.0;
+    cfg.baseCpi = 1.0;
+    // 1M accesses -> 4M ideal cycles; 400k exposed -> 10%.
+    auto r = overheadOf(statsWith(1'000'000, 400'000, 1000, 400'000),
+                        cfg);
+    EXPECT_NEAR(r.overhead, 0.10, 1e-9);
+}
+
+TEST(PerfModel, OverheadScalesWithCpi)
+{
+    PerfModelConfig cfg;
+    cfg.baseCpi = 2.0; // slower ideal machine: same cycles, less overhead
+    auto base = overheadOf(statsWith(1'000'000, 400'000, 1000, 400'000));
+    auto slow =
+        overheadOf(statsWith(1'000'000, 400'000, 1000, 400'000), cfg);
+    EXPECT_NEAR(slow.overhead, base.overhead / 2, 1e-9);
+}
+
+TEST(PerfModel, EmptyStatsAreSafe)
+{
+    auto r = overheadOf(XlatStats{});
+    EXPECT_EQ(r.overhead, 0.0);
+    auto usl = estimateUsl(XlatStats{});
+    EXPECT_EQ(usl.spotUslPerInstr, 0.0);
+}
+
+TEST(PerfModel, UslEquations)
+{
+    PerfModelConfig cfg;
+    cfg.instructionsPerAccess = 4.0;
+    cfg.baseCpi = 1.0;
+    cfg.branchFraction = 0.06;
+    cfg.branchResolutionCycles = 20.0;
+    cfg.loadFraction = 0.2;
+
+    // 1M accesses = 4M instructions; 10k walks of 80 cycles each.
+    auto s = statsWith(1'000'000, 0, 10'000, 800'000);
+    auto usl = estimateUsl(s, cfg);
+
+    // Eq. (1): 0.06 * 20 * 0.2 = 0.24 USLs per instruction.
+    EXPECT_NEAR(usl.spectreUslPerInstr, 0.24, 1e-9);
+    // Eq. (2): (10k/4M) * 80 * 0.2 = 0.04.
+    EXPECT_NEAR(usl.spotUslPerInstr, 0.04, 1e-9);
+    EXPECT_NEAR(usl.dtlbMissesPerInstr, 0.0025, 1e-9);
+}
+
+TEST(PerfModel, AvgWalkCyclesHelper)
+{
+    auto s = statsWith(10, 0, 4, 400);
+    EXPECT_NEAR(s.avgWalkCycles(), 100.0, 1e-9);
+    XlatStats none;
+    EXPECT_EQ(none.avgWalkCycles(), 0.0);
+}

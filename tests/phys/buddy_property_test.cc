@@ -1,0 +1,138 @@
+/**
+ * Property-based tests: drive the buddy allocator + contiguity map
+ * with long random operation sequences and check the structural
+ * invariants after every step, across several seeds and configurations
+ * (parameterized sweep).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "base/align.hh"
+#include "base/rng.hh"
+#include "phys/zone.hh"
+
+using namespace contig;
+
+namespace
+{
+
+struct Params
+{
+    std::uint64_t seed;
+    bool sortedTop;
+    unsigned maxOrder;
+};
+
+class BuddyPropertyTest : public ::testing::TestWithParam<Params>
+{
+};
+
+} // namespace
+
+TEST_P(BuddyPropertyTest, RandomOpsPreserveInvariants)
+{
+    const auto p = GetParam();
+    const std::uint64_t n_frames = 16 * pagesInOrder(p.maxOrder);
+    FrameArray frames(n_frames);
+    ZoneConfig zcfg;
+    zcfg.maxOrder = p.maxOrder;
+    zcfg.sortedTopList = p.sortedTop;
+    Zone zone(frames, 0, 0, n_frames, zcfg);
+    auto &buddy = zone.buddy();
+    auto &map = zone.contigMap();
+
+    Rng rng(p.seed);
+    std::vector<std::pair<Pfn, unsigned>> live;
+
+    for (int step = 0; step < 4000; ++step) {
+        const bool do_alloc = live.empty() || rng.chance(0.55);
+        if (do_alloc) {
+            unsigned order = rng.below(p.maxOrder + 1);
+            if (rng.chance(0.3)) {
+                // allocSpecific at a random aligned target.
+                Pfn target = alignDown(rng.below(n_frames),
+                                       pagesInOrder(order));
+                if (buddy.allocSpecific(target, order))
+                    live.emplace_back(target, order);
+            } else {
+                auto pfn = buddy.alloc(order);
+                if (pfn)
+                    live.emplace_back(*pfn, order);
+            }
+        } else {
+            std::size_t idx = rng.below(live.size());
+            buddy.free(live[idx].first, live[idx].second);
+            live[idx] = live.back();
+            live.pop_back();
+        }
+
+        if (step % 200 == 0) {
+            ASSERT_TRUE(buddy.checkInvariants()) << "step " << step;
+            ASSERT_TRUE(map.checkInvariants()) << "step " << step;
+        }
+    }
+
+    // Free everything; the allocator must return to the fully-free,
+    // fully-coalesced initial state.
+    for (auto &[pfn, order] : live)
+        buddy.free(pfn, order);
+    EXPECT_EQ(buddy.freePages(), n_frames);
+    EXPECT_EQ(buddy.freeBlocks(p.maxOrder), 16u);
+    EXPECT_EQ(map.clusterCount(), 1u);
+    EXPECT_EQ(map.freePagesTracked(), n_frames);
+    EXPECT_TRUE(buddy.checkInvariants());
+    EXPECT_TRUE(map.checkInvariants());
+}
+
+TEST_P(BuddyPropertyTest, MapMatchesBuddyTopList)
+{
+    const auto p = GetParam();
+    const std::uint64_t n_frames = 8 * pagesInOrder(p.maxOrder);
+    FrameArray frames(n_frames);
+    ZoneConfig zcfg;
+    zcfg.maxOrder = p.maxOrder;
+    zcfg.sortedTopList = p.sortedTop;
+    Zone zone(frames, 0, 0, n_frames, zcfg);
+
+    Rng rng(p.seed ^ 0xabcdef);
+    std::vector<std::pair<Pfn, unsigned>> live;
+    for (int step = 0; step < 1500; ++step) {
+        if (live.empty() || rng.chance(0.6)) {
+            unsigned order = rng.below(p.maxOrder + 1);
+            auto pfn = zone.buddy().alloc(order);
+            if (pfn)
+                live.emplace_back(*pfn, order);
+        } else {
+            std::size_t idx = rng.below(live.size());
+            zone.buddy().free(live[idx].first, live[idx].second);
+            live[idx] = live.back();
+            live.pop_back();
+        }
+        // The pages tracked by the map must equal blockSize times the
+        // number of blocks in the buddy's top list.
+        std::uint64_t top_blocks = zone.buddy().freeBlocks(p.maxOrder);
+        ASSERT_EQ(zone.contigMap().freePagesTracked(),
+                  top_blocks * pagesInOrder(p.maxOrder))
+            << "step " << step;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BuddyPropertyTest,
+    ::testing::Values(
+        Params{1, true, kMaxOrder},
+        Params{2, true, kMaxOrder},
+        Params{3, false, kMaxOrder},
+        Params{4, true, kMaxOrder - 2},
+        Params{5, false, kMaxOrder - 2},
+        Params{6, true, kMaxOrder + 1},
+        Params{7, false, kMaxOrder + 1},
+        Params{8, true, 4}),
+    [](const ::testing::TestParamInfo<Params> &info) {
+        return "seed" + std::to_string(info.param.seed) +
+               (info.param.sortedTop ? "_sorted" : "_lifo") + "_mo" +
+               std::to_string(info.param.maxOrder);
+    });

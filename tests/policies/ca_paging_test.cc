@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "mm/kernel.hh"
+#include "policies/ca_paging.hh"
+
+using namespace contig;
+
+namespace
+{
+
+KernelConfig
+smallConfig()
+{
+    KernelConfig cfg;
+    cfg.phys.bytesPerNode = 256ull << 20;
+    cfg.phys.numNodes = 2;
+    return cfg;
+}
+
+struct CaTest : public ::testing::Test
+{
+    CaTest()
+    {
+        auto policy = std::make_unique<CaPagingPolicy>();
+        ca = policy.get();
+        kernel = std::make_unique<Kernel>(smallConfig(), std::move(policy));
+    }
+
+    std::unique_ptr<Kernel> kernel;
+    CaPagingPolicy *ca = nullptr;
+};
+
+/** Longest run of contiguous (vpn - pfn) offsets, in pages. */
+std::uint64_t
+largestContiguousRun(const Process &proc)
+{
+    std::uint64_t best = 0, cur = 0;
+    std::int64_t last_off = 0;
+    Vpn last_end = 0;
+    bool have = false;
+    proc.pageTable().forEachLeaf([&](Vpn vpn, const Mapping &m) {
+        std::int64_t off = static_cast<std::int64_t>(vpn) -
+                           static_cast<std::int64_t>(m.pfn);
+        std::uint64_t n = pagesInOrder(m.order);
+        if (have && off == last_off && vpn == last_end) {
+            cur += n;
+        } else {
+            cur = n;
+        }
+        last_off = off;
+        last_end = vpn + n;
+        have = true;
+        best = std::max(best, cur);
+    });
+    return best;
+}
+
+} // namespace
+
+TEST_F(CaTest, SequentialTouchesFormOneMapping)
+{
+    Process &p = kernel->createProcess("t");
+    const std::uint64_t bytes = 64ull << 20; // 64 MiB
+    Vma &vma = p.mmap(bytes);
+    p.touchRange(vma.start(), bytes);
+
+    // One placement, everything else extends it through the Offset.
+    EXPECT_EQ(ca->stats().placements, 1u);
+    EXPECT_EQ(ca->stats().subVmaPlacements, 0u);
+    EXPECT_EQ(ca->stats().offsetMisses, 0u);
+    EXPECT_EQ(largestContiguousRun(p), bytes >> kPageShift);
+}
+
+TEST_F(CaTest, RandomTouchOrderStillContiguous)
+{
+    // Once the placement is anchored by the first fault, the Offset
+    // makes every later fault land on its slot regardless of order.
+    Process &p = kernel->createProcess("t");
+    const std::uint64_t huge_count = 16;
+    Vma &vma = p.mmap(huge_count * kHugeSize);
+    std::vector<std::uint64_t> order{0, 7, 3, 15, 9, 1, 14, 2,
+                                     8, 5, 12, 4, 11, 6, 13, 10};
+    for (auto i : order)
+        p.touch(vma.start() + i * kHugeSize);
+    EXPECT_EQ(largestContiguousRun(p), huge_count * 512);
+    EXPECT_EQ(ca->stats().offsetMisses, 0u);
+}
+
+TEST_F(CaTest, MidVmaFirstFaultTriggersSubPlacements)
+{
+    // If the first fault lands mid-VMA, pages below the anchor fall
+    // before the chosen region; CA recovers with sub-VMA placements
+    // (best-effort, as the paper describes).
+    Process &p = kernel->createProcess("t");
+    const std::uint64_t huge_count = 16;
+    Vma &vma = p.mmap(huge_count * kHugeSize);
+    for (std::uint64_t i = 8; i < huge_count; ++i)
+        p.touch(vma.start() + i * kHugeSize);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        p.touch(vma.start() + i * kHugeSize);
+    // Everything is mapped, in at most a handful of contiguous runs.
+    EXPECT_EQ(vma.allocatedPages, huge_count * 512);
+    EXPECT_GE(largestContiguousRun(p), 8u * 512);
+    EXPECT_LE(vma.caOffsetCount(), 4u);
+}
+
+TEST_F(CaTest, TwoVmasGetDisjointRegions)
+{
+    Process &p = kernel->createProcess("t");
+    Vma &a = p.mmap(16 * kHugeSize);
+    Vma &b = p.mmap(16 * kHugeSize);
+    p.touchRange(a.start(), a.bytes());
+    p.touchRange(b.start(), b.bytes());
+    // Both fully contiguous (the next-fit rover keeps them apart).
+    EXPECT_EQ(largestContiguousRun(p), 16u * 512);
+    EXPECT_EQ(ca->stats().placements, 2u);
+    EXPECT_EQ(ca->stats().offsetMisses, 0u);
+
+    auto ma = p.pageTable().lookup(a.start().pageNumber());
+    auto mb = p.pageTable().lookup(b.start().pageNumber());
+    ASSERT_TRUE(ma && mb);
+    EXPECT_NE(ma->pfn, mb->pfn);
+}
+
+TEST_F(CaTest, OccupiedTargetTriggersSubVmaPlacement)
+{
+    Process &p = kernel->createProcess("t");
+    Vma &vma = p.mmap(32 * kHugeSize);
+    // Fault the first half.
+    p.touchRange(vma.start(), 16 * kHugeSize);
+
+    // An interloper occupies the frames right after the mapping: the
+    // would-be target of the next huge fault.
+    auto m = p.pageTable().lookup(vma.start().pageNumber());
+    ASSERT_TRUE(m);
+    Pfn next_target = m->pfn + 16 * 512;
+    ASSERT_TRUE(kernel->physMem().allocSpecific(next_target, kHugeOrder));
+
+    p.touch(vma.start() + 16 * kHugeSize);
+    EXPECT_EQ(ca->stats().offsetMisses, 1u);
+    EXPECT_EQ(ca->stats().subVmaPlacements, 1u);
+    EXPECT_EQ(vma.caOffsetCount(), 2u);
+
+    // The rest of the VMA keeps extending the *new* sub-region.
+    p.touchRange(vma.start() + 17 * kHugeSize, 15 * kHugeSize);
+    EXPECT_EQ(ca->stats().subVmaPlacements, 1u);
+}
+
+TEST_F(CaTest, Base4kFailureFallsBack)
+{
+    KernelConfig cfg = smallConfig();
+    cfg.thpEnabled = false;
+    auto policy = std::make_unique<CaPagingPolicy>();
+    auto *pol = policy.get();
+    Kernel k(cfg, std::move(policy));
+
+    Process &p = k.createProcess("t");
+    Vma &vma = p.mmap(1 << 20);
+    p.touch(vma.start());
+    auto m = p.pageTable().lookup(vma.start().pageNumber());
+    ASSERT_TRUE(m);
+
+    // Occupy the next target page.
+    ASSERT_TRUE(k.physMem().allocSpecific(m->pfn + 1, 0));
+    p.touch(vma.start() + kPageSize);
+    EXPECT_EQ(pol->stats().fallbacks, 1u);
+    // No new Offset was tracked for the fallback.
+    EXPECT_EQ(vma.caOffsetCount(), 1u);
+}
+
+TEST_F(CaTest, ContigBitsMarkedBeyondThreshold)
+{
+    Process &p = kernel->createProcess("t");
+    Vma &vma = p.mmap(4 * kHugeSize);
+    // First huge fault: 512 pages >= 32-page threshold, marked at once.
+    p.touch(vma.start());
+    auto m = p.pageTable().lookup(vma.start().pageNumber());
+    ASSERT_TRUE(m);
+    EXPECT_TRUE(m->contigBit);
+    EXPECT_GT(ca->stats().markedPtes, 0u);
+}
+
+TEST_F(CaTest, ContigBitsRespectThresholdFor4k)
+{
+    KernelConfig cfg = smallConfig();
+    cfg.thpEnabled = false;
+    auto policy = std::make_unique<CaPagingPolicy>();
+    Kernel k(cfg, std::move(policy));
+
+    Process &p = k.createProcess("t");
+    Vma &vma = p.mmap(1 << 20);
+    // Touch 16 pages: below the 32-page threshold.
+    p.touchRange(vma.start(), 16 * kPageSize);
+    auto m = p.pageTable().lookup(vma.start().pageNumber());
+    ASSERT_TRUE(m);
+    EXPECT_FALSE(m->contigBit);
+
+    // Crossing the threshold marks the whole run retroactively.
+    p.touchRange(vma.start() + 16 * kPageSize, 16 * kPageSize);
+    m = p.pageTable().lookup(vma.start().pageNumber());
+    EXPECT_TRUE(m->contigBit);
+    m = p.pageTable().lookup(vma.start().pageNumber() + 31);
+    EXPECT_TRUE(m->contigBit);
+}
+
+TEST_F(CaTest, FilePagesAllocatedContiguously)
+{
+    File &f = kernel->createFile(1024);
+    Process &p = kernel->createProcess("t");
+    Vma &v = p.mmapFile(f.id(), 1024 * kPageSize);
+    for (std::uint64_t i = 0; i < 1024; ++i)
+        p.touch(v.start() + i * kPageSize, Access::Read);
+
+    // All file pages must form one physically contiguous run.
+    ASSERT_TRUE(f.caOffsetPages.has_value());
+    Pfn first = f.frameFor(0);
+    for (std::uint64_t i = 1; i < 1024; ++i)
+        EXPECT_EQ(f.frameFor(i), first + i) << "page " << i;
+    EXPECT_EQ(ca->stats().filePlacements, 1u);
+}
+
+TEST_F(CaTest, PlacementPrefersHomeNode)
+{
+    Process &p0 = kernel->createProcess("n0", 0);
+    Process &p1 = kernel->createProcess("n1", 1);
+    Vma &v0 = p0.mmap(8 * kHugeSize);
+    Vma &v1 = p1.mmap(8 * kHugeSize);
+    p0.touch(v0.start());
+    p1.touch(v1.start());
+    auto m0 = p0.pageTable().lookup(v0.start().pageNumber());
+    auto m1 = p1.pageTable().lookup(v1.start().pageNumber());
+    EXPECT_EQ(kernel->physMem().zoneOf(m0->pfn).node(), 0u);
+    EXPECT_EQ(kernel->physMem().zoneOf(m1->pfn).node(), 1u);
+}
+
+TEST_F(CaTest, SpillsToRemoteNodeWhenHomeExhausted)
+{
+    // Exhaust node 0's top-order blocks.
+    PhysicalMemory &pm = kernel->physMem();
+    while (pm.zone(0).buddy().alloc(kMaxOrder))
+        ;
+    Process &p = kernel->createProcess("t", 0);
+    Vma &vma = p.mmap(8 * kHugeSize);
+    p.touchRange(vma.start(), vma.bytes());
+    auto m = p.pageTable().lookup(vma.start().pageNumber());
+    ASSERT_TRUE(m);
+    EXPECT_EQ(pm.zoneOf(m->pfn).node(), 1u);
+    EXPECT_EQ(largestContiguousRun(p), 8u * 512);
+}

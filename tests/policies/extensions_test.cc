@@ -1,0 +1,303 @@
+/**
+ * Tests for the extension policies (the paper's future-work items):
+ * reservation-based CA paging, the CA+ranger combination, and
+ * 5-level page tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "contig/analysis.hh"
+#include "core/experiment.hh"
+#include "policies/ca_ranger.hh"
+#include "policies/ca_reserve.hh"
+#include "virt/vm.hh"
+
+using namespace contig;
+
+namespace
+{
+
+KernelConfig
+smallConfig()
+{
+    KernelConfig cfg;
+    cfg.phys.bytesPerNode = 256ull << 20;
+    cfg.phys.numNodes = 2;
+    cfg.tickPeriodFaults = 64;
+    return cfg;
+}
+
+std::uint64_t
+largestContiguousRun(const Process &proc)
+{
+    std::uint64_t best = 0;
+    for (const Seg &s : extractSegs(proc.pageTable()))
+        best = std::max(best, s.pages);
+    return best;
+}
+
+} // namespace
+
+TEST(CaReserve, BehavesLikeCaWhenAlone)
+{
+    Kernel k(smallConfig(), std::make_unique<CaReservePolicy>());
+    Process &p = k.createProcess("t");
+    Vma &vma = p.mmap(32 * kHugeSize);
+    p.touchRange(vma.start(), vma.bytes());
+    EXPECT_EQ(largestContiguousRun(p), 32u * 512);
+}
+
+TEST(CaReserve, ReservationRecordedAndReleased)
+{
+    auto pol = std::make_unique<CaReservePolicy>();
+    auto *rp = pol.get();
+    Kernel k(smallConfig(), std::move(pol));
+    Process &p = k.createProcess("t");
+    Vma &vma = p.mmap(16 * kHugeSize);
+    p.touch(vma.start());
+    EXPECT_EQ(rp->reserveStats().reservationsMade, 1u);
+    EXPECT_GE(rp->reservedPages(), 16u * 512);
+    p.munmap(vma);
+    EXPECT_EQ(rp->reserveStats().reservationsReleased, 1u);
+    EXPECT_EQ(rp->reservedPages(), 0u);
+}
+
+TEST(CaReserve, PlacementsAvoidOthersReservations)
+{
+    auto pol = std::make_unique<CaReservePolicy>();
+    Kernel k(smallConfig(), std::move(pol));
+    Process &a = k.createProcess("a");
+    Process &b = k.createProcess("b");
+
+    // a reserves a big runway by touching one page...
+    Vma &va = a.mmap(64 * kHugeSize);
+    a.touch(va.start());
+    auto ma = a.pageTable().lookup(va.start().pageNumber());
+    ASSERT_TRUE(ma);
+
+    // ...b's placement must land entirely outside it.
+    Vma &vb = b.mmap(32 * kHugeSize);
+    b.touchRange(vb.start(), vb.bytes());
+    b.addressSpace().forEachVma([&](Vma &) {});
+    for (const Seg &s : extractSegs(b.pageTable())) {
+        const bool overlap =
+            s.pfn < ma->pfn + 64 * 512 && ma->pfn < s.pfn + s.pages;
+        EXPECT_FALSE(overlap);
+    }
+
+    // a can still fill its whole runway contiguously.
+    a.touchRange(va.start(), va.bytes());
+    EXPECT_EQ(largestContiguousRun(a), 64u * 512);
+}
+
+TEST(CaReserve, SameVmaExtendsItsOwnReservation)
+{
+    Kernel k(smallConfig(), std::make_unique<CaReservePolicy>());
+    Process &p = k.createProcess("t");
+    Vma &vma = p.mmap(16 * kHugeSize);
+    // Out-of-order touches within the reserved region still succeed.
+    for (int i : {0, 7, 3, 15, 1, 9})
+        p.touch(vma.start() + static_cast<std::uint64_t>(i) * kHugeSize);
+    EXPECT_EQ(vma.caOffsetCount(), 1u);
+}
+
+TEST(CaRanger, NoMigrationsWhenCaSuffices)
+{
+    auto pol = std::make_unique<CaRangerPolicy>();
+    Kernel k(smallConfig(), std::move(pol));
+    Process &p = k.createProcess("t");
+    Vma &vma = p.mmap(32 * kHugeSize);
+    p.touchRange(vma.start(), vma.bytes());
+    for (int i = 0; i < 16; ++i)
+        k.policy().onTick(k);
+    EXPECT_EQ(k.counters().get("migrate.pages"), 0u);
+    EXPECT_EQ(largestContiguousRun(p), 32u * 512);
+}
+
+TEST(CaRanger, RepairsFragmentedVma)
+{
+    auto pol = std::make_unique<CaRangerPolicy>();
+    auto *cp = pol.get();
+    KernelConfig cfg = smallConfig();
+    cfg.tickPeriodFaults = 1u << 30; // daemon off during setup
+    Kernel k(cfg, std::move(pol));
+    Process &p = k.createProcess("t");
+
+    // Force fragmentation: occupy the frames right after a partial
+    // mapping so CA must sub-place.
+    Vma &vma = p.mmap(32 * kHugeSize);
+    p.touchRange(vma.start(), 8 * kHugeSize);
+    auto m = p.pageTable().lookup(vma.start().pageNumber());
+    ASSERT_TRUE(m);
+    ASSERT_TRUE(
+        k.physMem().allocSpecific(m->pfn + 8 * 512, kHugeOrder));
+    p.touchRange(vma.start() + 8 * kHugeSize, 24 * kHugeSize);
+    ASSERT_LT(largestContiguousRun(p), 32u * 512);
+
+    // The daemon detects the unhealthy VMA and repairs it.
+    for (int i = 0; i < 32; ++i)
+        k.policy().onTick(k);
+    EXPECT_GT(cp->comboStats().vmasRepaired, 0u);
+    EXPECT_EQ(largestContiguousRun(p), 32u * 512);
+}
+
+TEST(FiveLevel, PageTableDepthConfigurable)
+{
+    PageTable pt4(nullptr, nullptr, 4);
+    PageTable pt5(nullptr, nullptr, 5);
+    EXPECT_EQ(pt4.levels(), 4u);
+    EXPECT_EQ(pt5.levels(), 5u);
+
+    pt5.map(0x1234, 55, 0);
+    WalkTrace t;
+    pt5.walk(0x1234, t);
+    EXPECT_TRUE(t.hit);
+    EXPECT_EQ(t.nodeFrames.size(), 5u);
+
+    // 57-bit virtual addresses resolve with 5 levels.
+    const Vpn high = Vpn{1} << 44;
+    pt5.map(high, 77, 0);
+    auto m = pt5.lookup(high);
+    ASSERT_TRUE(m);
+    EXPECT_EQ(m->pfn, 77u);
+}
+
+TEST(FiveLevel, KernelPlumbsDepthThrough)
+{
+    KernelConfig cfg = smallConfig();
+    cfg.pageTableLevels = 5;
+    Kernel k(cfg, std::make_unique<DefaultThpPolicy>());
+    Process &p = k.createProcess("t");
+    EXPECT_EQ(p.pageTable().levels(), 5u);
+    Vma &vma = p.mmap(kHugeSize);
+    p.touch(vma.start());
+    WalkTrace t;
+    p.pageTable().walk(vma.start().pageNumber(), t);
+    EXPECT_TRUE(t.hit);
+    EXPECT_EQ(t.nodeFrames.size(), 4u); // 5 levels, huge leaf at L2
+}
+
+TEST(FiveLevel, NestedWalkCostsMore)
+{
+    auto makeVm = [](unsigned levels) {
+        KernelConfig hcfg;
+        hcfg.phys.bytesPerNode = 256ull << 20;
+        hcfg.phys.numNodes = 1;
+        hcfg.pageTableLevels = levels;
+        auto host = std::make_unique<Kernel>(
+            hcfg, std::make_unique<DefaultThpPolicy>());
+        VmConfig vcfg;
+        vcfg.guestBytesPerNode = 128ull << 20;
+        vcfg.guestNodes = 1;
+        vcfg.guestKernel.pageTableLevels = levels;
+        auto vm = std::make_unique<VirtualMachine>(
+            *host, std::make_unique<DefaultThpPolicy>(), vcfg);
+        return std::make_pair(std::move(host), std::move(vm));
+    };
+
+    WalkerConfig wcfg;
+    wcfg.pscEnabled = false;
+    wcfg.nestedTlbEnabled = false;
+
+    auto [h4, vm4] = makeVm(4);
+    Process &p4 = vm4->guest().createProcess("g");
+    Vma &v4 = p4.mmap(kHugeSize);
+    p4.touch(v4.start());
+    Walker w4(p4.pageTable(), *vm4, wcfg);
+    const unsigned refs4 = w4.walk(v4.start().pageNumber()).refs;
+
+    auto [h5, vm5] = makeVm(5);
+    Process &p5 = vm5->guest().createProcess("g");
+    Vma &v5 = p5.mmap(kHugeSize);
+    p5.touch(v5.start());
+    Walker w5(p5.pageTable(), *vm5, wcfg);
+    const unsigned refs5 = w5.walk(v5.start().pageNumber()).refs;
+
+    // 4-level nested THP walk: 3 x (3+1) + 3 = 15 refs;
+    // 5-level:                4 x (4+1) + 4 = 24 refs.
+    EXPECT_EQ(refs4, 15u);
+    EXPECT_EQ(refs5, 24u);
+}
+
+TEST(ShadowPaging, ShadowTableComposesBothDimensions)
+{
+    KernelConfig hcfg = smallConfig();
+    Kernel host(hcfg, std::make_unique<CaPagingPolicy>());
+    VmConfig vcfg;
+    vcfg.guestBytesPerNode = 128ull << 20;
+    vcfg.guestNodes = 1;
+    VirtualMachine vm(host, std::make_unique<CaPagingPolicy>(), vcfg);
+
+    Process &p = vm.guest().createProcess("g");
+    vm.enableShadowPaging(p);
+    Vma &vma = p.mmap(8 * kHugeSize);
+    p.touchRange(vma.start(), vma.bytes());
+
+    // Every guest leaf has a shadow leaf resolving to the same hPA
+    // the nested composition produces.
+    const PageTable &shadow = vm.shadowTable(p);
+    p.pageTable().forEachLeaf([&](Vpn vpn, const Mapping &gm) {
+        auto sm = shadow.lookup(vpn);
+        ASSERT_TRUE(sm && sm->valid());
+        auto nested = vm.nestedLookup(gm.pfn);
+        ASSERT_TRUE(nested);
+        EXPECT_EQ(sm->pfn, nested->pfn);
+    });
+    EXPECT_GT(vm.shadowExits(), 0u);
+}
+
+TEST(ShadowPaging, LateEnableSyncsExistingLeaves)
+{
+    KernelConfig hcfg = smallConfig();
+    Kernel host(hcfg, std::make_unique<CaPagingPolicy>());
+    VmConfig vcfg;
+    vcfg.guestBytesPerNode = 128ull << 20;
+    vcfg.guestNodes = 1;
+    VirtualMachine vm(host, std::make_unique<CaPagingPolicy>(), vcfg);
+
+    Process &p = vm.guest().createProcess("g");
+    Vma &vma = p.mmap(4 * kHugeSize);
+    p.touchRange(vma.start(), vma.bytes());
+    vm.enableShadowPaging(p); // after the fact
+    auto sm = vm.shadowTable(p).lookup(vma.start().pageNumber());
+    ASSERT_TRUE(sm && sm->valid());
+}
+
+TEST(ShadowPaging, UnmapRemovesShadowLeaf)
+{
+    KernelConfig hcfg = smallConfig();
+    Kernel host(hcfg, std::make_unique<CaPagingPolicy>());
+    VmConfig vcfg;
+    vcfg.guestBytesPerNode = 128ull << 20;
+    vcfg.guestNodes = 1;
+    VirtualMachine vm(host, std::make_unique<CaPagingPolicy>(), vcfg);
+
+    Process &p = vm.guest().createProcess("g");
+    vm.enableShadowPaging(p);
+    Vma &vma = p.mmap(2 * kHugeSize);
+    p.touchRange(vma.start(), vma.bytes());
+    const Vpn vpn = vma.start().pageNumber();
+    ASSERT_TRUE(vm.shadowTable(p).lookup(vpn));
+    p.munmap(vma);
+    EXPECT_FALSE(vm.shadowTable(p).lookup(vpn));
+}
+
+TEST(ShadowPaging, ContigBitsPropagateToShadow)
+{
+    KernelConfig hcfg = smallConfig();
+    Kernel host(hcfg, std::make_unique<CaPagingPolicy>());
+    VmConfig vcfg;
+    vcfg.guestBytesPerNode = 128ull << 20;
+    vcfg.guestNodes = 1;
+    VirtualMachine vm(host, std::make_unique<CaPagingPolicy>(), vcfg);
+
+    Process &p = vm.guest().createProcess("g");
+    vm.enableShadowPaging(p);
+    Vma &vma = p.mmap(8 * kHugeSize);
+    p.touchRange(vma.start(), vma.bytes());
+    // CA marked the guest PTEs; the trapped bit writes must have
+    // reached the shadow leaves, so SpOT's fill gate works on them.
+    auto sm = vm.shadowTable(p).lookup(vma.start().pageNumber());
+    ASSERT_TRUE(sm && sm->valid());
+    EXPECT_TRUE(sm->contigBit);
+}

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "ranges/ranges.hh"
+
+using namespace contig;
+
+namespace
+{
+
+std::vector<Seg>
+threeSegs()
+{
+    // 1000 pages at offset 0, 500 at another offset, 20 at a third.
+    return {Seg{0, 5000, 1000}, Seg{2000, 9000, 500},
+            Seg{4000, 100, 10}};
+}
+
+} // namespace
+
+TEST(RangeTable, LookupFindsContainingRange)
+{
+    RangeTable table(threeSegs());
+    auto r = table.lookup(500);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->vpn, 0u);
+    auto r2 = table.lookup(2400);
+    ASSERT_TRUE(r2);
+    EXPECT_EQ(r2->vpn, 2000u);
+    EXPECT_FALSE(table.lookup(1500)); // gap
+    EXPECT_FALSE(table.lookup(999999));
+}
+
+TEST(RangeTlb, HitAfterRefill)
+{
+    RangeTable table(threeSegs());
+    RangeTlb tlb({4}, table);
+    EXPECT_FALSE(tlb.access(100)); // cold miss, refills
+    EXPECT_TRUE(tlb.access(100));
+    EXPECT_TRUE(tlb.access(999)); // same range
+    EXPECT_FALSE(tlb.access(2100)); // other range: miss + refill
+    EXPECT_TRUE(tlb.access(2499));
+    EXPECT_EQ(tlb.stats().refills, 2u);
+}
+
+TEST(RangeTlb, LruEvictsOldestRange)
+{
+    // Single-entry range TLB alternating between two ranges.
+    RangeTable table(threeSegs());
+    RangeTlb tlb({1}, table);
+    EXPECT_FALSE(tlb.access(0));
+    EXPECT_FALSE(tlb.access(2000));
+    EXPECT_FALSE(tlb.access(0)); // evicted by the second range
+}
+
+TEST(RangeTlb, UnmappedVpnCountsTableMiss)
+{
+    RangeTable table(threeSegs());
+    RangeTlb tlb({4}, table);
+    EXPECT_FALSE(tlb.access(1500));
+    EXPECT_EQ(tlb.stats().tableMisses, 1u);
+}
+
+TEST(Ranges, RangesFor99CountsLargestFirst)
+{
+    // 1000 + 500 pages reach 99% of 1520 total without the 20-page
+    // tail segment.
+    EXPECT_EQ(rangesFor99(threeSegs()), 2u);
+}
+
+TEST(Vhc, PerfectlyAlignedSegmentIsCheap)
+{
+    // One 2-D segment of 4096 pages starting at an aligned boundary:
+    // a handful of anchors cover it.
+    std::vector<Seg> segs{Seg{0, 0, 4096}};
+    EXPECT_LE(vhcEntriesFor99(segs), 8u);
+}
+
+TEST(Vhc, MisalignmentCostsEntries)
+{
+    // The same segment shifted to an odd virtual base: anchor chunks
+    // no longer line up, so vHC needs more entries than vRMM ranges.
+    std::vector<Seg> aligned{Seg{0, 0, 8192}};
+    std::vector<Seg> shifted{Seg{713, 713, 8192}};
+    EXPECT_EQ(rangesFor99(aligned), rangesFor99(shifted));
+    EXPECT_GE(vhcEntriesFor99(shifted), vhcEntriesFor99(aligned));
+}
+
+TEST(Vhc, ManySmallSegsExplodeEntryCount)
+{
+    // 64 unaligned segments of 48 pages each: every one needs per-
+    // page entries (below huge granularity), as for the paper's
+    // scattered small mappings.
+    std::vector<Seg> segs;
+    for (int i = 0; i < 64; ++i)
+        segs.push_back(Seg{static_cast<Vpn>(10000 * i + 7),
+                           static_cast<Pfn>(777 * i), 48});
+    EXPECT_GT(vhcEntriesFor99(segs), 20 * rangesFor99(segs));
+}
+
+TEST(DirectSegment, Containment)
+{
+    DirectSegment seg(1000, 500);
+    EXPECT_TRUE(seg.contains(1000));
+    EXPECT_TRUE(seg.contains(1499));
+    EXPECT_FALSE(seg.contains(1500));
+    EXPECT_FALSE(seg.contains(999));
+}

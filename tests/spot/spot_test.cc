@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "spot/spot.hh"
+
+using namespace contig;
+
+namespace
+{
+
+constexpr Addr kPc = 0x400040;
+constexpr Addr kPc2 = 0x400080;
+
+SpotConfig
+smallConfig()
+{
+    SpotConfig cfg;
+    cfg.sets = 2;
+    cfg.ways = 2;
+    return cfg;
+}
+
+/** Drive one miss through the engine: predict then verify. */
+SpotOutcome
+miss(SpotEngine &e, Addr pc, std::int64_t offset, bool bits = true)
+{
+    e.predict(pc);
+    return e.update(pc, offset, bits);
+}
+
+} // namespace
+
+TEST(Spot, ColdTableGivesNoPrediction)
+{
+    SpotEngine e(smallConfig());
+    EXPECT_EQ(miss(e, kPc, 100), SpotOutcome::NoPrediction);
+    EXPECT_EQ(e.stats().fills, 1u);
+}
+
+TEST(Spot, ConfidenceGatesSpeculation)
+{
+    SpotEngine e(smallConfig());
+    // Fill (conf=1): still no speculation on the next miss.
+    EXPECT_EQ(miss(e, kPc, 100), SpotOutcome::NoPrediction);
+    // conf 1 -> matches -> conf 2, but the *prediction* for this miss
+    // was made while conf was 1: no speculation yet.
+    EXPECT_EQ(miss(e, kPc, 100), SpotOutcome::NoPrediction);
+    // conf is now 2 (> threshold): speculate, and correctly.
+    EXPECT_EQ(miss(e, kPc, 100), SpotOutcome::Correct);
+    EXPECT_EQ(miss(e, kPc, 100), SpotOutcome::Correct);
+}
+
+TEST(Spot, MispredictionOnOffsetChange)
+{
+    SpotEngine e(smallConfig());
+    miss(e, kPc, 100);
+    miss(e, kPc, 100);
+    EXPECT_EQ(miss(e, kPc, 100), SpotOutcome::Correct); // conf 3 (sat)
+    // The mapping changes: the engine keeps speculating the stale
+    // offset until confidence drains.
+    EXPECT_EQ(miss(e, kPc, 200), SpotOutcome::Mispredicted); // conf 2
+    EXPECT_EQ(miss(e, kPc, 200), SpotOutcome::Mispredicted); // conf 1
+    EXPECT_EQ(miss(e, kPc, 200), SpotOutcome::NoPrediction); // conf 0->replace
+    EXPECT_EQ(miss(e, kPc, 200), SpotOutcome::NoPrediction); // conf 1
+    EXPECT_EQ(miss(e, kPc, 200), SpotOutcome::Correct);      // conf 2
+}
+
+TEST(Spot, OffsetReplacedOnlyAtZeroConfidence)
+{
+    SpotEngine e(smallConfig());
+    miss(e, kPc, 100);
+    miss(e, kPc, 100); // conf 2
+    miss(e, kPc, 999); // conf 1, offset still 100
+    // A return to the original offset rebuilds confidence without a
+    // replacement.
+    miss(e, kPc, 100); // conf 2
+    EXPECT_EQ(miss(e, kPc, 100), SpotOutcome::Correct);
+    EXPECT_EQ(e.stats().offsetReplacements, 0u);
+}
+
+TEST(Spot, ContigBitGateBlocksFills)
+{
+    SpotEngine e(smallConfig());
+    // Misses whose PTEs lack the contiguity bits never enter the
+    // table (the thrash filter of §IV-C).
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(miss(e, kPc, 100, false), SpotOutcome::NoPrediction);
+    EXPECT_EQ(e.stats().fills, 0u);
+    EXPECT_EQ(e.stats().fillsBlockedByBits, 5u);
+    // Once marked, the fill happens.
+    miss(e, kPc, 100, true);
+    EXPECT_EQ(e.stats().fills, 1u);
+}
+
+TEST(Spot, GateDisabledAllowsAllFills)
+{
+    SpotConfig cfg = smallConfig();
+    cfg.requireContigBits = false;
+    SpotEngine e(cfg);
+    miss(e, kPc, 100, false);
+    EXPECT_EQ(e.stats().fills, 1u);
+}
+
+TEST(Spot, ConfidentEntriesResistEviction)
+{
+    // One set, one way: a confident entry cannot be displaced by a
+    // different PC until its confidence drains.
+    SpotConfig cfg;
+    cfg.sets = 1;
+    cfg.ways = 1;
+    SpotEngine e(cfg);
+    miss(e, kPc, 100);
+    miss(e, kPc, 100); // conf 2
+    // Another PC misses repeatedly: fills are dropped.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(miss(e, kPc2, 555), SpotOutcome::NoPrediction);
+    // The original entry still predicts.
+    EXPECT_EQ(miss(e, kPc, 100), SpotOutcome::Correct);
+}
+
+TEST(Spot, IndependentPcsTrackIndependentOffsets)
+{
+    SpotEngine e; // default 8x4
+    for (int i = 0; i < 3; ++i) {
+        miss(e, kPc, 100);
+        miss(e, kPc2, 200);
+    }
+    EXPECT_EQ(miss(e, kPc, 100), SpotOutcome::Correct);
+    EXPECT_EQ(miss(e, kPc2, 200), SpotOutcome::Correct);
+}
+
+TEST(Spot, FlushForgetsEverything)
+{
+    SpotEngine e(smallConfig());
+    miss(e, kPc, 100);
+    miss(e, kPc, 100);
+    e.flush();
+    EXPECT_EQ(miss(e, kPc, 100), SpotOutcome::NoPrediction);
+}
+
+TEST(Spot, StatsAddUp)
+{
+    SpotEngine e(smallConfig());
+    for (int i = 0; i < 10; ++i)
+        miss(e, kPc, 100);
+    miss(e, kPc, 300);
+    const auto &s = e.stats();
+    EXPECT_EQ(s.correct + s.mispredicted + s.noPrediction, 11u);
+    EXPECT_EQ(s.lookups, 11u);
+}

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "mm/kernel.hh"
+#include "tlb/walker.hh"
+#include "virt/vm.hh"
+
+using namespace contig;
+
+namespace
+{
+
+WalkerConfig
+noCaches()
+{
+    WalkerConfig cfg;
+    cfg.pscEnabled = false;
+    cfg.nestedTlbEnabled = false;
+    cfg.cyclesPerRef = 10;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Walker, Native4kWalkCostsFourRefs)
+{
+    PageTable pt;
+    pt.map(0x1234, 55, 0);
+    Walker w(pt, noCaches());
+    auto res = w.walk(0x1234);
+    EXPECT_TRUE(res.hit);
+    EXPECT_EQ(res.refs, 4u);
+    EXPECT_EQ(res.cycles, 40u);
+    EXPECT_EQ(res.mapping.pfn, 55u);
+}
+
+TEST(Walker, NativeHugeWalkCostsThreeRefs)
+{
+    PageTable pt;
+    pt.map(512, 1024, kHugeOrder);
+    Walker w(pt, noCaches());
+    auto res = w.walk(512 + 99);
+    EXPECT_TRUE(res.hit);
+    EXPECT_EQ(res.refs, 3u);
+    // The offset is exact for the probed vpn, not the leaf base.
+    EXPECT_EQ(res.offset,
+              static_cast<std::int64_t>(512 + 99) -
+                  static_cast<std::int64_t>(1024 + 99));
+}
+
+TEST(Walker, PscCutsUpperLevelRefs)
+{
+    PageTable pt;
+    pt.map(0x1000, 1, 0);
+    pt.map(0x1001, 2, 0);
+    WalkerConfig cfg = noCaches();
+    cfg.pscEnabled = true;
+    cfg.pscEntries = 4;
+    Walker w(pt, cfg);
+    auto first = w.walk(0x1000);
+    EXPECT_EQ(first.refs, 4u); // cold PSC
+    auto second = w.walk(0x1001);
+    EXPECT_EQ(second.refs, 2u); // PSC skips root+L3
+    EXPECT_EQ(w.stats().pscHits, 1u);
+}
+
+TEST(Walker, ContigBitsSurfaceInResult)
+{
+    PageTable pt;
+    pt.map(7, 9, 0);
+    pt.setContigBit(7, true);
+    Walker w(pt, noCaches());
+    EXPECT_TRUE(w.walk(7).guestContigBit);
+}
+
+TEST(Walker, NestedWalkCostsUpTo24Refs)
+{
+    // Virtualized, no walker caches: guest 4 KiB leaf over host 4 KiB
+    // backing costs 4 guest-node nested walks (4 refs each) + 4 guest
+    // reads + final nested walk (4 refs) = up to 24 references.
+    KernelConfig hcfg;
+    hcfg.phys.bytesPerNode = 256ull << 20;
+    hcfg.phys.numNodes = 1;
+    hcfg.thpEnabled = false; // host backs with 4 KiB pages
+    Kernel host(hcfg, std::make_unique<Base4kPolicy>());
+    VmConfig vcfg;
+    vcfg.guestBytesPerNode = 128ull << 20;
+    vcfg.guestNodes = 1;
+    vcfg.guestKernel.thpEnabled = false;
+    VirtualMachine vm(host, std::make_unique<Base4kPolicy>(), vcfg);
+
+    Process &p = vm.guest().createProcess("g");
+    Vma &vma = p.mmap(1 << 20);
+    p.touch(vma.start());
+
+    Walker w(p.pageTable(), vm, noCaches());
+    auto res = w.walk(vma.start().pageNumber());
+    EXPECT_TRUE(res.hit);
+    EXPECT_EQ(res.refs, 24u);
+}
+
+TEST(Walker, NestedThpWalkIsCheaper)
+{
+    KernelConfig hcfg;
+    hcfg.phys.bytesPerNode = 256ull << 20;
+    hcfg.phys.numNodes = 1;
+    Kernel host(hcfg, std::make_unique<DefaultThpPolicy>());
+    VmConfig vcfg;
+    vcfg.guestBytesPerNode = 128ull << 20;
+    vcfg.guestNodes = 1;
+    VirtualMachine vm(host, std::make_unique<DefaultThpPolicy>(), vcfg);
+
+    Process &p = vm.guest().createProcess("g");
+    Vma &vma = p.mmap(4 * kHugeSize);
+    p.touch(vma.start());
+
+    Walker w(p.pageTable(), vm, noCaches());
+    auto res = w.walk(vma.start().pageNumber());
+    EXPECT_TRUE(res.hit);
+    // Guest 2M leaf (3 levels) x (3-ref nested + 1 read) + final
+    // 3-ref nested walk = 15 refs.
+    EXPECT_EQ(res.refs, 15u);
+    EXPECT_EQ(res.mapping.order, kHugeOrder);
+}
+
+TEST(Walker, NestedTlbCutsRepeatWalks)
+{
+    KernelConfig hcfg;
+    hcfg.phys.bytesPerNode = 256ull << 20;
+    hcfg.phys.numNodes = 1;
+    Kernel host(hcfg, std::make_unique<DefaultThpPolicy>());
+    VmConfig vcfg;
+    vcfg.guestBytesPerNode = 128ull << 20;
+    vcfg.guestNodes = 1;
+    VirtualMachine vm(host, std::make_unique<DefaultThpPolicy>(), vcfg);
+
+    Process &p = vm.guest().createProcess("g");
+    Vma &vma = p.mmap(4 * kHugeSize);
+    p.touchRange(vma.start(), vma.bytes());
+
+    WalkerConfig cfg;
+    cfg.pscEnabled = true;
+    cfg.nestedTlbEnabled = true;
+    Walker w(p.pageTable(), vm, cfg);
+    auto cold = w.walk(vma.start().pageNumber());
+    auto warm = w.walk(vma.start().pageNumber() + 1);
+    EXPECT_LT(warm.refs, cold.refs);
+    EXPECT_GT(w.stats().nestedTlbHits, 0u);
+}
+
+TEST(Walker, MissReturnsNoHit)
+{
+    PageTable pt;
+    Walker w(pt, noCaches());
+    auto res = w.walk(0xdead);
+    EXPECT_FALSE(res.hit);
+    EXPECT_GE(res.refs, 1u);
+}

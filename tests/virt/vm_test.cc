@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "contig/analysis.hh"
+#include "mm/kernel.hh"
+#include "policies/ca_paging.hh"
+#include "virt/vm.hh"
+
+using namespace contig;
+
+namespace
+{
+
+KernelConfig
+hostConfig()
+{
+    KernelConfig cfg;
+    cfg.phys.bytesPerNode = 512ull << 20;
+    cfg.phys.numNodes = 2;
+    return cfg;
+}
+
+VmConfig
+vmConfig()
+{
+    VmConfig cfg;
+    cfg.guestBytesPerNode = 256ull << 20;
+    cfg.guestNodes = 1;
+    return cfg;
+}
+
+struct VmTest : public ::testing::Test
+{
+    VmTest()
+        : host(hostConfig(), std::make_unique<DefaultThpPolicy>()),
+          vm(host, std::make_unique<DefaultThpPolicy>(), vmConfig())
+    {
+    }
+
+    Kernel host;
+    VirtualMachine vm;
+};
+
+} // namespace
+
+TEST_F(VmTest, GuestRamBackedLazily)
+{
+    EXPECT_EQ(vm.backedPages(), 0u);
+    Process &p = vm.guest().createProcess("g");
+    Vma &vma = p.mmap(4 * kHugeSize);
+    p.touch(vma.start());
+    // The guest huge allocation triggered nested (host) faults for at
+    // least the whole 2 MiB, plus guest page-table frames.
+    EXPECT_GE(vm.backedPages(), 512u);
+    EXPECT_LT(vm.backedPages(), vm.guest().physMem().totalFrames());
+}
+
+TEST_F(VmTest, NestedLookupComposes)
+{
+    Process &p = vm.guest().createProcess("g");
+    Vma &vma = p.mmap(kHugeSize);
+    p.touch(vma.start());
+    auto gm = p.pageTable().lookup(vma.start().pageNumber());
+    ASSERT_TRUE(gm);
+    auto nested = vm.nestedLookup(gm->pfn);
+    ASSERT_TRUE(nested);
+    EXPECT_LT(nested->pfn, host.physMem().totalFrames());
+    // Adjacent guest frames within one host huge mapping are adjacent
+    // host frames.
+    auto nested2 = vm.nestedLookup(gm->pfn + 1);
+    ASSERT_TRUE(nested2);
+    EXPECT_EQ(nested2->pfn, nested->pfn + 1);
+}
+
+TEST_F(VmTest, NestedLookupUnbackedIsEmpty)
+{
+    // A guest frame that was never allocated has no host mapping.
+    EXPECT_FALSE(vm.nestedLookup(vm.guest().physMem().totalFrames() - 1));
+}
+
+TEST_F(VmTest, NestedWalkCountsHostRefs)
+{
+    Process &p = vm.guest().createProcess("g");
+    Vma &vma = p.mmap(kHugeSize);
+    p.touch(vma.start());
+    auto gm = p.pageTable().lookup(vma.start().pageNumber());
+    WalkTrace trace;
+    vm.nestedWalk(gm->pfn, trace);
+    EXPECT_TRUE(trace.hit);
+    // Host THP backing: 3-level nested walk.
+    EXPECT_EQ(trace.nodeFrames.size(), 3u);
+}
+
+TEST_F(VmTest, GuestTeardownKeepsHostBacking)
+{
+    Process &p = vm.guest().createProcess("g");
+    Vma &vma = p.mmap(8 * kHugeSize);
+    p.touchRange(vma.start(), vma.bytes());
+    const std::uint64_t backed = vm.backedPages();
+    p.munmap(vma);
+    vm.guest().exitProcess(p);
+    // The 2nd-dimension mappings persist as the VM ages (§III-C).
+    EXPECT_EQ(vm.backedPages(), backed);
+}
+
+TEST_F(VmTest, DestructionReleasesHostMemory)
+{
+    KernelConfig hcfg = hostConfig();
+    Kernel h(hcfg, std::make_unique<DefaultThpPolicy>());
+    const std::uint64_t free0 = h.physMem().freePages();
+    {
+        VirtualMachine v(h, std::make_unique<DefaultThpPolicy>(),
+                         vmConfig());
+        Process &p = v.guest().createProcess("g");
+        Vma &vma = p.mmap(16 * kHugeSize);
+        p.touchRange(vma.start(), vma.bytes());
+        EXPECT_LT(h.physMem().freePages(), free0);
+    }
+    // All host frames return except the host kernel metadata pool.
+    EXPECT_EQ(h.physMem().freePages(), free0 - h.kernelPoolPages());
+}
+
+TEST_F(VmTest, Extract2dComposesBothDimensions)
+{
+    // Guest CA + host CA in a fresh VM: a sequentially-touched VMA
+    // forms one full 2-D contiguous mapping.
+    Kernel h(hostConfig(), std::make_unique<CaPagingPolicy>());
+    VirtualMachine v(h, std::make_unique<CaPagingPolicy>(), vmConfig());
+    Process &p = v.guest().createProcess("g");
+    Vma &vma = p.mmap(32 * kHugeSize);
+    p.touchRange(vma.start(), vma.bytes());
+
+    auto segs = extract2d(p, v);
+    // Expect one dominant segment covering (almost) the whole VMA.
+    std::uint64_t total = 0, largest = 0;
+    for (const auto &s : segs) {
+        total += s.pages;
+        largest = std::max(largest, s.pages);
+    }
+    EXPECT_EQ(total, 32u * 512);
+    EXPECT_GE(largest, 31u * 512);
+}
+
+TEST_F(VmTest, TwoDimensionalOffsetsAreStable)
+{
+    // The 2-D offset (gVA - hPA) must be constant within a segment —
+    // the property SpOT's prediction rests on.
+    Kernel h(hostConfig(), std::make_unique<CaPagingPolicy>());
+    VirtualMachine v(h, std::make_unique<CaPagingPolicy>(), vmConfig());
+    Process &p = v.guest().createProcess("g");
+    Vma &vma = p.mmap(8 * kHugeSize);
+    p.touchRange(vma.start(), vma.bytes());
+
+    for (const Seg &s : extract2d(p, v)) {
+        for (std::uint64_t off = 0; off < s.pages; off += 123) {
+            auto gm = p.pageTable().lookup(s.vpn + off);
+            ASSERT_TRUE(gm);
+            const Vpn leaf_base =
+                (s.vpn + off) & ~(pagesInOrder(gm->order) - 1);
+            auto nested =
+                v.nestedLookup(gm->pfn + (s.vpn + off - leaf_base));
+            ASSERT_TRUE(nested);
+            EXPECT_EQ(nested->pfn, s.pfn + off);
+        }
+    }
+}
