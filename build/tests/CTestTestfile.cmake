@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_base "/root/repo/build/tests/test_base")
+set_tests_properties(test_base PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;add_contig_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_phys "/root/repo/build/tests/test_phys")
+set_tests_properties(test_phys PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;add_contig_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mm "/root/repo/build/tests/test_mm")
+set_tests_properties(test_mm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;add_contig_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_policies "/root/repo/build/tests/test_policies")
+set_tests_properties(test_policies PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;27;add_contig_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_virt "/root/repo/build/tests/test_virt")
+set_tests_properties(test_virt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;32;add_contig_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_tlb "/root/repo/build/tests/test_tlb")
+set_tests_properties(test_tlb PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;35;add_contig_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_spot "/root/repo/build/tests/test_spot")
+set_tests_properties(test_spot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;40;add_contig_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ranges "/root/repo/build/tests/test_ranges")
+set_tests_properties(test_ranges PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;43;add_contig_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_contig "/root/repo/build/tests/test_contig")
+set_tests_properties(test_contig PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;46;add_contig_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_workloads "/root/repo/build/tests/test_workloads")
+set_tests_properties(test_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;49;add_contig_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_perfmodel "/root/repo/build/tests/test_perfmodel")
+set_tests_properties(test_perfmodel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;52;add_contig_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;55;add_contig_test;/root/repo/tests/CMakeLists.txt;0;")
