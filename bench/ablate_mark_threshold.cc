@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 #include "policies/ca_paging.hh"
 
@@ -60,9 +61,10 @@ runWith(std::uint64_t threshold_pages, bool gate_enabled)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("ablate_mark_threshold", argc, argv);
 
     Report rep("Ablation — contiguity-bit marking threshold "
                "(SpOT on svm, virtualized)");
@@ -78,11 +80,13 @@ main()
     auto ungated = runWith(32, false);
     rep.row({"gate disabled", Report::pct(ungated.overhead, 2),
              Report::pct(ungated.correct), Report::pct(ungated.nopred)});
+    out.add(rep);
     rep.print();
 
     std::printf("\nexpected: thresholds above the scattered-VMA size "
                 "keep their offsets out of the table (mispredictions "
                 "become no-predictions); thresholds below the paper's "
                 "32 admit every offset, like disabling the gate\n");
+    out.write();
     return 0;
 }

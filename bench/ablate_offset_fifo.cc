@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 #include "policies/ca_paging.hh"
 
@@ -60,9 +61,10 @@ runPattern(std::size_t fifo_cap)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("ablate_offset_fifo", argc, argv);
 
     Report rep("Ablation — per-VMA Offset FIFO depth "
                "(random-order faults + rival allocations)");
@@ -72,10 +74,12 @@ main()
         rep.row({std::to_string(cap), std::to_string(o.mappings),
                  Report::pct(o.cov32)});
     }
+    out.add(rep);
     rep.print();
 
     std::printf("\nexpected: deeper FIFOs remember more sub-regions, "
                 "so revisiting faults extend existing mappings instead "
                 "of re-placing (fewer, larger mappings)\n");
+    out.write();
     return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 #include "policies/ideal.hh"
 
@@ -110,9 +111,10 @@ run(bool next_fit)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("ablate_placement", argc, argv);
 
     Result nf = run(true);
     Result bf = run(false);
@@ -127,10 +129,12 @@ main()
     rep.row({"2xSVM interleaved, #2 mappings",
              std::to_string(nf.svmMappingsB),
              std::to_string(bf.svmMappingsB)});
+    out.add(rep);
     rep.print();
 
     std::printf("\nexpected: next-fit defers racing between concurrent "
                 "placements (interleaved faults), matching or beating "
                 "best-fit there\n");
+    out.write();
     return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 #include "policies/ca_paging.hh"
 
@@ -65,9 +66,10 @@ bigFreeFraction(bool sorted_top)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("ablate_sorted_list", argc, argv);
 
     double sorted = bigFreeFraction(true);
     double unsorted = bigFreeFraction(false);
@@ -77,10 +79,12 @@ main()
     rep.header({"top-order list", "free memory in blocks >=64MiB"});
     rep.row({"sorted (CA paging)", Report::pct(sorted)});
     rep.row({"unsorted (stock)", Report::pct(unsorted)});
+    out.add(rep);
     rep.print();
 
     std::printf("\nexpected: the sorted list concentrates small "
                 "allocations, leaving a larger share of free memory "
                 "in very large blocks\n");
+    out.write();
     return 0;
 }

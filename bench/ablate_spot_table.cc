@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 
 using namespace contig;
@@ -68,19 +69,22 @@ overheadFor(const Variant &v)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("ablate_spot_table", argc, argv);
 
     Report rep("Ablation — SpOT table geometry and confidence "
                "threshold (mean exposed overhead, suite)");
     rep.header({"variant", "mean overhead"});
     for (const Variant &v : kVariants)
         rep.row({v.label, Report::pct(overheadFor(v), 2)});
+    out.add(rep);
     rep.print();
 
     std::printf("\nexpected: a knee at tens of entries (few PCs cause "
                 "most misses); thr>0 speculates before confidence and "
                 "pays flushes; thr>2 wastes correct predictions\n");
+    out.write();
     return 0;
 }

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 #include "policies/ca_paging.hh"
 
@@ -68,9 +69,10 @@ runWithLevels(unsigned levels)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("ext_5level_paging", argc, argv);
 
     auto four = runWithLevels(4);
     auto five = runWithLevels(5);
@@ -83,11 +85,13 @@ main()
              Report::pct(four.base), Report::pct(four.spot, 2)});
     rep.row({"5-level (<=35 refs)", Report::num(five.avgWalk, 1),
              Report::pct(five.base), Report::pct(five.spot, 2)});
+    out.add(rep);
     rep.print();
 
     std::printf("\nexpected: the deeper radix makes every nested walk "
                 "costlier, inflating the base overhead, while SpOT's "
                 "hidden-walk overhead stays flat — the paper's "
                 "forward-looking motivation quantified\n");
+    out.write();
     return 0;
 }

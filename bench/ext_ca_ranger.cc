@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 #include "policies/ca_ranger.hh"
 
@@ -59,9 +60,10 @@ runOne(const char *which, double pressure)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("ext_ca_ranger", argc, argv);
 
     Report rep("Extension — CA paging + ranger combination "
                "(xsbench, final cov32 / pages migrated)");
@@ -79,11 +81,13 @@ main()
                  std::to_string(combo.migratedPages),
                  std::to_string(rg.migratedPages)});
     }
+    out.add(rep);
     rep.print();
 
     std::printf("\nexpected: without pressure the combo equals CA and "
                 "migrates nothing (ranger alone migrates everything); "
                 "under pressure the need-gated daemon matches or beats "
                 "both parents' coverage\n");
+    out.write();
     return 0;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 #include "policies/ca_reserve.hh"
 
@@ -74,9 +75,10 @@ race(bool reserve)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("ext_reservation", argc, argv);
 
     Outcome plain = race(false);
     Outcome reserved = race(true);
@@ -91,10 +93,12 @@ main()
     rep.row({"CA + reservation (ext.)",
              std::to_string(reserved.slowVmaMappings),
              Report::pct(reserved.slowVmaCov1)});
+    out.add(rep);
     rep.print();
 
     std::printf("\nexpected: best-effort CA loses the stalled VMA's "
                 "runway to the aggressors' placements once memory "
                 "tightens; the reservation keeps it whole (1 mapping)\n");
+    out.write();
     return 0;
 }

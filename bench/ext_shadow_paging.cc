@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 #include "policies/ca_paging.hh"
 
@@ -80,9 +81,10 @@ run(bool shadow, XlatScheme scheme)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("ext_shadow_paging", argc, argv);
 
     auto nested = run(false, XlatScheme::Base);
     auto nested_spot = run(false, XlatScheme::Spot);
@@ -105,6 +107,7 @@ main()
     rep.row({"shadow + SpOT", Report::num(shadow_spot.avgWalk, 1),
              Report::pct(shadow_spot.walkOverhead, 2),
              std::to_string(shadow_spot.exits)});
+    out.add(rep);
     rep.print();
 
     std::printf("\nexpected: shadow walks cost native depth (~2-3x "
@@ -113,5 +116,6 @@ main()
                 "hides the walk cost in BOTH modes (it is agnostic to "
                 "the virtualization technique, as the paper argues)\n",
                 static_cast<unsigned>(kVmExitCycles));
+    out.write();
     return 0;
 }

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 
 using namespace contig;
@@ -46,9 +47,10 @@ runSeries(PolicyKind kind, std::vector<double> &coverage)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("fig01b_eager_fragmentation", argc, argv);
 
     std::vector<double> eager, ca;
     runSeries(PolicyKind::Eager, eager);
@@ -61,9 +63,11 @@ main()
         rep.row({std::to_string(i + 1), Report::pct(eager[i]),
                  Report::pct(ca[i])});
     }
+    out.add(rep);
     rep.print();
 
     std::printf("\npaper: eager coverage drops progressively with "
                 "external fragmentation; CA sustains it\n");
+    out.write();
     return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 
 using namespace contig;
@@ -54,9 +55,10 @@ at(const std::vector<std::pair<std::uint64_t, double>> &tl, double frac)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("fig01c_ranger_delay", argc, argv);
 
     auto ranger = timelineFor(PolicyKind::Ranger);
     auto ca = timelineFor(PolicyKind::Ca);
@@ -69,10 +71,12 @@ main()
                  Report::pct(at(ranger, pct / 100.0)),
                  Report::pct(at(ca, pct / 100.0))});
     }
+    out.add(rep);
     rep.print();
 
     std::printf("\npaper: CA reaches high coverage immediately "
                 "(allocation-time contiguity); ranger's migrations "
                 "take most of the execution to coalesce\n");
+    out.write();
     return 0;
 }

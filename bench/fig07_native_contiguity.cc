@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 
 using namespace contig;
@@ -28,9 +29,10 @@ const std::vector<PolicyKind> kPolicies{
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("fig07_native_contiguity", argc, argv);
 
     Report rep("Fig. 7 — native contiguity, no memory pressure "
                "(time-averaged)");
@@ -59,10 +61,12 @@ main()
                  Report::pct(geomean(g128[kind])),
                  Report::num(geomean(g99[kind]), 1)});
     }
+    out.add(rep);
     rep.print();
 
     std::printf("\npaper: CA ~ eager ~ ideal with tens of mappings for "
                 "99%%; THP/Ingens need thousands; ranger in between; "
                 "CA dips only for BT (NUMA spill)\n");
+    out.write();
     return 0;
 }

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 
 using namespace contig;
@@ -50,9 +51,10 @@ excluded(PolicyKind kind, const std::string &name)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("fig08_fragmentation", argc, argv);
 
     Report rep("Fig. 8 — contiguity under memory pressure "
                "(geomean over svm/pagerank/hashjoin/xsbench)");
@@ -83,10 +85,12 @@ main()
                      Report::num(geomean(m99), 1)});
         }
     }
+    out.add(rep);
     rep.print();
 
     std::printf("\npaper: CA covers ~94%% with 128 mappings under "
                 "hog-50 and tracks ideal; eager degrades sharply; "
                 "THP/Ingens unaffected but poor throughout\n");
+    out.write();
     return 0;
 }

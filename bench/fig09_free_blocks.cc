@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 
 using namespace contig;
@@ -46,9 +47,10 @@ freeDistribution(PolicyKind kind, const std::vector<unsigned> &buckets)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("fig09_free_blocks", argc, argv);
 
     // Size classes in pages (log2): >=4MiB, >=16MiB, >=64MiB, >=256MiB.
     const std::vector<unsigned> buckets{10, 12, 14, 16};
@@ -63,10 +65,12 @@ main()
     rep.header({"block size", "default(THP)", "CA"});
     for (std::size_t i = 0; i < buckets.size(); ++i)
         rep.row({labels[i], Report::pct(thp[i]), Report::pct(ca[i])});
+    out.add(rep);
     rep.print();
 
     std::printf("\npaper: with CA a significantly larger share of free "
                 "memory remains in very large (>1 GiB at full scale) "
                 "blocks\n");
+    out.write();
     return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 
 using namespace contig;
@@ -80,9 +81,10 @@ at(const std::vector<double> &v, double frac)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("fig10_multiprogrammed", argc, argv);
 
     auto ca = runPair(PolicyKind::Ca);
     auto eager = runPair(PolicyKind::Eager);
@@ -100,10 +102,12 @@ main()
                  Report::pct(at(ranger.a, f)),
                  Report::pct(at(ranger.b, f))});
     }
+    out.add(rep);
     rep.print();
 
     std::printf("\npaper: CA keeps both instances highly contiguous "
                 "(next-fit prevents interference over the same free "
                 "blocks); ranger fails to coalesce both footprints\n");
+    out.write();
     return 0;
 }

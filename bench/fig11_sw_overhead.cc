@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 
 using namespace contig;
@@ -58,9 +59,10 @@ normalizedRuntime(const std::string &name, PolicyKind kind)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("fig11_sw_overhead", argc, argv);
 
     const std::vector<PolicyKind> kinds{PolicyKind::Ca, PolicyKind::Eager,
                                         PolicyKind::Ranger};
@@ -84,9 +86,11 @@ main()
     for (PolicyKind kind : kinds)
         g.push_back(Report::num(geomean(all[kind]), 3));
     rep.row(g);
+    out.add(rep);
     rep.print();
 
     std::printf("\npaper: eager and CA add no runtime overhead; "
                 "ranger pays ~3%% for migrations\n");
+    out.write();
     return 0;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 
 using namespace contig;
@@ -41,9 +42,10 @@ measure(PolicyKind kind)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("fig12_virt_contiguity", argc, argv);
 
     const std::vector<PolicyKind> kinds{PolicyKind::Thp, PolicyKind::Ca};
     Report rep("Fig. 12 — virtualized 2-D contiguity, consecutive "
@@ -68,10 +70,12 @@ main()
                  Report::pct(geomean(c32)), Report::pct(geomean(c128)),
                  Report::num(geomean(m99), 1)});
     }
+    out.add(rep);
     rep.print();
 
     std::printf("\npaper: CA ~86%%/~96%% coverage with 32/128 "
                 "mappings, ~90 mappings for 99%% (vs thousands "
                 "for THP)\n");
+    out.write();
     return 0;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 
 using namespace contig;
@@ -88,9 +89,10 @@ virtCaOverheads(std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("fig13_translation_overhead", argc, argv);
 
     Report rep("Fig. 13 — translation overhead vs ideal execution "
                "(lower is better)");
@@ -130,9 +132,11 @@ main()
     rep.row({"mean", "", Report::pct(mean(thp_n)), "",
              Report::pct(mean(thp_v)), Report::pct(mean(spot_v), 2),
              Report::pct(mean(rmm_v), 2), Report::pct(mean(ds_v), 2)});
+    out.add(rep);
     rep.print();
 
     std::printf("\npaper: THP ~7%% native, ~16.5%% virtualized; "
                 "SpOT ~0.9%%, vRMM <0.1%%, DS ~0%%\n");
+    out.write();
     return 0;
 }

@@ -13,14 +13,16 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 
 using namespace contig;
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("fig14_spot_breakdown", argc, argv);
 
     Report rep("Fig. 14 — SpOT outcome breakdown per L2-TLB miss");
     rep.header({"workload", "correct", "mispredicted", "no-prediction",
@@ -42,10 +44,12 @@ main()
         wl->teardown();
         sys.guest().exitProcess(proc);
     }
+    out.add(rep);
     rep.print();
 
     std::printf("\npaper: correct >99%% (PageRank), mispredictions "
                 "never more than ~4%% (hashjoin); svm/bt carry the "
                 "no-prediction residual\n");
+    out.write();
     return 0;
 }

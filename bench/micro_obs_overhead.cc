@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Micro-benchmark (google-benchmark): the observability tax. Verifies
+ * the "one predictable branch when disabled" claim of the tracing
+ * macro by measuring a hot loop
+ *
+ *  - bare (no instrumentation at all),
+ *  - with CONTIG_TRACE at a masked-off category (the shipping
+ *    default: every event site costs one branch on a cached mask),
+ *  - with the category enabled (clock read + ring-buffer store),
+ *
+ * plus the cost of a CounterSet increment through the heterogeneous
+ * string_view lookup and of one MetricRegistry snapshot.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/stats.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+using namespace contig;
+
+namespace
+{
+
+/** The work the instrumentation rides on: a trivial LCG step. */
+inline std::uint64_t
+step(std::uint64_t x)
+{
+    return x * 6364136223846793005ull + 1442695040888963407ull;
+}
+
+void
+BM_BareLoop(benchmark::State &state)
+{
+    std::uint64_t x = 1;
+    for (auto _ : state) {
+        x = step(x);
+        benchmark::DoNotOptimize(x);
+    }
+}
+
+void
+BM_TraceDisabled(benchmark::State &state)
+{
+    obs::TraceSink::global().setCategoryMask(0);
+    std::uint64_t x = 1;
+    for (auto _ : state) {
+        x = step(x);
+        CONTIG_TRACE(obs::TraceEventKind::PageFault, x, x, 0);
+        benchmark::DoNotOptimize(x);
+    }
+}
+
+void
+BM_TraceEnabled(benchmark::State &state)
+{
+    obs::TraceSink &sink = obs::TraceSink::global();
+    sink.setCapacity(1u << 16);
+    sink.setCategoryMask(obs::kCatFault);
+    std::uint64_t x = 1;
+    for (auto _ : state) {
+        x = step(x);
+        CONTIG_TRACE(obs::TraceEventKind::PageFault, x, x, 0);
+        benchmark::DoNotOptimize(x);
+    }
+    sink.setCategoryMask(0);
+    sink.clear();
+}
+
+void
+BM_CounterInc(benchmark::State &state)
+{
+    CounterSet counters;
+    for (auto _ : state)
+        counters.inc("migrate.pages", 1);
+    benchmark::DoNotOptimize(counters.get("migrate.pages"));
+}
+
+void
+BM_RegistrySnapshot(benchmark::State &state)
+{
+    obs::MetricRegistry reg;
+    for (int i = 0; i < 64; ++i)
+        reg.counter("bench.counter_" + std::to_string(i)) = i;
+    reg.summary("bench.lat").add(1.0);
+    for (auto _ : state) {
+        auto snap = reg.snapshot();
+        benchmark::DoNotOptimize(snap.size());
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_BareLoop);
+BENCHMARK(BM_TraceDisabled);
+BENCHMARK(BM_TraceEnabled);
+BENCHMARK(BM_CounterInc);
+BENCHMARK(BM_RegistrySnapshot);

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 #include "ranges/ranges.hh"
 
@@ -47,9 +48,10 @@ measure(PolicyKind kind)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("table1_ranges_anchors", argc, argv);
 
     auto thp = measure(PolicyKind::Thp);
     auto ca = measure(PolicyKind::Ca);
@@ -76,10 +78,12 @@ main()
              Report::num(geomean(gh_thp), 0),
              Report::num(geomean(gr_ca), 0),
              Report::num(geomean(gh_ca), 0)});
+    out.add(rep);
     rep.print();
 
     std::printf("\npaper: THP needs thousands of ranges; CA tens "
                 "(svm 10, pagerank 11, hashjoin 7, xsbench 11, "
                 "bt 931); CA vHC anchors ~38x CA ranges\n");
+    out.write();
     return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 
 using namespace contig;
@@ -44,9 +45,10 @@ runSuite(PolicyKind kind)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("table5_fault_latency", argc, argv);
 
     auto thp = runSuite(PolicyKind::Thp);
     auto ca = runSuite(PolicyKind::Ca);
@@ -59,9 +61,11 @@ main()
              std::to_string(ca.faults), std::to_string(eager.faults)});
     rep.row({"99th latency (us)", Report::num(thp.p99Us, 1),
              Report::num(ca.p99Us, 1), Report::num(eager.p99Us, 1)});
+    out.add(rep);
     rep.print();
 
     std::printf("\npaper: THP 515us / CA 526us / eager 80372us; "
                 "eager's fault count drops to tens\n");
+    out.write();
     return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 
 using namespace contig;
@@ -39,9 +40,10 @@ bloatBytes(const std::string &name, PolicyKind kind)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("table6_bloat", argc, argv);
 
     const std::vector<PolicyKind> kinds{PolicyKind::Thp,
                                         PolicyKind::Ingens,
@@ -63,9 +65,11 @@ main()
         }
         rep.row(row);
     }
+    out.add(rep);
     rep.print();
 
     std::printf("\npaper: THP/CA bloat is MBs (<0.1%%); Ingens less; "
                 "eager up to 47.5%% (hashjoin) of GBs\n");
+    out.write();
     return 0;
 }

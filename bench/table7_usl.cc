@@ -13,14 +13,16 @@
 #include <cstdio>
 
 #include "core/experiment.hh"
+#include "core/bench_io.hh"
 #include "core/report.hh"
 
 using namespace contig;
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("table7_usl", argc, argv);
 
     VirtSystem sys(PolicyKind::Ca, PolicyKind::Ca, 7);
     std::vector<double> branches, misses, spectre, spot;
@@ -47,10 +49,12 @@ main()
              Report::pct(geomean(misses), 3),
              Report::pct(geomean(spectre)),
              Report::pct(geomean(spot), 2)});
+    out.add(rep);
     rep.print();
 
     std::printf("\npaper: 5.87%% branches, 0.25%% DTLB misses, "
                 "16.5%% Spectre USL, 2.9%% SpOT USL -> InvisiSpec-"
                 "style mitigation costs <2%% for SpOT\n");
+    out.write();
     return 0;
 }

@@ -8,19 +8,26 @@
  * hides when the same workload runs inside a VM.
  *
  *   ./examples/quickstart
+ *
+ * Pass `--trace out.json` to also record a Chrome trace of the run
+ * (page faults, allocations, SpOT outcomes, phase spans) viewable in
+ * chrome://tracing or https://ui.perfetto.dev, and `--json out.json`
+ * for the machine-readable result document.
  */
 
 #include <cstdio>
 
+#include "core/bench_io.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
 
 using namespace contig;
 
 int
-main()
+main(int argc, char **argv)
 {
     printScaledBanner();
+    BenchOutput out("quickstart", argc, argv);
 
     // --- 1. Native machine with CA paging --------------------------------
     NativeSystem sys(PolicyKind::Ca);
@@ -65,5 +72,9 @@ main()
                                       spot.stats.walks
                                 : 0.0)
                     .c_str());
+
+    out.note("workload", "pagerank");
+    out.note("scale", wcfg.scale);
+    out.write();
     return 0;
 }

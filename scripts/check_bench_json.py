@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validate a bench binary's --json output against the documented schema.
+
+Usage: check_bench_json.py <bench-binary> [extra args...]
+
+Runs the bench with --json into a temp file and checks the document is
+valid JSON of shape {bench, config, rows, metrics}:
+  - "bench" is a non-empty string,
+  - "config" is an object with the scaled-machine geometry keys,
+  - "rows" is a list of objects each tagged with its "table" caption,
+  - "metrics" is an object of MetricRegistry samples (counters/gauges
+    as numbers, summaries as {count, sum, min, max, mean}, histograms
+    as {log2_buckets: [...]}).
+
+Registered as a ctest so the schema cannot drift silently.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def fail(msg):
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_metric(name, value):
+    if isinstance(value, (int, float)):
+        return
+    if not isinstance(value, dict):
+        fail(f"metric {name!r} is neither number nor object: {value!r}")
+    if "log2_buckets" in value:
+        if not all(isinstance(b, (int, float))
+                   for b in value["log2_buckets"]):
+            fail(f"histogram {name!r} has non-numeric buckets")
+        return
+    missing = {"count", "sum", "min", "max", "mean"} - value.keys()
+    if missing:
+        fail(f"summary {name!r} missing keys {sorted(missing)}")
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_bench_json.py <bench-binary> [args...]")
+    bench = Path(sys.argv[1])
+    if not bench.exists():
+        fail(f"bench binary not found: {bench}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out_path = Path(tmp) / "out.json"
+        cmd = [str(bench), *sys.argv[2:], "--json", str(out_path)]
+        proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT, timeout=600)
+        if proc.returncode != 0:
+            fail(f"{' '.join(cmd)} exited {proc.returncode}:\n"
+                 f"{proc.stdout.decode(errors='replace')[-2000:]}")
+        if not out_path.exists():
+            fail("bench did not create the --json file")
+        try:
+            doc = json.loads(out_path.read_text())
+        except json.JSONDecodeError as e:
+            fail(f"output is not valid JSON: {e}")
+
+    for key in ("bench", "config", "rows", "metrics"):
+        if key not in doc:
+            fail(f"missing top-level key {key!r}")
+
+    if not isinstance(doc["bench"], str) or not doc["bench"]:
+        fail("'bench' must be a non-empty string")
+
+    config = doc["config"]
+    if not isinstance(config, dict):
+        fail("'config' must be an object")
+    for key in ("host_nodes", "host_node_bytes"):
+        if key not in config:
+            fail(f"'config' missing {key!r}")
+
+    rows = doc["rows"]
+    if not isinstance(rows, list) or not rows:
+        fail("'rows' must be a non-empty list")
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            fail(f"row {i} is not an object")
+        if "table" not in row:
+            fail(f"row {i} has no 'table' caption tag")
+
+    metrics = doc["metrics"]
+    if not isinstance(metrics, dict) or not metrics:
+        fail("'metrics' must be a non-empty object")
+    for name, value in metrics.items():
+        check_metric(name, value)
+
+    print(f"check_bench_json: OK: {doc['bench']}: {len(rows)} rows, "
+          f"{len(metrics)} metrics")
+
+
+if __name__ == "__main__":
+    main()

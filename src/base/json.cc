@@ -1,0 +1,202 @@
+#include "base/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace contig
+{
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::beforeValue()
+{
+    contig_assert(!done_, "JsonWriter: value after document completed");
+    if (stack_.empty())
+        return;
+    switch (stack_.back()) {
+      case Frame::ObjectStart:
+      case Frame::ObjectNext:
+        panic("JsonWriter: value in object position without a key");
+      case Frame::ObjectKey:
+        stack_.back() = Frame::ObjectNext;
+        break;
+      case Frame::ArrayStart:
+        stack_.back() = Frame::ArrayNext;
+        break;
+      case Frame::ArrayNext:
+        raw(",");
+        break;
+    }
+}
+
+void
+JsonWriter::beginObject()
+{
+    beforeValue();
+    raw("{");
+    stack_.push_back(Frame::ObjectStart);
+}
+
+void
+JsonWriter::endObject()
+{
+    contig_assert(!stack_.empty() &&
+                      (stack_.back() == Frame::ObjectStart ||
+                       stack_.back() == Frame::ObjectNext),
+                  "JsonWriter: endObject outside an object");
+    stack_.pop_back();
+    raw("}");
+    if (stack_.empty())
+        done_ = true;
+}
+
+void
+JsonWriter::beginArray()
+{
+    beforeValue();
+    raw("[");
+    stack_.push_back(Frame::ArrayStart);
+}
+
+void
+JsonWriter::endArray()
+{
+    contig_assert(!stack_.empty() && (stack_.back() == Frame::ArrayStart ||
+                                      stack_.back() == Frame::ArrayNext),
+                  "JsonWriter: endArray outside an array");
+    stack_.pop_back();
+    raw("]");
+    if (stack_.empty())
+        done_ = true;
+}
+
+void
+JsonWriter::key(std::string_view k)
+{
+    contig_assert(!stack_.empty() &&
+                      (stack_.back() == Frame::ObjectStart ||
+                       stack_.back() == Frame::ObjectNext),
+                  "JsonWriter: key outside an object");
+    if (stack_.back() == Frame::ObjectNext)
+        raw(",");
+    raw("\"");
+    raw(escape(k));
+    raw("\":");
+    stack_.back() = Frame::ObjectKey;
+}
+
+void
+JsonWriter::value(std::string_view v)
+{
+    beforeValue();
+    raw("\"");
+    raw(escape(v));
+    raw("\"");
+    if (stack_.empty())
+        done_ = true;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    raw(v ? "true" : "false");
+    if (stack_.empty())
+        done_ = true;
+}
+
+void
+JsonWriter::value(double v)
+{
+    beforeValue();
+    if (!std::isfinite(v)) {
+        // JSON has no NaN/Inf literals; null is the conventional stand-in.
+        raw("null");
+    } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.12g", v);
+        raw(buf);
+    }
+    if (stack_.empty())
+        done_ = true;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    raw(buf);
+    if (stack_.empty())
+        done_ = true;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    raw(buf);
+    if (stack_.empty())
+        done_ = true;
+}
+
+void
+JsonWriter::null()
+{
+    beforeValue();
+    raw("null");
+    if (stack_.empty())
+        done_ = true;
+}
+
+bool
+JsonWriter::complete() const
+{
+    return done_ && stack_.empty();
+}
+
+const std::string &
+JsonWriter::str() const &
+{
+    return out_;
+}
+
+std::string
+JsonWriter::str() &&
+{
+    return std::move(out_);
+}
+
+} // namespace contig

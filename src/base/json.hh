@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Minimal streaming JSON writer. Produces compact, valid JSON with
+ * proper string escaping; commas and nesting are tracked by a state
+ * stack so callers never emit separators by hand. Used by the
+ * TraceSink exporters and the Report/bench `--json` output, and small
+ * enough to be a reasonable dependency from anywhere in base/.
+ */
+
+#ifndef CONTIG_BASE_JSON_HH
+#define CONTIG_BASE_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace contig
+{
+
+/**
+ * Streaming JSON writer into an internal buffer.
+ *
+ * Usage:
+ *   JsonWriter w;
+ *   w.beginObject();
+ *   w.key("name"); w.value("fig07");
+ *   w.key("rows"); w.beginArray(); w.value(1.5); w.endArray();
+ *   w.endObject();
+ *   std::string out = std::move(w).str();
+ *
+ * Misuse (e.g. a value in an object position without a key) trips an
+ * assertion; this is a programming error, not an input error.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter() = default;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Object key; must be followed by exactly one value/container. */
+    void key(std::string_view k);
+
+    void value(std::string_view v);
+    void value(const char *v) { value(std::string_view(v)); }
+    void value(bool v);
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+    void null();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    field(std::string_view k, T &&v)
+    {
+        key(k);
+        value(std::forward<T>(v));
+    }
+
+    /** True once every container has been closed and a value emitted. */
+    bool complete() const;
+
+    const std::string &str() const &;
+    std::string str() &&;
+
+    /**
+     * JSON-escape a string body (no surrounding quotes): ", \ and
+     * control characters are escaped, everything else passes through
+     * byte-for-byte (UTF-8 stays valid UTF-8).
+     */
+    static std::string escape(std::string_view s);
+
+  private:
+    enum class Frame : std::uint8_t
+    {
+        ObjectStart, //!< inside {, before first key
+        ObjectKey,   //!< key written, value expected
+        ObjectNext,  //!< at least one member written
+        ArrayStart,  //!< inside [, before first element
+        ArrayNext,   //!< at least one element written
+    };
+
+    /** Write separators/state transitions for an incoming value. */
+    void beforeValue();
+    void raw(std::string_view s) { out_.append(s); }
+
+    std::string out_;
+    std::vector<Frame> stack_;
+    bool done_ = false;
+};
+
+} // namespace contig
+
+#endif // CONTIG_BASE_JSON_HH

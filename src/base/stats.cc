@@ -14,13 +14,15 @@ Percentiles::quantile(double q)
         std::sort(samples_.begin(), samples_.end());
         sorted_ = true;
     }
-    if (q <= 0.0)
+    // Clamp out-of-range q (NaN included) instead of indexing out of
+    // bounds.
+    if (std::isnan(q) || q <= 0.0)
         return samples_.front();
     if (q >= 1.0)
         return samples_.back();
-    double idx = q * (samples_.size() - 1);
-    std::size_t lo = static_cast<std::size_t>(idx);
-    double frac = idx - lo;
+    const double idx = q * static_cast<double>(samples_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const double frac = idx - static_cast<double>(lo);
     if (lo + 1 >= samples_.size())
         return samples_.back();
     return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;

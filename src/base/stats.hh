@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace contig
@@ -34,6 +35,20 @@ class Summary
             max_ = x;
         sum_ += x;
         ++count_;
+    }
+
+    /** Fold another summary's samples into this one. */
+    void
+    merge(const Summary &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0 || other.min_ < min_)
+            min_ = other.min_;
+        if (count_ == 0 || other.max_ > max_)
+            max_ = other.max_;
+        sum_ += other.sum_;
+        count_ += other.count_;
     }
 
     std::uint64_t count() const { return count_; }
@@ -61,7 +76,14 @@ class Percentiles
   public:
     void add(double x) { samples_.push_back(x); sorted_ = false; }
 
-    /** Value at quantile q in [0, 1]; 0 if empty. */
+    /**
+     * Value at quantile q using linear interpolation between closest
+     * ranks (the "R-7" definition numpy/Excel default to): with n
+     * sorted samples, quantile(q) = s[i] + frac * (s[i+1] - s[i])
+     * where i = floor(q * (n-1)) and frac is the fractional part.
+     * q is clamped into [0, 1]; NaN is treated as 0. Returns 0 if no
+     * samples were added.
+     */
     double quantile(double q);
 
     std::size_t count() const { return samples_.size(); }
@@ -95,28 +117,39 @@ class Log2Histogram
 
 /**
  * A flat registry of named counters. Subsystems register deltas; the
- * experiment drivers snapshot and print them.
+ * experiment drivers snapshot and print them. Lookups are
+ * heterogeneous (transparent comparator), so incrementing with a
+ * string literal or std::string_view from a hot path allocates only
+ * on the first increment of a new name.
  */
 class CounterSet
 {
   public:
-    void inc(const std::string &name, std::uint64_t by = 1)
-    { counters_[name] += by; }
+    using Map = std::map<std::string, std::uint64_t, std::less<>>;
+
+    void
+    inc(std::string_view name, std::uint64_t by = 1)
+    {
+        auto it = counters_.find(name);
+        if (it == counters_.end())
+            counters_.emplace(std::string(name), by);
+        else
+            it->second += by;
+    }
 
     std::uint64_t
-    get(const std::string &name) const
+    get(std::string_view name) const
     {
         auto it = counters_.find(name);
         return it == counters_.end() ? 0 : it->second;
     }
 
-    const std::map<std::string, std::uint64_t> &all() const
-    { return counters_; }
+    const Map &all() const { return counters_; }
 
     void reset() { counters_.clear(); }
 
   private:
-    std::map<std::string, std::uint64_t> counters_;
+    Map counters_;
 };
 
 /** Geometric mean of a set of positive values; 0 if empty. */

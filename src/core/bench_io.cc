@@ -1,0 +1,170 @@
+#include "core/bench_io.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "base/json.hh"
+#include "base/logging.hh"
+#include "core/config.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace contig
+{
+
+namespace
+{
+
+bool
+endsWith(std::string_view s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+} // namespace
+
+BenchOutput::BenchOutput(std::string bench, int argc, char **argv)
+    : bench_(std::move(bench))
+{
+    parseArgs(argc, argv);
+
+    if (jsonPath_.empty())
+        if (const char *env = std::getenv("CONTIG_JSON_OUT"))
+            jsonPath_ = env;
+    if (tracePath_.empty())
+        if (const char *env = std::getenv("CONTIG_TRACE_OUT"))
+            tracePath_ = env;
+
+    if (!tracePath_.empty()) {
+        obs::TraceSink &sink = obs::TraceSink::global();
+        if (sink.categoryMask() == 0)
+            sink.setCategoryMask(obs::kCatAll);
+    }
+    if (const char *env = std::getenv("CONTIG_TRACE_CATEGORIES"))
+        obs::TraceSink::global().setCategoryMask(
+            obs::parseTraceCategories(env));
+}
+
+BenchOutput::~BenchOutput()
+{
+    if (!written_)
+        write();
+}
+
+void
+BenchOutput::parseArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        const bool has_next = i + 1 < argc;
+        if (arg == "--json" && has_next) {
+            jsonPath_ = argv[++i];
+        } else if (arg == "--trace" && has_next) {
+            tracePath_ = argv[++i];
+        } else if (arg == "--trace-categories" && has_next) {
+            const char *list = argv[++i];
+            const std::uint32_t mask = obs::parseTraceCategories(list);
+            if (mask == 0)
+                fatal("%s: unknown trace category in '%s'\n"
+                      "valid: all, fault, alloc, migrate, walk, spot,"
+                      " daemon, phase (or a hex mask)",
+                      bench_.c_str(), list);
+            obs::TraceSink::global().setCategoryMask(mask);
+        } else {
+            fatal("%s: unknown argument '%s'\n"
+                  "usage: %s [--json FILE] [--trace FILE]"
+                  " [--trace-categories LIST]",
+                  bench_.c_str(), argv[i], bench_.c_str());
+        }
+    }
+}
+
+void
+BenchOutput::note(std::string_view key, std::string_view value)
+{
+    notes_.push_back({std::string(key), std::string(value), 0.0, false});
+}
+
+void
+BenchOutput::note(std::string_view key, double value)
+{
+    notes_.push_back({std::string(key), {}, value, true});
+}
+
+void
+BenchOutput::note(std::string_view key, std::uint64_t value)
+{
+    note(key, static_cast<double>(value));
+}
+
+void
+BenchOutput::add(const Report &rep)
+{
+    reports_.push_back(rep);
+}
+
+void
+BenchOutput::write()
+{
+    written_ = true;
+
+    if (!jsonPath_.empty()) {
+        JsonWriter w;
+        w.beginObject();
+        w.field("bench", bench_);
+
+        w.key("config");
+        w.beginObject();
+        w.field("host_nodes", ScaledDefaults::kHostNodes);
+        w.field("host_node_bytes", ScaledDefaults::kHostNodeBytes);
+        w.field("guest_nodes", ScaledDefaults::kGuestNodes);
+        w.field("guest_node_bytes", ScaledDefaults::kGuestNodeBytes);
+        for (const Note &n : notes_) {
+            w.key(n.key);
+            if (n.isNum)
+                w.value(n.num);
+            else
+                w.value(n.str);
+        }
+        w.endObject();
+
+        w.key("rows");
+        w.beginArray();
+        for (const Report &rep : reports_)
+            rep.toJson(w);
+        w.endArray();
+
+        w.key("metrics");
+        obs::MetricRegistry::global().writeJson(w);
+
+        w.endObject();
+
+        std::FILE *f = std::fopen(jsonPath_.c_str(), "w");
+        if (!f)
+            fatal("cannot open --json output '%s'", jsonPath_.c_str());
+        const std::string &doc = w.str();
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("json: wrote %s\n", jsonPath_.c_str());
+    }
+
+    if (!tracePath_.empty()) {
+        obs::TraceSink &sink = obs::TraceSink::global();
+        const bool ok = endsWith(tracePath_, ".jsonl")
+                            ? sink.writeJsonl(tracePath_)
+                            : sink.writeChromeTrace(tracePath_);
+        if (!ok)
+            fatal("cannot open --trace output '%s'", tracePath_.c_str());
+        std::printf("trace: wrote %s (%llu events, %llu dropped)\n",
+                    tracePath_.c_str(),
+                    static_cast<unsigned long long>(sink.size()),
+                    static_cast<unsigned long long>(sink.dropped()));
+    }
+
+    std::fflush(stdout);
+}
+
+} // namespace contig

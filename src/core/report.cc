@@ -1,11 +1,61 @@
 #include "core/report.hh"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 
+#include "base/json.hh"
 #include "core/config.hh"
 
 namespace contig
 {
+
+namespace
+{
+
+/**
+ * Write a table cell with its natural JSON type: plain numbers as
+ * numbers, "12.3%" percentages as their fraction, everything else
+ * (names, "1.2GiB" sizes) as strings.
+ */
+void
+writeCell(JsonWriter &w, const std::string &cell)
+{
+    if (!cell.empty()) {
+        errno = 0;
+        char *end = nullptr;
+        const double v = std::strtod(cell.c_str(), &end);
+        if (errno == 0 && end != cell.c_str()) {
+            if (*end == '\0') {
+                w.value(v);
+                return;
+            }
+            if (end[0] == '%' && end[1] == '\0') {
+                w.value(v / 100.0);
+                return;
+            }
+        }
+    }
+    w.value(cell);
+}
+
+} // namespace
+
+void
+Report::toJson(JsonWriter &w) const
+{
+    for (const auto &r : rows_) {
+        w.beginObject();
+        w.key("table");
+        w.value(caption_);
+        for (std::size_t c = 0; c < r.size() && c < columns_.size();
+             ++c) {
+            w.key(columns_[c]);
+            writeCell(w, r[c]);
+        }
+        w.endObject();
+    }
+}
 
 void
 Report::print() const

@@ -16,6 +16,8 @@
 namespace contig
 {
 
+class JsonWriter;
+
 /** Simple fixed-width text table. */
 class Report
 {
@@ -37,6 +39,18 @@ class Report
 
     /** Print to stdout. */
     void print() const;
+
+    const std::string &caption() const { return caption_; }
+    const std::vector<std::string> &columns() const { return columns_; }
+    const std::vector<std::vector<std::string>> &rows() const
+    { return rows_; }
+
+    /**
+     * Emit the table as one JSON array element per row: objects with a
+     * "table" key (the caption) plus one key per column. Numeric-
+     * looking cells are written as numbers ("87.3%" becomes 0.873).
+     */
+    void toJson(JsonWriter &w) const;
 
     /** Format helpers. */
     static std::string num(double v, int precision = 2);

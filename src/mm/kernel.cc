@@ -4,15 +4,67 @@
 
 #include "base/align.hh"
 #include "base/logging.hh"
+#include "obs/trace.hh"
 
 namespace contig
 {
 
 Kernel::Kernel(const KernelConfig &cfg,
                std::unique_ptr<AllocationPolicy> policy)
-    : cfg_(cfg), physMem_(cfg.phys), policy_(std::move(policy))
+    : cfg_(cfg), physMem_(cfg.phys), policy_(std::move(policy)),
+      faultPhase_(obs::Phase::bind(obs::MetricRegistry::global(),
+                                   cfg.metricsPrefix + ".fault")),
+      daemonPhase_(obs::Phase::bind(obs::MetricRegistry::global(),
+                                    cfg.metricsPrefix + ".daemon"))
 {
     contig_assert(policy_ != nullptr, "kernel needs an allocation policy");
+    metricSource_ = obs::MetricSource(
+        obs::MetricRegistry::global(), cfg_.metricsPrefix,
+        [this](obs::MetricSink &sink) { collectMetrics(sink); });
+}
+
+void
+Kernel::collectMetrics(obs::MetricSink &sink) const
+{
+    sink.counter("faults", faultStats_.faults);
+    sink.counter("huge_faults", faultStats_.hugeFaults);
+    sink.counter("base_faults", faultStats_.baseFaults);
+    sink.counter("cow_faults", faultStats_.cowFaults);
+    sink.counter("file_faults", faultStats_.fileFaults);
+    sink.counter("huge_fallbacks", faultStats_.hugeFallbacks);
+    sink.counter("fault_cycles", faultStats_.totalCycles);
+    if (faultStats_.latencyUs.count()) {
+        // quantile() sorts lazily; work on a copy to stay const.
+        Percentiles lat = faultStats_.latencyUs;
+        sink.gauge("fault_latency_us.p50", lat.quantile(0.50));
+        sink.gauge("fault_latency_us.p95", lat.quantile(0.95));
+        sink.gauge("fault_latency_us.p99", lat.quantile(0.99));
+    }
+    sink.gauge("kernel_pool_pages",
+               static_cast<double>(kernelPoolPages_));
+    sink.gauge("processes", static_cast<double>(processes_.size()));
+
+    for (const auto &[name, v] : counters_.all())
+        sink.counter(name, v);
+
+    // Per-zone allocator state merges into one "buddy." / one
+    // "contig_map." group (MetricSample::mergeFrom adds by name).
+    for (unsigned n = 0; n < physMem_.numNodes(); ++n) {
+        const Zone &zone = physMem_.zone(n);
+        {
+            obs::MetricSink::Scope s(sink, "buddy");
+            zone.buddy().collectMetrics(sink);
+        }
+        {
+            obs::MetricSink::Scope s(sink, "contig_map");
+            zone.contigMap().collectMetrics(sink);
+        }
+    }
+
+    {
+        obs::MetricSink::Scope s(sink, "policy");
+        policy_->collectMetrics(sink);
+    }
 }
 
 Kernel::~Kernel()
@@ -145,6 +197,7 @@ Kernel::claimFrames(Pfn pfn, unsigned order, FrameOwner kind,
         f.mapCount = 0;
     }
     physMem_.frame(pfn).refCount = 1;
+    CONTIG_TRACE(obs::TraceEventKind::Alloc, pfn, order, owner_id);
     if (backingHook)
         backingHook(pfn, order);
 }
@@ -216,16 +269,21 @@ Kernel::touch(Process &proc, Gva gva, Access access)
     const Vpn vpn = gva.pageNumber();
     auto m = proc.pageTable().lookup(vpn);
     if (m && m->valid()) {
-        if (access == Access::Write && m->cow)
+        if (access == Access::Write && m->cow) {
+            obs::ScopedPhase timer(faultPhase_, &faultStats_.totalCycles);
             cowFault(proc, *vma, vpn, *m);
+        }
         proc.noteTouched(*vma, vpn);
         return;
     }
 
-    if (vma->kind() == VmaKind::File)
-        fileFault(proc, *vma, vpn);
-    else
-        anonFault(proc, *vma, vpn);
+    {
+        obs::ScopedPhase timer(faultPhase_, &faultStats_.totalCycles);
+        if (vma->kind() == VmaKind::File)
+            fileFault(proc, *vma, vpn);
+        else
+            anonFault(proc, *vma, vpn);
+    }
     proc.noteTouched(*vma, vpn);
 }
 
@@ -258,6 +316,7 @@ Kernel::anonFault(Process &proc, Vma &vma, Vpn vpn)
     }
     if (!res.ok() && order == kHugeOrder) {
         ++faultStats_.hugeFallbacks;
+        CONTIG_TRACE(obs::TraceEventKind::HugeFallback, vpn);
         order = 0;
         base = vpn;
         res = policy_->allocate(*this, proc, vma, base, order);
@@ -348,6 +407,14 @@ Kernel::finishFault(Process &proc, Vma &vma, Vpn vpn, Pfn pfn,
     faultStats_.latencyUs.add(static_cast<double>(cycles) /
                               cfg_.cyclesPerUs);
 
+    if (file)
+        CONTIG_TRACE(obs::TraceEventKind::FileFault, vpn, pfn,
+                     vma.fileId());
+    else if (cow)
+        CONTIG_TRACE(obs::TraceEventKind::CowFault, vpn, pfn, order);
+    else
+        CONTIG_TRACE(obs::TraceEventKind::PageFault, vpn, pfn, order);
+
     if (onFault) {
         FaultEvent ev;
         ev.proc = &proc;
@@ -360,8 +427,11 @@ Kernel::finishFault(Process &proc, Vma &vma, Vpn vpn, Pfn pfn,
         onFault(ev);
     }
 
-    if (faultStats_.faults % cfg_.tickPeriodFaults == 0)
+    if (faultStats_.faults % cfg_.tickPeriodFaults == 0) {
+        CONTIG_TRACE(obs::TraceEventKind::DaemonTick, faultStats_.faults);
+        obs::ScopedPhase timer(daemonPhase_);
         policy_->onTick(*this);
+    }
 }
 
 void

@@ -21,6 +21,8 @@
 #include "mm/page_cache.hh"
 #include "mm/policy.hh"
 #include "mm/process.hh"
+#include "obs/metrics.hh"
+#include "obs/phase.hh"
 #include "phys/phys_mem.hh"
 
 namespace contig
@@ -44,6 +46,11 @@ struct KernelConfig
     std::uint64_t tickPeriodFaults = 256;
     /** Page-table radix depth: 4, or 5 (LA57) for huge-memory hosts. */
     unsigned pageTableLevels = kPtLevels;
+    /**
+     * MetricRegistry prefix this kernel reports under ("kernel" for
+     * the host; VirtualMachine sets "guest" for its guest kernel).
+     */
+    std::string metricsPrefix = "kernel";
 };
 
 /** Aggregate fault-path statistics (Table V inputs). */
@@ -171,6 +178,14 @@ class Kernel
     const FaultStats &faultStats() const { return faultStats_; }
     CounterSet &counters() { return counters_; }
 
+    /**
+     * Report this kernel's metrics: fault-path stats, the ad-hoc
+     * counters, per-zone buddy/contiguity-map state and the active
+     * policy's stats. Registered with MetricRegistry::global() under
+     * config().metricsPrefix for the kernel's lifetime.
+     */
+    void collectMetrics(obs::MetricSink &sink) const;
+
     /** Observer invoked after every fault (timeline sampling). */
     std::function<void(const FaultEvent &)> onFault;
 
@@ -196,6 +211,11 @@ class Kernel
     std::uint32_t nextPid_ = 1;
     FaultStats faultStats_;
     CounterSet counters_;
+    /** Phase timers (fault path, policy daemons). */
+    obs::Phase faultPhase_;
+    obs::Phase daemonPhase_;
+    /** Registration with the global MetricRegistry (absorb on death). */
+    obs::MetricSource metricSource_;
     /** Free node frames of the kernel metadata pool. */
     std::vector<Pfn> kernelPool_;
     std::uint64_t kernelPoolPages_ = 0;

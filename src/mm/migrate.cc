@@ -3,6 +3,7 @@
 #include "base/align.hh"
 #include "base/logging.hh"
 #include "mm/kernel.hh"
+#include "obs/trace.hh"
 
 namespace contig
 {
@@ -43,6 +44,7 @@ migrateLeaf(Kernel &kernel, Process &proc, Vpn vpn, Pfn dest_pfn)
     Pfn old = m->pfn;
     kernel.putFrame(old, order);
 
+    CONTIG_TRACE(obs::TraceEventKind::Migration, old, dest_pfn, n);
     kernel.counters().inc("migrate.pages", n);
     kernel.counters().inc("migrate.shootdowns");
     kernel.counters().inc("migrate.cycles",
@@ -105,6 +107,7 @@ swapLeaves(Kernel &kernel, Process &proc, Vpn vpn, Pfn dest_pfn)
         std::swap(fa.mapCount, fb.mapCount);
     }
 
+    CONTIG_TRACE(obs::TraceEventKind::Migration, m->pfn, dest_pfn, 2 * n);
     kernel.counters().inc("migrate.pages", 2 * n);
     kernel.counters().inc("migrate.shootdowns", 2);
     kernel.counters().inc("migrate.cycles",
@@ -149,6 +152,7 @@ promoteHuge(Kernel &kernel, Process &proc, Vpn huge_vpn)
     for (std::uint64_t i = 0; i < n; ++i)
         ++pm.frame(*huge + i).mapCount;
 
+    CONTIG_TRACE(obs::TraceEventKind::Promotion, huge_vpn, n);
     kernel.counters().inc("promote.pages", n);
     kernel.counters().inc("promote.cycles",
                           kernel.config().copyCyclesPerPage * n +

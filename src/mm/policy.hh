@@ -23,6 +23,7 @@ namespace contig
 class Kernel;
 class Process;
 class File;
+namespace obs { class MetricSink; }
 
 /** Outcome of a policy allocation. */
 struct AllocResult
@@ -96,6 +97,14 @@ class AllocationPolicy
      * them (see systemChurn).
      */
     virtual bool steersFilePlacement() const { return false; }
+
+    /**
+     * Report policy-specific metrics (the owning kernel scopes them
+     * under "policy."). Policies without interesting state emit
+     * nothing.
+     */
+    virtual void collectMetrics(obs::MetricSink &sink) const
+    { (void)sink; }
 };
 
 /**

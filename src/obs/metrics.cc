@@ -1,0 +1,271 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+
+#include "base/json.hh"
+#include "base/logging.hh"
+
+namespace contig
+{
+namespace obs
+{
+
+void
+MetricSample::mergeFrom(const MetricSample &other)
+{
+    contig_assert(type == other.type,
+                  "metric type mismatch while merging samples");
+    switch (type) {
+      case MetricType::Counter:
+        counter += other.counter;
+        break;
+      case MetricType::Gauge:
+        gauge += other.gauge;
+        break;
+      case MetricType::Summary:
+        summary.merge(other.summary);
+        break;
+      case MetricType::Histogram:
+        if (buckets.size() < other.buckets.size())
+            buckets.resize(other.buckets.size(), 0);
+        for (std::size_t i = 0; i < other.buckets.size(); ++i)
+            buckets[i] += other.buckets[i];
+        break;
+    }
+}
+
+MetricSample &
+MetricSink::at(std::string_view name, MetricType type)
+{
+    std::string full = prefix_;
+    full += name;
+    auto it = samples_.find(full);
+    if (it == samples_.end()) {
+        it = samples_.emplace(std::move(full), MetricSample{}).first;
+        it->second.type = type;
+    } else {
+        contig_assert(it->second.type == type,
+                      "metric '%s' reported with two types",
+                      it->first.c_str());
+    }
+    return it->second;
+}
+
+void
+MetricSink::counter(std::string_view name, std::uint64_t v)
+{
+    at(name, MetricType::Counter).counter += v;
+}
+
+void
+MetricSink::gauge(std::string_view name, double v)
+{
+    at(name, MetricType::Gauge).gauge += v;
+}
+
+void
+MetricSink::summary(std::string_view name, const Summary &s)
+{
+    at(name, MetricType::Summary).summary.merge(s);
+}
+
+void
+MetricSink::histogram(std::string_view name, const Log2Histogram &h)
+{
+    MetricSample &sample = at(name, MetricType::Histogram);
+    if (sample.buckets.size() < h.numBuckets())
+        sample.buckets.resize(h.numBuckets(), 0);
+    for (unsigned i = 0; i < h.numBuckets(); ++i)
+        sample.buckets[i] += h.bucket(i);
+}
+
+MetricSink::Scope::Scope(MetricSink &sink, std::string_view prefix)
+    : sink_(sink), savedLen_(sink.prefix_.size())
+{
+    sink_.prefix_ += prefix;
+    sink_.prefix_ += '.';
+}
+
+MetricSink::Scope::~Scope()
+{
+    sink_.prefix_.resize(savedLen_);
+}
+
+MetricRegistry &
+MetricRegistry::global()
+{
+    static MetricRegistry instance;
+    return instance;
+}
+
+namespace
+{
+
+MetricSample &
+ownedSlot(SampleMap &owned, std::string_view name, MetricType type)
+{
+    auto it = owned.find(name);
+    if (it == owned.end()) {
+        it = owned.emplace(std::string(name), MetricSample{}).first;
+        it->second.type = type;
+    } else {
+        contig_assert(it->second.type == type,
+                      "owned metric '%s' requested with two types",
+                      it->first.c_str());
+    }
+    return it->second;
+}
+
+} // namespace
+
+std::uint64_t &
+MetricRegistry::counter(std::string_view name)
+{
+    return ownedSlot(owned_, name, MetricType::Counter).counter;
+}
+
+double &
+MetricRegistry::gauge(std::string_view name)
+{
+    return ownedSlot(owned_, name, MetricType::Gauge).gauge;
+}
+
+Summary &
+MetricRegistry::summary(std::string_view name)
+{
+    return ownedSlot(owned_, name, MetricType::Summary).summary;
+}
+
+Log2Histogram &
+MetricRegistry::histogram(std::string_view name)
+{
+    // Owned histograms live as real Log2Histogram objects in a side
+    // table (so callers get the full add() API); snapshot() converts
+    // them to bucket vectors.
+    auto it = ownedHists_.find(name);
+    if (it == ownedHists_.end()) {
+        contig_assert(owned_.find(name) == owned_.end(),
+                      "owned metric '%s' requested with two types",
+                      std::string(name).c_str());
+        it = ownedHists_.emplace(std::string(name), Log2Histogram{}).first;
+    }
+    return it->second;
+}
+
+MetricRegistry::SourceId
+MetricRegistry::addSource(std::string prefix, CollectFn fn)
+{
+    const SourceId id = nextSourceId_++;
+    sources_.push_back({id, std::move(prefix), std::move(fn)});
+    return id;
+}
+
+void
+MetricRegistry::removeSource(SourceId id, bool absorb)
+{
+    auto it = std::find_if(sources_.begin(), sources_.end(),
+                           [&](const Source &s) { return s.id == id; });
+    if (it == sources_.end())
+        return;
+    if (absorb && it->fn) {
+        MetricSink sink;
+        MetricSink::Scope scope(sink, it->prefix);
+        it->fn(sink);
+        for (const auto &[name, sample] : sink.samples())
+            absorbSample(name, sample);
+    }
+    sources_.erase(it);
+}
+
+void
+MetricRegistry::absorbSample(const std::string &name,
+                             const MetricSample &sample)
+{
+    auto it = owned_.find(name);
+    if (it == owned_.end()) {
+        owned_.emplace(name, sample);
+        return;
+    }
+    it->second.mergeFrom(sample);
+}
+
+void
+MetricRegistry::collectInto(MetricSink &sink) const
+{
+    for (const Source &src : sources_) {
+        MetricSink::Scope scope(sink, src.prefix);
+        src.fn(sink);
+    }
+}
+
+SampleMap
+MetricRegistry::snapshot() const
+{
+    MetricSink sink;
+    collectInto(sink);
+    SampleMap out = sink.samples();
+    for (const auto &[name, sample] : owned_) {
+        auto [it, inserted] = out.emplace(name, sample);
+        if (!inserted)
+            it->second.mergeFrom(sample);
+    }
+    for (const auto &[name, hist] : ownedHists_) {
+        MetricSample sample;
+        sample.type = MetricType::Histogram;
+        sample.buckets.resize(hist.numBuckets());
+        for (unsigned i = 0; i < hist.numBuckets(); ++i)
+            sample.buckets[i] = hist.bucket(i);
+        auto it = out.find(name);
+        if (it == out.end())
+            out.emplace(name, std::move(sample));
+        else
+            it->second.mergeFrom(sample);
+    }
+    return out;
+}
+
+void
+MetricRegistry::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    for (const auto &[name, s] : snapshot()) {
+        w.key(name);
+        switch (s.type) {
+          case MetricType::Counter:
+            w.value(s.counter);
+            break;
+          case MetricType::Gauge:
+            w.value(s.gauge);
+            break;
+          case MetricType::Summary:
+            w.beginObject();
+            w.field("count", s.summary.count());
+            w.field("sum", s.summary.sum());
+            w.field("min", s.summary.min());
+            w.field("max", s.summary.max());
+            w.field("mean", s.summary.mean());
+            w.endObject();
+            break;
+          case MetricType::Histogram:
+            w.beginObject();
+            w.key("log2_buckets");
+            w.beginArray();
+            for (std::uint64_t b : s.buckets)
+                w.value(b);
+            w.endArray();
+            w.endObject();
+            break;
+        }
+    }
+    w.endObject();
+}
+
+void
+MetricRegistry::resetOwned()
+{
+    owned_.clear();
+    ownedHists_.clear();
+}
+
+} // namespace obs
+} // namespace contig

@@ -1,0 +1,21 @@
+#include "obs/phase.hh"
+
+#include "obs/metrics.hh"
+
+namespace contig
+{
+namespace obs
+{
+
+Phase
+Phase::bind(MetricRegistry &reg, std::string_view name)
+{
+    std::string base = "phase.";
+    base += name;
+    Summary &wall = reg.summary(base + ".wall_us");
+    Summary &cyc = reg.summary(base + ".cycles");
+    return Phase(TraceSink::global().intern(name), &wall, &cyc);
+}
+
+} // namespace obs
+} // namespace contig

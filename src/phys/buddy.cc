@@ -2,6 +2,7 @@
 
 #include "base/align.hh"
 #include "base/rng.hh"
+#include "obs/metrics.hh"
 
 namespace contig
 {
@@ -424,6 +425,20 @@ BuddyAllocator::checkInvariants() const
         }
     }
     return free_pages == freePages_;
+}
+
+void
+BuddyAllocator::collectMetrics(obs::MetricSink &sink) const
+{
+    sink.counter("alloc_calls", stats_.allocCalls);
+    sink.counter("alloc_specific_calls", stats_.allocSpecificCalls);
+    sink.counter("alloc_specific_failures", stats_.allocSpecificFailures);
+    sink.counter("split_count", stats_.splits);
+    sink.counter("merge_count", stats_.merges);
+    sink.counter("free_calls", stats_.freeCalls);
+    sink.gauge("free_pages", static_cast<double>(freePages_));
+    sink.gauge("free_top_blocks",
+               static_cast<double>(lists_[maxOrder_].count));
 }
 
 } // namespace contig

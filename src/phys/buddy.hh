@@ -28,6 +28,8 @@
 namespace contig
 {
 
+namespace obs { class MetricSink; }
+
 /** Statistics exported by a BuddyAllocator instance. */
 struct BuddyStats
 {
@@ -102,6 +104,9 @@ class BuddyAllocator
     std::uint64_t freePages() const { return freePages_; }
     std::uint64_t freeBlocks(unsigned order) const;
     const BuddyStats &stats() const { return stats_; }
+
+    /** Report counters + free-state gauges into a metric sink. */
+    void collectMetrics(obs::MetricSink &sink) const;
 
     /** Hooks for the ContiguityMap (top-order list changes). */
     void setTopListHooks(TopListHook on_insert, TopListHook on_remove);

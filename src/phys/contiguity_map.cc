@@ -2,6 +2,7 @@
 
 #include "base/align.hh"
 #include "base/logging.hh"
+#include "obs/metrics.hh"
 
 namespace contig
 {
@@ -213,6 +214,23 @@ ContiguityMap::checkInvariants() const
         first = false;
     }
     return pages == trackedPages_;
+}
+
+void
+ContiguityMap::collectMetrics(obs::MetricSink &sink) const
+{
+    sink.counter("inserts", stats_.inserts);
+    sink.counter("removes", stats_.removes);
+    sink.counter("merges", stats_.merges);
+    sink.counter("splits", stats_.splits);
+    sink.counter("placements", stats_.placements);
+    sink.counter("placement_scan_steps", stats_.placementScanSteps);
+    sink.gauge("clusters", static_cast<double>(clusters_.size()));
+    sink.gauge("free_pages_tracked", static_cast<double>(trackedPages_));
+    Log2Histogram sizes;
+    for (const auto &[start, len] : clusters_)
+        sizes.add(len);
+    sink.histogram("cluster_pages", sizes);
 }
 
 } // namespace contig

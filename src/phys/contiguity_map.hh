@@ -22,6 +22,8 @@
 namespace contig
 {
 
+namespace obs { class MetricSink; }
+
 /** A maximal run of free top-order blocks: [startPfn, startPfn+pages). */
 struct Cluster
 {
@@ -84,6 +86,9 @@ class ContiguityMap
     std::vector<Cluster> snapshot() const;
 
     const ContiguityMapStats &stats() const { return stats_; }
+
+    /** Report counters + cluster gauges/size histogram into a sink. */
+    void collectMetrics(obs::MetricSink &sink) const;
 
     /** Consistency check for the property tests. */
     bool checkInvariants() const;

@@ -3,6 +3,7 @@
 #include "base/align.hh"
 #include "base/logging.hh"
 #include "mm/kernel.hh"
+#include "obs/metrics.hh"
 
 namespace contig
 {
@@ -204,6 +205,18 @@ CaPagingPolicy::onMapped(Kernel &kernel, Process &proc, Vma &vma, Vpn vpn,
         }
         v += pagesInOrder(m->order);
     }
+}
+
+void
+CaPagingPolicy::collectMetrics(obs::MetricSink &sink) const
+{
+    sink.counter("placements", stats_.placements);
+    sink.counter("sub_vma_placements", stats_.subVmaPlacements);
+    sink.counter("offset_hits", stats_.offsetHits);
+    sink.counter("offset_misses", stats_.offsetMisses);
+    sink.counter("fallbacks", stats_.fallbacks);
+    sink.counter("file_placements", stats_.filePlacements);
+    sink.counter("marked_ptes", stats_.markedPtes);
 }
 
 } // namespace contig

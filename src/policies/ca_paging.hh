@@ -81,6 +81,8 @@ class CaPagingPolicy : public AllocationPolicy
     const CaPagingStats &stats() const { return stats_; }
     const CaPagingConfig &config() const { return cfg_; }
 
+    void collectMetrics(obs::MetricSink &sink) const override;
+
   protected:
     /**
      * Run a placement decision: next-fit over the contiguity maps

@@ -4,6 +4,7 @@
 
 #include "base/align.hh"
 #include "base/logging.hh"
+#include "obs/metrics.hh"
 
 namespace contig
 {
@@ -153,6 +154,15 @@ vhcEntriesFor99(const std::vector<Seg> &segs)
         best = std::min(best, vhcEntriesAt(segs, d, total));
     }
     return best;
+}
+
+void
+RangeTlb::collectMetrics(obs::MetricSink &sink) const
+{
+    sink.counter("lookups", stats_.lookups);
+    sink.counter("hits", stats_.hits);
+    sink.counter("refills", stats_.refills);
+    sink.counter("table_misses", stats_.tableMisses);
 }
 
 } // namespace contig

@@ -27,6 +27,8 @@
 namespace contig
 {
 
+namespace obs { class MetricSink; }
+
 /** vRMM range-TLB configuration (Table II: 32-entry, fully assoc). */
 struct RangeTlbConfig
 {
@@ -73,6 +75,9 @@ class RangeTlb
     bool access(Vpn vpn);
 
     const RangeTlbStats &stats() const { return stats_; }
+
+    /** Report lookup/hit/refill counters into a metric sink. */
+    void collectMetrics(obs::MetricSink &sink) const;
 
   private:
     struct Entry

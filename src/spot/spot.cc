@@ -1,6 +1,7 @@
 #include "spot/spot.hh"
 
 #include "base/logging.hh"
+#include "obs/metrics.hh"
 
 namespace contig
 {
@@ -128,6 +129,18 @@ SpotEngine::flush()
     for (auto &e : entries_)
         e.valid = false;
     pending_.reset();
+}
+
+void
+SpotEngine::collectMetrics(obs::MetricSink &sink) const
+{
+    sink.counter("lookups", stats_.lookups);
+    sink.counter("correct", stats_.correct);
+    sink.counter("mispredictions", stats_.mispredicted);
+    sink.counter("no_prediction", stats_.noPrediction);
+    sink.counter("fills", stats_.fills);
+    sink.counter("fills_blocked_by_bits", stats_.fillsBlockedByBits);
+    sink.counter("offset_replacements", stats_.offsetReplacements);
 }
 
 } // namespace contig

@@ -31,6 +31,8 @@
 namespace contig
 {
 
+namespace obs { class MetricSink; }
+
 /** SpOT configuration (Table II: 32-entry, 4-way set associative). */
 struct SpotConfig
 {
@@ -89,6 +91,9 @@ class SpotEngine
 
     const SpotStats &stats() const { return stats_; }
     const SpotConfig &config() const { return cfg_; }
+
+    /** Report prediction-outcome counters into a metric sink. */
+    void collectMetrics(obs::MetricSink &sink) const;
 
     void flush();
 

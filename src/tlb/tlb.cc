@@ -1,6 +1,7 @@
 #include "tlb/tlb.hh"
 
 #include "base/logging.hh"
+#include "obs/metrics.hh"
 
 namespace contig
 {
@@ -125,6 +126,38 @@ TlbHierarchy::flush()
     l1_2m_.flush();
     l2_4k_.flush();
     l2_2m_.flush();
+}
+
+void
+Tlb::collectMetrics(obs::MetricSink &sink) const
+{
+    sink.counter("lookups", stats_.lookups);
+    sink.counter("hits", stats_.hits);
+    sink.counter("fills", stats_.fills);
+    sink.counter("evictions", stats_.evictions);
+}
+
+void
+TlbHierarchy::collectMetrics(obs::MetricSink &sink) const
+{
+    {
+        obs::MetricSink::Scope s(sink, "l1_4k");
+        l1_4k_.collectMetrics(sink);
+    }
+    {
+        obs::MetricSink::Scope s(sink, "l1_2m");
+        l1_2m_.collectMetrics(sink);
+    }
+    {
+        obs::MetricSink::Scope s(sink, "l2_4k");
+        l2_4k_.collectMetrics(sink);
+    }
+    {
+        obs::MetricSink::Scope s(sink, "l2_2m");
+        l2_2m_.collectMetrics(sink);
+    }
+    sink.counter("accesses", accesses_);
+    sink.counter("l2_misses", l2Misses_);
 }
 
 } // namespace contig

@@ -17,6 +17,8 @@
 namespace contig
 {
 
+namespace obs { class MetricSink; }
+
 /** Geometry of one TLB array. */
 struct TlbConfig
 {
@@ -56,6 +58,9 @@ class Tlb
     unsigned pageOrder() const { return pageOrder_; }
     unsigned entries() const { return cfg_.sets * cfg_.ways; }
     const TlbStats &stats() const { return stats_; }
+
+    /** Report hit/miss counters into a metric sink. */
+    void collectMetrics(obs::MetricSink &sink) const;
 
   private:
     struct Entry
@@ -105,6 +110,9 @@ class TlbHierarchy
 
     std::uint64_t accesses() const { return accesses_; }
     std::uint64_t l2Misses() const { return l2Misses_; }
+
+    /** Report per-array + hierarchy counters into a metric sink. */
+    void collectMetrics(obs::MetricSink &sink) const;
 
     const Tlb &l1For(unsigned order) const
     { return order == kHugeOrder ? l1_2m_ : l1_4k_; }

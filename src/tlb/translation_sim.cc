@@ -1,13 +1,16 @@
 #include "tlb/translation_sim.hh"
 
 #include "base/logging.hh"
+#include "obs/trace.hh"
 
 namespace contig
 {
 
 TranslationSim::TranslationSim(const XlatConfig &cfg, const PageTable &pt)
     : cfg_(cfg), tlb_(cfg.tlb),
-      walker_(std::make_unique<Walker>(pt, cfg.walker))
+      walker_(std::make_unique<Walker>(pt, cfg.walker)),
+      walkPhase_(obs::Phase::bind(obs::MetricRegistry::global(),
+                                  "xlat.walk"))
 {
     init();
 }
@@ -16,7 +19,9 @@ TranslationSim::TranslationSim(const XlatConfig &cfg,
                                const PageTable &guest_pt,
                                const VirtualMachine &vm)
     : cfg_(cfg), tlb_(cfg.tlb),
-      walker_(std::make_unique<Walker>(guest_pt, vm, cfg.walker))
+      walker_(std::make_unique<Walker>(guest_pt, vm, cfg.walker)),
+      walkPhase_(obs::Phase::bind(obs::MetricRegistry::global(),
+                                  "xlat.walk"))
 {
     init();
 }
@@ -26,6 +31,40 @@ TranslationSim::init()
 {
     if (cfg_.scheme == XlatScheme::Spot)
         spot_ = std::make_unique<SpotEngine>(cfg_.spot);
+    metricSource_ = obs::MetricSource(
+        obs::MetricRegistry::global(), "xlat",
+        [this](obs::MetricSink &sink) { collectMetrics(sink); });
+}
+
+void
+TranslationSim::collectMetrics(obs::MetricSink &sink) const
+{
+    sink.counter("accesses", stats_.accesses);
+    sink.counter("l1_hits", stats_.l1Hits);
+    sink.counter("l2_hits", stats_.l2Hits);
+    sink.counter("walks", stats_.walks);
+    sink.counter("walk_refs", stats_.walkRefs);
+    sink.counter("walk_cycles", stats_.walkCycles);
+    sink.counter("exposed_cycles", stats_.exposedCycles);
+    sink.counter("range_hits", stats_.rangeHits);
+    sink.counter("segment_hits", stats_.segmentHits);
+    {
+        obs::MetricSink::Scope s(sink, "tlb");
+        sink.summary("l2_miss_latency", l2MissLatency_);
+        tlb_.collectMetrics(sink);
+    }
+    {
+        obs::MetricSink::Scope s(sink, "walker");
+        walker_->collectMetrics(sink);
+    }
+    if (spot_) {
+        obs::MetricSink::Scope s(sink, "spot");
+        spot_->collectMetrics(sink);
+    }
+    if (rangeTlb_) {
+        obs::MetricSink::Scope s(sink, "range_tlb");
+        rangeTlb_->collectMetrics(sink);
+    }
 }
 
 void
@@ -91,15 +130,23 @@ TranslationSim::access(const MemAccess &a)
     }
 
     // L2 miss: the verification/page walk always happens.
+    CONTIG_TRACE(obs::TraceEventKind::TlbL2Miss, vpn);
     auto prediction = spot_ ? spot_->predict(a.pc)
                             : std::optional<std::int64_t>{};
-    WalkResult walk = walker_->walk(vpn);
+    WalkResult walk;
+    {
+        obs::ScopedPhase timer(walkPhase_, &stats_.walkCycles);
+        walk = walker_->walk(vpn);
+        stats_.walkCycles += walk.cycles;
+    }
     contig_assert(walk.hit, "access to unmapped va 0x%llx",
                   static_cast<unsigned long long>(a.va.value));
+    if (walker_->virtualized())
+        CONTIG_TRACE(obs::TraceEventKind::NestedWalk, vpn, walk.refs,
+                     walk.cycles);
 
     ++stats_.walks;
     stats_.walkRefs += walk.refs;
-    stats_.walkCycles += walk.cycles;
 
     Cycles exposed = walk.cycles;
     switch (cfg_.scheme) {
@@ -114,14 +161,19 @@ TranslationSim::access(const MemAccess &a)
           switch (out) {
             case SpotOutcome::Correct:
               ++stats_.spotCorrect;
+              CONTIG_TRACE(obs::TraceEventKind::SpotCorrect, a.pc,
+                           static_cast<std::uint64_t>(walk.offset));
               exposed = 0; // walk latency fully hidden
               break;
             case SpotOutcome::Mispredicted:
               ++stats_.spotMispredicted;
+              CONTIG_TRACE(obs::TraceEventKind::SpotMispredict, a.pc,
+                           static_cast<std::uint64_t>(walk.offset));
               exposed = walk.cycles + cfg_.spot.flushPenaltyCycles;
               break;
             case SpotOutcome::NoPrediction:
               ++stats_.spotNoPrediction;
+              CONTIG_TRACE(obs::TraceEventKind::SpotNoPredict, a.pc);
               break;
           }
           (void)prediction;
@@ -140,6 +192,7 @@ TranslationSim::access(const MemAccess &a)
     }
 
     stats_.exposedCycles += exposed;
+    l2MissLatency_.add(static_cast<double>(exposed));
     tlb_.fill(vpn, walk.mapping.order);
 }
 

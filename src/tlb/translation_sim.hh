@@ -14,6 +14,8 @@
 #include <memory>
 #include <optional>
 
+#include "obs/metrics.hh"
+#include "obs/phase.hh"
 #include "ranges/ranges.hh"
 #include "spot/spot.hh"
 #include "tlb/tlb.hh"
@@ -102,6 +104,14 @@ class TranslationSim
     const SpotEngine *spot() const { return spot_.get(); }
     const RangeTlb *rangeTlb() const { return rangeTlb_.get(); }
 
+    /**
+     * Report pipeline metrics: access/hit/walk counters, the L2-miss
+     * latency summary, and the TLB/walker/SpOT component groups.
+     * Registered with MetricRegistry::global() under "xlat" for the
+     * simulator's lifetime.
+     */
+    void collectMetrics(obs::MetricSink &sink) const;
+
   private:
     void init();
 
@@ -118,6 +128,10 @@ class TranslationSim
      */
     std::vector<DirectSegment> segments_;
     XlatStats stats_;
+    /** Exposed translation cycles per L2 miss (walk + scheme effects). */
+    Summary l2MissLatency_;
+    obs::Phase walkPhase_;
+    obs::MetricSource metricSource_;
 };
 
 } // namespace contig

@@ -1,6 +1,7 @@
 #include "tlb/walker.hh"
 
 #include "base/logging.hh"
+#include "obs/metrics.hh"
 #include "virt/vm.hh"
 
 namespace contig
@@ -165,6 +166,16 @@ Walker::walk(Vpn vpn)
     res.cycles = refs * cfg_.cyclesPerRef;
     stats_.totalRefs += refs;
     return res;
+}
+
+void
+Walker::collectMetrics(obs::MetricSink &sink) const
+{
+    sink.counter("walks", stats_.walks);
+    sink.counter("total_refs", stats_.totalRefs);
+    sink.counter("psc_hits", stats_.pscHits);
+    sink.counter("nested_tlb_hits", stats_.nestedTlbHits);
+    sink.counter("nested_tlb_lookups", stats_.nestedTlbLookups);
 }
 
 } // namespace contig

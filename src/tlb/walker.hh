@@ -27,6 +27,7 @@ namespace contig
 {
 
 class VirtualMachine;
+namespace obs { class MetricSink; }
 
 /** Walker knobs. */
 struct WalkerConfig
@@ -91,6 +92,9 @@ class Walker
     bool virtualized() const { return vm_ != nullptr; }
     const WalkerStats &stats() const { return stats_; }
     const WalkerConfig &config() const { return cfg_; }
+
+    /** Report walk/cache counters into a metric sink. */
+    void collectMetrics(obs::MetricSink &sink) const;
 
     /** Flush the PSC and nested TLB (context switch). */
     void flushCaches();

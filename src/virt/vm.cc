@@ -24,6 +24,10 @@ VirtualMachine::VirtualMachine(Kernel &host,
     KernelConfig gk = cfg.guestKernel;
     gk.phys.bytesPerNode = cfg.guestBytesPerNode;
     gk.phys.numNodes = cfg.guestNodes;
+    // Keep guest metrics apart from the host kernel's, unless the
+    // caller already chose a distinct prefix.
+    if (gk.metricsPrefix == "kernel")
+        gk.metricsPrefix = "guest";
     guest_ = std::make_unique<Kernel>(gk, std::move(guest_policy));
 
     // Nested faults: first allocation of guest frames touches the

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "base/json.hh"
+
+using namespace contig;
+
+TEST(JsonWriter, EmptyObject)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.endObject();
+    EXPECT_TRUE(w.complete());
+    EXPECT_EQ(w.str(), "{}");
+}
+
+TEST(JsonWriter, EmptyArray)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.endArray();
+    EXPECT_EQ(w.str(), "[]");
+}
+
+TEST(JsonWriter, ObjectCommas)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("a", 1);
+    w.field("b", 2);
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"a\":1,\"b\":2}");
+}
+
+TEST(JsonWriter, ArrayCommas)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(1);
+    w.value(2);
+    w.value(3);
+    w.endArray();
+    EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(JsonWriter, Nesting)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("rows");
+    w.beginArray();
+    w.beginObject();
+    w.field("x", true);
+    w.endObject();
+    w.beginObject();
+    w.endObject();
+    w.endArray();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"rows\":[{\"x\":true},{}]}");
+}
+
+TEST(JsonWriter, Scalars)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(true);
+    w.value(false);
+    w.null();
+    w.value(std::uint64_t{18446744073709551615ull});
+    w.value(std::int64_t{-5});
+    w.endArray();
+    EXPECT_EQ(w.str(), "[true,false,null,18446744073709551615,-5]");
+}
+
+TEST(JsonWriter, Doubles)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(1.5);
+    w.value(0.0);
+    w.value(-2.25);
+    w.endArray();
+    EXPECT_EQ(w.str(), "[1.5,0,-2.25]");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(std::numeric_limits<double>::quiet_NaN());
+    w.value(std::numeric_limits<double>::infinity());
+    w.value(-std::numeric_limits<double>::infinity());
+    w.endArray();
+    EXPECT_EQ(w.str(), "[null,null,null]");
+}
+
+TEST(JsonWriter, TopLevelScalar)
+{
+    JsonWriter w;
+    w.value("hi");
+    EXPECT_TRUE(w.complete());
+    EXPECT_EQ(w.str(), "\"hi\"");
+}
+
+TEST(JsonWriter, CompleteTracksNesting)
+{
+    JsonWriter w;
+    EXPECT_FALSE(w.complete());
+    w.beginObject();
+    EXPECT_FALSE(w.complete());
+    w.key("k");
+    w.beginArray();
+    EXPECT_FALSE(w.complete());
+    w.endArray();
+    w.endObject();
+    EXPECT_TRUE(w.complete());
+}
+
+TEST(JsonWriter, MoveOutString)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.endObject();
+    std::string s = std::move(w).str();
+    EXPECT_EQ(s, "{}");
+}
+
+TEST(JsonEscape, PassThrough)
+{
+    EXPECT_EQ(JsonWriter::escape("plain ascii 123"), "plain ascii 123");
+    // UTF-8 multibyte sequences pass through untouched.
+    EXPECT_EQ(JsonWriter::escape("\xC3\xA9"), "\xC3\xA9");
+}
+
+TEST(JsonEscape, Specials)
+{
+    EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(JsonWriter::escape("\n\t\r\b\f"), "\\n\\t\\r\\b\\f");
+}
+
+TEST(JsonEscape, ControlCharacters)
+{
+    EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+    EXPECT_EQ(JsonWriter::escape(std::string_view("\x1f", 1)), "\\u001f");
+    EXPECT_EQ(JsonWriter::escape(std::string_view("\0", 1)), "\\u0000");
+}
+
+TEST(JsonWriter, EscapedKeyAndValue)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("quote\"key", "line\nbreak");
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"quote\\\"key\":\"line\\nbreak\"}");
+}

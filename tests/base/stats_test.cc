@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "base/stats.hh"
 
 using namespace contig;
@@ -115,4 +117,68 @@ TEST(Geomean, Basic)
     EXPECT_DOUBLE_EQ(geomean({}), 0.0);
     EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-9);
     EXPECT_NEAR(geomean({5.0}), 5.0, 1e-9);
+}
+
+TEST(Percentiles, LinearInterpolationR7)
+{
+    Percentiles p;
+    for (double v : {10.0, 20.0, 30.0, 40.0})
+        p.add(v);
+    // R-7: i = q * (n - 1), linear between closest ranks.
+    EXPECT_DOUBLE_EQ(p.quantile(0.25), 17.5);
+    EXPECT_DOUBLE_EQ(p.quantile(0.5), 25.0);
+    EXPECT_DOUBLE_EQ(p.quantile(0.75), 32.5);
+    EXPECT_DOUBLE_EQ(p.quantile(1.0 / 3.0), 20.0);
+}
+
+TEST(Percentiles, OutOfRangeQuantileIsClamped)
+{
+    Percentiles p;
+    p.add(5.0);
+    p.add(15.0);
+    EXPECT_DOUBLE_EQ(p.quantile(-0.5), 5.0);
+    EXPECT_DOUBLE_EQ(p.quantile(2.0), 15.0);
+    EXPECT_DOUBLE_EQ(p.quantile(std::nan("")), 5.0);
+}
+
+TEST(Percentiles, SingleSampleAnyQuantile)
+{
+    Percentiles p;
+    p.add(42.0);
+    EXPECT_DOUBLE_EQ(p.quantile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(p.quantile(0.37), 42.0);
+    EXPECT_DOUBLE_EQ(p.quantile(1.0), 42.0);
+}
+
+TEST(Summary, Merge)
+{
+    Summary a, b;
+    a.add(1.0);
+    a.add(3.0);
+    b.add(-2.0);
+    b.add(10.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.min(), -2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 10.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+
+    Summary empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 4u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 4u);
+    EXPECT_DOUBLE_EQ(empty.min(), -2.0);
+}
+
+TEST(CounterSet, HeterogeneousLookup)
+{
+    CounterSet c;
+    const std::string_view sv = "spot.mispredictions";
+    c.inc(sv);
+    c.inc(sv, 2);
+    c.inc(std::string("spot.mispredictions"));
+    EXPECT_EQ(c.get(sv), 4u);
+    EXPECT_EQ(c.get("spot.mispredictions"), 4u);
+    EXPECT_EQ(c.all().size(), 1u);
 }

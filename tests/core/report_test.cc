@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "base/json.hh"
 #include "core/report.hh"
 
 using namespace contig;
@@ -37,4 +38,51 @@ TEST(Report, PrintDoesNotCrash)
     std::string out = ::testing::internal::GetCapturedStdout();
     EXPECT_NE(out.find("test table"), std::string::npos);
     EXPECT_NE(out.find("wide cell value"), std::string::npos);
+}
+
+TEST(Report, ToJsonRowsWithTypedCells)
+{
+    Report rep("Fig. X — demo");
+    rep.header({"workload", "cov32", "maps", "size"});
+    rep.row({"svm", "87.3%", "27", "1.5GiB"});
+    rep.row({"geomean", "90.0%", "31.5", "2.0GiB"});
+
+    JsonWriter w;
+    w.beginArray();
+    rep.toJson(w);
+    w.endArray();
+    ASSERT_TRUE(w.complete());
+    const std::string out = w.str();
+
+    // Caption tags every row; percentages become fractions, plain
+    // numbers become numbers, sizes stay strings.
+    EXPECT_NE(out.find("\"table\":\"Fig. X — demo\""), std::string::npos);
+    EXPECT_NE(out.find("\"workload\":\"svm\""), std::string::npos);
+    EXPECT_NE(out.find("\"cov32\":0.873"), std::string::npos);
+    EXPECT_NE(out.find("\"maps\":27"), std::string::npos);
+    EXPECT_NE(out.find("\"size\":\"1.5GiB\""), std::string::npos);
+    EXPECT_NE(out.find("\"maps\":31.5"), std::string::npos);
+}
+
+TEST(Report, ToJsonEmptyTable)
+{
+    Report rep("empty");
+    rep.header({"a"});
+    JsonWriter w;
+    w.beginArray();
+    rep.toJson(w);
+    w.endArray();
+    EXPECT_EQ(w.str(), "[]");
+}
+
+TEST(Report, AccessorsExposeTable)
+{
+    Report rep("cap");
+    rep.header({"a", "b"});
+    rep.row({"1", "2"});
+    EXPECT_EQ(rep.caption(), "cap");
+    ASSERT_EQ(rep.columns().size(), 2u);
+    EXPECT_EQ(rep.columns()[1], "b");
+    ASSERT_EQ(rep.rows().size(), 1u);
+    EXPECT_EQ(rep.rows()[0][0], "1");
 }

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hh"
+#include "obs/phase.hh"
+#include "obs/trace.hh"
+
+using namespace contig;
+using namespace contig::obs;
+
+namespace
+{
+
+/** Reset the global sink around each test (it is process-wide). */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        TraceSink::global().setCategoryMask(0);
+        TraceSink::global().setCapacity(1024);
+    }
+
+    void
+    TearDown() override
+    {
+        TraceSink::global().setCategoryMask(0);
+        TraceSink::global().clear();
+    }
+
+    std::string
+    tmpPath(const char *name)
+    {
+        return ::testing::TempDir() + name;
+    }
+
+    std::string
+    slurp(const std::string &path)
+    {
+        std::ifstream in(path);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        return ss.str();
+    }
+};
+
+} // namespace
+
+TEST_F(TraceTest, MaskGatesRecording)
+{
+    TraceSink &sink = TraceSink::global();
+    CONTIG_TRACE(TraceEventKind::PageFault, 1, 2, 0);
+    EXPECT_EQ(sink.size(), 0u);
+
+    sink.setCategoryMask(kCatFault);
+    CONTIG_TRACE(TraceEventKind::PageFault, 1, 2, 0);
+    CONTIG_TRACE(TraceEventKind::Alloc, 9, 9, 9); // alloc still masked
+    EXPECT_EQ(sink.size(), 1u);
+
+    sink.setCategoryMask(kCatAll);
+    CONTIG_TRACE(TraceEventKind::Alloc, 9, 9, 9);
+    EXPECT_EQ(sink.size(), 2u);
+}
+
+TEST_F(TraceTest, WantsIsExactBitTest)
+{
+    TraceSink &sink = TraceSink::global();
+    sink.setCategoryMask(kCatSpot | kCatWalk);
+    EXPECT_TRUE(sink.wants(kCatSpot));
+    EXPECT_TRUE(sink.wants(kCatWalk));
+    EXPECT_FALSE(sink.wants(kCatFault));
+    EXPECT_FALSE(sink.wants(kCatPhase));
+}
+
+TEST_F(TraceTest, EventsCarryArgsAndKind)
+{
+    TraceSink &sink = TraceSink::global();
+    sink.setCategoryMask(kCatAll);
+    sink.record(TraceEventKind::Migration, 100, 200, 512);
+
+    auto evs = sink.events();
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_EQ(evs[0].kind, TraceEventKind::Migration);
+    EXPECT_EQ(evs[0].args[0], 100u);
+    EXPECT_EQ(evs[0].args[1], 200u);
+    EXPECT_EQ(evs[0].args[2], 512u);
+}
+
+TEST_F(TraceTest, RingOverwritesOldest)
+{
+    TraceSink &sink = TraceSink::global();
+    sink.setCapacity(4);
+    sink.setCategoryMask(kCatAll);
+    for (std::uint64_t i = 0; i < 6; ++i)
+        sink.record(TraceEventKind::PageFault, i, 0, 0);
+
+    EXPECT_EQ(sink.size(), 4u);
+    EXPECT_EQ(sink.recorded(), 6u);
+    EXPECT_EQ(sink.dropped(), 2u);
+    auto evs = sink.events();
+    ASSERT_EQ(evs.size(), 4u);
+    // Oldest-first: events 2..5 survive.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(evs[i].args[0], i + 2);
+}
+
+TEST_F(TraceTest, InternIsStableAndDeduplicated)
+{
+    TraceSink &sink = TraceSink::global();
+    const char *a = sink.intern("kernel.fault");
+    const char *b = sink.intern("kernel.fault");
+    const char *c = sink.intern("xlat.walk");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_STREQ(c, "xlat.walk");
+}
+
+TEST_F(TraceTest, ChromeTraceExport)
+{
+    TraceSink &sink = TraceSink::global();
+    sink.setCategoryMask(kCatAll);
+    sink.record(TraceEventKind::SpotMispredict, 0x400000, 42, 0);
+    sink.recordSpan(sink.intern("kernel.fault"), 1000, 5000, 77);
+
+    const std::string path = tmpPath("chrome_trace.json");
+    ASSERT_TRUE(sink.writeChromeTrace(path));
+    const std::string doc = slurp(path);
+
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\"spot_mispredict\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(doc.find("\"kernel.fault\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(doc.find("\"dur\":5"), std::string::npos); // 5000ns = 5us
+    EXPECT_NE(doc.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, JsonlExport)
+{
+    TraceSink &sink = TraceSink::global();
+    sink.setCategoryMask(kCatAll);
+    sink.record(TraceEventKind::TlbL2Miss, 0xabc, 0, 0);
+    sink.record(TraceEventKind::NestedWalk, 0xabc, 24, 960);
+
+    const std::string path = tmpPath("trace.jsonl");
+    ASSERT_TRUE(sink.writeJsonl(path));
+    std::ifstream in(path);
+    std::string line;
+    int lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"ts_ns\""), std::string::npos);
+    }
+    EXPECT_EQ(lines, 2);
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, ParseCategories)
+{
+    EXPECT_EQ(parseTraceCategories("all"), kCatAll);
+    EXPECT_EQ(parseTraceCategories(""), kCatAll);
+    EXPECT_EQ(parseTraceCategories("fault"), kCatFault);
+    EXPECT_EQ(parseTraceCategories("fault,spot,walk"),
+              kCatFault | kCatSpot | kCatWalk);
+    EXPECT_EQ(parseTraceCategories("0x1f"), 0x1fu);
+    EXPECT_EQ(parseTraceCategories("bogus"), 0u);
+}
+
+TEST_F(TraceTest, PhaseAccumulatesAndEmitsSpans)
+{
+    TraceSink &sink = TraceSink::global();
+    sink.setCategoryMask(kCatPhase);
+
+    MetricRegistry reg;
+    Phase phase = Phase::bind(reg, "test.region");
+    Cycles sim = 0;
+    {
+        ScopedPhase timer(phase, &sim);
+        sim += 1234;
+    }
+    {
+        ScopedPhase timer(phase, &sim);
+        sim += 766;
+    }
+
+    SampleMap snap = reg.snapshot();
+    EXPECT_EQ(snap.at("phase.test.region.wall_us").summary.count(), 2u);
+    EXPECT_DOUBLE_EQ(snap.at("phase.test.region.cycles").summary.sum(),
+                     2000.0);
+    ASSERT_EQ(sink.size(), 2u);
+    auto evs = sink.events();
+    EXPECT_EQ(evs[0].kind, TraceEventKind::PhaseSpan);
+    EXPECT_STREQ(evs[0].spanName, "test.region");
+    EXPECT_EQ(evs[0].args[0], 1234u);
+}
+
+TEST_F(TraceTest, DisabledPhaseStillAccumulatesMetrics)
+{
+    TraceSink::global().setCategoryMask(0);
+    MetricRegistry reg;
+    Phase phase = Phase::bind(reg, "quiet");
+    {
+        ScopedPhase timer(phase);
+    }
+    EXPECT_EQ(TraceSink::global().size(), 0u);
+    EXPECT_EQ(reg.snapshot().at("phase.quiet.wall_us").summary.count(),
+              1u);
+}
