@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI entry point: build Release and ASan+UBSan configurations and run
+# the full test suite on both. Usage: scripts/ci.sh [build-root]
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-$root/build-ci}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+build_and_test() {
+    local name="$1"
+    shift
+    echo "=== [$name] configure ==="
+    cmake -S "$root" -B "$out/$name" "$@"
+    echo "=== [$name] build ==="
+    cmake --build "$out/$name" -j "$jobs"
+    echo "=== [$name] ctest ==="
+    ctest --test-dir "$out/$name" --output-on-failure
+}
+
+build_and_test release -DCMAKE_BUILD_TYPE=Release
+build_and_test asan-ubsan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCONTIG_SANITIZE=ON
+
+echo "CI: all configurations green"

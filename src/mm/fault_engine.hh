@@ -1,0 +1,273 @@
+/**
+ * @file
+ * The FaultEngine: the demand-paging pipeline between the MMU-facing
+ * entry points (Process::touch, readFile, fork, nested backing) and
+ * the AllocationPolicy / buddy allocator. Every fault flows through
+ * the same explicit stages:
+ *
+ *   classify -> granularity decision -> policy placement ->
+ *   claim/zero-copy -> PTE install -> post-map hooks
+ *
+ * carried by a FaultRequest (what the caller wants resolved) and a
+ * FaultContext (what each stage decided). The engine owns the fault
+ * statistics, the fault/daemon phase timers and the policy-daemon
+ * clock; the Kernel shrinks to ownership and frame/metadata services.
+ *
+ * Besides the single-fault path, the engine has a first-class batch
+ * path: handleRange() resolves a whole vpn span with one VMA lookup,
+ * tick-aligned chunks of policy allocateBatch() calls, and grouped
+ * PTE installs (PageTable::RunMapper). The host kernel, guest
+ * kernels (nested backing faults), the page cache (readahead fills)
+ * and fork's COW sharing all go through this one pipeline; see
+ * DESIGN.md "Fault pipeline" for the batching contract policies must
+ * honor. `KernelConfig::faultBatching = false` degrades every batch
+ * entry point to the per-fault loop, which the golden-equivalence
+ * test uses to prove the two paths produce identical placements.
+ */
+
+#ifndef CONTIG_MM_FAULT_ENGINE_HH
+#define CONTIG_MM_FAULT_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "mm/policy.hh"
+#include "mm/process.hh"
+#include "obs/phase.hh"
+
+namespace contig
+{
+
+class File;
+class Kernel;
+struct KernelConfig;
+struct Mapping;
+
+/** What a fault resolves. */
+enum class FaultKind : std::uint8_t
+{
+    Anon, //!< first touch of anonymous memory (zero-filled)
+    Cow,  //!< write to a shared mapping (copy + remap)
+    File, //!< first touch of a file mapping (page-cache lookup)
+};
+
+/** How handleRange() accounts touched pages. */
+enum class TouchNote : std::uint8_t
+{
+    /** Every page of the span counts as touched (touchRange). */
+    AllPages,
+    /**
+     * Only fault origins count: one probe per huge stride plus a
+     * sweep of still-unmapped pages — the nested-backing semantics
+     * (a guest frame allocation touches the host once per huge
+     * region it spans, not once per page).
+     */
+    Origins,
+};
+
+/** Aggregate fault-path statistics (Table V inputs). */
+struct FaultStats
+{
+    std::uint64_t faults = 0;
+    std::uint64_t hugeFaults = 0;
+    std::uint64_t baseFaults = 0;
+    std::uint64_t cowFaults = 0;
+    std::uint64_t fileFaults = 0;
+    Cycles totalCycles = 0;
+    Percentiles latencyUs;
+};
+
+/** One fault, as reported to experiment observers. */
+struct FaultEvent
+{
+    Process *proc = nullptr;
+    Vma *vma = nullptr;
+    Vpn vpn = 0;
+    Pfn pfn = kInvalidPfn;
+    unsigned order = 0;
+    bool cow = false;
+    bool file = false;
+};
+
+/**
+ * What a caller asks the engine to resolve: a vpn span of one
+ * process. `vma` is an optional hint; spans may cross VMA boundaries
+ * (the engine re-resolves per VMA).
+ */
+struct FaultRequest
+{
+    Process *proc = nullptr;
+    Vma *vma = nullptr;
+    Vpn vpn = 0;
+    std::uint64_t pages = 1;
+    Access access = Access::Write;
+};
+
+/**
+ * Per-fault resolution state flowing through the pipeline stages:
+ * classify fills kind, the granularity stage fills base/order, the
+ * placement stage fills alloc (and fallback when a huge request was
+ * demoted), the accounting stage fills cycles.
+ */
+struct FaultContext
+{
+    FaultKind kind = FaultKind::Anon;
+    Vpn vpn = 0;        //!< faulting page (the origin)
+    Vpn base = 0;       //!< order-aligned install base
+    unsigned order = 0; //!< resolved granularity (0 or kHugeOrder)
+    AllocResult alloc;
+    AllocFail fallback = AllocFail::None; //!< demotion reason, if any
+    Cycles cycles = 0;
+};
+
+/** Batch-path observability ("fault.batch.*"). */
+struct FaultBatchStats
+{
+    std::uint64_t rangeRequests = 0; //!< handleRange() calls
+    std::uint64_t rangePages = 0;    //!< pages those spans covered
+    std::uint64_t chunks = 0;        //!< tick-aligned commit chunks
+    std::uint64_t batchedFaults = 0; //!< faults resolved via allocateBatch
+    Log2Histogram chunkPages;        //!< chunk-size distribution
+    /** Pages filled per page-cache readahead batch. */
+    Log2Histogram readaheadPages;
+};
+
+class FaultEngine
+{
+  public:
+    explicit FaultEngine(Kernel &kernel);
+
+    FaultEngine(const FaultEngine &) = delete;
+    FaultEngine &operator=(const FaultEngine &) = delete;
+
+    // --- single-fault path ----------------------------------------------
+
+    /** The access entry point: fault / COW-resolve vpn as needed. */
+    void touch(Process &proc, Gva gva, Access access);
+
+    // --- batch paths ----------------------------------------------------
+
+    /**
+     * Resolve every fault a walk of the span would raise. With
+     * KernelConfig::faultBatching this runs the batched pipeline
+     * (one VMA lookup, allocateBatch chunks that never cross a
+     * policy-tick boundary, grouped installs); without it, the exact
+     * per-fault loop. Placements, fault statistics and policy state
+     * are identical either way.
+     */
+    void handleRange(const FaultRequest &span,
+                     TouchNote note = TouchNote::AllPages);
+
+    /**
+     * read()-style page-cache population for [page_start,
+     * page_start + n_pages): batched readahead-window fills, the
+     * placement steered per batch (not per page) when the policy
+     * steers file placement. Fatal if a requested page cannot be
+     * cached.
+     */
+    void readFile(File &file, std::uint64_t page_start,
+                  std::uint64_t n_pages);
+
+    /**
+     * Ensure file_page (and its readahead window) is cached; returns
+     * its frame, or kInvalidPfn on OOM.
+     */
+    Pfn ensureFileCached(File &file, std::uint64_t file_page);
+
+    /**
+     * fork(): COW-share every leaf of parent's pvma into the child's
+     * already-created cvma (write-protect parent, map shared in
+     * child, bump share counts).
+     */
+    void shareCowRange(Process &parent, Process &child, Vma &pvma,
+                       Vma &cvma);
+
+    // --- services for pre-populating policies (eager paging) ------------
+
+    /**
+     * Claim a buddy block the policy already allocated and install it
+     * over [vpn, vpn + 2^order), at 2 MiB grain where alignment
+     * allows, 4 KiB otherwise (grouped installs).
+     */
+    void installPrepared(Process &proc, Vma &vma, Vpn vpn, Pfn pfn,
+                         unsigned order);
+
+    /**
+     * Charge one bulk fault-like stall for `pages` freshly zeroed
+     * pages (eager paging's mmap stall: one fault event, the whole
+     * zeroing cost).
+     */
+    void chargeBulkStall(std::uint64_t pages);
+
+    // --- clock / observation --------------------------------------------
+
+    /** Simulated time = faults handled so far (all processes). */
+    std::uint64_t now() const { return stats_.faults; }
+
+    FaultStats &stats() { return stats_; }
+    const FaultStats &stats() const { return stats_; }
+    const FaultBatchStats &batchStats() const { return batch_; }
+
+    /** Report fault.batch.* / readahead metrics (kernel-scoped). */
+    void collectMetrics(obs::MetricSink &sink) const;
+
+  private:
+    // --- pipeline stages -------------------------------------------------
+
+    /** Granularity decision for an anon fault at vpn (THP or 4 KiB). */
+    void classifyAnon(Process &proc, Vma &vma, FaultContext &ctx) const;
+    /** Policy placement incl. direct reclaim and huge demotion. */
+    void placeAnon(Process &proc, Vma &vma, FaultContext &ctx);
+    /** claim + PTE install + accounting for a resolved anon fault. */
+    void installAnon(Process &proc, Vma &vma, FaultContext &ctx);
+
+    void anonFault(Process &proc, Vma &vma, Vpn vpn);
+    void cowFault(Process &proc, Vma &vma, Vpn vpn, const Mapping &m);
+    void fileFault(Process &proc, Vma &vma, Vpn vpn);
+    void finishFault(Process &proc, Vma &vma, Vpn vpn, Pfn pfn,
+                     unsigned order, Cycles cycles, bool cow, bool file);
+
+    // --- batch internals -------------------------------------------------
+
+    /** Per-fault reference loop (faultBatching off / golden arm). */
+    void resolveSpanSingle(Process &proc, const FaultRequest &span,
+                           TouchNote note);
+    /** Batched resolution of [start, end) inside one VMA. */
+    void resolveSpan(Process &proc, Vma &vma, Vpn start, Vpn end,
+                     Access access, bool note_all);
+    Vpn resolveAnonGap(Process &proc, Vma &vma, Vpn gap_start,
+                       Vpn gap_end, Vpn span_end, bool note_all);
+    void resolveFileGap(Process &proc, Vma &vma, Vpn gap_start,
+                        Vpn gap_end);
+    /** Allocate + install + finish the queued order-0 slots. */
+    void commitAnonChunk(Process &proc, Vma &vma);
+    /** Faults remaining until the next policy tick (always >= 1). */
+    std::uint64_t tickBudget() const;
+
+    /**
+     * Fill every uncached page of [begin, end) of `file`, consulting
+     * steersFilePlacement() once and allocating uncached runs through
+     * allocateFileRange(). Stops at the first allocation failure.
+     */
+    void fillFileSpan(File &file, std::uint64_t begin, std::uint64_t end);
+
+    Kernel &kernel_;
+    const KernelConfig &cfg_;
+    FaultStats stats_;
+    FaultBatchStats batch_;
+    /** Reused slot/result buffers for the batch paths. */
+    std::vector<FaultSlot> slots_;
+    std::vector<AllocResult> fileResults_;
+    /** Phase timers (fault path, policy daemons, batch stages). */
+    obs::Phase faultPhase_;
+    obs::Phase daemonPhase_;
+    obs::Phase placePhase_;
+    obs::Phase installPhase_;
+    obs::Phase fillPhase_;
+};
+
+} // namespace contig
+
+#endif // CONTIG_MM_FAULT_ENGINE_HH

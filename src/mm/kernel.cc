@@ -11,13 +11,10 @@ namespace contig
 
 Kernel::Kernel(const KernelConfig &cfg,
                std::unique_ptr<AllocationPolicy> policy)
-    : cfg_(cfg), physMem_(cfg.phys), policy_(std::move(policy)),
-      faultPhase_(obs::Phase::bind(obs::MetricRegistry::global(),
-                                   cfg.metricsPrefix + ".fault")),
-      daemonPhase_(obs::Phase::bind(obs::MetricRegistry::global(),
-                                    cfg.metricsPrefix + ".daemon"))
+    : cfg_(cfg), physMem_(cfg.phys), policy_(std::move(policy))
 {
     contig_assert(policy_ != nullptr, "kernel needs an allocation policy");
+    engine_ = std::make_unique<FaultEngine>(*this);
     metricSource_ = obs::MetricSource(
         obs::MetricRegistry::global(), cfg_.metricsPrefix,
         [this](obs::MetricSink &sink) { collectMetrics(sink); });
@@ -26,20 +23,21 @@ Kernel::Kernel(const KernelConfig &cfg,
 void
 Kernel::collectMetrics(obs::MetricSink &sink) const
 {
-    sink.counter("faults", faultStats_.faults);
-    sink.counter("huge_faults", faultStats_.hugeFaults);
-    sink.counter("base_faults", faultStats_.baseFaults);
-    sink.counter("cow_faults", faultStats_.cowFaults);
-    sink.counter("file_faults", faultStats_.fileFaults);
-    sink.counter("huge_fallbacks", faultStats_.hugeFallbacks);
-    sink.counter("fault_cycles", faultStats_.totalCycles);
-    if (faultStats_.latencyUs.count()) {
+    const FaultStats &fs = engine_->stats();
+    sink.counter("faults", fs.faults);
+    sink.counter("huge_faults", fs.hugeFaults);
+    sink.counter("base_faults", fs.baseFaults);
+    sink.counter("cow_faults", fs.cowFaults);
+    sink.counter("file_faults", fs.fileFaults);
+    sink.counter("fault_cycles", fs.totalCycles);
+    if (fs.latencyUs.count()) {
         // quantile() sorts lazily; work on a copy to stay const.
-        Percentiles lat = faultStats_.latencyUs;
+        Percentiles lat = fs.latencyUs;
         sink.gauge("fault_latency_us.p50", lat.quantile(0.50));
         sink.gauge("fault_latency_us.p95", lat.quantile(0.95));
         sink.gauge("fault_latency_us.p99", lat.quantile(0.99));
     }
+    engine_->collectMetrics(sink);
     sink.gauge("kernel_pool_pages",
                static_cast<double>(kernelPoolPages_));
     sink.gauge("processes", static_cast<double>(processes_.size()));
@@ -64,6 +62,7 @@ Kernel::collectMetrics(obs::MetricSink &sink) const
     {
         obs::MetricSink::Scope s(sink, "policy");
         policy_->collectMetrics(sink);
+        policy_->collectFailMetrics(sink);
     }
 }
 
@@ -124,14 +123,7 @@ void
 Kernel::readFile(File &file, std::uint64_t page_start,
                  std::uint64_t n_pages)
 {
-    contig_assert(page_start + n_pages <= file.sizePages(),
-                  "readFile beyond EOF");
-    for (std::uint64_t p = page_start; p < page_start + n_pages; ++p) {
-        if (file.isCached(p))
-            continue;
-        if (pageCache_.ensureCached(*this, file, p) == kInvalidPfn)
-            fatal("out of memory reading file %u", file.id());
-    }
+    engine_->readFile(file, page_start, n_pages);
 }
 
 Vma &
@@ -162,9 +154,8 @@ Kernel::unmapVmaPages(Process &proc, Vma &vma)
     // Collect the leaves first: unmapping while iterating would
     // invalidate the traversal.
     std::vector<std::pair<Vpn, Mapping>> leaves;
-    pt.forEachLeaf([&](Vpn vpn, const Mapping &m) {
-        if (vpn >= start && vpn < end)
-            leaves.emplace_back(vpn, m);
+    pt.forEachLeafIn(start, end, [&](Vpn vpn, const Mapping &m) {
+        leaves.emplace_back(vpn, m);
     });
     for (auto &[vpn, m] : leaves) {
         pt.unmap(vpn, m.order);
@@ -262,176 +253,7 @@ Kernel::freeKernelFrame(Pfn pfn)
 void
 Kernel::touch(Process &proc, Gva gva, Access access)
 {
-    Vma *vma = proc.addressSpace().findVma(gva);
-    contig_assert(vma, "touch outside any VMA (gva 0x%llx)",
-                  static_cast<unsigned long long>(gva.value));
-
-    const Vpn vpn = gva.pageNumber();
-    auto m = proc.pageTable().lookup(vpn);
-    if (m && m->valid()) {
-        if (access == Access::Write && m->cow) {
-            obs::ScopedPhase timer(faultPhase_, &faultStats_.totalCycles);
-            cowFault(proc, *vma, vpn, *m);
-        }
-        proc.noteTouched(*vma, vpn);
-        return;
-    }
-
-    {
-        obs::ScopedPhase timer(faultPhase_, &faultStats_.totalCycles);
-        if (vma->kind() == VmaKind::File)
-            fileFault(proc, *vma, vpn);
-        else
-            anonFault(proc, *vma, vpn);
-    }
-    proc.noteTouched(*vma, vpn);
-}
-
-void
-Kernel::anonFault(Process &proc, Vma &vma, Vpn vpn)
-{
-    unsigned order = 0;
-    if (cfg_.thpEnabled && policy_->allowsHugeFaults() &&
-        vma.coversAligned(vpn, kHugeOrder)) {
-        // THP faults require the whole aligned huge range unmapped.
-        Vpn huge_base = vpn & ~(pagesInOrder(kHugeOrder) - 1);
-        bool range_clear = true;
-        for (Vpn v = huge_base;
-             v < huge_base + pagesInOrder(kHugeOrder) && range_clear;
-             v += 1) {
-            if (proc.pageTable().lookup(v))
-                range_clear = false;
-        }
-        if (range_clear)
-            order = kHugeOrder;
-    }
-
-    Vpn base = vpn & ~(pagesInOrder(order) - 1);
-    AllocResult res = policy_->allocate(*this, proc, vma, base, order);
-    if (!res.ok()) {
-        // Direct reclaim: evict clean page-cache pages and retry.
-        dropCaches();
-        counters_.inc("reclaim.direct");
-        res = policy_->allocate(*this, proc, vma, base, order);
-    }
-    if (!res.ok() && order == kHugeOrder) {
-        ++faultStats_.hugeFallbacks;
-        CONTIG_TRACE(obs::TraceEventKind::HugeFallback, vpn);
-        order = 0;
-        base = vpn;
-        res = policy_->allocate(*this, proc, vma, base, order);
-    }
-    if (!res.ok())
-        fatal("out of memory: anon fault in %s (vma %u)",
-              proc.name().c_str(), vma.id());
-
-    claimFrames(res.pfn, order, FrameOwner::Anon, proc.pid(),
-                base << kPageShift);
-    proc.pageTable().map(base, res.pfn, order, true, false);
-    const std::uint64_t n = pagesInOrder(order);
-    for (std::uint64_t i = 0; i < n; ++i)
-        ++physMem_.frame(res.pfn + i).mapCount;
-    vma.allocatedPages += n;
-
-    const Cycles cycles = cfg_.faultBaseCycles +
-                          cfg_.zeroCyclesPerPage * n + res.placementCycles;
-    policy_->onMapped(*this, proc, vma, base, res.pfn, order);
-    finishFault(proc, vma, base, res.pfn, order, cycles, false, false);
-}
-
-void
-Kernel::cowFault(Process &proc, Vma &vma, Vpn vpn, const Mapping &m)
-{
-    const unsigned order = m.order;
-    const Vpn base = vpn & ~(pagesInOrder(order) - 1);
-
-    AllocResult res = policy_->allocate(*this, proc, vma, base, order);
-    if (!res.ok())
-        fatal("out of memory: COW fault in %s", proc.name().c_str());
-
-    claimFrames(res.pfn, order, FrameOwner::Anon, proc.pid(),
-                base << kPageShift);
-    proc.pageTable().unmap(base, order);
-    const std::uint64_t n = pagesInOrder(order);
-    for (std::uint64_t i = 0; i < n; ++i) {
-        --physMem_.frame(m.pfn + i).mapCount;
-        ++physMem_.frame(res.pfn + i).mapCount;
-    }
-    putFrame(m.pfn, order);
-    proc.pageTable().map(base, res.pfn, order, true, false);
-
-    const Cycles cycles = cfg_.faultBaseCycles +
-                          cfg_.copyCyclesPerPage * n + res.placementCycles;
-    ++faultStats_.cowFaults;
-    policy_->onMapped(*this, proc, vma, base, res.pfn, order);
-    finishFault(proc, vma, base, res.pfn, order, cycles, true, false);
-}
-
-void
-Kernel::fileFault(Process &proc, Vma &vma, Vpn vpn)
-{
-    File &file = pageCache_.file(vma.fileId());
-    const std::uint64_t file_page =
-        vma.fileOffsetPages() + (vpn - vma.start().pageNumber());
-    contig_assert(file_page < file.sizePages(),
-                  "file fault beyond EOF (page %llu)",
-                  static_cast<unsigned long long>(file_page));
-
-    Pfn pfn = pageCache_.ensureCached(*this, file, file_page);
-    if (pfn == kInvalidPfn)
-        fatal("out of memory: page-cache fault in %s", proc.name().c_str());
-
-    // File mappings are shared read-only in this model.
-    proc.pageTable().map(vpn, pfn, 0, false, false);
-    getFrame(pfn);
-    ++physMem_.frame(pfn).mapCount;
-    vma.allocatedPages += 1;
-
-    ++faultStats_.fileFaults;
-    const Cycles cycles = cfg_.faultBaseCycles;
-    finishFault(proc, vma, vpn, pfn, 0, cycles, false, true);
-}
-
-void
-Kernel::finishFault(Process &proc, Vma &vma, Vpn vpn, Pfn pfn,
-                    unsigned order, Cycles cycles, bool cow, bool file)
-{
-    ++faultStats_.faults;
-    if (!cow && !file) {
-        if (order == kHugeOrder)
-            ++faultStats_.hugeFaults;
-        else
-            ++faultStats_.baseFaults;
-    }
-    faultStats_.totalCycles += cycles;
-    faultStats_.latencyUs.add(static_cast<double>(cycles) /
-                              cfg_.cyclesPerUs);
-
-    if (file)
-        CONTIG_TRACE(obs::TraceEventKind::FileFault, vpn, pfn,
-                     vma.fileId());
-    else if (cow)
-        CONTIG_TRACE(obs::TraceEventKind::CowFault, vpn, pfn, order);
-    else
-        CONTIG_TRACE(obs::TraceEventKind::PageFault, vpn, pfn, order);
-
-    if (onFault) {
-        FaultEvent ev;
-        ev.proc = &proc;
-        ev.vma = &vma;
-        ev.vpn = vpn;
-        ev.pfn = pfn;
-        ev.order = order;
-        ev.cow = cow;
-        ev.file = file;
-        onFault(ev);
-    }
-
-    if (faultStats_.faults % cfg_.tickPeriodFaults == 0) {
-        CONTIG_TRACE(obs::TraceEventKind::DaemonTick, faultStats_.faults);
-        obs::ScopedPhase timer(daemonPhase_);
-        policy_->onTick(*this);
-    }
+    engine_->touch(proc, gva, access);
 }
 
 void
@@ -443,25 +265,7 @@ Kernel::forkInto(Process &parent, Process &child)
             return;
         Vma &cvma = child.addressSpace().mmap(
             pvma.bytes(), VmaKind::Anon, pvma.start());
-        PageTable &ppt = parent.pageTable();
-        PageTable &cpt = child.pageTable();
-        const Vpn start = pvma.start().pageNumber();
-        const Vpn end = start + pvma.pages();
-        std::vector<std::pair<Vpn, Mapping>> leaves;
-        ppt.forEachLeaf([&](Vpn vpn, const Mapping &m) {
-            if (vpn >= start && vpn < end)
-                leaves.emplace_back(vpn, m);
-        });
-        for (auto &[vpn, m] : leaves) {
-            // Write-protect the parent's leaf and share it COW.
-            ppt.setWritable(vpn, false, true);
-            cpt.map(vpn, m.pfn, m.order, false, true);
-            getFrame(m.pfn);
-            const std::uint64_t n = pagesInOrder(m.order);
-            for (std::uint64_t i = 0; i < n; ++i)
-                ++physMem_.frame(m.pfn + i).mapCount;
-            cvma.allocatedPages += n;
-        }
+        engine_->shareCowRange(parent, child, pvma, cvma);
     });
 }
 

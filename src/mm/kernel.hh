@@ -18,11 +18,11 @@
 #include <vector>
 
 #include "base/stats.hh"
+#include "mm/fault_engine.hh"
 #include "mm/page_cache.hh"
 #include "mm/policy.hh"
 #include "mm/process.hh"
 #include "obs/metrics.hh"
-#include "obs/phase.hh"
 #include "phys/phys_mem.hh"
 
 namespace contig
@@ -47,36 +47,24 @@ struct KernelConfig
     /** Page-table radix depth: 4, or 5 (LA57) for huge-memory hosts. */
     unsigned pageTableLevels = kPtLevels;
     /**
+     * Resolve range touches through the FaultEngine's batched pipeline
+     * (one VMA lookup + chunked placement per span). Placements and
+     * fault statistics are identical with it off — the switch exists
+     * for the golden-equivalence test and for A/B timing.
+     */
+    bool faultBatching = true;
+    /**
+     * Time the placement/install stages of every *single* fault too
+     * (the batch path always times per chunk). Off by default: two
+     * extra clock reads per stage per fault is exactly the overhead
+     * the batch path amortizes away.
+     */
+    bool faultStageTimers = false;
+    /**
      * MetricRegistry prefix this kernel reports under ("kernel" for
      * the host; VirtualMachine sets "guest" for its guest kernel).
      */
     std::string metricsPrefix = "kernel";
-};
-
-/** Aggregate fault-path statistics (Table V inputs). */
-struct FaultStats
-{
-    std::uint64_t faults = 0;
-    std::uint64_t hugeFaults = 0;
-    std::uint64_t baseFaults = 0;
-    std::uint64_t cowFaults = 0;
-    std::uint64_t fileFaults = 0;
-    /** Huge allocations that failed and fell back to 4 KiB. */
-    std::uint64_t hugeFallbacks = 0;
-    Cycles totalCycles = 0;
-    Percentiles latencyUs;
-};
-
-/** One fault, as reported to experiment observers. */
-struct FaultEvent
-{
-    Process *proc = nullptr;
-    Vma *vma = nullptr;
-    Vpn vpn = 0;
-    Pfn pfn = kInvalidPfn;
-    unsigned order = 0;
-    bool cow = false;
-    bool file = false;
 };
 
 class Kernel
@@ -135,6 +123,13 @@ class Kernel
     /** The access entry point: fault / COW-resolve as needed. */
     void touch(Process &proc, Gva gva, Access access);
 
+    /**
+     * The demand-paging pipeline every fault flows through. Callers
+     * with a whole span to resolve should use its handleRange().
+     */
+    FaultEngine &faultEngine() { return *engine_; }
+    const FaultEngine &faultEngine() const { return *engine_; }
+
     /** COW-share every anon mapping of parent into child (fork). */
     void forkInto(Process &parent, Process &child);
 
@@ -171,11 +166,11 @@ class Kernel
     // --- clock / observation ---------------------------------------------
 
     /** Simulated time = faults handled so far (all processes). */
-    std::uint64_t now() const { return faultStats_.faults; }
+    std::uint64_t now() const { return engine_->now(); }
 
     const KernelConfig &config() const { return cfg_; }
-    FaultStats &faultStats() { return faultStats_; }
-    const FaultStats &faultStats() const { return faultStats_; }
+    FaultStats &faultStats() { return engine_->stats(); }
+    const FaultStats &faultStats() const { return engine_->stats(); }
     CounterSet &counters() { return counters_; }
 
     /**
@@ -196,11 +191,6 @@ class Kernel
     std::function<void(Pfn, unsigned)> backingHook;
 
   private:
-    void anonFault(Process &proc, Vma &vma, Vpn vpn);
-    void cowFault(Process &proc, Vma &vma, Vpn vpn, const Mapping &m);
-    void fileFault(Process &proc, Vma &vma, Vpn vpn);
-    void finishFault(Process &proc, Vma &vma, Vpn vpn, Pfn pfn,
-                     unsigned order, Cycles cycles, bool cow, bool file);
     void unmapVmaPages(Process &proc, Vma &vma);
 
     KernelConfig cfg_;
@@ -209,11 +199,13 @@ class Kernel
     PageCache pageCache_;
     std::vector<std::unique_ptr<Process>> processes_;
     std::uint32_t nextPid_ = 1;
-    FaultStats faultStats_;
     CounterSet counters_;
-    /** Phase timers (fault path, policy daemons). */
-    obs::Phase faultPhase_;
-    obs::Phase daemonPhase_;
+    /**
+     * The fault pipeline (owns the fault stats and phase timers).
+     * Declared before metricSource_: the collect callback reads it,
+     * so it must outlive the registration.
+     */
+    std::unique_ptr<FaultEngine> engine_;
     /** Registration with the global MetricRegistry (absorb on death). */
     obs::MetricSource metricSource_;
     /** Free node frames of the kernel metadata pool. */

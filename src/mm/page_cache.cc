@@ -31,32 +31,6 @@ PageCache::file(std::uint32_t id)
     return *files_[id];
 }
 
-Pfn
-PageCache::ensureCached(Kernel &kernel, File &file, std::uint64_t file_page)
-{
-    if (file.isCached(file_page))
-        return file.frameFor(file_page);
-
-    // Readahead: populate [file_page, file_page + window), skipping
-    // already-cached pages.
-    const std::uint64_t end =
-        std::min(file.sizePages(), file_page + kReadaheadPages);
-    for (std::uint64_t p = file_page; p < end; ++p) {
-        if (file.isCached(p))
-            continue;
-        AllocResult res = kernel.policy().allocateFilePage(kernel, file, p);
-        if (!res.ok()) {
-            return file.isCached(file_page) ? file.frameFor(file_page)
-                                            : kInvalidPfn;
-        }
-        kernel.claimFrames(res.pfn, 0, FrameOwner::PageCache, file.id(),
-                           p * kPageSize);
-        file.install(p, res.pfn);
-        kernel.counters().inc("pagecache.filled");
-    }
-    return file.frameFor(file_page);
-}
-
 void
 PageCache::dropCaches(Kernel &kernel)
 {

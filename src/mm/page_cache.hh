@@ -68,8 +68,9 @@ class File
 };
 
 /**
- * The kernel's page cache: owns files and serves (allocating on miss,
- * with readahead) the frames backing file mappings.
+ * The kernel's page cache: owns the files. Cache misses are filled by
+ * the FaultEngine (readahead-window fills, placement steered by the
+ * active policy); eviction lives here.
  */
 class PageCache
 {
@@ -77,13 +78,6 @@ class PageCache
     File &createFile(std::uint64_t size_pages);
 
     File &file(std::uint32_t id);
-
-    /**
-     * Ensure file_page (and a readahead window after it) is cached;
-     * returns the frame for file_page. Allocation goes through the
-     * kernel's policy. Returns kInvalidPfn on OOM.
-     */
-    Pfn ensureCached(Kernel &kernel, File &file, std::uint64_t file_page);
 
     /** Drop every cached page of every file, freeing the frames. */
     void dropCaches(Kernel &kernel);

@@ -1,5 +1,7 @@
 #include "mm/page_table.hh"
 
+#include <algorithm>
+
 #include "base/align.hh"
 #include "base/logging.hh"
 
@@ -222,6 +224,90 @@ PageTable::forEachLeaf(
     const std::function<void(Vpn, const Mapping &)> &fn) const
 {
     forEachLeafIn(root_.get(), 0, fn);
+}
+
+void
+PageTable::forEachLeafInRange(
+    const Node *node, Vpn base, Vpn start, Vpn end,
+    const std::function<void(Vpn, const Mapping &)> &fn) const
+{
+    const std::uint64_t span = std::uint64_t{1} << (9 * (node->level - 1));
+    unsigned i = start > base ? static_cast<unsigned>((start - base) / span)
+                              : 0;
+    for (; i < kPtFanout; ++i) {
+        const Vpn child_base = base + i * span;
+        if (child_base >= end)
+            return;
+        const Slot &slot = node->slots[i];
+        if (slot.present)
+            fn(child_base, slot.leaf);
+        else if (slot.child)
+            forEachLeafInRange(slot.child.get(), child_base, start, end, fn);
+    }
+}
+
+void
+PageTable::forEachLeafIn(
+    Vpn start, Vpn end,
+    const std::function<void(Vpn, const Mapping &)> &fn) const
+{
+    if (start < end)
+        forEachLeafInRange(root_.get(), 0, start, end, fn);
+}
+
+Vpn
+PageTable::findMappedInNode(const Node *node, Vpn base, Vpn start,
+                            Vpn end) const
+{
+    const std::uint64_t span = std::uint64_t{1} << (9 * (node->level - 1));
+    unsigned i = start > base ? static_cast<unsigned>((start - base) / span)
+                              : 0;
+    for (; i < kPtFanout; ++i) {
+        const Vpn child_base = base + i * span;
+        if (child_base >= end)
+            break;
+        const Slot &slot = node->slots[i];
+        if (slot.present)
+            return std::max(start, child_base);
+        if (slot.child) {
+            const Vpn hit = findMappedInNode(slot.child.get(), child_base,
+                                             start, end);
+            if (hit < end)
+                return hit;
+        }
+    }
+    return end;
+}
+
+Vpn
+PageTable::findMappedIn(Vpn start, Vpn end) const
+{
+    if (start >= end)
+        return end;
+    return findMappedInNode(root_.get(), 0, start, end);
+}
+
+void
+PageTable::RunMapper::map(Vpn vpn, Pfn pfn, bool writable, bool cow)
+{
+    const Vpn block = vpn & ~static_cast<Vpn>(kPtFanout - 1);
+    if (!l1_ || block != l1Base_) {
+        Node *node = pt_.root_.get();
+        while (node->level > 1)
+            node = pt_.ensureChild(node, indexAt(vpn, node->level));
+        l1_ = node;
+        l1Base_ = block;
+    }
+    Slot &slot = l1_->slots[indexAt(vpn, 1)];
+    contig_assert(!slot.present,
+                  "mapping over an existing translation (vpn %llu)",
+                  static_cast<unsigned long long>(vpn));
+    slot.present = true;
+    slot.leaf = Mapping{pfn, 0, writable, cow, false};
+    ++pt_.stats_.maps;
+    ++pt_.stats_.mappedBasePages;
+    if (pt_.updateHook_)
+        pt_.updateHook_(vpn, slot.leaf, true);
 }
 
 Pfn

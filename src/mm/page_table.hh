@@ -129,6 +129,27 @@ class PageTable
     void forEachLeaf(
         const std::function<void(Vpn, const Mapping &)> &fn) const;
 
+    /**
+     * Visit every leaf intersecting [start, end), ascending. One radix
+     * descent that skips subtrees outside the range — the FaultEngine's
+     * batch paths (fork COW sharing, VMA teardown) use this instead of
+     * filtering a whole-table walk.
+     */
+    void forEachLeafIn(
+        Vpn start, Vpn end,
+        const std::function<void(Vpn, const Mapping &)> &fn) const;
+
+    /**
+     * First vpn in [start, end) covered by a present leaf, or `end`
+     * when the whole range is unmapped. A single descent skipping
+     * absent subtrees; replaces per-page lookup loops (the THP
+     * range-clear check, the FaultEngine's gap scan).
+     */
+    Vpn findMappedIn(Vpn start, Vpn end) const;
+
+    /** Batched 4 KiB leaf installs; defined after the class. */
+    class RunMapper;
+
     /** Frame number of the root node (the CR3 analogue). */
     Pfn rootFrame() const;
 
@@ -177,6 +198,14 @@ class PageTable
     forEachLeafIn(const Node *node, Vpn base,
                   const std::function<void(Vpn, const Mapping &)> &fn) const;
 
+    void
+    forEachLeafInRange(
+        const Node *node, Vpn base, Vpn start, Vpn end,
+        const std::function<void(Vpn, const Mapping &)> &fn) const;
+
+    Vpn findMappedInNode(const Node *node, Vpn base, Vpn start,
+                         Vpn end) const;
+
     NodeAlloc nodeAlloc_;
     NodeFree nodeFree_;
     UpdateHook updateHook_;
@@ -184,6 +213,32 @@ class PageTable
     std::unique_ptr<Node> root_;
     Pfn syntheticNext_;
     PageTableStats stats_;
+};
+
+/**
+ * Batched 4 KiB installs: caches the level-1 node across map() calls
+ * so a run of base-page installs inside one 2 MiB region costs one
+ * descent instead of one per page. Semantics are identical to
+ * PageTable::map(vpn, pfn, 0, ...) — stats and the update hook fire
+ * per leaf. The cache must be invalidated (or the mapper discarded)
+ * before any page-table mutation made behind its back that can free
+ * nodes (unmap, huge promotion).
+ */
+class PageTable::RunMapper
+{
+  public:
+    explicit RunMapper(PageTable &pt) : pt_(pt) {}
+
+    /** Install a 4 KiB leaf at vpn (the slot must be empty). */
+    void map(Vpn vpn, Pfn pfn, bool writable, bool cow);
+
+    /** Drop the cached node (after external page-table mutations). */
+    void invalidate() { l1_ = nullptr; }
+
+  private:
+    PageTable &pt_;
+    Node *l1_ = nullptr;
+    Vpn l1Base_ = ~Vpn{0};
 };
 
 } // namespace contig

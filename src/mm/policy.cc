@@ -1,9 +1,61 @@
 #include "mm/policy.hh"
 
 #include "mm/kernel.hh"
+#include "obs/metrics.hh"
 
 namespace contig
 {
+
+const char *
+allocFailName(AllocFail f)
+{
+    switch (f) {
+      case AllocFail::None: return "ok";
+      case AllocFail::NoHugeBlock: return "no_huge_block";
+      case AllocFail::Oom: return "oom";
+    }
+    return "?";
+}
+
+AllocResult
+buddyAlloc(Kernel &kernel, unsigned order, NodeId node)
+{
+    AllocResult res;
+    if (auto pfn = kernel.physMem().alloc(order, node))
+        res.pfn = *pfn;
+    else
+        res = AllocResult::failure(order);
+    return res;
+}
+
+void
+AllocationPolicy::noteAllocFail(AllocFail f)
+{
+    if (f == AllocFail::NoHugeBlock)
+        ++failCounts_.noHugeBlock;
+    else if (f == AllocFail::Oom)
+        ++failCounts_.oom;
+}
+
+void
+AllocationPolicy::collectFailMetrics(obs::MetricSink &sink) const
+{
+    sink.counter("fallback.no_huge_block", failCounts_.noHugeBlock);
+    sink.counter("fallback.oom", failCounts_.oom);
+}
+
+std::size_t
+AllocationPolicy::allocateBatch(Kernel &kernel, Process &proc, Vma &vma,
+                                FaultSlot *slots, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        slots[i].res = allocate(kernel, proc, vma, slots[i].base,
+                                slots[i].order);
+        if (!slots[i].res.ok())
+            return i;
+    }
+    return n;
+}
 
 AllocResult
 AllocationPolicy::allocateFilePage(Kernel &kernel, File &file,
@@ -11,10 +63,20 @@ AllocationPolicy::allocateFilePage(Kernel &kernel, File &file,
 {
     (void)file;
     (void)file_page;
-    AllocResult res;
-    if (auto pfn = kernel.physMem().alloc(0, 0))
-        res.pfn = *pfn;
-    return res;
+    return buddyAlloc(kernel, 0, 0);
+}
+
+std::size_t
+AllocationPolicy::allocateFileRange(Kernel &kernel, File &file,
+                                    std::uint64_t first_page,
+                                    std::size_t n, AllocResult *out)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = allocateFilePage(kernel, file, first_page + i);
+        if (!out[i].ok())
+            return i;
+    }
+    return n;
 }
 
 AllocResult
@@ -23,10 +85,7 @@ DefaultThpPolicy::allocate(Kernel &kernel, Process &proc, Vma &vma,
 {
     (void)vma;
     (void)vpn;
-    AllocResult res;
-    if (auto pfn = kernel.physMem().alloc(order, proc.homeNode()))
-        res.pfn = *pfn;
-    return res;
+    return buddyAlloc(kernel, order, proc.homeNode());
 }
 
 AllocResult
@@ -35,10 +94,7 @@ Base4kPolicy::allocate(Kernel &kernel, Process &proc, Vma &vma, Vpn vpn,
 {
     (void)vma;
     (void)vpn;
-    AllocResult res;
-    if (auto pfn = kernel.physMem().alloc(order, proc.homeNode()))
-        res.pfn = *pfn;
-    return res;
+    return buddyAlloc(kernel, order, proc.homeNode());
 }
 
 } // namespace contig

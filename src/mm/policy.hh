@@ -25,14 +25,64 @@ class Process;
 class File;
 namespace obs { class MetricSink; }
 
+/**
+ * Typed reason an allocation came back empty. `NoHugeBlock` is the
+ * retryable failure (no block at the requested huge order; the
+ * FaultEngine demotes the fault to 4 KiB); `Oom` means even a base
+ * page could not be found.
+ */
+enum class AllocFail : std::uint8_t
+{
+    None,        //!< allocation succeeded
+    NoHugeBlock, //!< no free block at the requested huge order
+    Oom,         //!< no free page at all
+};
+
+const char *allocFailName(AllocFail f);
+
 /** Outcome of a policy allocation. */
 struct AllocResult
 {
     Pfn pfn = kInvalidPfn;
     /** Cycles the placement logic itself cost (search, map updates). */
     Cycles placementCycles = 0;
+    /** Why pfn is invalid; None when the allocation succeeded. */
+    AllocFail fail = AllocFail::None;
 
     bool ok() const { return pfn != kInvalidPfn; }
+
+    /** A failed result tagged with the reason for the given order. */
+    static AllocResult
+    failure(unsigned order)
+    {
+        AllocResult res;
+        res.fail = order > 0 ? AllocFail::NoHugeBlock : AllocFail::Oom;
+        return res;
+    }
+};
+
+/**
+ * Terminal per-policy allocation-failure tallies, maintained by the
+ * FaultEngine: one count per fault that was demoted from huge to
+ * 4 KiB (noHugeBlock) and one per request that found no memory at
+ * all (oom — fatal for anon/COW faults, dropped for page-cache
+ * fills). Exported under "policy.fallback.*".
+ */
+struct AllocFailCounts
+{
+    std::uint64_t noHugeBlock = 0;
+    std::uint64_t oom = 0;
+};
+
+/**
+ * One fault of a batched range resolution: the engine fills base/order
+ * (granularity stage), the policy fills res (placement stage).
+ */
+struct FaultSlot
+{
+    Vpn base = 0;
+    unsigned order = 0;
+    AllocResult res;
 };
 
 /**
@@ -64,11 +114,39 @@ class AllocationPolicy
                                  Vpn vpn, unsigned order) = 0;
 
     /**
+     * Batched placement: fill slots[0..n) in ascending order, stopping
+     * at the first failure. Returns the number of slots filled; when
+     * the return value k < n, slots[k].res carries the failing result
+     * and the FaultEngine runs its per-fault failure machinery
+     * (reclaim, huge demotion) for that slot before resuming.
+     *
+     * The default loops allocate(). See DESIGN.md "Fault pipeline —
+     * the batching contract" for what implementations may assume about
+     * engine state between the batch call and the installs.
+     */
+    virtual std::size_t allocateBatch(Kernel &kernel, Process &proc,
+                                      Vma &vma, FaultSlot *slots,
+                                      std::size_t n);
+
+    /**
      * Allocate one page-cache frame for page `file_page` of a file
      * (readahead batches call this repeatedly with ascending pages).
+     * Consulted only when steersFilePlacement() is true; otherwise the
+     * FaultEngine bulk-fills from the buddy allocator exactly as the
+     * default implementation here would.
      */
     virtual AllocResult allocateFilePage(Kernel &kernel, File &file,
                                          std::uint64_t file_page);
+
+    /**
+     * Batched page-cache placement for the contiguous uncached run
+     * [first_page, first_page + n): fill out[0..n) ascending, stopping
+     * at the first failure. Returns the number of pages placed. The
+     * default loops allocateFilePage().
+     */
+    virtual std::size_t allocateFileRange(Kernel &kernel, File &file,
+                                          std::uint64_t first_page,
+                                          std::size_t n, AllocResult *out);
 
     /**
      * Called after the PTE for a fresh allocation is installed; CA
@@ -105,7 +183,31 @@ class AllocationPolicy
      */
     virtual void collectMetrics(obs::MetricSink &sink) const
     { (void)sink; }
+
+    // --- fallback accounting (engine-maintained) -----------------------
+
+    const AllocFailCounts &allocFailCounts() const { return failCounts_; }
+
+    /** FaultEngine: record a terminal allocation failure of kind f. */
+    void noteAllocFail(AllocFail f);
+
+    /**
+     * Emit the fallback.* counters. The kernel calls this alongside
+     * collectMetrics() inside the "policy." scope, so overrides of
+     * collectMetrics() cannot lose them.
+     */
+    void collectFailMetrics(obs::MetricSink &sink) const;
+
+  private:
+    AllocFailCounts failCounts_;
 };
+
+/**
+ * Plain buddy allocation at `order` on `node`, with the failure
+ * reason filled in — the shared placement of every non-steering
+ * policy (default THP, 4K, Ingens, Ranger, eager overflow).
+ */
+AllocResult buddyAlloc(Kernel &kernel, unsigned order, NodeId node);
 
 /**
  * Default paging with THP: the stock Linux behaviour the paper

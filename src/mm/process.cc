@@ -44,9 +44,13 @@ Process::touch(Gva gva, Access access)
 void
 Process::touchRange(Gva gva, std::uint64_t bytes, Access access)
 {
-    const Gva end = gva + bytes;
-    for (Gva a = gva.pageBase(); a < end; a += kPageSize)
-        touch(a, access);
+    FaultRequest span;
+    span.proc = this;
+    span.vpn = gva.pageNumber();
+    // Every page whose base lies below gva + bytes is touched.
+    span.pages = ((gva.value + bytes + kPageMask) >> kPageShift) - span.vpn;
+    span.access = access;
+    kernel_.faultEngine().handleRange(span, TouchNote::AllPages);
 }
 
 void

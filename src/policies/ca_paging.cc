@@ -52,9 +52,13 @@ CaPagingPolicy::place(Kernel &kernel, NodeId home, std::uint64_t req_pages,
         // cannot in this single-threaded model, but stay defensive) —
         // fall through to the next node.
     }
-    // No contiguity anywhere: default allocation.
+    // No contiguity anywhere: default allocation. Tag the failure
+    // reason in place (not via AllocResult::failure, which would
+    // discard the placement-scan cycles already accrued).
     if (auto pfn = pm.alloc(order, home))
         res.pfn = *pfn;
+    else
+        res.fail = order > 0 ? AllocFail::NoHugeBlock : AllocFail::Oom;
     return res;
 }
 
@@ -81,10 +85,7 @@ CaPagingPolicy::allocate(Kernel &kernel, Process &proc, Vma &vma, Vpn vpn,
             // tracking (the paper amortizes placement over huge
             // allocations only).
             ++stats_.fallbacks;
-            AllocResult res;
-            if (auto pfn = kernel.physMem().alloc(order, proc.homeNode()))
-                res.pfn = *pfn;
-            return res;
+            return buddyAlloc(kernel, order, proc.homeNode());
         }
 
         // Huge failure: sub-VMA re-placement keyed by the remaining
@@ -95,6 +96,8 @@ CaPagingPolicy::allocate(Kernel &kernel, Process &proc, Vma &vma, Vpn vpn,
             AllocResult res;
             if (takeTarget(kernel, static_cast<Pfn>(target_signed), order))
                 res.pfn = static_cast<Pfn>(target_signed);
+            else
+                res.fail = AllocFail::NoHugeBlock;
             return res;
         }
         const std::uint64_t remaining =

@@ -84,6 +84,9 @@ CaReservePolicy::place(Kernel &kernel, NodeId home,
     if (cands.empty()) {
         if (auto pfn = pm.alloc(order, home))
             res.pfn = *pfn;
+        else
+            res.fail =
+                order > 0 ? AllocFail::NoHugeBlock : AllocFail::Oom;
         return res;
     }
 
@@ -134,11 +137,17 @@ CaReservePolicy::place(Kernel &kernel, NodeId home,
     if (start + pagesInOrder(order) > chosen->start + chosen->pages) {
         if (auto pfn = pm.alloc(order, home))
             res.pfn = *pfn;
+        else
+            res.fail =
+                order > 0 ? AllocFail::NoHugeBlock : AllocFail::Oom;
         return res;
     }
     if (!pm.allocSpecific(start, order)) {
         if (auto pfn = pm.alloc(order, home))
             res.pfn = *pfn;
+        else
+            res.fail =
+                order > 0 ? AllocFail::NoHugeBlock : AllocFail::Oom;
         return res;
     }
 

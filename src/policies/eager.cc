@@ -14,12 +14,10 @@ EagerPolicy::onMmap(Kernel &kernel, Process &proc, Vma &vma)
         return; // file pages come from the page cache on demand
 
     PhysicalMemory &pm = kernel.physMem();
-    PageTable &pt = proc.pageTable();
     const unsigned max_order = pm.zone(proc.homeNode()).buddy().maxOrder();
 
     Vpn vpn = vma.start().pageNumber();
     std::uint64_t remaining = vma.pages();
-    Cycles cycles = kernel.config().faultBaseCycles;
 
     while (remaining > 0) {
         // Largest power-of-two block that fits the remaining request,
@@ -46,48 +44,17 @@ EagerPolicy::onMmap(Kernel &kernel, Process &proc, Vma &vma)
 
         // Map the block at huge granularity where possible.
         const std::uint64_t n = pagesInOrder(got);
-        claimAndMap(kernel, proc, vma, vpn, *blk, got);
+        kernel.faultEngine().installPrepared(proc, vma, vpn, *blk, got);
 
         vpn += n;
         remaining -= n;
         stats_.preallocatedPages += n;
-        cycles += kernel.config().zeroCyclesPerPage * n;
-        (void)pt;
     }
 
     // The whole pre-allocation is charged as one fault-like event: the
     // mmap stalls while the kernel zeroes every block (Table V's 99th
     // latency for eager paging).
-    kernel.faultStats().totalCycles += cycles;
-    kernel.faultStats().latencyUs.add(static_cast<double>(cycles) /
-                                      kernel.config().cyclesPerUs);
-    ++kernel.faultStats().faults;
-}
-
-void
-EagerPolicy::claimAndMap(Kernel &kernel, Process &proc, Vma &vma, Vpn vpn,
-                         Pfn pfn, unsigned order)
-{
-    PageTable &pt = proc.pageTable();
-    PhysicalMemory &pm = kernel.physMem();
-    std::uint64_t n = pagesInOrder(order);
-
-    std::uint64_t done = 0;
-    while (done < n) {
-        const bool huge_ok =
-            order >= kHugeOrder && n - done >= pagesInOrder(kHugeOrder) &&
-            isAligned(vpn + done, pagesInOrder(kHugeOrder)) &&
-            isAligned(pfn + done, pagesInOrder(kHugeOrder));
-        const unsigned map_order = huge_ok ? kHugeOrder : 0;
-        const std::uint64_t step = pagesInOrder(map_order);
-        kernel.claimFrames(pfn + done, map_order, FrameOwner::Anon,
-                           proc.pid(), (vpn + done) << kPageShift);
-        pt.map(vpn + done, pfn + done, map_order, true, false);
-        for (std::uint64_t i = 0; i < step; ++i)
-            ++pm.frame(pfn + done + i).mapCount;
-        vma.allocatedPages += step;
-        done += step;
-    }
+    kernel.faultEngine().chargeBulkStall(vma.pages());
 }
 
 AllocResult
@@ -98,10 +65,7 @@ EagerPolicy::allocate(Kernel &kernel, Process &proc, Vma &vma, Vpn vpn,
     // COW copies): plain buddy allocation.
     (void)vma;
     (void)vpn;
-    AllocResult res;
-    if (auto pfn = kernel.physMem().alloc(order, proc.homeNode()))
-        res.pfn = *pfn;
-    return res;
+    return buddyAlloc(kernel, order, proc.homeNode());
 }
 
 } // namespace contig

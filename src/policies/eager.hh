@@ -42,10 +42,6 @@ class EagerPolicy : public AllocationPolicy
     const EagerStats &stats() const { return stats_; }
 
   private:
-    /** Take ownership of a block and map it at 2 MiB/4 KiB grain. */
-    void claimAndMap(Kernel &kernel, Process &proc, Vma &vma, Vpn vpn,
-                     Pfn pfn, unsigned order);
-
     EagerStats stats_;
 };
 

@@ -17,10 +17,7 @@ IngensPolicy::allocate(Kernel &kernel, Process &proc, Vma &vma, Vpn vpn,
 {
     (void)vma;
     (void)vpn;
-    AllocResult res;
-    if (auto pfn = kernel.physMem().alloc(order, proc.homeNode()))
-        res.pfn = *pfn;
-    return res;
+    return buddyAlloc(kernel, order, proc.homeNode());
 }
 
 void

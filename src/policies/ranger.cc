@@ -20,10 +20,7 @@ RangerPolicy::allocate(Kernel &kernel, Process &proc, Vma &vma, Vpn vpn,
     // Faults use the stock THP allocation; contiguity comes later.
     (void)vma;
     (void)vpn;
-    AllocResult res;
-    if (auto pfn = kernel.physMem().alloc(order, proc.homeNode()))
-        res.pfn = *pfn;
-    return res;
+    return buddyAlloc(kernel, order, proc.homeNode());
 }
 
 void

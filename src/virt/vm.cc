@@ -31,23 +31,19 @@ VirtualMachine::VirtualMachine(Kernel &host,
     guest_ = std::make_unique<Kernel>(gk, std::move(guest_policy));
 
     // Nested faults: first allocation of guest frames touches the
-    // corresponding host pages of the backing VMA.
+    // corresponding host pages of the backing VMA. TouchNote::Origins
+    // is exactly the backing access shape: one full touch per huge
+    // stride (the host fault maps at least 4 KiB and, with THP,
+    // usually 2 MiB at a time), then a sweep faulting any page still
+    // unbacked.
     guest_->backingHook = [this](Pfn gfn, unsigned order) {
-        const std::uint64_t n = pagesInOrder(order);
-        // One host touch per huge stride is enough: the host fault
-        // maps at least 4 KiB and (with THP) usually 2 MiB at a time.
-        const std::uint64_t stride = pagesInOrder(kHugeOrder);
-        for (std::uint64_t off = 0; off < n; off += stride) {
-            Gva hva = ramVma_->start() + ((gfn + off) << kPageShift);
-            host_.touch(*backing_, hva, Access::Write);
-        }
-        // Make sure the tail pages beyond the last huge stride are
-        // backed too (the host may have mapped 4 KiB only).
-        for (std::uint64_t off = 0; off < n; ++off) {
-            Gva hva = ramVma_->start() + ((gfn + off) << kPageShift);
-            if (!backing_->pageTable().lookup(hva.pageNumber()))
-                host_.touch(*backing_, hva, Access::Write);
-        }
+        FaultRequest span;
+        span.proc = backing_;
+        span.vma = ramVma_;
+        span.vpn = ramVma_->start().pageNumber() + gfn;
+        span.pages = pagesInOrder(order);
+        span.access = Access::Write;
+        host_.faultEngine().handleRange(span, TouchNote::Origins);
     };
 }
 

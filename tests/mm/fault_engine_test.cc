@@ -1,0 +1,273 @@
+/**
+ * @file
+ * FaultEngine tests: the new PageTable batch primitives, and the
+ * golden-equivalence property — for every policy, with and without
+ * THP, sorted and scrambled touch orders, the batched range pipeline
+ * (KernelConfig::faultBatching = true) must produce byte-identical
+ * placements, fault statistics and policy fallback counts to the
+ * seed's per-fault loop (faultBatching = false).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "mm/kernel.hh"
+#include "mm/page_cache.hh"
+#include "mm/page_table.hh"
+
+using namespace contig;
+
+// ---------------------------------------------------------------------------
+// PageTable batch primitives.
+
+TEST(PageTable, FindMappedInEmpty)
+{
+    PageTable pt;
+    EXPECT_EQ(pt.findMappedIn(0, 4096), 4096u);
+}
+
+TEST(PageTable, FindMappedInSkipsToLeaf)
+{
+    PageTable pt;
+    pt.map(1000, 7, 0);
+    pt.map(512 * 512, 1024, kHugeOrder);
+    EXPECT_EQ(pt.findMappedIn(0, 4096), 1000u);
+    EXPECT_EQ(pt.findMappedIn(1001, 512 * 512 + 5), 512u * 512);
+    // A start inside a huge leaf reports that very vpn.
+    EXPECT_EQ(pt.findMappedIn(512 * 512 + 3, 512 * 513), 512u * 512 + 3);
+    EXPECT_EQ(pt.findMappedIn(1001, 2000), 2000u);
+}
+
+TEST(PageTable, ForEachLeafInClipsRange)
+{
+    PageTable pt;
+    pt.map(10, 100, 0);
+    pt.map(20, 200, 0);
+    pt.map(30, 300, 0);
+    std::vector<Vpn> seen;
+    pt.forEachLeafIn(15, 30, [&](Vpn vpn, const Mapping &) {
+        seen.push_back(vpn);
+    });
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0], 20u);
+}
+
+TEST(PageTable, RunMapperMatchesPlainMap)
+{
+    PageTable a;
+    PageTable b;
+    PageTable::RunMapper rm(b);
+    // Two runs crossing an L1-node boundary (512 entries per node).
+    for (Vpn v = 500; v < 530; ++v) {
+        a.map(v, 9000 + v, 0, /*writable=*/true, /*cow=*/false);
+        rm.map(v, 9000 + v, true, false);
+    }
+    for (Vpn v = 5000; v < 5010; ++v) {
+        a.map(v, 9000 + v, 0, false, true);
+        rm.map(v, 9000 + v, false, true);
+    }
+    EXPECT_EQ(a.stats().maps, b.stats().maps);
+    EXPECT_EQ(a.stats().mappedBasePages, b.stats().mappedBasePages);
+    for (Vpn v = 500; v < 530; ++v) {
+        auto ma = a.lookup(v);
+        auto mb = b.lookup(v);
+        ASSERT_TRUE(ma && mb);
+        EXPECT_EQ(ma->pfn, mb->pfn);
+        EXPECT_EQ(ma->writable, mb->writable);
+        EXPECT_EQ(ma->cow, mb->cow);
+    }
+}
+
+TEST(PageTable, RunMapperFiresUpdateHook)
+{
+    PageTable pt;
+    std::uint64_t hooked = 0;
+    pt.setUpdateHook([&](Vpn, const Mapping &, bool) { ++hooked; });
+    PageTable::RunMapper rm(pt);
+    rm.map(1, 11, true, false);
+    rm.map(2, 12, true, false);
+    EXPECT_EQ(hooked, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Golden equivalence: batched vs per-fault resolution.
+
+namespace
+{
+
+using Leaf = std::tuple<Vpn, Pfn, unsigned, bool, bool, bool>;
+
+/** Everything observable the two arms must agree on. */
+struct Snapshot
+{
+    std::vector<Leaf> parentLeaves;
+    std::vector<Leaf> childLeaves;
+    std::uint64_t faults = 0;
+    std::uint64_t hugeFaults = 0;
+    std::uint64_t baseFaults = 0;
+    std::uint64_t cowFaults = 0;
+    std::uint64_t fileFaults = 0;
+    Cycles totalCycles = 0;
+    std::uint64_t latencySamples = 0;
+    std::uint64_t parentTouched = 0;
+    std::uint64_t parentAllocated = 0;
+    std::uint64_t noHugeBlock = 0;
+    std::uint64_t oom = 0;
+    std::vector<Pfn> fileFrames;
+};
+
+std::vector<Leaf>
+collectLeaves(const Process &proc)
+{
+    std::vector<Leaf> out;
+    proc.pageTable().forEachLeaf([&](Vpn vpn, const Mapping &m) {
+        out.emplace_back(vpn, m.pfn, m.order, m.writable, m.cow,
+                         m.contigBit);
+    });
+    return out;
+}
+
+/** Deterministic Fisher-Yates (no std::random in tests). */
+void
+scramble(std::vector<std::uint64_t> &v)
+{
+    std::uint64_t s = 0x9E3779B97F4A7C15ull;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        std::swap(v[i], v[s % (i + 1)]);
+    }
+}
+
+/**
+ * One fixed workload hitting every pipeline path: partial then full
+ * anonymous population (gap/mapped alternation), a sub-huge VMA
+ * (order-0 batching), fork + COW writes on both sides, page-cache
+ * reads with overlapping windows, and a file mapping read through
+ * touchRange.
+ */
+Snapshot
+runScenario(Kernel &k, bool scrambled)
+{
+    constexpr std::uint64_t kSpanPages = 64;
+    Process &p = k.createProcess("golden");
+    Vma &anon = p.mmap(4 * kHugeSize);
+
+    std::vector<std::uint64_t> spans(anon.pages() / kSpanPages);
+    std::iota(spans.begin(), spans.end(), 0);
+    if (scrambled)
+        scramble(spans);
+
+    // First pass: every other span, leaving holes.
+    for (std::uint64_t s : spans) {
+        if (s % 2 == 0)
+            p.touchRange(anon.start() + s * kSpanPages * kPageSize,
+                         kSpanPages * kPageSize);
+    }
+    // Second pass: the whole VMA (alternating mapped/unmapped gaps).
+    p.touchRange(anon.start(), anon.bytes());
+
+    // A VMA too small for huge faults: pure order-0 batches.
+    Vma &small = p.mmap(100 * kPageSize);
+    p.touchRange(small.start(), small.bytes());
+
+    // fork + COW traffic on both sides of the share.
+    Process &child = p.fork("golden-child");
+    child.touchRange(anon.start(), kHugeSize + 16 * kPageSize);
+    p.touchRange(anon.start() + 2 * kHugeSize, 32 * kPageSize);
+
+    // Page cache: overlapping read windows, then a mapped file span.
+    File &f = k.createFile(600);
+    k.readFile(f, 3, 40);
+    k.readFile(f, 10, 100);
+    Vma &fv = p.mmapFile(f.id(), 128 * kPageSize, 200);
+    p.touchRange(fv.start(), fv.bytes(), Access::Read);
+
+    Snapshot snap;
+    snap.parentLeaves = collectLeaves(p);
+    snap.childLeaves = collectLeaves(child);
+    const FaultStats &fs = k.faultStats();
+    snap.faults = fs.faults;
+    snap.hugeFaults = fs.hugeFaults;
+    snap.baseFaults = fs.baseFaults;
+    snap.cowFaults = fs.cowFaults;
+    snap.fileFaults = fs.fileFaults;
+    snap.totalCycles = fs.totalCycles;
+    snap.latencySamples = fs.latencyUs.count();
+    snap.parentTouched = p.touchedPages();
+    snap.parentAllocated = p.allocatedPages();
+    snap.noHugeBlock = k.policy().allocFailCounts().noHugeBlock;
+    snap.oom = k.policy().allocFailCounts().oom;
+    for (std::uint64_t pg = 0; pg < f.sizePages(); ++pg)
+        snap.fileFrames.push_back(f.frameFor(pg));
+    return snap;
+}
+
+void
+expectIdentical(const Snapshot &batched, const Snapshot &single)
+{
+    EXPECT_EQ(batched.parentLeaves, single.parentLeaves);
+    EXPECT_EQ(batched.childLeaves, single.childLeaves);
+    EXPECT_EQ(batched.faults, single.faults);
+    EXPECT_EQ(batched.hugeFaults, single.hugeFaults);
+    EXPECT_EQ(batched.baseFaults, single.baseFaults);
+    EXPECT_EQ(batched.cowFaults, single.cowFaults);
+    EXPECT_EQ(batched.fileFaults, single.fileFaults);
+    EXPECT_EQ(batched.totalCycles, single.totalCycles);
+    EXPECT_EQ(batched.latencySamples, single.latencySamples);
+    EXPECT_EQ(batched.parentTouched, single.parentTouched);
+    EXPECT_EQ(batched.parentAllocated, single.parentAllocated);
+    EXPECT_EQ(batched.noHugeBlock, single.noHugeBlock);
+    EXPECT_EQ(batched.oom, single.oom);
+    EXPECT_EQ(batched.fileFrames, single.fileFrames);
+}
+
+class FaultEngineGolden : public ::testing::TestWithParam<PolicyKind>
+{
+};
+
+} // namespace
+
+TEST_P(FaultEngineGolden, BatchedMatchesPerFault)
+{
+    const PolicyKind kind = GetParam();
+    for (bool thp : {false, true}) {
+        for (bool scrambled : {false, true}) {
+            SCOPED_TRACE(policyName(kind) + (thp ? "/thp" : "/4k") +
+                         (scrambled ? "/scrambled" : "/sorted"));
+            auto make = [&](bool batching) {
+                KernelConfig cfg = kernelConfigFor(kind);
+                // Eager raises MAX_ORDER to 1 GiB blocks; the node
+                // must stay a multiple of the top-order block.
+                cfg.phys.bytesPerNode = kind == PolicyKind::Eager
+                                            ? (1ull << 30)
+                                            : (256ull << 20);
+                cfg.phys.numNodes = 1;
+                cfg.thpEnabled = thp && kind != PolicyKind::Base4k;
+                cfg.faultBatching = batching;
+                cfg.metricsPrefix = batching ? "golden_b" : "golden_s";
+                return std::make_unique<Kernel>(cfg, makePolicy(kind));
+            };
+            auto kb = make(true);
+            auto ks = make(false);
+            expectIdentical(runScenario(*kb, scrambled),
+                            runScenario(*ks, scrambled));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, FaultEngineGolden,
+    ::testing::Values(PolicyKind::Thp, PolicyKind::Base4k, PolicyKind::Ca,
+                      PolicyKind::Eager, PolicyKind::Ingens,
+                      PolicyKind::Ranger, PolicyKind::Ideal),
+    [](const ::testing::TestParamInfo<PolicyKind> &info) {
+        std::string n = policyName(info.param);
+        for (char &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });

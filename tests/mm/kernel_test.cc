@@ -177,7 +177,8 @@ TEST(Kernel, HugeFallbackTo4k)
     ASSERT_LT(free_before, pagesInOrder(kHugeOrder));
     ASSERT_GT(free_before, 0u);
     p.touch(vma.start());
-    EXPECT_EQ(k->faultStats().hugeFallbacks, 1u);
+    EXPECT_EQ(k->policy().allocFailCounts().noHugeBlock, 1u);
+    EXPECT_EQ(k->policy().allocFailCounts().oom, 0u);
     EXPECT_EQ(k->faultStats().baseFaults, 1u);
     auto m = p.pageTable().lookup(vma.start().pageNumber());
     ASSERT_TRUE(m);
