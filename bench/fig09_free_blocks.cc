@@ -12,6 +12,7 @@
 #include "core/experiment.hh"
 #include "core/bench_io.hh"
 #include "core/report.hh"
+#include "obs/observatory.hh"
 
 using namespace contig;
 
@@ -31,7 +32,19 @@ freeDistribution(PolicyKind kind, const std::vector<unsigned> &buckets)
         sys.run(*wl, 1u << 30); // no sampling needed
         sys.finish(*wl);
     }
-    auto hist = freeBlockDistribution(sys.kernel().physMem());
+
+    // Derive the rows from one observatory capture — the same
+    // per-zone free-block histograms `--timeline` streams.
+    obs::SamplerConfig scfg;
+    scfg.captureFreeHist = true;
+    scfg.domain = "fig09:" + policyName(kind);
+    obs::StateSampler sampler(scfg);
+    sampler.attachKernel(sys.kernel());
+    const obs::Snapshot &snap = sampler.sampleNow();
+
+    Log2Histogram hist;
+    for (const obs::ZoneSnap &z : snap.zones)
+        hist.mergeFrom(z.freeHist);
     std::vector<double> out;
     const double total = std::max<double>(hist.totalWeight(), 1);
     // Cumulative weight at or above each bucket boundary.

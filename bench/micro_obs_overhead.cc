@@ -11,12 +11,19 @@
  *
  * plus the cost of a CounterSet increment through the heterogeneous
  * string_view lookup and of one MetricRegistry snapshot.
+ *
+ * The observatory tax rides the same harness: a detached StateSampler
+ * costs the fault path one branch on a null pointer, an attached idle
+ * one costs an increment + compare, and the full capture / delta
+ * encode prices are only paid at the sampling cadence.
  */
 
 #include <benchmark/benchmark.h>
 
 #include "base/stats.hh"
+#include "core/experiment.hh"
 #include "obs/metrics.hh"
+#include "obs/observatory.hh"
 #include "obs/trace.hh"
 
 using namespace contig;
@@ -91,6 +98,86 @@ BM_RegistrySnapshot(benchmark::State &state)
     }
 }
 
+/**
+ * The fault path with no sampler registered: exactly the null-pointer
+ * branch FaultEngine::finishFault pays while detached. Compare
+ * against BM_BareLoop for the "disabled = one branch" claim.
+ */
+void
+BM_SamplerDetached(benchmark::State &state)
+{
+    obs::StateSampler *sampler = nullptr;
+    benchmark::DoNotOptimize(sampler);
+    std::uint64_t x = 1;
+    for (auto _ : state) {
+        x = step(x);
+        if (sampler)
+            sampler->onFaultTick();
+        benchmark::DoNotOptimize(x);
+    }
+}
+
+/** Attached but idle: one counter increment + compare per fault. */
+void
+BM_SamplerIdle(benchmark::State &state)
+{
+    obs::SamplerConfig cfg;
+    cfg.periodFaults = 1ull << 62; // never fires
+    cfg.keepSnapshots = false;
+    obs::StateSampler sampler(cfg);
+    std::uint64_t x = 1;
+    for (auto _ : state) {
+        x = step(x);
+        sampler.onFaultTick();
+        benchmark::DoNotOptimize(x);
+    }
+}
+
+/** One full capture of a populated kernel (paid at the cadence). */
+void
+BM_SnapshotCapture(benchmark::State &state)
+{
+    Kernel kernel(kernelConfigFor(PolicyKind::Thp),
+                  makePolicy(PolicyKind::Thp));
+    Process &proc = kernel.createProcess("bm_capture");
+    Vma &vma = kernel.mmapAnon(proc, 64ull << 20);
+    for (std::uint64_t off = 0; off < vma.bytes(); off += kPageSize)
+        kernel.touch(proc, vma.start() + off, Access::Write);
+
+    obs::SamplerConfig cfg;
+    cfg.keepSnapshots = false;
+    obs::StateSampler sampler(cfg);
+    sampler.addSegProbe(
+        "1d", &proc, [&proc] { return extractSegs(proc.pageTable()); },
+        true);
+    sampler.attachKernel(kernel);
+    for (auto _ : state) {
+        const obs::Snapshot &snap = sampler.sampleNow();
+        benchmark::DoNotOptimize(snap.zones.size());
+    }
+}
+
+/** Delta-encoding one snapshot against its predecessor. */
+void
+BM_DeltaEncode(benchmark::State &state)
+{
+    obs::FlatSnap prev, next;
+    for (int i = 0; i < 256; ++i) {
+        const std::string key = "zone0.k" + std::to_string(i);
+        prev[key] = i;
+        next[key] = i + (i % 16 == 0 ? 1 : 0); // 1/16 keys change
+    }
+    obs::TimelineRecord rec;
+    rec.domain = "bm";
+    for (auto _ : state) {
+        obs::FlatDelta delta = obs::diffFlat(prev, next);
+        rec.set = std::move(delta.set);
+        rec.del = std::move(delta.del);
+        const std::string line = obs::encodeTimelineRecord(rec);
+        benchmark::DoNotOptimize(line.size());
+    }
+}
+
 } // namespace
 
 BENCHMARK(BM_BareLoop);
@@ -98,3 +185,7 @@ BENCHMARK(BM_TraceDisabled);
 BENCHMARK(BM_TraceEnabled);
 BENCHMARK(BM_CounterInc);
 BENCHMARK(BM_RegistrySnapshot);
+BENCHMARK(BM_SamplerDetached);
+BENCHMARK(BM_SamplerIdle);
+BENCHMARK(BM_SnapshotCapture);
+BENCHMARK(BM_DeltaEncode);

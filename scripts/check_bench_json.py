@@ -2,15 +2,24 @@
 """Validate a bench binary's --json output against the documented schema.
 
 Usage: check_bench_json.py <bench-binary> [extra args...]
+       check_bench_json.py --timeline-file <timeline.jsonl>
 
 Runs the bench with --json into a temp file and checks the document is
-valid JSON of shape {bench, config, rows, metrics}:
+valid JSON of shape {schema_version, bench, config, rows, metrics}:
+  - "schema_version" is an integer (currently 2),
   - "bench" is a non-empty string,
-  - "config" is an object with the scaled-machine geometry keys,
-  - "rows" is a list of objects each tagged with its "table" caption,
-  - "metrics" is an object of MetricRegistry samples (counters/gauges
-    as numbers, summaries as {count, sum, min, max, mean}, histograms
-    as {log2_buckets: [...]}).
+  - "config" is an object with the scaled-machine geometry keys and a
+    "run" reproducibility object (RNG seeds, kernel knobs),
+  - "rows" is a non-empty list of objects each tagged with its "table"
+    caption,
+  - "metrics" is a non-empty object of MetricRegistry samples
+    (counters/gauges as numbers, summaries as {count, sum, min, max,
+    mean}, histograms as {log2_buckets: [...]}).
+
+With --timeline-file it instead validates an observatory timeline: one
+JSON snapshot record per line, per-stream strictly-increasing seq and
+non-decreasing tick, kind "full"|"delta" with the first record of every
+stream a "full".
 
 Registered as a ctest so the schema cannot drift silently.
 """
@@ -42,9 +51,62 @@ def check_metric(name, value):
         fail(f"summary {name!r} missing keys {sorted(missing)}")
 
 
+def check_timeline(path):
+    """Validate a --timeline JSONL file (one snapshot per line)."""
+    path = Path(path)
+    if not path.exists():
+        fail(f"timeline file not found: {path}")
+    streams = {}  # stream id -> (last seq, last tick)
+    n_lines = 0
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        n_lines += 1
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{lineno}: not valid JSON: {e}")
+        if not isinstance(rec, dict):
+            fail(f"{path}:{lineno}: record is not an object")
+        for key in ("stream", "domain", "seq", "tick", "kind", "set"):
+            if key not in rec:
+                fail(f"{path}:{lineno}: missing key {key!r}")
+        if rec["kind"] not in ("full", "delta"):
+            fail(f"{path}:{lineno}: bad kind {rec['kind']!r}")
+        if not isinstance(rec["set"], dict):
+            fail(f"{path}:{lineno}: 'set' is not an object")
+        if not all(isinstance(v, (int, float))
+                   for v in rec["set"].values()):
+            fail(f"{path}:{lineno}: non-numeric value in 'set'")
+        sid, seq, tick = rec["stream"], rec["seq"], rec["tick"]
+        if sid not in streams:
+            if rec["kind"] != "full":
+                fail(f"{path}:{lineno}: stream {sid} starts with a "
+                     f"delta record")
+        else:
+            last_seq, last_tick = streams[sid]
+            if seq <= last_seq:
+                fail(f"{path}:{lineno}: stream {sid} seq not "
+                     f"strictly increasing ({last_seq} -> {seq})")
+            if tick < last_tick:
+                fail(f"{path}:{lineno}: stream {sid} tick went "
+                     f"backwards ({last_tick} -> {tick})")
+        streams[sid] = (seq, tick)
+    if not n_lines:
+        fail(f"{path}: timeline is empty")
+    print(f"check_bench_json: OK: timeline {path}: {n_lines} snapshots, "
+          f"{len(streams)} streams")
+
+
 def main():
     if len(sys.argv) < 2:
-        fail("usage: check_bench_json.py <bench-binary> [args...]")
+        fail("usage: check_bench_json.py <bench-binary> [args...] | "
+             "--timeline-file <timeline.jsonl>")
+    if sys.argv[1] == "--timeline-file":
+        if len(sys.argv) != 3:
+            fail("--timeline-file takes exactly one path")
+        check_timeline(sys.argv[2])
+        return
     bench = Path(sys.argv[1])
     if not bench.exists():
         fail(f"bench binary not found: {bench}")
@@ -64,9 +126,15 @@ def main():
         except json.JSONDecodeError as e:
             fail(f"output is not valid JSON: {e}")
 
-    for key in ("bench", "config", "rows", "metrics"):
+    for key in ("schema_version", "bench", "config", "rows", "metrics"):
         if key not in doc:
             fail(f"missing top-level key {key!r}")
+
+    if not isinstance(doc["schema_version"], int):
+        fail("'schema_version' must be an integer")
+    if doc["schema_version"] < 2:
+        fail(f"'schema_version' {doc['schema_version']} predates the "
+             f"documented schema (>= 2)")
 
     if not isinstance(doc["bench"], str) or not doc["bench"]:
         fail("'bench' must be a non-empty string")
@@ -77,6 +145,9 @@ def main():
     for key in ("host_nodes", "host_node_bytes"):
         if key not in config:
             fail(f"'config' missing {key!r}")
+    if not isinstance(config.get("run"), dict):
+        fail("'config.run' (the RunInfo reproducibility record) "
+             "must be an object")
 
     rows = doc["rows"]
     if not isinstance(rows, list) or not rows:

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: build Release and ASan+UBSan configurations and run
-# the full test suite on both. Usage: scripts/ci.sh [build-root]
+# CI entry point: build Release and ASan+UBSan configurations, run the
+# full test suite on both, then record the micro-bench results as
+# BENCH_<name>.json artifacts at the repo root and gate the Release
+# fig09 output against the committed baseline.
+# Usage: scripts/ci.sh [build-root]
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -21,5 +24,30 @@ build_and_test() {
 build_and_test release -DCMAKE_BUILD_TYPE=Release
 build_and_test asan-ubsan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCONTIG_SANITIZE=ON
+
+# Micro-bench artifacts (Release binaries). micro_alloc_path is a
+# plain BenchOutput bench; the other two are google-benchmark
+# binaries, which have their own JSON reporter.
+bench="$out/release/bench"
+echo "=== bench artifacts ==="
+"$bench/micro_alloc_path" --json "$root/BENCH_micro_alloc_path.json"
+"$bench/micro_tlb_spot" \
+    --benchmark_out="$root/BENCH_micro_tlb_spot.json" \
+    --benchmark_out_format=json
+"$bench/micro_obs_overhead" \
+    --benchmark_out="$root/BENCH_micro_obs_overhead.json" \
+    --benchmark_out_format=json
+python3 "$root/scripts/check_bench_json.py" "$bench/micro_alloc_path"
+
+# Regression gate: the fig09 rows/metrics must match the committed
+# baseline within contig_inspect's per-metric tolerances.
+echo "=== baseline gate ==="
+"$bench/fig09_free_blocks" --json "$root/BENCH_fig09_free_blocks.json" \
+    --timeline "$root/BENCH_fig09_timeline.jsonl"
+python3 "$root/scripts/check_bench_json.py" \
+    --timeline-file "$root/BENCH_fig09_timeline.jsonl"
+"$out/release/tools/contig_inspect" check-baseline \
+    "$root/BENCH_fig09_free_blocks.json" \
+    "$root/bench/baselines/BENCH_fig09_free_blocks.json"
 
 echo "CI: all configurations green"

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""End-to-end observatory smoke test (registered as a ctest).
+
+Usage: timeline_smoke.py <fig09-binary> <contig_inspect-binary>
+                         <committed-baseline.json>
+
+Runs fig09_free_blocks with --json and --timeline, validates the
+timeline JSONL with check_bench_json.py --timeline-file, exercises
+contig_inspect's series/top readers on it, and finally gates the fresh
+--json document against the committed baseline with
+contig_inspect check-baseline. Any non-zero step fails the test.
+"""
+
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def run(cmd):
+    print("+", " ".join(str(c) for c in cmd), flush=True)
+    proc = subprocess.run([str(c) for c in cmd], timeout=600)
+    if proc.returncode != 0:
+        print(f"timeline_smoke: FAIL: exit {proc.returncode}: "
+              f"{' '.join(str(c) for c in cmd)}", file=sys.stderr)
+        sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 4:
+        print("usage: timeline_smoke.py <fig09> <contig_inspect> "
+              "<baseline.json>", file=sys.stderr)
+        sys.exit(1)
+    fig09, inspect, baseline = sys.argv[1:4]
+    checker = Path(__file__).resolve().parent / "check_bench_json.py"
+
+    with tempfile.TemporaryDirectory() as tmp:
+        doc = Path(tmp) / "fig09.json"
+        timeline = Path(tmp) / "fig09.jsonl"
+        run([fig09, "--json", doc, "--timeline", timeline])
+        run([sys.executable, checker, "--timeline-file", timeline])
+        run([inspect, "series", timeline])
+        run([inspect, "top", timeline, "--top", "5"])
+        run([inspect, "check-baseline", doc, baseline])
+    print("timeline_smoke: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "base/logging.hh"
 
@@ -143,6 +144,11 @@ JsonWriter::value(double v)
     } else {
         char buf[40];
         std::snprintf(buf, sizeof(buf), "%.12g", v);
+        // Keep the compact form when it round-trips; fall back to
+        // full precision so readers reconstruct the exact double
+        // (the timeline codec depends on this).
+        if (std::strtod(buf, nullptr) != v)
+            std::snprintf(buf, sizeof(buf), "%.17g", v);
         raw(buf);
     }
     if (stack_.empty())
@@ -185,6 +191,268 @@ bool
 JsonWriter::complete() const
 {
     return done_ && stack_.empty();
+}
+
+// --- reader ---------------------------------------------------------------
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const Member &m : members_)
+        if (m.first == key)
+            return &m.second;
+    return nullptr;
+}
+
+double
+JsonValue::numberOr(std::string_view key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isNumber() ? v->asNumber() : fallback;
+}
+
+/**
+ * Recursive-descent parser over a string_view. Depth is bounded to
+ * reject pathological nesting before the C++ stack does.
+ */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    std::optional<JsonValue>
+    run(std::string *err)
+    {
+        JsonValue v;
+        if (!parseValue(v, 0) || !atEndAfterWs()) {
+            if (err)
+                *err = error_.empty() ? "trailing garbage after document"
+                                      : error_;
+            if (err && error_.empty())
+                *err += " at offset " + std::to_string(pos_);
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    bool
+    fail(const char *what)
+    {
+        if (error_.empty())
+            error_ = std::string(what) + " at offset " +
+                     std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    atEndAfterWs()
+    {
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("bad literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= h - '0';
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= h - 'A' + 10;
+                    else
+                        return fail("bad \\u escape");
+                }
+                // Encode the code point as UTF-8 (surrogate pairs in
+                // input are passed through as two 3-byte sequences;
+                // the writer never emits them).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xC0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("bad escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &v)
+    {
+        const std::size_t start = pos_;
+        if (consume('-')) {}
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected number");
+        const std::string tok(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        const double d = std::strtod(tok.c_str(), &end);
+        if (!end || *end != '\0' || !std::isfinite(d)) {
+            pos_ = start;
+            return fail("malformed number");
+        }
+        v.type_ = JsonValue::Type::Number;
+        v.num_ = d;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &v, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{': {
+            ++pos_;
+            v.type_ = JsonValue::Type::Object;
+            skipWs();
+            if (consume('}'))
+                return true;
+            while (true) {
+                skipWs();
+                JsonValue::Member m;
+                if (!parseString(m.first))
+                    return false;
+                skipWs();
+                if (!consume(':'))
+                    return fail("expected ':'");
+                if (!parseValue(m.second, depth + 1))
+                    return false;
+                v.members_.push_back(std::move(m));
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}'");
+            }
+          }
+          case '[': {
+            ++pos_;
+            v.type_ = JsonValue::Type::Array;
+            skipWs();
+            if (consume(']'))
+                return true;
+            while (true) {
+                JsonValue elem;
+                if (!parseValue(elem, depth + 1))
+                    return false;
+                v.elems_.push_back(std::move(elem));
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']'");
+            }
+          }
+          case '"':
+            v.type_ = JsonValue::Type::String;
+            return parseString(v.str_);
+          case 't':
+            v.type_ = JsonValue::Type::Bool;
+            v.bool_ = true;
+            return literal("true");
+          case 'f':
+            v.type_ = JsonValue::Type::Bool;
+            v.bool_ = false;
+            return literal("false");
+          case 'n':
+            v.type_ = JsonValue::Type::Null;
+            return literal("null");
+          default:
+            return parseNumber(v);
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+std::optional<JsonValue>
+JsonValue::parse(std::string_view text, std::string *err)
+{
+    return JsonParser(text).run(err);
 }
 
 const std::string &

@@ -1,18 +1,25 @@
 /**
  * @file
- * Minimal streaming JSON writer. Produces compact, valid JSON with
- * proper string escaping; commas and nesting are tracked by a state
- * stack so callers never emit separators by hand. Used by the
- * TraceSink exporters and the Report/bench `--json` output, and small
- * enough to be a reasonable dependency from anywhere in base/.
+ * Minimal streaming JSON writer and a matching recursive-descent
+ * reader. The writer produces compact, valid JSON with proper string
+ * escaping; commas and nesting are tracked by a state stack so
+ * callers never emit separators by hand. The reader (JsonValue)
+ * parses what the writer emits — plus any standard JSON — into an
+ * order-preserving DOM; it backs the timeline/baseline consumers
+ * (tools/contig_inspect). Used by the TraceSink exporters and the
+ * Report/bench `--json` output, and small enough to be a reasonable
+ * dependency from anywhere in base/.
  */
 
 #ifndef CONTIG_BASE_JSON_HH
 #define CONTIG_BASE_JSON_HH
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace contig
@@ -94,6 +101,75 @@ class JsonWriter
     std::string out_;
     std::vector<Frame> stack_;
     bool done_ = false;
+};
+
+/**
+ * A parsed JSON document node. Objects preserve member order (the
+ * writer emits deterministic documents; diffs stay stable), and
+ * numbers are kept as doubles — the repo's JSON carries counters and
+ * gauges that all fit a double exactly up to 2^53.
+ *
+ * Usage:
+ *   auto doc = JsonValue::parse(text, &err);
+ *   if (!doc) ...;
+ *   const JsonValue *rows = doc->find("rows");
+ *   for (const JsonValue &row : rows->array()) ...;
+ */
+class JsonValue
+{
+  public:
+    enum class Type : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    using Member = std::pair<std::string, JsonValue>;
+
+    JsonValue() = default;
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool asBool() const { return bool_; }
+    double asNumber() const { return num_; }
+    const std::string &asString() const { return str_; }
+
+    const std::vector<JsonValue> &array() const { return elems_; }
+    const std::vector<Member> &members() const { return members_; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** Number at `key`, or `fallback` when absent / not a number. */
+    double numberOr(std::string_view key, double fallback) const;
+
+    /**
+     * Parse one complete JSON document (trailing whitespace allowed,
+     * trailing garbage is an error). On failure returns nullopt and,
+     * if `err` is given, a one-line message with the byte offset.
+     */
+    static std::optional<JsonValue> parse(std::string_view text,
+                                          std::string *err = nullptr);
+
+  private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> elems_;
+    std::vector<Member> members_;
+
+    friend class JsonParser;
 };
 
 } // namespace contig

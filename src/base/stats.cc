@@ -46,6 +46,16 @@ Log2Histogram::bucket(unsigned i) const
     return i < buckets_.size() ? buckets_[i] : 0;
 }
 
+void
+Log2Histogram::mergeFrom(const Log2Histogram &other)
+{
+    if (buckets_.size() < other.buckets_.size())
+        buckets_.resize(other.buckets_.size(), 0);
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    total_ += other.total_;
+}
+
 double
 geomean(const std::vector<double> &values)
 {

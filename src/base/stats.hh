@@ -110,6 +110,9 @@ class Log2Histogram
     std::uint64_t totalWeight() const { return total_; }
     void reset() { buckets_.clear(); total_ = 0; }
 
+    /** Add another histogram bucket-wise. */
+    void mergeFrom(const Log2Histogram &other);
+
   private:
     std::vector<std::uint64_t> buckets_;
     std::uint64_t total_ = 0;

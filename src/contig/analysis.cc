@@ -127,19 +127,8 @@ Log2Histogram
 freeBlockDistribution(const PhysicalMemory &pm)
 {
     Log2Histogram hist;
-    for (unsigned n = 0; n < pm.numNodes(); ++n) {
-        const Zone &zone = pm.zone(n);
-        // Top-order contiguity: the unaligned clusters of the map.
-        for (const Cluster &c : zone.contigMap().snapshot())
-            hist.add(c.pages, c.pages);
-        // Sub-top-order free blocks from the buddy lists.
-        const unsigned top = zone.buddy().maxOrder();
-        for (unsigned o = 0; o < top; ++o) {
-            zone.buddy().forEachFreeBlock(o, [&](Pfn) {
-                hist.add(pagesInOrder(o), pagesInOrder(o));
-            });
-        }
-    }
+    for (unsigned n = 0; n < pm.numNodes(); ++n)
+        hist.mergeFrom(pm.zone(n).freeBlockHistogram());
     return hist;
 }
 

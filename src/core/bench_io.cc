@@ -8,6 +8,7 @@
 #include "base/logging.hh"
 #include "core/config.hh"
 #include "obs/metrics.hh"
+#include "obs/observatory.hh"
 #include "obs/trace.hh"
 
 namespace contig
@@ -36,6 +37,14 @@ BenchOutput::BenchOutput(std::string bench, int argc, char **argv)
     if (tracePath_.empty())
         if (const char *env = std::getenv("CONTIG_TRACE_OUT"))
             tracePath_ = env;
+    if (timelinePath_.empty())
+        if (const char *env = std::getenv("CONTIG_TIMELINE_OUT"))
+            timelinePath_ = env;
+
+    if (!timelinePath_.empty() &&
+        !obs::TimelineSink::global().open(timelinePath_))
+        fatal("cannot open --timeline output '%s'",
+              timelinePath_.c_str());
 
     if (!tracePath_.empty()) {
         obs::TraceSink &sink = obs::TraceSink::global();
@@ -63,6 +72,8 @@ BenchOutput::parseArgs(int argc, char **argv)
             jsonPath_ = argv[++i];
         } else if (arg == "--trace" && has_next) {
             tracePath_ = argv[++i];
+        } else if (arg == "--timeline" && has_next) {
+            timelinePath_ = argv[++i];
         } else if (arg == "--trace-categories" && has_next) {
             const char *list = argv[++i];
             const std::uint32_t mask = obs::parseTraceCategories(list);
@@ -75,7 +86,7 @@ BenchOutput::parseArgs(int argc, char **argv)
         } else {
             fatal("%s: unknown argument '%s'\n"
                   "usage: %s [--json FILE] [--trace FILE]"
-                  " [--trace-categories LIST]",
+                  " [--timeline FILE] [--trace-categories LIST]",
                   bench_.c_str(), argv[i], bench_.c_str());
         }
     }
@@ -113,6 +124,7 @@ BenchOutput::write()
     if (!jsonPath_.empty()) {
         JsonWriter w;
         w.beginObject();
+        w.field("schema_version", kSchemaVersion);
         w.field("bench", bench_);
 
         w.key("config");
@@ -128,6 +140,10 @@ BenchOutput::write()
             else
                 w.value(n.str);
         }
+        // The RunInfo reproducibility record: RNG seeds and the full
+        // knob set of every kernel the run instantiated.
+        w.key("run");
+        obs::RunInfo::global().writeJson(w);
         w.endObject();
 
         w.key("rows");
@@ -162,6 +178,17 @@ BenchOutput::write()
                     tracePath_.c_str(),
                     static_cast<unsigned long long>(sink.size()),
                     static_cast<unsigned long long>(sink.dropped()));
+    }
+
+    if (!timelinePath_.empty()) {
+        obs::TimelineSink &sink = obs::TimelineSink::global();
+        const std::uint64_t records = sink.records();
+        const std::uint64_t streams = sink.streams();
+        sink.close();
+        std::printf("timeline: wrote %s (%llu snapshots, %llu streams)\n",
+                    timelinePath_.c_str(),
+                    static_cast<unsigned long long>(records),
+                    static_cast<unsigned long long>(streams));
     }
 
     std::fflush(stdout);

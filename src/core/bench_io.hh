@@ -9,11 +9,16 @@
  *
  * where "rows" flattens every added Report (one object per table row,
  * tagged with its caption) and "metrics" is the global MetricRegistry
- * snapshot. `--trace <file>` (or CONTIG_TRACE_OUT) additionally
- * enables event tracing and exports the ring buffer on write() —
- * Chrome trace_event JSON by default, JSONL when the path ends in
- * ".jsonl". `--trace-categories fault,spot,...` (or
- * CONTIG_TRACE_CATEGORIES) narrows what is recorded.
+ * snapshot. The document carries "schema_version" (currently 2) and
+ * a config.run object with the RunInfo reproducibility record (RNG
+ * seeds, full KernelConfig knob sets). `--trace <file>` (or
+ * CONTIG_TRACE_OUT) additionally enables event tracing and exports
+ * the ring buffer on write() — Chrome trace_event JSON by default,
+ * JSONL when the path ends in ".jsonl". `--trace-categories
+ * fault,spot,...` (or CONTIG_TRACE_CATEGORIES) narrows what is
+ * recorded. `--timeline <file>` (or CONTIG_TIMELINE_OUT) opens the
+ * observatory TimelineSink: every StateSampler the run creates
+ * streams delta-encoded JSONL snapshots there (see obs/observatory).
  */
 
 #ifndef CONTIG_CORE_BENCH_IO_HH
@@ -55,6 +60,10 @@ class BenchOutput
 
     bool jsonEnabled() const { return !jsonPath_.empty(); }
     bool traceEnabled() const { return !tracePath_.empty(); }
+    bool timelineEnabled() const { return !timelinePath_.empty(); }
+
+    /** The bench JSON document schema ("schema_version"). */
+    static constexpr int kSchemaVersion = 2;
 
     /** Write the JSON document and/or trace export, if configured. */
     void write();
@@ -73,6 +82,7 @@ class BenchOutput
     std::string bench_;
     std::string jsonPath_;
     std::string tracePath_;
+    std::string timelinePath_;
     std::vector<Note> notes_;
     std::vector<Report> reports_;
     bool written_ = false;

@@ -1,6 +1,7 @@
 #include "core/experiment.hh"
 
 #include "base/logging.hh"
+#include "obs/observatory.hh"
 #include "policies/ca_paging.hh"
 #include "policies/eager.hh"
 #include "policies/ideal.hh"
@@ -70,16 +71,17 @@ namespace
 {
 
 /**
- * Shared run logic: hook fault sampling, run setup, compute metrics.
- * `extract` pulls the current segment list (native or 2-D).
+ * Shared run logic: attach an observatory StateSampler for the fault
+ * phase, run setup, then compute metrics from the captured snapshots.
+ * `add_probes` registers the segment probes (native 1-D or the VM's
+ * nested pair); the coverage-tracking probe feeds the timeline.
  */
 ContigRunResult
 runSampled(Kernel &kernel, Process &proc, Workload &wl,
-           std::uint64_t sample_period,
-           const std::function<std::vector<Seg>()> &extract)
+           std::uint64_t sample_period, std::string domain,
+           const std::function<void(obs::StateSampler &)> &add_probes)
 {
     ContigRunResult res;
-    CoverageTimeline timeline;
 
     const std::uint64_t faults0 = kernel.faultStats().faults;
     const std::uint64_t migr0 = kernel.counters().get("migrate.pages");
@@ -89,41 +91,44 @@ runSampled(Kernel &kernel, Process &proc, Workload &wl,
     const std::uint64_t mcyc0 = kernel.counters().get("migrate.cycles") +
                                 kernel.counters().get("promote.cycles");
 
-    std::uint64_t since_sample = 0;
-    auto prev_hook = kernel.onFault;
-    kernel.onFault = [&](const FaultEvent &ev) {
-        if (prev_hook)
-            prev_hook(ev);
-        if (++since_sample >= sample_period) {
-            since_sample = 0;
-            auto m = coverage(extract());
-            timeline.addSample(m);
-            res.cov32Timeline.emplace_back(
-                kernel.faultStats().faults - faults0, m.cov32);
-        }
-    };
+    obs::SamplerConfig scfg;
+    scfg.periodFaults = sample_period;
+    scfg.captureFreeHist = obs::TimelineSink::global().enabled();
+    scfg.domain = std::move(domain);
+    obs::StateSampler sampler(scfg);
+    add_probes(sampler);
+    sampler.attachKernel(kernel);
 
     wl.setup(proc);
 
-    kernel.onFault = prev_hook;
+    sampler.detachKernel();
+    const std::size_t fault_samples = sampler.snapshots().size();
 
     // Steady state: the compute phase dominates real executions, so
     // the time-average weighs post-allocation samples too. Daemon
     // policies (ranger, ingens) keep working here.
-    const int steady_samples = std::max<int>(
-        24, 3 * static_cast<int>(timeline.samples().size()));
+    const int steady_samples =
+        std::max<int>(24, 3 * static_cast<int>(fault_samples));
     for (int i = 0; i < steady_samples; ++i) {
         kernel.policy().onTick(kernel);
-        auto m = coverage(extract());
-        timeline.addSample(m);
-        res.cov32Timeline.emplace_back(
-            kernel.faultStats().faults - faults0 + (i + 1), m.cov32);
+        sampler.sampleNow();
     }
+    sampler.sampleNow(); // the final, post-steady-state capture
 
-    res.final = coverage(extract());
-    timeline.addSample(res.final);
-    res.cov32Timeline.emplace_back(kernel.faultStats().faults - faults0,
-                                   res.final.cov32);
+    CoverageTimeline timeline;
+    const std::vector<obs::Snapshot> &snaps = sampler.snapshots();
+    for (std::size_t i = 0; i < snaps.size(); ++i) {
+        const obs::Snapshot &s = snaps[i];
+        timeline.addSample(s.coverage);
+        // Timeline x-coordinate: faults into the run. Steady-state
+        // samples advance a synthetic tick past the fault clock; the
+        // final capture sits back on it.
+        std::uint64_t x = s.tick - faults0;
+        if (i >= fault_samples && i + 1 < snaps.size())
+            x += (i - fault_samples) + 1;
+        res.cov32Timeline.emplace_back(x, s.coverage.cov32);
+    }
+    res.final = snaps.back().coverage;
     res.avg = timeline.average();
     res.faults = kernel.faultStats().faults - faults0;
     res.p99FaultLatencyUs = kernel.faultStats().latencyUs.quantile(0.99);
@@ -148,6 +153,7 @@ NativeSystem::NativeSystem(PolicyKind kind, std::uint64_t seed)
                                        makePolicy(kind))),
       rng_(seed)
 {
+    obs::RunInfo::global().note("seed.native_system", seed);
 }
 
 void
@@ -160,9 +166,14 @@ ContigRunResult
 NativeSystem::run(Workload &wl, std::uint64_t sample_period)
 {
     Process &proc = kernel_->createProcess(wl.name());
-    return runSampled(*kernel_, proc, wl, sample_period, [&] {
-        return extractSegs(proc.pageTable());
-    });
+    return runSampled(
+        *kernel_, proc, wl, sample_period,
+        policyName(kind_) + ":" + wl.name(),
+        [&](obs::StateSampler &sampler) {
+            sampler.addSegProbe(
+                "1d", &proc,
+                [&proc] { return extractSegs(proc.pageTable()); }, true);
+        });
 }
 
 void
@@ -192,15 +203,20 @@ VirtSystem::VirtSystem(PolicyKind host_kind, PolicyKind guest_kind,
             ScaledDefaults::kEagerMaxOrder;
     vm_ = std::make_unique<VirtualMachine>(*host_,
                                            makePolicy(guest_kind), vcfg);
+    obs::RunInfo::global().note("seed.virt_system", seed);
 }
 
 ContigRunResult
 VirtSystem::run(Workload &wl, std::uint64_t sample_period)
 {
     Process &proc = vm_->guest().createProcess(wl.name());
-    return runSampled(vm_->guest(), proc, wl, sample_period, [&] {
-        return extract2d(proc, *vm_);
-    });
+    return runSampled(
+        vm_->guest(), proc, wl, sample_period,
+        policyName(hostKind_) + "/" + policyName(guestKind_) + ":" +
+            wl.name(),
+        [&](obs::StateSampler &sampler) {
+            sampler.attachVm(proc, *vm_);
+        });
 }
 
 void
@@ -238,9 +254,30 @@ runTranslation(Workload &wl, const VirtualMachine *vm, XlatScheme scheme,
             sim->setSegments(extractSegs(proc->pageTable()));
     }
 
+    obs::RunInfo::global().note("seed.translation", seed);
+
+    // With an open timeline, stream TLB/walker/SpOT counters at 1/8
+    // run granularity (the sampler has no kernel, so ticks are access
+    // counts and captures are explicit).
+    std::unique_ptr<obs::StateSampler> sampler;
+    std::uint64_t xlat_period = 0;
+    if (obs::TimelineSink::global().enabled()) {
+        obs::SamplerConfig scfg;
+        scfg.keepSnapshots = false;
+        scfg.domain = "xlat:" + wl.name();
+        sampler = std::make_unique<obs::StateSampler>(scfg);
+        sampler->attachTranslation(*sim);
+        xlat_period = std::max<std::uint64_t>(1, accesses / 8);
+    }
+
     Rng rng(seed);
-    for (std::uint64_t i = 0; i < accesses; ++i)
+    for (std::uint64_t i = 0; i < accesses; ++i) {
         sim->access(wl.nextAccess(rng));
+        if (sampler && (i + 1) % xlat_period == 0)
+            sampler->sampleAt(i + 1);
+    }
+    if (sampler && (accesses == 0 || accesses % xlat_period != 0))
+        sampler->sampleAt(accesses);
 
     XlatRunResult res;
     res.stats = sim->stats();

@@ -7,6 +7,7 @@
 #include "base/logging.hh"
 #include "mm/kernel.hh"
 #include "mm/page_cache.hh"
+#include "obs/observatory.hh"
 #include "obs/trace.hh"
 
 namespace contig
@@ -228,6 +229,12 @@ FaultEngine::finishFault(Process &proc, Vma &vma, Vpn vpn, Pfn pfn,
         ev.file = file;
         kernel_.onFault(ev);
     }
+
+    // Observatory sampling happens before the policy tick below, so a
+    // capture at fault N sees the pre-tick state (the cadence the
+    // coverage timelines were defined with).
+    if (sampler_)
+        sampler_->onFaultTick();
 
     if (stats_.faults % cfg_.tickPeriodFaults == 0) {
         CONTIG_TRACE(obs::TraceEventKind::DaemonTick, stats_.faults);

@@ -45,6 +45,8 @@ class Kernel;
 struct KernelConfig;
 struct Mapping;
 
+namespace obs { class StateSampler; }
+
 /** What a fault resolves. */
 enum class FaultKind : std::uint8_t
 {
@@ -210,6 +212,14 @@ class FaultEngine
     const FaultStats &stats() const { return stats_; }
     const FaultBatchStats &batchStats() const { return batch_; }
 
+    /**
+     * Register/clear the observatory sampler ticked after every
+     * fault (StateSampler::attachKernel). Costs the fault path one
+     * null-pointer branch while cleared.
+     */
+    void setSampler(obs::StateSampler *sampler) { sampler_ = sampler; }
+    obs::StateSampler *sampler() const { return sampler_; }
+
     /** Report fault.batch.* / readahead metrics (kernel-scoped). */
     void collectMetrics(obs::MetricSink &sink) const;
 
@@ -257,6 +267,7 @@ class FaultEngine
     const KernelConfig &cfg_;
     FaultStats stats_;
     FaultBatchStats batch_;
+    obs::StateSampler *sampler_ = nullptr;
     /** Reused slot/result buffers for the batch paths. */
     std::vector<FaultSlot> slots_;
     std::vector<AllocResult> fileResults_;

@@ -4,6 +4,7 @@
 
 #include "base/align.hh"
 #include "base/logging.hh"
+#include "obs/observatory.hh"
 #include "obs/trace.hh"
 
 namespace contig
@@ -18,6 +19,32 @@ Kernel::Kernel(const KernelConfig &cfg,
     metricSource_ = obs::MetricSource(
         obs::MetricRegistry::global(), cfg_.metricsPrefix,
         [this](obs::MetricSink &sink) { collectMetrics(sink); });
+
+    // Reproducibility record: the full knob set of every kernel
+    // instantiated during a run ends up in the bench JSON config
+    // block (config.run), keyed by the metrics prefix so host and
+    // guest kernels stay distinguishable.
+    obs::RunInfo &ri = obs::RunInfo::global();
+    const std::string p = cfg_.metricsPrefix + ".";
+    ri.count(p + "instances");
+    ri.note(p + "thp_enabled", cfg_.thpEnabled);
+    ri.note(p + "fault_base_cycles", cfg_.faultBaseCycles);
+    ri.note(p + "zero_cycles_per_page", cfg_.zeroCyclesPerPage);
+    ri.note(p + "copy_cycles_per_page", cfg_.copyCyclesPerPage);
+    ri.note(p + "cycles_per_us", cfg_.cyclesPerUs);
+    ri.note(p + "tick_period_faults", cfg_.tickPeriodFaults);
+    ri.note(p + "page_table_levels",
+            static_cast<std::uint64_t>(cfg_.pageTableLevels));
+    ri.note(p + "fault_batching", cfg_.faultBatching);
+    ri.note(p + "fault_stage_timers", cfg_.faultStageTimers);
+    ri.note(p + "obs_sample_period_faults", cfg_.obsSamplePeriodFaults);
+    ri.note(p + "phys.bytes_per_node", cfg_.phys.bytesPerNode);
+    ri.note(p + "phys.num_nodes",
+            static_cast<std::uint64_t>(cfg_.phys.numNodes));
+    ri.note(p + "phys.max_order",
+            static_cast<std::uint64_t>(cfg_.phys.zone.maxOrder));
+    ri.note(p + "phys.sorted_top_list", cfg_.phys.zone.sortedTopList);
+    ri.note(p + "phys.scramble_seed", cfg_.phys.zone.scrambleSeed);
 }
 
 void

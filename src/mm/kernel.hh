@@ -61,6 +61,12 @@ struct KernelConfig
      */
     bool faultStageTimers = false;
     /**
+     * Observatory sampling interval, in faults. 0 leaves the cadence
+     * to whoever attaches a StateSampler (the experiment drivers);
+     * nonzero overrides it for every sampler attached to this kernel.
+     */
+    std::uint64_t obsSamplePeriodFaults = 0;
+    /**
      * MetricRegistry prefix this kernel reports under ("kernel" for
      * the host; VirtualMachine sets "guest" for its guest kernel).
      */

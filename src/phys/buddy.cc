@@ -427,6 +427,27 @@ BuddyAllocator::checkInvariants() const
     return free_pages == freePages_;
 }
 
+std::vector<std::uint64_t>
+BuddyAllocator::freeBlockCounts() const
+{
+    std::vector<std::uint64_t> counts(maxOrder_ + 1);
+    for (unsigned o = 0; o <= maxOrder_; ++o)
+        counts[o] = lists_[o].count;
+    return counts;
+}
+
+double
+BuddyAllocator::unusableFreeIndex(unsigned order) const
+{
+    if (freePages_ == 0)
+        return 0.0;
+    std::uint64_t usable = 0;
+    for (unsigned o = order; o <= maxOrder_; ++o)
+        usable += lists_[o].count * pagesInOrder(o);
+    return static_cast<double>(freePages_ - usable) /
+           static_cast<double>(freePages_);
+}
+
 void
 BuddyAllocator::collectMetrics(obs::MetricSink &sink) const
 {

@@ -105,6 +105,19 @@ class BuddyAllocator
     std::uint64_t freeBlocks(unsigned order) const;
     const BuddyStats &stats() const { return stats_; }
 
+    /** Free-list lengths for every order, indexed [0, maxOrder]. */
+    std::vector<std::uint64_t> freeBlockCounts() const;
+
+    /**
+     * Gorman's unusable free space index at `order` (the FMFI the
+     * observatory samples): the fraction of currently-free memory
+     * that cannot serve one allocation of 2^order pages because it
+     * sits in smaller blocks. 0 means every free page lives in a
+     * block of at least that order; 1 means none does. Returns 0
+     * when no memory is free.
+     */
+    double unusableFreeIndex(unsigned order) const;
+
     /** Report counters + free-state gauges into a metric sink. */
     void collectMetrics(obs::MetricSink &sink) const;
 

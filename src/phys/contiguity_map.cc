@@ -195,6 +195,15 @@ ContiguityMap::snapshot() const
     return out;
 }
 
+Log2Histogram
+ContiguityMap::clusterSizeHistogram() const
+{
+    Log2Histogram hist;
+    for (const auto &[start, len] : clusters_)
+        hist.add(len, len);
+    return hist;
+}
+
 bool
 ContiguityMap::checkInvariants() const
 {

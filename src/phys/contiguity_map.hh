@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/stats.hh"
 #include "base/types.hh"
 
 namespace contig
@@ -84,6 +85,13 @@ class ContiguityMap
 
     /** Snapshot of all clusters in address order. */
     std::vector<Cluster> snapshot() const;
+
+    /**
+     * Cluster-size distribution, weighted by pages (bucket i holds
+     * the pages living in clusters of [2^i, 2^(i+1)) pages) — the
+     * cluster CDF the observatory samples per tick.
+     */
+    Log2Histogram clusterSizeHistogram() const;
 
     const ContiguityMapStats &stats() const { return stats_; }
 

@@ -15,4 +15,16 @@ Zone::Zone(FrameArray &frames, NodeId node, Pfn base_pfn,
         [this](Pfn pfn) { contigMap_.onBlockAllocated(pfn); });
 }
 
+Log2Histogram
+Zone::freeBlockHistogram() const
+{
+    Log2Histogram hist = contigMap_.clusterSizeHistogram();
+    for (unsigned o = 0; o < buddy_.maxOrder(); ++o) {
+        buddy_.forEachFreeBlock(o, [&](Pfn) {
+            hist.add(pagesInOrder(o), pagesInOrder(o));
+        });
+    }
+    return hist;
+}
+
 } // namespace contig

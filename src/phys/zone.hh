@@ -61,6 +61,14 @@ class Zone
         return pfn >= basePfn() && pfn < basePfn() + numFrames();
     }
 
+    /**
+     * The zone's free-block size distribution, weighted by pages
+     * (the Fig. 9 histogram for one zone): the contiguity map's
+     * unaligned clusters at top-order scale plus the sub-top-order
+     * buddy free lists. O(free blocks) — sampled, not kept hot.
+     */
+    Log2Histogram freeBlockHistogram() const;
+
   private:
     NodeId node_;
     ContiguityMap contigMap_;

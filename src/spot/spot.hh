@@ -63,6 +63,25 @@ struct SpotStats
     std::uint64_t fills = 0;
     std::uint64_t fillsBlockedByBits = 0;
     std::uint64_t offsetReplacements = 0;
+
+    /** Fraction of lookups that speculated at all (Fig. 14's bars). */
+    double
+    coverage() const
+    {
+        return lookups ? static_cast<double>(correct + mispredicted) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+    }
+
+    /** Fraction of speculated lookups that verified correct. */
+    double
+    accuracy() const
+    {
+        const std::uint64_t spec = correct + mispredicted;
+        return spec ? static_cast<double>(correct) /
+                          static_cast<double>(spec)
+                    : 0.0;
+    }
 };
 
 /**

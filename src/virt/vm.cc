@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "obs/observatory.hh"
 
 namespace contig
 {
@@ -12,6 +13,14 @@ VirtualMachine::VirtualMachine(Kernel &host,
                                const VmConfig &cfg)
     : host_(host)
 {
+    // VM geometry joins the reproducibility record (the guest
+    // kernel's own knobs are noted by its Kernel ctor under the
+    // "guest." prefix).
+    obs::RunInfo &ri = obs::RunInfo::global();
+    ri.count("vm.instances");
+    ri.note("vm.guest_bytes_per_node", cfg.guestBytesPerNode);
+    ri.note("vm.guest_nodes", static_cast<std::uint64_t>(cfg.guestNodes));
+
     // The backing process and its GuestRam VMA (qemu's anonymous
     // guest-memory region).
     backing_ = &host_.createProcess("vm-backing");

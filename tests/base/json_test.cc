@@ -156,3 +156,88 @@ TEST(JsonWriter, EscapedKeyAndValue)
     w.endObject();
     EXPECT_EQ(w.str(), "{\"quote\\\"key\":\"line\\nbreak\"}");
 }
+
+// --- JsonValue (the reader) -----------------------------------------------
+
+TEST(JsonValue, ParsesScalars)
+{
+    EXPECT_TRUE(JsonValue::parse("null")->isNull());
+    EXPECT_TRUE(JsonValue::parse("true")->asBool());
+    EXPECT_FALSE(JsonValue::parse("false")->asBool());
+    EXPECT_DOUBLE_EQ(JsonValue::parse("-12.5e2")->asNumber(), -1250.0);
+    EXPECT_EQ(JsonValue::parse("\"hi\"")->asString(), "hi");
+    EXPECT_DOUBLE_EQ(JsonValue::parse(" 42 ")->asNumber(), 42.0);
+}
+
+TEST(JsonValue, ParsesContainersPreservingOrder)
+{
+    auto doc = JsonValue::parse(R"({"b":1,"a":[2,"x",{}],"c":null})");
+    ASSERT_TRUE(doc);
+    ASSERT_TRUE(doc->isObject());
+    ASSERT_EQ(doc->members().size(), 3u);
+    EXPECT_EQ(doc->members()[0].first, "b");
+    EXPECT_EQ(doc->members()[1].first, "a");
+    EXPECT_EQ(doc->members()[2].first, "c");
+
+    const JsonValue *a = doc->find("a");
+    ASSERT_TRUE(a && a->isArray());
+    ASSERT_EQ(a->array().size(), 3u);
+    EXPECT_DOUBLE_EQ(a->array()[0].asNumber(), 2.0);
+    EXPECT_EQ(a->array()[1].asString(), "x");
+    EXPECT_TRUE(a->array()[2].isObject());
+
+    EXPECT_EQ(doc->find("missing"), nullptr);
+    EXPECT_DOUBLE_EQ(doc->numberOr("b", -1), 1.0);
+    EXPECT_DOUBLE_EQ(doc->numberOr("c", -1), -1.0); // null, not number
+    EXPECT_DOUBLE_EQ(doc->numberOr("missing", 7), 7.0);
+}
+
+TEST(JsonValue, DecodesEscapes)
+{
+    auto doc = JsonValue::parse(R"("a\"b\\c\n\tAé")");
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc->asString(), "a\"b\\c\n\tA\xC3\xA9");
+}
+
+TEST(JsonValue, RoundTripsWriterOutput)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("name", "fig\"09");
+    w.field("pi", 3.25);
+    w.key("rows");
+    w.beginArray();
+    w.value(std::uint64_t{1} << 52);
+    w.value(false);
+    w.endArray();
+    w.endObject();
+
+    auto doc = JsonValue::parse(w.str());
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc->find("name")->asString(), "fig\"09");
+    EXPECT_DOUBLE_EQ(doc->find("pi")->asNumber(), 3.25);
+    EXPECT_DOUBLE_EQ(doc->find("rows")->array()[0].asNumber(),
+                     static_cast<double>(std::uint64_t{1} << 52));
+    EXPECT_FALSE(doc->find("rows")->array()[1].asBool());
+}
+
+TEST(JsonValue, RejectsMalformedWithOffset)
+{
+    std::string err;
+    EXPECT_FALSE(JsonValue::parse("", &err));
+    EXPECT_FALSE(JsonValue::parse("{", &err));
+    EXPECT_FALSE(JsonValue::parse("{\"a\":}", &err));
+    EXPECT_FALSE(JsonValue::parse("[1,]", &err));
+    EXPECT_FALSE(JsonValue::parse("tru", &err));
+    EXPECT_FALSE(JsonValue::parse("1 2", &err)); // trailing garbage
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonValue, RejectsRunawayNesting)
+{
+    std::string deep(1000, '[');
+    deep += std::string(1000, ']');
+    std::string err;
+    EXPECT_FALSE(JsonValue::parse(deep, &err));
+    EXPECT_NE(err.find("deep"), std::string::npos);
+}

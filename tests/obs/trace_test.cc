@@ -108,6 +108,70 @@ TEST_F(TraceTest, RingOverwritesOldest)
         EXPECT_EQ(evs[i].args[0], i + 2);
 }
 
+TEST_F(TraceTest, RingSurvivesMultipleWraparounds)
+{
+    TraceSink &sink = TraceSink::global();
+    sink.setCapacity(8);
+    sink.setCategoryMask(kCatAll);
+    // 3.5 laps around an 8-slot ring.
+    for (std::uint64_t i = 0; i < 28; ++i)
+        sink.record(TraceEventKind::Alloc, i, 0, 0);
+
+    EXPECT_EQ(sink.size(), 8u);
+    EXPECT_EQ(sink.recorded(), 28u);
+    EXPECT_EQ(sink.dropped(), 20u);
+    auto evs = sink.events();
+    ASSERT_EQ(evs.size(), 8u);
+    // Oldest-first readback straddles the physical wrap point.
+    for (std::uint64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(evs[i].args[0], i + 20);
+}
+
+TEST_F(TraceTest, SetCapacityDropsAndRestartsCleanly)
+{
+    TraceSink &sink = TraceSink::global();
+    sink.setCapacity(4);
+    sink.setCategoryMask(kCatAll);
+    for (std::uint64_t i = 0; i < 6; ++i)
+        sink.record(TraceEventKind::PageFault, i, 0, 0);
+    ASSERT_EQ(sink.size(), 4u);
+
+    sink.setCapacity(2);
+    EXPECT_EQ(sink.size(), 0u);
+    sink.record(TraceEventKind::PageFault, 100, 0, 0);
+    sink.record(TraceEventKind::PageFault, 101, 0, 0);
+    sink.record(TraceEventKind::PageFault, 102, 0, 0);
+    auto evs = sink.events();
+    ASSERT_EQ(evs.size(), 2u);
+    EXPECT_EQ(evs[0].args[0], 101u);
+    EXPECT_EQ(evs[1].args[0], 102u);
+}
+
+TEST_F(TraceTest, MaskFiltersPerKindAcrossCategories)
+{
+    TraceSink &sink = TraceSink::global();
+    sink.setCategoryMask(kCatMigrate | kCatDaemon);
+
+    // The macro is the gate the hot paths use — exercise it for one
+    // kind in every masked state.
+    CONTIG_TRACE(TraceEventKind::Migration, 1, 2, 3);   // in mask
+    CONTIG_TRACE(TraceEventKind::DaemonTick, 7, 0, 0);  // in mask
+    CONTIG_TRACE(TraceEventKind::PageFault, 9, 9, 9);   // masked off
+    CONTIG_TRACE(TraceEventKind::Alloc, 9, 9, 9);       // masked off
+    CONTIG_TRACE(TraceEventKind::SpotCorrect, 9, 9, 0); // masked off
+
+    auto evs = sink.events();
+    ASSERT_EQ(evs.size(), 2u);
+    EXPECT_EQ(evs[0].kind, TraceEventKind::Migration);
+    EXPECT_EQ(evs[1].kind, TraceEventKind::DaemonTick);
+
+    // Every kind's category bit must match the descriptor table.
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(TraceEventKind::NumKinds); ++k)
+        EXPECT_EQ(traceCategoryOf(static_cast<TraceEventKind>(k)),
+                  kTraceEventDescs[k].category);
+}
+
 TEST_F(TraceTest, InternIsStableAndDeduplicated)
 {
     TraceSink &sink = TraceSink::global();
