@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Micro-benchmark: fault-path throughput under worker threads. One
+ * threaded Kernel + ParallelDriver per cell, threads in {1, 2, 4, 8},
+ * each worker demand-faulting its own 32 MiB region in shuffled 2 MiB
+ * chunks (the fig10 multi-programmed shape). Fault counts, page
+ * counts and the post-exit pcp-cache residue are deterministic and
+ * gated by the committed baseline; wall-clock throughput columns are
+ * named `*.wall_us` so check-baseline ignores them (CI machines may
+ * have a single CPU, where the speedup is the locking overhead, not
+ * the scaling headline).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "core/bench_io.hh"
+#include "core/experiment.hh"
+#include "core/parallel.hh"
+#include "core/report.hh"
+#include "mm/kernel.hh"
+
+using namespace contig;
+
+namespace
+{
+
+constexpr std::uint64_t kBytesPerWorker = 32ull << 20;
+constexpr std::uint64_t kChunkBytes = 2ull << 20;
+constexpr std::uint64_t kSeed = 0x5CA1ED;
+
+double
+wallUs(const std::function<void()> &fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+struct Cell
+{
+    std::uint64_t faults = 0;
+    std::uint64_t hugeFaults = 0;
+    std::uint64_t pages = 0;
+    std::uint64_t pcpAfterExit = 0; //!< must drain to 0
+    double fillUs = 0.0;
+};
+
+Cell
+runCell(PolicyKind kind, unsigned threads)
+{
+    KernelConfig cfg = kernelConfigFor(kind);
+    cfg.threads = threads;
+    cfg.metricsPrefix =
+        "mfs_" + policyName(kind) + "_t" + std::to_string(threads);
+    Kernel k(cfg, makePolicy(kind));
+
+    ParallelDriverConfig pd;
+    pd.threads = threads;
+    pd.bytesPerWorker = kBytesPerWorker;
+    pd.chunkBytes = kChunkBytes;
+    pd.seed = kSeed;
+    ParallelDriver driver(k, pd);
+
+    Cell cell;
+    cell.fillUs = wallUs([&] { driver.run(); });
+    cell.faults = k.faultStats().faults;
+    cell.hugeFaults = k.faultStats().hugeFaults;
+    cell.pages = threads * (kBytesPerWorker / kPageSize);
+    driver.exitAll();
+    cell.pcpAfterExit = k.physMem().pcpCachedPages();
+    return cell;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printScaledBanner();
+    BenchOutput out("micro_fault_scaling", argc, argv);
+    out.note("bytes_per_worker", kBytesPerWorker);
+    out.note("chunk_bytes", kChunkBytes);
+    out.note("seed", kSeed);
+
+    Report rep("micro — fault throughput vs worker threads "
+               "(32 MiB/worker, shuffled 2 MiB chunks)");
+    rep.header({"policy", "threads", "pages", "faults", "huge",
+                "pcp_after_exit", "fill.wall_us", "kfaults_s.wall_us",
+                "speedup.wall_us"});
+    for (PolicyKind kind : {PolicyKind::Base4k, PolicyKind::Thp}) {
+        double base_rate = 0.0;
+        for (unsigned threads : {1u, 2u, 4u, 8u}) {
+            const Cell cell = runCell(kind, threads);
+            const double rate =
+                static_cast<double>(cell.faults) / cell.fillUs * 1000.0;
+            if (threads == 1)
+                base_rate = rate;
+            rep.row({policyName(kind), std::to_string(threads),
+                     std::to_string(cell.pages),
+                     std::to_string(cell.faults),
+                     std::to_string(cell.hugeFaults),
+                     std::to_string(cell.pcpAfterExit),
+                     Report::num(cell.fillUs, 1),
+                     Report::num(rate, 1),
+                     Report::num(rate / base_rate, 2)});
+        }
+    }
+    out.add(rep);
+    rep.print();
+
+    out.write();
+    return 0;
+}

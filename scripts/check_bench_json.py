@@ -148,6 +148,32 @@ def main():
     if not isinstance(config.get("run"), dict):
         fail("'config.run' (the RunInfo reproducibility record) "
              "must be an object")
+    run = config["run"]
+    # Every kernel instance (one "<prefix>.instances" counter each)
+    # must record its threading knobs: worker-thread count and the
+    # per-CPU frame-cache geometry.
+    kernel_prefixes = [k[: -len(".instances")] for k in run
+                       if k.endswith(".instances")]
+    for kp in kernel_prefixes:
+        for key in ("threads", "phys.pcp_cpus", "phys.pcp_batch",
+                    "phys.pcp_high"):
+            if f"{kp}.{key}" not in run:
+                fail(f"'config.run' kernel {kp!r} missing {key!r}")
+    # Runs that used the ParallelDriver must record the base seed,
+    # geometry, and each worker's derived RNG stream seed.
+    if "parallel.threads" in run:
+        for key in ("parallel.seed", "parallel.bytes_per_worker",
+                    "parallel.chunk_bytes"):
+            if key not in run:
+                fail(f"'config.run' missing {key!r}")
+        # Repeated notes (one ParallelDriver per bench cell) are
+        # recorded as a list; the last entry is the live value.
+        threads = run["parallel.threads"]
+        if isinstance(threads, list):
+            threads = threads[-1]
+        for i in range(int(threads)):
+            if f"parallel.worker{i}.seed" not in run:
+                fail(f"'config.run' missing parallel.worker{i}.seed")
 
     rows = doc["rows"]
     if not isinstance(rows, list) or not rows:

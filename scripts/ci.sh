@@ -12,18 +12,31 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 build_and_test() {
     local name="$1"
-    shift
+    local filter="$2"
+    shift 2
     echo "=== [$name] configure ==="
     cmake -S "$root" -B "$out/$name" "$@"
     echo "=== [$name] build ==="
     cmake --build "$out/$name" -j "$jobs"
     echo "=== [$name] ctest ==="
-    ctest --test-dir "$out/$name" --output-on-failure
+    if [ -n "$filter" ]; then
+        ctest --test-dir "$out/$name" --output-on-failure -R "$filter"
+    else
+        ctest --test-dir "$out/$name" --output-on-failure
+    fi
 }
 
-build_and_test release -DCMAKE_BUILD_TYPE=Release
-build_and_test asan-ubsan \
+build_and_test release "" -DCMAKE_BUILD_TYPE=Release
+build_and_test asan-ubsan "" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCONTIG_SANITIZE=ON
+
+# ThreadSanitizer configuration: the threaded fault path (per-CPU
+# frame caches, sharded zone locks, per-VMA fault mutexes) must be
+# race-free under the concurrent stress + parallel-driver tests.
+# Only the thread-exercising tests run here; the full suite already
+# ran in both configurations above.
+build_and_test tsan 'test_concurrency|test_parallel|test_mm' \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCONTIG_SANITIZE=thread
 
 # Micro-bench artifacts (Release binaries). micro_alloc_path is a
 # plain BenchOutput bench; the other two are google-benchmark
@@ -37,7 +50,9 @@ echo "=== bench artifacts ==="
 "$bench/micro_obs_overhead" \
     --benchmark_out="$root/BENCH_micro_obs_overhead.json" \
     --benchmark_out_format=json
+"$bench/micro_fault_scaling" --json "$root/BENCH_micro_fault_scaling.json"
 python3 "$root/scripts/check_bench_json.py" "$bench/micro_alloc_path"
+python3 "$root/scripts/check_bench_json.py" "$bench/micro_fault_scaling"
 
 # Regression gate: the fig09 rows/metrics must match the committed
 # baseline within contig_inspect's per-metric tolerances.
@@ -49,5 +64,11 @@ python3 "$root/scripts/check_bench_json.py" \
 "$out/release/tools/contig_inspect" check-baseline \
     "$root/BENCH_fig09_free_blocks.json" \
     "$root/bench/baselines/BENCH_fig09_free_blocks.json"
+# Fault-scaling gate: deterministic fault/page counts per (policy,
+# threads) cell; wall-clock throughput columns are *.wall_us and
+# therefore ignored by check-baseline.
+"$out/release/tools/contig_inspect" check-baseline \
+    "$root/BENCH_micro_fault_scaling.json" \
+    "$root/bench/baselines/BENCH_micro_fault_scaling.json"
 
 echo "CI: all configurations green"

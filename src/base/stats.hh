@@ -86,6 +86,17 @@ class Percentiles
      */
     double quantile(double q);
 
+    /** Fold another reservoir's samples into this one. */
+    void
+    merge(const Percentiles &other)
+    {
+        if (other.samples_.empty())
+            return;
+        samples_.insert(samples_.end(), other.samples_.begin(),
+                        other.samples_.end());
+        sorted_ = false;
+    }
+
     std::size_t count() const { return samples_.size(); }
     void reset() { samples_.clear(); sorted_ = false; }
 

@@ -1,0 +1,106 @@
+#pragma once
+// Minimal synchronization primitives for the threaded fault path.
+//
+// The simulator's hot paths (fault handling, buddy split/merge, pcp
+// refill) hold locks for tens of nanoseconds, so a test-and-test-and-set
+// spinlock beats a futex-backed std::mutex there.  Everything coarser
+// (mmap, daemon ticks, teardown) uses std::shared_mutex in the kernel.
+
+#include <atomic>
+#include <cstdint>
+
+namespace contig {
+
+// Cache-line sized TTAS spinlock.  Satisfies Lockable, so it works with
+// std::lock_guard / std::scoped_lock.
+class alignas(64) SpinLock {
+public:
+    void lock() noexcept {
+        for (;;) {
+            if (!locked_.exchange(true, std::memory_order_acquire))
+                return;
+            while (locked_.load(std::memory_order_relaxed)) {
+                // spin on the cached line until it looks free
+            }
+        }
+    }
+
+    bool try_lock() noexcept {
+        return !locked_.load(std::memory_order_relaxed) &&
+               !locked_.exchange(true, std::memory_order_acquire);
+    }
+
+    void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+private:
+    std::atomic<bool> locked_{false};
+};
+
+// Conditionally engaged lock guard: takes the lock only when `engage`
+// is true. The threaded fault path uses these so single-threaded runs
+// skip every lock acquisition and stay instruction-identical to the
+// pre-threading engine.
+template <typename Mutex>
+class MaybeGuard
+{
+public:
+    MaybeGuard(Mutex &m, bool engage) : m_(engage ? &m : nullptr) {
+        if (m_)
+            m_->lock();
+    }
+    ~MaybeGuard() {
+        if (m_)
+            m_->unlock();
+    }
+    MaybeGuard(const MaybeGuard&) = delete;
+    MaybeGuard& operator=(const MaybeGuard&) = delete;
+
+private:
+    Mutex *m_;
+};
+
+// Shared (reader) flavour for std::shared_mutex-like types.
+template <typename Mutex>
+class MaybeSharedGuard
+{
+public:
+    MaybeSharedGuard(Mutex &m, bool engage) : m_(engage ? &m : nullptr) {
+        if (m_)
+            m_->lock_shared();
+    }
+    ~MaybeSharedGuard() {
+        if (m_)
+            m_->unlock_shared();
+    }
+    MaybeSharedGuard(const MaybeSharedGuard&) = delete;
+    MaybeSharedGuard& operator=(const MaybeSharedGuard&) = delete;
+
+private:
+    Mutex *m_;
+};
+
+// Logical CPU id of the current thread, used to index per-CPU frame
+// caches.  Worker threads bind an id for their lifetime via Scope; the
+// main thread (and any thread that never bound one) reads cpu 0, which
+// keeps the single-threaded path on the same cache a sequential run
+// would use.
+class ThisCpu {
+public:
+    static int id() noexcept { return id_; }
+
+    class Scope {
+    public:
+        explicit Scope(int cpu) noexcept : prev_(id_) { id_ = cpu; }
+        ~Scope() { id_ = prev_; }
+        Scope(const Scope&) = delete;
+        Scope& operator=(const Scope&) = delete;
+
+    private:
+        int prev_;
+    };
+
+private:
+    inline static thread_local int id_ = 0;
+};
+
+}  // namespace contig

@@ -1,5 +1,6 @@
 #include "core/bench_io.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +41,10 @@ BenchOutput::BenchOutput(std::string bench, int argc, char **argv)
     if (timelinePath_.empty())
         if (const char *env = std::getenv("CONTIG_TIMELINE_OUT"))
             timelinePath_ = env;
+    if (threads_ == 1)
+        if (const char *env = std::getenv("CONTIG_THREADS"))
+            threads_ = static_cast<unsigned>(
+                std::max(1l, std::strtol(env, nullptr, 10)));
 
     if (!timelinePath_.empty() &&
         !obs::TimelineSink::global().open(timelinePath_))
@@ -74,6 +79,12 @@ BenchOutput::parseArgs(int argc, char **argv)
             tracePath_ = argv[++i];
         } else if (arg == "--timeline" && has_next) {
             timelinePath_ = argv[++i];
+        } else if (arg == "--threads" && has_next) {
+            const long n = std::strtol(argv[++i], nullptr, 10);
+            if (n < 1)
+                fatal("%s: --threads wants a positive count, got '%s'",
+                      bench_.c_str(), argv[i]);
+            threads_ = static_cast<unsigned>(n);
         } else if (arg == "--trace-categories" && has_next) {
             const char *list = argv[++i];
             const std::uint32_t mask = obs::parseTraceCategories(list);
@@ -86,7 +97,8 @@ BenchOutput::parseArgs(int argc, char **argv)
         } else {
             fatal("%s: unknown argument '%s'\n"
                   "usage: %s [--json FILE] [--trace FILE]"
-                  " [--timeline FILE] [--trace-categories LIST]",
+                  " [--timeline FILE] [--trace-categories LIST]"
+                  " [--threads N]",
                   bench_.c_str(), argv[i], bench_.c_str());
         }
     }

@@ -62,6 +62,14 @@ class BenchOutput
     bool traceEnabled() const { return !tracePath_.empty(); }
     bool timelineEnabled() const { return !timelinePath_.empty(); }
 
+    /**
+     * Worker threads requested via `--threads N` (or CONTIG_THREADS);
+     * 1 when absent. Benches that support concurrent runs pass this
+     * to KernelConfig::threads / ParallelDriverConfig::threads;
+     * single-threaded benches simply ignore it.
+     */
+    unsigned threads() const { return threads_; }
+
     /** The bench JSON document schema ("schema_version"). */
     static constexpr int kSchemaVersion = 2;
 
@@ -83,6 +91,7 @@ class BenchOutput
     std::string jsonPath_;
     std::string tracePath_;
     std::string timelinePath_;
+    unsigned threads_ = 1;
     std::vector<Note> notes_;
     std::vector<Report> reports_;
     bool written_ = false;

@@ -1,0 +1,119 @@
+#include "core/parallel.hh"
+
+#include <string>
+#include <thread>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "mm/fault_engine.hh"
+#include "mm/kernel.hh"
+#include "obs/observatory.hh"
+
+namespace contig
+{
+
+std::uint64_t
+ParallelDriver::workerSeed(std::uint64_t base, unsigned worker)
+{
+    // splitmix64 over (base + index): statistically independent
+    // streams from one recorded base seed.
+    std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (worker + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+ParallelDriver::ParallelDriver(Kernel &kernel,
+                               const ParallelDriverConfig &cfg)
+    : kernel_(kernel), cfg_(cfg)
+{
+    contig_assert(cfg_.threads >= 1, "ParallelDriver needs >= 1 worker");
+    contig_assert(cfg_.threads == 1 || kernel_.threaded(),
+                  "concurrent workers against a non-threaded kernel");
+    contig_assert(cfg_.chunkBytes > 0 &&
+                      cfg_.bytesPerWorker >= cfg_.chunkBytes,
+                  "bad ParallelDriver geometry");
+
+    obs::RunInfo &ri = obs::RunInfo::global();
+    ri.note("parallel.threads", static_cast<std::uint64_t>(cfg_.threads));
+    ri.note("parallel.bytes_per_worker", cfg_.bytesPerWorker);
+    ri.note("parallel.chunk_bytes", cfg_.chunkBytes);
+    ri.note("parallel.seed", cfg_.seed);
+
+    const std::uint64_t chunks =
+        (cfg_.bytesPerWorker + cfg_.chunkBytes - 1) / cfg_.chunkBytes;
+    const unsigned nodes = kernel_.physMem().numNodes();
+    plans_.reserve(cfg_.threads);
+    for (unsigned i = 0; i < cfg_.threads; ++i) {
+        WorkerPlan plan;
+        plan.seed = workerSeed(cfg_.seed, i);
+        Process &proc = kernel_.createProcess(
+            "pworker" + std::to_string(i), i % nodes);
+        plan.proc = &proc;
+        plan.vma = &kernel_.mmapAnon(proc, cfg_.bytesPerWorker);
+        plan.chunkOrder.resize(chunks);
+        for (std::uint64_t c = 0; c < chunks; ++c)
+            plan.chunkOrder[c] = c;
+        if (cfg_.shuffle) {
+            Rng rng(plan.seed);
+            rng.shuffle(plan.chunkOrder);
+        }
+        ri.note("parallel.worker" + std::to_string(i) + ".seed",
+                plan.seed);
+        plans_.push_back(std::move(plan));
+    }
+}
+
+void
+ParallelDriver::runWorker(const WorkerPlan &plan)
+{
+    const Gva base = plan.vma->start();
+    for (std::uint64_t c : plan.chunkOrder) {
+        const std::uint64_t off = c * cfg_.chunkBytes;
+        const std::uint64_t len =
+            std::min(cfg_.chunkBytes, cfg_.bytesPerWorker - off);
+        plan.proc->touchRange(base + off, len);
+    }
+}
+
+void
+ParallelDriver::run()
+{
+    contig_assert(!ran_, "ParallelDriver::run() may be called once");
+    ran_ = true;
+
+    if (!kernel_.threaded() || cfg_.threads == 1) {
+        for (const WorkerPlan &plan : plans_)
+            runWorker(plan);
+        return;
+    }
+
+    FaultEngine &engine = kernel_.faultEngine();
+    std::vector<std::thread> workers;
+    workers.reserve(plans_.size());
+    for (unsigned i = 0; i < plans_.size(); ++i) {
+        workers.emplace_back([this, &engine, i] {
+            FaultEngine::WorkerScope scope(engine,
+                                           static_cast<int>(i));
+            runWorker(plans_[i]);
+        });
+    }
+    for (std::thread &t : workers)
+        t.join();
+    // Catch up the policy ticks / samples the workers deferred, so
+    // post-run state matches what a sequential run would have ticked.
+    engine.drainPendingTicks();
+}
+
+void
+ParallelDriver::exitAll()
+{
+    for (WorkerPlan &plan : plans_) {
+        if (plan.proc)
+            kernel_.exitProcess(*plan.proc);
+        plan.proc = nullptr;
+        plan.vma = nullptr;
+    }
+}
+
+} // namespace contig

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * ParallelDriver: runs a fig10-style multi-programmed fault workload
+ * on N worker threads against one kernel. Each worker owns one
+ * process with one anonymous region and touches it in 4 MiB chunks,
+ * the chunk order shuffled by a per-worker RNG stream derived from
+ * the base seed (recorded in config.run for reproducibility).
+ *
+ * Determinism contract: the per-worker plan (process, region, chunk
+ * order) depends only on (seed, worker index, geometry) — never on
+ * the thread count. With threads == 1 the workers run inline on the
+ * calling thread in index order, the kernel stays in its sequential
+ * mode, and the resulting placements and fault statistics are
+ * bit-identical to hand-driving the same touches (enforced by the
+ * parallel golden-equivalence test). With threads > 1 each worker
+ * runs on its own std::thread inside a FaultEngine::WorkerScope, so
+ * its faults use per-thread statistics and pcp frame cache `i`.
+ */
+
+#ifndef CONTIG_CORE_PARALLEL_HH
+#define CONTIG_CORE_PARALLEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mm/process.hh"
+
+namespace contig
+{
+
+class Kernel;
+
+struct ParallelDriverConfig
+{
+    /**
+     * Worker count. Should match KernelConfig::threads: with
+     * kernel.threaded() false the workers run sequentially regardless
+     * (running > 1 worker threads against a non-threaded kernel is a
+     * programming error and asserts).
+     */
+    unsigned threads = 1;
+    /** Anonymous region per worker. */
+    std::uint64_t bytesPerWorker = 64ull << 20;
+    /** Touch granularity (one handleRange span per chunk). */
+    std::uint64_t chunkBytes = 4ull << 20;
+    /** Base seed; worker i's stream is splitmix64(seed, i). */
+    std::uint64_t seed = 0x5EED;
+    /** Shuffle each worker's chunk order (off = sequential sweep). */
+    bool shuffle = true;
+};
+
+class ParallelDriver
+{
+  public:
+    /** The per-worker work list, fixed at construction. */
+    struct WorkerPlan
+    {
+        Process *proc = nullptr;
+        Vma *vma = nullptr;
+        std::uint64_t seed = 0; //!< this worker's derived RNG seed
+        /** Chunk indices in touch order. */
+        std::vector<std::uint64_t> chunkOrder;
+    };
+
+    /**
+     * Creates the worker processes/regions and derives the per-worker
+     * plans (main thread; records parallel.* in RunInfo).
+     */
+    ParallelDriver(Kernel &kernel, const ParallelDriverConfig &cfg);
+
+    ParallelDriver(const ParallelDriver &) = delete;
+    ParallelDriver &operator=(const ParallelDriver &) = delete;
+
+    /**
+     * Touch every worker's chunks: concurrently on cfg.threads
+     * threads when the kernel is threaded, inline in worker-index
+     * order otherwise. May be called once.
+     */
+    void run();
+
+    /** exitProcess() every worker process (drains pcp caches). */
+    void exitAll();
+
+    const std::vector<WorkerPlan> &plans() const { return plans_; }
+
+    /** The worker-i derived seed (exposed for the golden test). */
+    static std::uint64_t workerSeed(std::uint64_t base, unsigned worker);
+
+  private:
+    void runWorker(const WorkerPlan &plan);
+
+    Kernel &kernel_;
+    ParallelDriverConfig cfg_;
+    std::vector<WorkerPlan> plans_;
+    bool ran_ = false;
+};
+
+} // namespace contig
+
+#endif // CONTIG_CORE_PARALLEL_HH

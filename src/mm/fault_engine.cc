@@ -1,6 +1,7 @@
 #include "mm/fault_engine.hh"
 
 #include <algorithm>
+#include <mutex>
 #include <optional>
 
 #include "base/align.hh"
@@ -15,6 +16,7 @@ namespace contig
 
 FaultEngine::FaultEngine(Kernel &kernel)
     : kernel_(kernel), cfg_(kernel.config()),
+      threaded_(kernel.config().threads > 1),
       faultPhase_(obs::Phase::bind(obs::MetricRegistry::global(),
                                    cfg_.metricsPrefix + ".fault")),
       daemonPhase_(obs::Phase::bind(obs::MetricRegistry::global(),
@@ -28,20 +30,97 @@ FaultEngine::FaultEngine(Kernel &kernel)
 {
 }
 
+// --- threading -----------------------------------------------------------
+
+FaultEngine::WorkerScope::WorkerScope(FaultEngine &engine, int cpu)
+    : engine_(engine), cpuScope_(cpu)
+{
+    contig_assert(tlsOwner_ != &engine,
+                  "nested WorkerScope on one thread");
+    engine_.activeWorkers_.fetch_add(1, std::memory_order_acq_rel);
+    tlsOwner_ = &engine_;
+    tlsStats_ = &stats_;
+    tlsBatch_ = &batch_;
+}
+
+FaultEngine::WorkerScope::~WorkerScope()
+{
+    tlsOwner_ = nullptr;
+    tlsStats_ = nullptr;
+    tlsBatch_ = nullptr;
+    {
+        std::lock_guard<SpinLock> g(engine_.statsLock_);
+        engine_.stats_.mergeFrom(stats_);
+        engine_.batch_.mergeFrom(batch_);
+    }
+    engine_.activeWorkers_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void
+FaultEngine::drainPendingTicks()
+{
+    if (!threaded_)
+        return; // sequential runs tick inline in finishFault
+    const std::uint64_t c = clock_.load(std::memory_order_acquire);
+    const std::uint64_t ticks_due = c / cfg_.tickPeriodFaults;
+    const bool sampler_behind =
+        sampler_ && samplerSeen_.load(std::memory_order_acquire) < c;
+    if (ticksRun_.load(std::memory_order_acquire) >= ticks_due &&
+        !sampler_behind)
+        return;
+
+    std::unique_lock<std::shared_mutex> g(kernel_.mmLock());
+    // Sampler catch-up first: captures keep the pre-tick cadence the
+    // sequential path has (sample at fault N sees pre-tick state).
+    if (sampler_) {
+        std::uint64_t seen = samplerSeen_.load(std::memory_order_relaxed);
+        const std::uint64_t now_c = clock_.load(std::memory_order_acquire);
+        while (seen < now_c) {
+            sampler_->onFaultTick();
+            ++seen;
+        }
+        samplerSeen_.store(seen, std::memory_order_release);
+    }
+    while (true) {
+        const std::uint64_t due = clock_.load(std::memory_order_acquire) /
+                                  cfg_.tickPeriodFaults;
+        const std::uint64_t run =
+            ticksRun_.load(std::memory_order_relaxed);
+        if (run >= due)
+            break;
+        ticksRun_.store(run + 1, std::memory_order_relaxed);
+        CONTIG_TRACE(obs::TraceEventKind::DaemonTick,
+                     (run + 1) * cfg_.tickPeriodFaults);
+        obs::ScopedPhase timer(daemonPhase_);
+        kernel_.policy().onTick(kernel_);
+    }
+}
+
 // --- single-fault path ---------------------------------------------------
 
 void
 FaultEngine::touch(Process &proc, Gva gva, Access access)
 {
+    drainPendingTicks();
+    MaybeSharedGuard<std::shared_mutex> mm(kernel_.mmLock(), threaded_);
+    touchLocked(proc, gva, access);
+}
+
+void
+FaultEngine::touchLocked(Process &proc, Gva gva, Access access)
+{
     Vma *vma = proc.addressSpace().findVma(gva);
     contig_assert(vma, "touch outside any VMA (gva 0x%llx)",
                   static_cast<unsigned long long>(gva.value));
+    MaybeGuard<SpinLock> vg(vma->faultLock(), threaded_);
 
     const Vpn vpn = gva.pageNumber();
     auto m = proc.pageTable().lookup(vpn);
     if (m && m->valid()) {
         if (access == Access::Write && m->cow) {
-            obs::ScopedPhase timer(faultPhase_, &stats_.totalCycles);
+            std::optional<obs::ScopedPhase> timer;
+            if (!inWorker())
+                timer.emplace(faultPhase_, &stats_.totalCycles);
             cowFault(proc, *vma, vpn, *m);
         }
         proc.noteTouched(*vma, vpn);
@@ -49,7 +128,9 @@ FaultEngine::touch(Process &proc, Gva gva, Access access)
     }
 
     {
-        obs::ScopedPhase timer(faultPhase_, &stats_.totalCycles);
+        std::optional<obs::ScopedPhase> timer;
+        if (!inWorker())
+            timer.emplace(faultPhase_, &stats_.totalCycles);
         if (vma->kind() == VmaKind::File)
             fileFault(proc, *vma, vpn);
         else
@@ -82,7 +163,7 @@ FaultEngine::placeAnon(Process &proc, Vma &vma, FaultContext &ctx)
     if (!ctx.alloc.ok()) {
         // Direct reclaim: evict clean page-cache pages and retry.
         kernel_.dropCaches();
-        kernel_.counters().inc("reclaim.direct");
+        kernel_.incCounter("reclaim.direct");
         ctx.alloc = policy.allocate(kernel_, proc, vma, ctx.base, ctx.order);
     }
     if (!ctx.alloc.ok() && ctx.order == kHugeOrder) {
@@ -129,13 +210,13 @@ FaultEngine::anonFault(Process &proc, Vma &vma, Vpn vpn)
     classifyAnon(proc, vma, ctx);
     {
         std::optional<obs::ScopedPhase> stage;
-        if (cfg_.faultStageTimers)
+        if (cfg_.faultStageTimers && !inWorker())
             stage.emplace(placePhase_);
         placeAnon(proc, vma, ctx);
     }
     {
         std::optional<obs::ScopedPhase> stage;
-        if (cfg_.faultStageTimers)
+        if (cfg_.faultStageTimers && !inWorker())
             stage.emplace(installPhase_);
         installAnon(proc, vma, ctx);
     }
@@ -167,7 +248,7 @@ FaultEngine::cowFault(Process &proc, Vma &vma, Vpn vpn, const Mapping &m)
 
     const Cycles cycles = cfg_.faultBaseCycles +
                           cfg_.copyCyclesPerPage * n + res.placementCycles;
-    ++stats_.cowFaults;
+    ++curStats().cowFaults;
     kernel_.policy().onMapped(kernel_, proc, vma, base, res.pfn, order);
     finishFault(proc, vma, base, res.pfn, order, cycles, true, false);
 }
@@ -192,7 +273,7 @@ FaultEngine::fileFault(Process &proc, Vma &vma, Vpn vpn)
     ++kernel_.physMem().frame(pfn).mapCount;
     vma.allocatedPages += 1;
 
-    ++stats_.fileFaults;
+    ++curStats().fileFaults;
     finishFault(proc, vma, vpn, pfn, 0, cfg_.faultBaseCycles, false, true);
 }
 
@@ -200,15 +281,19 @@ void
 FaultEngine::finishFault(Process &proc, Vma &vma, Vpn vpn, Pfn pfn,
                          unsigned order, Cycles cycles, bool cow, bool file)
 {
-    ++stats_.faults;
+    FaultStats &st = curStats();
+    ++st.faults;
     if (!cow && !file) {
         if (order == kHugeOrder)
-            ++stats_.hugeFaults;
+            ++st.hugeFaults;
         else
-            ++stats_.baseFaults;
+            ++st.baseFaults;
     }
-    stats_.totalCycles += cycles;
-    stats_.latencyUs.add(static_cast<double>(cycles) / cfg_.cyclesPerUs);
+    st.totalCycles += cycles;
+    st.latencyUs.add(static_cast<double>(cycles) / cfg_.cyclesPerUs);
+
+    const std::uint64_t c =
+        clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
 
     if (file)
         CONTIG_TRACE(obs::TraceEventKind::FileFault, vpn, pfn,
@@ -217,6 +302,11 @@ FaultEngine::finishFault(Process &proc, Vma &vma, Vpn vpn, Pfn pfn,
         CONTIG_TRACE(obs::TraceEventKind::CowFault, vpn, pfn, order);
     else
         CONTIG_TRACE(obs::TraceEventKind::PageFault, vpn, pfn, order);
+
+    // Concurrent faults defer the observer / sampler / policy-tick
+    // work below to drainPendingTicks() — it needs the exclusive lock.
+    if (inWorker() || workersActive())
+        return;
 
     if (kernel_.onFault) {
         FaultEvent ev;
@@ -233,11 +323,15 @@ FaultEngine::finishFault(Process &proc, Vma &vma, Vpn vpn, Pfn pfn,
     // Observatory sampling happens before the policy tick below, so a
     // capture at fault N sees the pre-tick state (the cadence the
     // coverage timelines were defined with).
-    if (sampler_)
+    if (sampler_) {
         sampler_->onFaultTick();
+        samplerSeen_.store(c, std::memory_order_relaxed);
+    }
 
-    if (stats_.faults % cfg_.tickPeriodFaults == 0) {
-        CONTIG_TRACE(obs::TraceEventKind::DaemonTick, stats_.faults);
+    if (c % cfg_.tickPeriodFaults == 0) {
+        CONTIG_TRACE(obs::TraceEventKind::DaemonTick, c);
+        ticksRun_.store(c / cfg_.tickPeriodFaults,
+                        std::memory_order_relaxed);
         obs::ScopedPhase timer(daemonPhase_);
         kernel_.policy().onTick(kernel_);
     }
@@ -248,8 +342,7 @@ FaultEngine::finishFault(Process &proc, Vma &vma, Vpn vpn, Pfn pfn,
 std::uint64_t
 FaultEngine::tickBudget() const
 {
-    return cfg_.tickPeriodFaults -
-           (stats_.faults % cfg_.tickPeriodFaults);
+    return cfg_.tickPeriodFaults - (now() % cfg_.tickPeriodFaults);
 }
 
 void
@@ -257,9 +350,12 @@ FaultEngine::handleRange(const FaultRequest &span, TouchNote note)
 {
     if (!span.proc || span.pages == 0)
         return;
+    drainPendingTicks();
+    MaybeSharedGuard<std::shared_mutex> mm(kernel_.mmLock(), threaded_);
     Process &proc = *span.proc;
-    ++batch_.rangeRequests;
-    batch_.rangePages += span.pages;
+    FaultBatchStats &bt = curBatch();
+    ++bt.rangeRequests;
+    bt.rangePages += span.pages;
 
     const Vpn end = span.vpn + span.pages;
 
@@ -268,7 +364,7 @@ FaultEngine::handleRange(const FaultRequest &span, TouchNote note)
         // a policy that serves the first probe with a 2 MiB mapping
         // absorbs the whole stride (the nested-backing access shape).
         for (Vpn v = span.vpn; v < end; v += pagesInOrder(kHugeOrder))
-            touch(proc, Gva{v << kPageShift}, span.access);
+            touchLocked(proc, Gva{v << kPageShift}, span.access);
     }
 
     if (!cfg_.faultBatching) {
@@ -287,8 +383,11 @@ FaultEngine::handleRange(const FaultRequest &span, TouchNote note)
         }
         const Vpn sub_end =
             std::min(end, vma->start().pageNumber() + vma->pages());
-        resolveSpan(proc, *vma, v, sub_end, span.access,
-                    note == TouchNote::AllPages);
+        {
+            MaybeGuard<SpinLock> vg(vma->faultLock(), threaded_);
+            resolveSpan(proc, *vma, v, sub_end, span.access,
+                        note == TouchNote::AllPages);
+        }
         v = sub_end;
     }
 }
@@ -301,7 +400,7 @@ FaultEngine::resolveSpanSingle(Process &proc, const FaultRequest &span,
     for (Vpn v = span.vpn; v < end; ++v) {
         if (note == TouchNote::Origins && proc.pageTable().lookup(v))
             continue;
-        touch(proc, Gva{v << kPageShift}, span.access);
+        touchLocked(proc, Gva{v << kPageShift}, span.access);
     }
 }
 
@@ -331,7 +430,9 @@ FaultEngine::resolveSpan(Process &proc, Vma &vma, Vpn start, Vpn end,
             const std::uint64_t n = pagesInOrder(m->order);
             const Vpn leaf_end = std::min(end, (v & ~(n - 1)) + n);
             if (access == Access::Write && m->cow) {
-                obs::ScopedPhase timer(faultPhase_, &stats_.totalCycles);
+                std::optional<obs::ScopedPhase> timer;
+                if (!inWorker())
+                    timer.emplace(faultPhase_, &stats_.totalCycles);
                 cowFault(proc, vma, v, *m);
             }
             if (note_all)
@@ -349,7 +450,9 @@ FaultEngine::resolveAnonGap(Process &proc, Vma &vma, Vpn gap_start,
     PageTable &pt = proc.pageTable();
     AllocationPolicy &policy = kernel_.policy();
     const std::uint64_t huge_pages = pagesInOrder(kHugeOrder);
-    slots_.clear();
+    std::vector<FaultSlot> slots;
+    slots.reserve(std::min<std::uint64_t>(gap_end - gap_start,
+                                          cfg_.tickPeriodFaults));
 
     Vpn v = gap_start;
     while (v < gap_end) {
@@ -361,13 +464,15 @@ FaultEngine::resolveAnonGap(Process &proc, Vma &vma, Vpn gap_start,
         const bool huge =
             cfg_.thpEnabled && policy.allowsHugeFaults() &&
             vma.coversAligned(v, kHugeOrder) &&
-            (slots_.empty() || slots_.back().base < block) &&
+            (slots.empty() || slots.back().base < block) &&
             pt.findMappedIn(block, block + huge_pages) ==
                 block + huge_pages;
         if (huge) {
-            commitAnonChunk(proc, vma);
+            commitAnonChunk(proc, vma, slots);
             {
-                obs::ScopedPhase timer(faultPhase_, &stats_.totalCycles);
+                std::optional<obs::ScopedPhase> timer;
+                if (!inWorker())
+                    timer.emplace(faultPhase_, &stats_.totalCycles);
                 anonFault(proc, vma, v);
             }
             // The install may have been demoted to 4 KiB; resume after
@@ -382,23 +487,27 @@ FaultEngine::resolveAnonGap(Process &proc, Vma &vma, Vpn gap_start,
             v = leaf_end;
             continue;
         }
-        slots_.push_back(FaultSlot{v, 0, AllocResult{}});
-        if (slots_.size() >= tickBudget())
-            commitAnonChunk(proc, vma);
+        slots.push_back(FaultSlot{v, 0, AllocResult{}});
+        if (slots.size() >= tickBudget())
+            commitAnonChunk(proc, vma, slots);
         ++v;
     }
-    commitAnonChunk(proc, vma);
+    commitAnonChunk(proc, vma, slots);
     return v;
 }
 
 void
-FaultEngine::commitAnonChunk(Process &proc, Vma &vma)
+FaultEngine::commitAnonChunk(Process &proc, Vma &vma,
+                             std::vector<FaultSlot> &slots)
 {
-    if (slots_.empty())
+    if (slots.empty())
         return;
-    obs::ScopedPhase fault_timer(faultPhase_, &stats_.totalCycles);
+    std::optional<obs::ScopedPhase> fault_timer;
+    if (!inWorker())
+        fault_timer.emplace(faultPhase_, &stats_.totalCycles);
     AllocationPolicy &policy = kernel_.policy();
     PageTable::RunMapper mapper(proc.pageTable());
+    FaultBatchStats &bt = curBatch();
 
     auto install = [&](FaultSlot &s) {
         kernel_.claimFrames(s.res.pfn, 0, FrameOwner::Anon, proc.pid(),
@@ -415,27 +524,31 @@ FaultEngine::commitAnonChunk(Process &proc, Vma &vma)
     };
 
     std::size_t i = 0;
-    while (i < slots_.size()) {
+    while (i < slots.size()) {
         std::size_t got;
         {
-            obs::ScopedPhase stage(placePhase_);
+            std::optional<obs::ScopedPhase> stage;
+            if (!inWorker())
+                stage.emplace(placePhase_);
             got = policy.allocateBatch(kernel_, proc, vma,
-                                       slots_.data() + i,
-                                       slots_.size() - i);
+                                       slots.data() + i,
+                                       slots.size() - i);
         }
         {
-            obs::ScopedPhase stage(installPhase_);
+            std::optional<obs::ScopedPhase> stage;
+            if (!inWorker())
+                stage.emplace(installPhase_);
             for (std::size_t j = i; j < i + got; ++j)
-                install(slots_[j]);
+                install(slots[j]);
         }
-        batch_.batchedFaults += got;
+        bt.batchedFaults += got;
         i += got;
-        if (i < slots_.size()) {
+        if (i < slots.size()) {
             // The per-fault failure machinery for the failing slot:
             // direct reclaim, one retry, OOM is fatal at order 0.
-            FaultSlot &s = slots_[i];
+            FaultSlot &s = slots[i];
             kernel_.dropCaches();
-            kernel_.counters().inc("reclaim.direct");
+            kernel_.incCounter("reclaim.direct");
             s.res = policy.allocate(kernel_, proc, vma, s.base, 0);
             if (!s.res.ok()) {
                 policy.noteAllocFail(AllocFail::Oom);
@@ -447,9 +560,9 @@ FaultEngine::commitAnonChunk(Process &proc, Vma &vma)
         }
     }
 
-    ++batch_.chunks;
-    batch_.chunkPages.add(slots_.size());
-    slots_.clear();
+    ++bt.chunks;
+    bt.chunkPages.add(slots.size());
+    slots.clear();
 }
 
 void
@@ -459,28 +572,36 @@ FaultEngine::resolveFileGap(Process &proc, Vma &vma, Vpn gap_start,
     File &file = kernel_.pageCache().file(vma.fileId());
     PageTable::RunMapper mapper(proc.pageTable());
     const Vpn vma_start = vma.start().pageNumber();
+    FaultBatchStats &bt = curBatch();
 
     Vpn v = gap_start;
     while (v < gap_end) {
         const Vpn chunk_end = std::min(gap_end, v + tickBudget());
-        obs::ScopedPhase fault_timer(faultPhase_, &stats_.totalCycles);
+        std::optional<obs::ScopedPhase> fault_timer;
+        if (!inWorker())
+            fault_timer.emplace(faultPhase_, &stats_.totalCycles);
+        MaybeGuard<SpinLock> pc(kernel_.pageCacheLock(), threaded_);
         {
             // Pre-fill the page cache for the whole chunk (readahead
             // windows merge); installs below then never miss.
-            obs::ScopedPhase stage(fillPhase_);
+            std::optional<obs::ScopedPhase> stage;
+            if (!inWorker())
+                stage.emplace(fillPhase_);
             for (Vpn w = v; w < chunk_end; ++w) {
                 const std::uint64_t fp =
                     vma.fileOffsetPages() + (w - vma_start);
                 contig_assert(fp < file.sizePages(),
                               "file fault beyond EOF (page %llu)",
                               static_cast<unsigned long long>(fp));
-                if (ensureFileCached(file, fp) == kInvalidPfn)
+                if (ensureFileCachedLocked(file, fp) == kInvalidPfn)
                     fatal("out of memory: page-cache fault in %s",
                           proc.name().c_str());
             }
         }
         {
-            obs::ScopedPhase stage(installPhase_);
+            std::optional<obs::ScopedPhase> stage;
+            if (!inWorker())
+                stage.emplace(installPhase_);
             for (Vpn w = v; w < chunk_end; ++w) {
                 const std::uint64_t fp =
                     vma.fileOffsetPages() + (w - vma_start);
@@ -489,15 +610,15 @@ FaultEngine::resolveFileGap(Process &proc, Vma &vma, Vpn gap_start,
                 kernel_.getFrame(pfn);
                 ++kernel_.physMem().frame(pfn).mapCount;
                 vma.allocatedPages += 1;
-                ++stats_.fileFaults;
+                ++curStats().fileFaults;
                 finishFault(proc, vma, w, pfn, 0, cfg_.faultBaseCycles,
                             false, true);
                 proc.noteTouched(vma, w);
             }
         }
-        batch_.batchedFaults += chunk_end - v;
-        ++batch_.chunks;
-        batch_.chunkPages.add(chunk_end - v);
+        bt.batchedFaults += chunk_end - v;
+        ++bt.chunks;
+        bt.chunkPages.add(chunk_end - v);
         mapper.invalidate();
         v = chunk_end;
     }
@@ -507,6 +628,13 @@ FaultEngine::resolveFileGap(Process &proc, Vma &vma, Vpn gap_start,
 
 Pfn
 FaultEngine::ensureFileCached(File &file, std::uint64_t file_page)
+{
+    MaybeGuard<SpinLock> pc(kernel_.pageCacheLock(), threaded_);
+    return ensureFileCachedLocked(file, file_page);
+}
+
+Pfn
+FaultEngine::ensureFileCachedLocked(File &file, std::uint64_t file_page)
 {
     if (file.isCached(file_page))
         return file.frameFor(file_page);
@@ -524,6 +652,7 @@ FaultEngine::fillFileSpan(File &file, std::uint64_t begin,
     AllocationPolicy &policy = kernel_.policy();
     const bool steered = policy.steersFilePlacement();
     std::uint64_t filled = 0;
+    std::vector<AllocResult> results;
 
     std::uint64_t p = begin;
     while (p < end) {
@@ -536,28 +665,28 @@ FaultEngine::fillFileSpan(File &file, std::uint64_t begin,
         while (run_end < end && !file.isCached(run_end))
             ++run_end;
         const std::size_t n = run_end - p;
-        fileResults_.resize(n);
+        results.resize(n);
 
         std::size_t got;
         if (steered) {
             got = policy.allocateFileRange(kernel_, file, p, n,
-                                           fileResults_.data());
+                                           results.data());
         } else {
             // Unsteered policies take plain buddy pages; skip the
             // virtual dispatch per page.
             got = 0;
             while (got < n) {
-                fileResults_[got] = buddyAlloc(kernel_, 0, 0);
-                if (!fileResults_[got].ok())
+                results[got] = buddyAlloc(kernel_, 0, 0);
+                if (!results[got].ok())
                     break;
                 ++got;
             }
         }
         for (std::size_t i = 0; i < got; ++i) {
-            kernel_.claimFrames(fileResults_[i].pfn, 0,
+            kernel_.claimFrames(results[i].pfn, 0,
                                 FrameOwner::PageCache, file.id(),
                                 (p + i) * kPageSize);
-            file.install(p + i, fileResults_[i].pfn);
+            file.install(p + i, results[i].pfn);
         }
         filled += got;
         if (got < n) {
@@ -568,8 +697,8 @@ FaultEngine::fillFileSpan(File &file, std::uint64_t begin,
     }
 
     if (filled) {
-        kernel_.counters().inc("pagecache.filled", filled);
-        batch_.readaheadPages.add(filled);
+        kernel_.incCounter("pagecache.filled", filled);
+        curBatch().readaheadPages.add(filled);
     }
 }
 
@@ -579,13 +708,16 @@ FaultEngine::readFile(File &file, std::uint64_t page_start,
 {
     contig_assert(page_start + n_pages <= file.sizePages(),
                   "readFile beyond EOF");
+    drainPendingTicks();
+    MaybeSharedGuard<std::shared_mutex> mm(kernel_.mmLock(), threaded_);
+    MaybeGuard<SpinLock> pc(kernel_.pageCacheLock(), threaded_);
     const std::uint64_t req_end = page_start + n_pages;
 
     if (!cfg_.faultBatching) {
         for (std::uint64_t p = page_start; p < req_end; ++p) {
             if (file.isCached(p))
                 continue;
-            if (ensureFileCached(file, p) == kInvalidPfn)
+            if (ensureFileCachedLocked(file, p) == kInvalidPfn)
                 fatal("out of memory reading file %u", file.id());
         }
         return;
@@ -607,7 +739,9 @@ FaultEngine::readFile(File &file, std::uint64_t page_start,
             fe = std::min(file.sizePages(), q + kReadaheadPages);
         }
         {
-            obs::ScopedPhase stage(fillPhase_);
+            std::optional<obs::ScopedPhase> stage;
+            if (!inWorker())
+                stage.emplace(fillPhase_);
             fillFileSpan(file, p, fe);
         }
         for (std::uint64_t q = p; q < std::min(fe, req_end); ++q)
@@ -684,9 +818,11 @@ FaultEngine::chargeBulkStall(std::uint64_t pages)
 {
     const Cycles cycles =
         cfg_.faultBaseCycles + cfg_.zeroCyclesPerPage * pages;
-    stats_.totalCycles += cycles;
-    stats_.latencyUs.add(static_cast<double>(cycles) / cfg_.cyclesPerUs);
-    ++stats_.faults;
+    FaultStats &st = curStats();
+    st.totalCycles += cycles;
+    st.latencyUs.add(static_cast<double>(cycles) / cfg_.cyclesPerUs);
+    ++st.faults;
+    clock_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 // --- observation ----------------------------------------------------------

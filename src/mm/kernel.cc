@@ -10,9 +10,21 @@
 namespace contig
 {
 
+KernelConfig
+Kernel::normalized(KernelConfig cfg)
+{
+    // threads > 1 arms one pcp frame cache per worker unless the
+    // caller pinned the geometry explicitly. threads == 1 leaves
+    // pcpCpus alone (0 by default: order-0 allocations go straight to
+    // the buddy, exactly the pre-threading behaviour).
+    if (cfg.threads > 1 && cfg.phys.zone.pcpCpus == 0)
+        cfg.phys.zone.pcpCpus = cfg.threads;
+    return cfg;
+}
+
 Kernel::Kernel(const KernelConfig &cfg,
                std::unique_ptr<AllocationPolicy> policy)
-    : cfg_(cfg), physMem_(cfg.phys), policy_(std::move(policy))
+    : cfg_(normalized(cfg)), physMem_(cfg_.phys), policy_(std::move(policy))
 {
     contig_assert(policy_ != nullptr, "kernel needs an allocation policy");
     engine_ = std::make_unique<FaultEngine>(*this);
@@ -45,6 +57,20 @@ Kernel::Kernel(const KernelConfig &cfg,
             static_cast<std::uint64_t>(cfg_.phys.zone.maxOrder));
     ri.note(p + "phys.sorted_top_list", cfg_.phys.zone.sortedTopList);
     ri.note(p + "phys.scramble_seed", cfg_.phys.zone.scrambleSeed);
+    ri.note(p + "threads", static_cast<std::uint64_t>(cfg_.threads));
+    ri.note(p + "phys.pcp_cpus",
+            static_cast<std::uint64_t>(cfg_.phys.zone.pcpCpus));
+    ri.note(p + "phys.pcp_batch",
+            static_cast<std::uint64_t>(cfg_.phys.zone.pcpBatch));
+    ri.note(p + "phys.pcp_high",
+            static_cast<std::uint64_t>(cfg_.phys.zone.pcpHigh));
+}
+
+void
+Kernel::incCounter(std::string_view name, std::uint64_t by)
+{
+    MaybeGuard<SpinLock> g(counterLock_, threaded());
+    counters_.inc(name, by);
 }
 
 void
@@ -105,6 +131,7 @@ Process &
 Kernel::createProcess(const std::string &name, NodeId home_node)
 {
     contig_assert(home_node < physMem_.numNodes(), "bad home node");
+    MaybeGuard<std::shared_mutex> g(mmLock_, threaded());
     processes_.push_back(
         std::make_unique<Process>(*this, nextPid_++, name, home_node));
     return *processes_.back();
@@ -113,16 +140,22 @@ Kernel::createProcess(const std::string &name, NodeId home_node)
 void
 Kernel::exitProcess(Process &proc)
 {
+    MaybeGuard<std::shared_mutex> g(mmLock_, threaded());
     // Tear down every VMA (policy hook + page release).
     std::vector<Vma *> vmas;
     proc.addressSpace().forEachVma([&](Vma &vma) { vmas.push_back(&vma); });
     for (Vma *vma : vmas)
-        munmap(proc, *vma);
+        munmapLocked(proc, *vma);
 
     auto it = std::find_if(processes_.begin(), processes_.end(),
                            [&](const auto &p) { return p.get() == &proc; });
     contig_assert(it != processes_.end(), "exit of unknown process");
     processes_.erase(it);
+
+    // With the caches quiesced, return every pcp-held frame to the
+    // buddy so post-run free-list audits see the true allocator state.
+    if (threaded())
+        physMem_.drainPcpCaches();
 }
 
 Process *
@@ -143,6 +176,7 @@ Kernel::createFile(std::uint64_t size_pages)
 void
 Kernel::dropCaches()
 {
+    MaybeGuard<SpinLock> g(pageCacheLock_, threaded());
     pageCache_.dropCaches(*this);
 }
 
@@ -156,7 +190,15 @@ Kernel::readFile(File &file, std::uint64_t page_start,
 Vma &
 Kernel::mmapAnon(Process &proc, std::uint64_t bytes)
 {
+    MaybeGuard<std::shared_mutex> g(mmLock_, threaded());
     Vma &vma = proc.addressSpace().mmap(bytes, VmaKind::Anon);
+    if (threaded()) {
+        // Pre-create the interior page-table nodes so concurrent
+        // faults never race on node creation (leaf slots are distinct
+        // per fault; interior spines are shared).
+        const Vpn s = vma.start().pageNumber();
+        proc.pageTable().ensureSpine(s, s + vma.pages());
+    }
     policy_->onMmap(*this, proc, vma);
     return vma;
 }
@@ -165,8 +207,13 @@ Vma &
 Kernel::mmapFile(Process &proc, std::uint32_t file_id, std::uint64_t bytes,
                  std::uint64_t file_offset_pages)
 {
+    MaybeGuard<std::shared_mutex> g(mmLock_, threaded());
     Vma &vma = proc.addressSpace().mmap(bytes, VmaKind::File, std::nullopt,
                                         file_id, file_offset_pages);
+    if (threaded()) {
+        const Vpn s = vma.start().pageNumber();
+        proc.pageTable().ensureSpine(s, s + vma.pages());
+    }
     policy_->onMmap(*this, proc, vma);
     return vma;
 }
@@ -196,6 +243,13 @@ Kernel::unmapVmaPages(Process &proc, Vma &vma)
 void
 Kernel::munmap(Process &proc, Vma &vma)
 {
+    MaybeGuard<std::shared_mutex> g(mmLock_, threaded());
+    munmapLocked(proc, vma);
+}
+
+void
+Kernel::munmapLocked(Process &proc, Vma &vma)
+{
     policy_->onMunmap(*this, proc, vma);
     unmapVmaPages(proc, vma);
     proc.addressSpace().munmap(vma);
@@ -205,16 +259,18 @@ void
 Kernel::claimFrames(Pfn pfn, unsigned order, FrameOwner kind,
                     std::uint32_t owner_id, Addr owner_vaddr)
 {
+    // The claimer owns the block (it came off the buddy under the zone
+    // lock), so plain relaxed stores suffice here.
     const std::uint64_t n = pagesInOrder(order);
     for (std::uint64_t i = 0; i < n; ++i) {
         Frame &f = physMem_.frame(pfn + i);
         f.ownerKind = kind;
         f.ownerId = owner_id;
         f.ownerVaddr = owner_vaddr + i * kPageSize;
-        f.refCount = 0;
-        f.mapCount = 0;
+        f.refCount.store(0, std::memory_order_relaxed);
+        f.mapCount.store(0, std::memory_order_relaxed);
     }
-    physMem_.frame(pfn).refCount = 1;
+    physMem_.frame(pfn).refCount.store(1, std::memory_order_relaxed);
     CONTIG_TRACE(obs::TraceEventKind::Alloc, pfn, order, owner_id);
     if (backingHook)
         backingHook(pfn, order);
@@ -223,15 +279,18 @@ Kernel::claimFrames(Pfn pfn, unsigned order, FrameOwner kind,
 void
 Kernel::getFrame(Pfn pfn)
 {
-    ++physMem_.frame(pfn).refCount;
+    physMem_.frame(pfn).refCount.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
 Kernel::putFrame(Pfn pfn, unsigned order)
 {
     Frame &f = physMem_.frame(pfn);
-    contig_assert(f.refCount > 0, "putFrame on unreferenced frame");
-    if (--f.refCount == 0) {
+    // acq_rel: the releasing thread's stores must be visible to
+    // whoever observes the zero and recycles the block.
+    const auto old = f.refCount.fetch_sub(1, std::memory_order_acq_rel);
+    contig_assert(old > 0, "putFrame on unreferenced frame");
+    if (old == 1) {
         const std::uint64_t n = pagesInOrder(order);
         for (std::uint64_t i = 0; i < n; ++i) {
             Frame &g = physMem_.frame(pfn + i);
@@ -246,6 +305,7 @@ Kernel::putFrame(Pfn pfn, unsigned order)
 Pfn
 Kernel::allocKernelFrame(NodeId node)
 {
+    MaybeGuard<SpinLock> g(poolLock_, threaded());
     if (kernelPool_.empty()) {
         if (auto blk = physMem_.alloc(kKernelPoolOrder, node)) {
             claimFrames(*blk, kKernelPoolOrder, FrameOwner::PageTable,
@@ -274,6 +334,7 @@ Kernel::freeKernelFrame(Pfn pfn)
 {
     // Node frames return to the pool, not to the buddy allocator —
     // matching the sticky behaviour of per-CPU lists.
+    MaybeGuard<SpinLock> g(poolLock_, threaded());
     kernelPool_.push_back(pfn);
 }
 
@@ -286,12 +347,17 @@ Kernel::touch(Process &proc, Gva gva, Access access)
 void
 Kernel::forkInto(Process &parent, Process &child)
 {
+    MaybeGuard<std::shared_mutex> g(mmLock_, threaded());
     // Clone anonymous VMAs COW-style.
     parent.addressSpace().forEachVma([&](Vma &pvma) {
         if (pvma.kind() != VmaKind::Anon)
             return;
         Vma &cvma = child.addressSpace().mmap(
             pvma.bytes(), VmaKind::Anon, pvma.start());
+        if (threaded()) {
+            const Vpn s = cvma.start().pageNumber();
+            child.pageTable().ensureSpine(s, s + cvma.pages());
+        }
         engine_->shareCowRange(parent, child, pvma, cvma);
     });
 }

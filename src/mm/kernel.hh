@@ -15,9 +15,12 @@
 
 #include <functional>
 #include <memory>
+#include <shared_mutex>
+#include <string_view>
 #include <vector>
 
 #include "base/stats.hh"
+#include "base/sync.hh"
 #include "mm/fault_engine.hh"
 #include "mm/page_cache.hh"
 #include "mm/policy.hh"
@@ -71,6 +74,15 @@ struct KernelConfig
      * the host; VirtualMachine sets "guest" for its guest kernel).
      */
     std::string metricsPrefix = "kernel";
+    /**
+     * Fault workers this kernel will serve concurrently. 1 keeps the
+     * engine strictly sequential — no lock is ever taken on the fault
+     * path and placements are bit-identical to the pre-threading
+     * kernel. > 1 arms the mm lock, per-VMA fault mutexes, deferred
+     * policy ticks and (unless phys.zone.pcpCpus was set explicitly)
+     * one per-CPU frame cache per worker.
+     */
+    unsigned threads = 1;
 };
 
 class Kernel
@@ -169,6 +181,28 @@ class Kernel
     /** Pages currently reserved by the kernel metadata pool. */
     std::uint64_t kernelPoolPages() const { return kernelPoolPages_; }
 
+    // --- concurrency ------------------------------------------------------
+
+    /** This kernel serves concurrent fault workers (threads > 1). */
+    bool threaded() const { return cfg_.threads > 1; }
+
+    /**
+     * The address-space lock (mmap_sem): fault entry points hold it
+     * shared, mmap/munmap/fork/exit and deferred policy ticks hold it
+     * exclusive. Never taken when !threaded().
+     */
+    std::shared_mutex &mmLock() { return mmLock_; }
+
+    /** Serializes page-cache fills/evictions across fault workers. */
+    SpinLock &pageCacheLock() { return pageCacheLock_; }
+
+    /**
+     * Thread-safe CounterSet::inc for fault-path counters. The map
+     * itself stays unlocked for exclusive contexts (policy daemons,
+     * workloads) which call counters().inc directly.
+     */
+    void incCounter(std::string_view name, std::uint64_t by = 1);
+
     // --- clock / observation ---------------------------------------------
 
     /** Simulated time = faults handled so far (all processes). */
@@ -198,6 +232,14 @@ class Kernel
 
   private:
     void unmapVmaPages(Process &proc, Vma &vma);
+    /** munmap() body; caller holds the exclusive mm lock (if threaded). */
+    void munmapLocked(Process &proc, Vma &vma);
+
+    /**
+     * Fill in the thread-derived defaults (pcp cache geometry) before
+     * the config reaches PhysicalMemory.
+     */
+    static KernelConfig normalized(KernelConfig cfg);
 
     KernelConfig cfg_;
     PhysicalMemory physMem_;
@@ -219,6 +261,14 @@ class Kernel
     std::uint64_t kernelPoolPages_ = 0;
     /** Chunk order for pool refills (64 pages, like a pcp batch). */
     static constexpr unsigned kKernelPoolOrder = 6;
+
+    /** See mmLock() / pageCacheLock(). Taken only when threaded(). */
+    std::shared_mutex mmLock_;
+    SpinLock pageCacheLock_;
+    /** Protects kernelPool_ (page-table node frames, fault path). */
+    SpinLock poolLock_;
+    /** Protects counters_ against concurrent fault-path increments. */
+    SpinLock counterLock_;
 };
 
 } // namespace contig

@@ -103,8 +103,16 @@ swapLeaves(Kernel &kernel, Process &proc, Vpn vpn, Pfn dest_pfn)
         std::swap(fa.ownerKind, fb.ownerKind);
         std::swap(fa.ownerId, fb.ownerId);
         std::swap(fa.ownerVaddr, fb.ownerVaddr);
-        std::swap(fa.refCount, fb.refCount);
-        std::swap(fa.mapCount, fb.mapCount);
+        // Atomics are not std::swap-able; migrations run in exclusive
+        // contexts (policy daemons), so relaxed exchanges suffice.
+        const auto ref = fa.refCount.load(std::memory_order_relaxed);
+        fa.refCount.store(fb.refCount.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+        fb.refCount.store(ref, std::memory_order_relaxed);
+        const auto map = fa.mapCount.load(std::memory_order_relaxed);
+        fa.mapCount.store(fb.mapCount.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+        fb.mapCount.store(map, std::memory_order_relaxed);
     }
 
     CONTIG_TRACE(obs::TraceEventKind::Migration, m->pfn, dest_pfn, 2 * n);

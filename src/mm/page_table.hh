@@ -17,6 +17,7 @@
 #define CONTIG_MM_PAGE_TABLE_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -58,14 +59,17 @@ struct WalkTrace
     bool hit = false;
 };
 
-/** Statistics exported by a PageTable instance. */
+/**
+ * Statistics exported by a PageTable instance. Atomic because leaf
+ * installs/removes of distinct VMAs run concurrently on fault workers.
+ */
 struct PageTableStats
 {
-    std::uint64_t maps = 0;
-    std::uint64_t unmaps = 0;
-    std::uint64_t nodesAllocated = 0;
-    std::uint64_t mappedBasePages = 0;
-    std::uint64_t mappedHugePages = 0;
+    std::atomic<std::uint64_t> maps{0};
+    std::atomic<std::uint64_t> unmaps{0};
+    std::atomic<std::uint64_t> nodesAllocated{0};
+    std::atomic<std::uint64_t> mappedBasePages{0};
+    std::atomic<std::uint64_t> mappedHugePages{0};
 };
 
 /**
@@ -146,6 +150,16 @@ class PageTable
      * range-clear check, the FaultEngine's gap scan).
      */
     Vpn findMappedIn(Vpn start, Vpn end) const;
+
+    /**
+     * Pre-create every interior node (down to level 1) covering
+     * [start, end). Threaded kernels call this at mmap time, under the
+     * exclusive mm lock, so concurrent faults never race on the
+     * creation of a node shared between VMAs — fault-time map() then
+     * only ever writes leaf slots, which the per-VMA fault mutex
+     * already serializes at 2 MiB granularity.
+     */
+    void ensureSpine(Vpn start, Vpn end);
 
     /** Batched 4 KiB leaf installs; defined after the class. */
     class RunMapper;

@@ -10,6 +10,7 @@
 #ifndef CONTIG_MM_POLICY_HH
 #define CONTIG_MM_POLICY_HH
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -70,8 +71,9 @@ struct AllocResult
  */
 struct AllocFailCounts
 {
-    std::uint64_t noHugeBlock = 0;
-    std::uint64_t oom = 0;
+    /** Atomic: noteAllocFail runs concurrently on fault workers. */
+    std::atomic<std::uint64_t> noHugeBlock{0};
+    std::atomic<std::uint64_t> oom{0};
 };
 
 /**

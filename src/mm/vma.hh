@@ -10,12 +10,14 @@
 #ifndef CONTIG_MM_VMA_HH
 #define CONTIG_MM_VMA_HH
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "base/sync.hh"
 #include "base/types.hh"
 
 namespace contig
@@ -82,66 +84,122 @@ class Vma
     }
 
     // --- CA paging metadata -------------------------------------------
+    //
+    // The Offset FIFO is a lock-free ring, matching the paper's §III-C
+    // design: faulting threads publish new Offsets with plain atomic
+    // stores after reserving a sequence number, and readers scan the
+    // ring without any lock. A reader racing a writer can observe a
+    // half-updated slot; that is *by design* — an Offset is only a
+    // placement hint, and the subsequent allocSpecific() re-validates
+    // the target under the zone lock, so a stale or torn hint costs at
+    // worst one extra placement attempt.
 
     /** Record a new Offset (FIFO eviction beyond kMaxCaOffsets). */
     void
     pushCaOffset(Vpn origin_vpn, std::int64_t offset_pages)
     {
-        if (caOffsets_.size() >= kMaxCaOffsets)
-            caOffsets_.pop_front();
-        caOffsets_.push_back(CaOffset{origin_vpn, offset_pages});
+        const std::uint64_t seq =
+            offsetHead_.fetch_add(1, std::memory_order_acq_rel);
+        OffsetSlot &slot = offsetRing_[seq % kMaxCaOffsets];
+        slot.originVpn.store(origin_vpn, std::memory_order_relaxed);
+        slot.offsetPages.store(offset_pages, std::memory_order_relaxed);
+        // Retire overwritten sequence numbers so count/pop stay in
+        // step with the ring capacity.
+        std::uint64_t tail = offsetTail_.load(std::memory_order_relaxed);
+        while (seq + 1 - tail > kMaxCaOffsets &&
+               !offsetTail_.compare_exchange_weak(
+                   tail, seq + 1 - kMaxCaOffsets,
+                   std::memory_order_acq_rel, std::memory_order_relaxed)) {
+        }
     }
 
     /**
      * The Offset whose origin vpn is closest to the faulting vpn
      * (§III-C: "picks the Offset associated with the virtual address
-     * closest to the currently faulting").
+     * closest to the currently faulting"). Ties keep the oldest
+     * record.
      */
     std::optional<CaOffset>
     nearestCaOffset(Vpn vpn) const
     {
-        const CaOffset *best = nullptr;
+        std::uint64_t head = offsetHead_.load(std::memory_order_acquire);
+        std::uint64_t tail = offsetTail_.load(std::memory_order_acquire);
+        if (head - tail > kMaxCaOffsets)
+            tail = head - kMaxCaOffsets;
+        std::optional<CaOffset> best;
         std::uint64_t best_dist = ~std::uint64_t{0};
-        for (const auto &o : caOffsets_) {
-            std::uint64_t dist = o.originVpn > vpn ? o.originVpn - vpn
-                                                   : vpn - o.originVpn;
+        for (std::uint64_t seq = tail; seq != head; ++seq) {
+            const OffsetSlot &slot = offsetRing_[seq % kMaxCaOffsets];
+            const Vpn origin =
+                slot.originVpn.load(std::memory_order_relaxed);
+            const std::int64_t off =
+                slot.offsetPages.load(std::memory_order_relaxed);
+            std::uint64_t dist =
+                origin > vpn ? origin - vpn : vpn - origin;
             if (!best || dist < best_dist) {
-                best = &o;
+                best = CaOffset{origin, off};
                 best_dist = dist;
             }
         }
-        if (!best)
-            return std::nullopt;
-        return *best;
+        return best;
     }
 
-    bool hasCaOffsets() const { return !caOffsets_.empty(); }
-    std::size_t caOffsetCount() const { return caOffsets_.size(); }
+    bool hasCaOffsets() const { return caOffsetCount() > 0; }
+
+    std::size_t
+    caOffsetCount() const
+    {
+        std::uint64_t head = offsetHead_.load(std::memory_order_acquire);
+        std::uint64_t tail = offsetTail_.load(std::memory_order_acquire);
+        return std::min<std::uint64_t>(head - tail, kMaxCaOffsets);
+    }
 
     /** Drop the oldest Offset (ablation hook for shallower FIFOs). */
     void
     popOldestCaOffset()
     {
-        if (!caOffsets_.empty())
-            caOffsets_.pop_front();
+        std::uint64_t tail = offsetTail_.load(std::memory_order_acquire);
+        while (offsetHead_.load(std::memory_order_acquire) != tail &&
+               !offsetTail_.compare_exchange_weak(
+                   tail, tail + 1, std::memory_order_acq_rel,
+                   std::memory_order_acquire)) {
+        }
     }
 
     /**
-     * Replacement guard: only the first failing thread may trigger a
-     * re-placement; others retry (§III-C). Returns true if the caller
-     * acquired the right to re-place.
+     * Replacement guard (§III-C, "Avoiding multithreading pitfalls"):
+     * a CAS gate so that of all the threads whose fast-path Offset
+     * failed, only the first triggers the expensive re-placement; the
+     * losers retry their fast path against the winner's fresh Offset.
+     * Returns true if the caller acquired the right to re-place.
      */
     bool
     tryBeginReplacement()
     {
-        if (replacementActive_)
-            return false;
-        replacementActive_ = true;
-        return true;
+        bool expected = false;
+        return replacementActive_.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel,
+            std::memory_order_acquire);
     }
 
-    void endReplacement() { replacementActive_ = false; }
-    bool replacementActive() const { return replacementActive_; }
+    void
+    endReplacement()
+    {
+        replacementActive_.store(false, std::memory_order_release);
+    }
+
+    bool
+    replacementActive() const
+    {
+        return replacementActive_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Per-VMA fault mutex (the `mmap_sem`-sharding analogue): faults
+     * within one VMA serialize here; faults on different VMAs of the
+     * same process proceed in parallel under the kernel's shared lock.
+     */
+    SpinLock &faultLock() { return faultLock_; }
 
     // --- accounting -----------------------------------------------------
 
@@ -160,8 +218,20 @@ class Vma
     std::uint32_t fileId_;
     std::uint64_t fileOffsetPages_;
 
-    std::deque<CaOffset> caOffsets_;
-    bool replacementActive_ = false;
+    /** One ring slot; the pair is read/written with independent
+     *  relaxed atomics (torn reads are benign, see above). */
+    struct OffsetSlot
+    {
+        std::atomic<Vpn> originVpn{0};
+        std::atomic<std::int64_t> offsetPages{0};
+    };
+
+    std::array<OffsetSlot, kMaxCaOffsets> offsetRing_;
+    /** Next sequence number to publish / oldest live sequence. */
+    std::atomic<std::uint64_t> offsetHead_{0};
+    std::atomic<std::uint64_t> offsetTail_{0};
+    std::atomic<bool> replacementActive_{false};
+    SpinLock faultLock_;
 };
 
 } // namespace contig

@@ -25,6 +25,8 @@
 #include <string_view>
 #include <vector>
 
+#include "base/sync.hh"
+
 #ifndef CONTIG_TRACING
 #define CONTIG_TRACING 1
 #endif
@@ -182,6 +184,12 @@ class TraceSink
   private:
     TraceEvent &nextSlot();
 
+    /**
+     * Serializes ring writes from concurrent fault workers. wants()
+     * stays lock-free: with the category masked off (the default) the
+     * hot path never reaches the lock.
+     */
+    mutable SpinLock lock_;
     std::uint32_t mask_ = 0;
     std::size_t capacity_ = 1u << 20;
     std::vector<TraceEvent> ring_;

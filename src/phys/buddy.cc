@@ -78,7 +78,9 @@ BuddyAllocator::markAllocated(Pfn pfn, unsigned order)
     const std::uint64_t n = pagesInOrder(order);
     for (std::uint64_t i = 0; i < n; ++i) {
         Frame &f = frames_[pfn + i];
-        f.freeFlag = false;
+        // Relaxed: freeFlag is only a hint to lockless occupancy
+        // probes; allocSpecific re-checks under the zone lock.
+        f.freeFlag.store(false, std::memory_order_relaxed);
         f.freeHead = false;
     }
 }
@@ -89,7 +91,7 @@ BuddyAllocator::markFree(Pfn pfn, unsigned order)
     const std::uint64_t n = pagesInOrder(order);
     for (std::uint64_t i = 0; i < n; ++i) {
         Frame &f = frames_[pfn + i];
-        f.freeFlag = true;
+        f.freeFlag.store(true, std::memory_order_relaxed);
         f.freeHead = false;
     }
     frames_[pfn].order = static_cast<std::uint8_t>(order);
@@ -315,7 +317,9 @@ BuddyAllocator::isFreePage(Pfn pfn) const
 {
     if (!contains(pfn, 0))
         return false;
-    return frames_[pfn].freeFlag;
+    // Lockless occupancy probe (paper §III-C): a stale answer is
+    // benign because allocSpecific re-validates under the zone lock.
+    return frames_[pfn].freeFlag.load(std::memory_order_relaxed);
 }
 
 std::optional<std::pair<Pfn, unsigned>>

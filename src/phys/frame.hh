@@ -10,6 +10,7 @@
 #ifndef CONTIG_PHYS_FRAME_HH
 #define CONTIG_PHYS_FRAME_HH
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -36,18 +37,27 @@ enum class FrameOwner : std::uint8_t
  * mechanisms rely on: `_count`/`_mapcount` for the free check, buddy
  * linkage for the free lists, and a reverse-mapping triple used by the
  * migration-based baselines (Ranger, Ingens promotion).
+ *
+ * Concurrency: refCount/mapCount/freeFlag are atomics because fault
+ * threads touch them outside any lock — freeFlag is CA paging's
+ * lockless occupancy probe (§III-C; a stale read is benign, the
+ * subsequent allocSpecific re-validates under the zone lock). The
+ * free-list linkage and owner fields are plain: the former is only
+ * touched under the owning zone's lock, the latter only between a
+ * buddy alloc and the matching free, so the zone lock's handoff
+ * orders them.
  */
 struct Frame
 {
     /** References held (0 while the frame sits in the buddy allocator). */
-    std::uint32_t refCount = 0;
+    std::atomic<std::uint32_t> refCount{0};
     /** Number of page-table mappings pointing at this frame. */
-    std::uint32_t mapCount = 0;
+    std::atomic<std::uint32_t> mapCount{0};
 
     /** Buddy order of the free block this frame heads (valid if freeHead). */
     std::uint8_t order = 0;
     /** True for every frame inside a free buddy block. */
-    bool freeFlag = false;
+    std::atomic<bool> freeFlag{false};
     /** True only for the first frame of a free block on a free list. */
     bool freeHead = false;
 

@@ -8,16 +8,92 @@ Zone::Zone(FrameArray &frames, NodeId node, Pfn base_pfn,
     : node_(node),
       contigMap_(pagesInOrder(cfg.maxOrder)),
       buddy_(frames, base_pfn, n_frames, cfg.maxOrder, cfg.sortedTopList,
-             cfg.scrambleSeed)
+             cfg.scrambleSeed),
+      pcpBatch_(cfg.pcpBatch),
+      pcpHigh_(cfg.pcpHigh),
+      pcp_(cfg.pcpCpus)
 {
     buddy_.setTopListHooks(
         [this](Pfn pfn) { contigMap_.onBlockFree(pfn); },
         [this](Pfn pfn) { contigMap_.onBlockAllocated(pfn); });
 }
 
+std::optional<Pfn>
+Zone::alloc(unsigned order)
+{
+    if (order == 0 && pcpEnabled()) {
+        PcpList &pcp = myPcp();
+        if (pcp.pfns.empty()) {
+            std::lock_guard<SpinLock> g(lock_);
+            for (unsigned i = 0; i < pcpBatch_; ++i) {
+                auto pfn = buddy_.alloc(0);
+                if (!pfn)
+                    break;
+                pcp.pfns.push_back(*pfn);
+            }
+        }
+        if (pcp.pfns.empty())
+            return std::nullopt;
+        Pfn pfn = pcp.pfns.back();
+        pcp.pfns.pop_back();
+        return pfn;
+    }
+    std::lock_guard<SpinLock> g(lock_);
+    return buddy_.alloc(order);
+}
+
+bool
+Zone::allocSpecific(Pfn pfn, unsigned order)
+{
+    std::lock_guard<SpinLock> g(lock_);
+    return buddy_.allocSpecific(pfn, order);
+}
+
+void
+Zone::free(Pfn pfn, unsigned order)
+{
+    if (order == 0 && pcpEnabled()) {
+        PcpList &pcp = myPcp();
+        pcp.pfns.push_back(pfn);
+        if (pcp.pfns.size() >= pcpHigh_) {
+            std::lock_guard<SpinLock> g(lock_);
+            for (unsigned i = 0; i < pcpBatch_ && !pcp.pfns.empty(); ++i) {
+                buddy_.free(pcp.pfns.back(), 0);
+                pcp.pfns.pop_back();
+            }
+        }
+        return;
+    }
+    std::lock_guard<SpinLock> g(lock_);
+    buddy_.free(pfn, order);
+}
+
+void
+Zone::drainPcp()
+{
+    if (!pcpEnabled())
+        return;
+    std::lock_guard<SpinLock> g(lock_);
+    for (PcpList &pcp : pcp_) {
+        for (Pfn pfn : pcp.pfns)
+            buddy_.free(pfn, 0);
+        pcp.pfns.clear();
+    }
+}
+
+std::uint64_t
+Zone::pcpCachedPages() const
+{
+    std::uint64_t total = 0;
+    for (const PcpList &pcp : pcp_)
+        total += pcp.pfns.size();
+    return total;
+}
+
 Log2Histogram
 Zone::freeBlockHistogram() const
 {
+    std::lock_guard<SpinLock> g(lock_);
     Log2Histogram hist = contigMap_.clusterSizeHistogram();
     for (unsigned o = 0; o < buddy_.maxOrder(); ++o) {
         buddy_.forEachFreeBlock(o, [&](Pfn) {

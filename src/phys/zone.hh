@@ -3,14 +3,26 @@
  * A Zone couples one buddy allocator with one contiguity map, matching
  * Linux's per-NUMA-node `struct zone` (the paper keeps one
  * contiguity_map instance per zone, §III-B).
+ *
+ * Threading: each zone owns one spinlock guarding its buddy allocator
+ * and contiguity map (Linux's `zone->lock`), so allocations in
+ * different zones never contend. In front of the buddy sit optional
+ * per-CPU order-0 frame caches (Linux pcplists): order-0 alloc/free on
+ * a CPU works on that CPU's private list and only takes the zone lock
+ * to refill or spill a batch. Frames parked in a pcp cache keep
+ * freeFlag=false, so CA paging's occupancy probe correctly treats them
+ * as unavailable.
  */
 
 #ifndef CONTIG_PHYS_ZONE_HH
 #define CONTIG_PHYS_ZONE_HH
 
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <vector>
 
+#include "base/sync.hh"
 #include "phys/buddy.hh"
 #include "phys/contiguity_map.hh"
 
@@ -30,6 +42,16 @@ struct ZoneConfig
      * sortedTopList is set (the list is sorted either way).
      */
     std::uint64_t scrambleSeed = 0;
+    /**
+     * Number of per-CPU order-0 frame caches (0 disables them, which
+     * keeps single-threaded runs byte-identical to the pre-threading
+     * allocator). The kernel sets this to its worker-thread count.
+     */
+    unsigned pcpCpus = 0;
+    /** Frames moved between a pcp cache and the buddy per refill/spill. */
+    unsigned pcpBatch = 16;
+    /** Pcp list length that triggers a spill back to the buddy. */
+    unsigned pcpHigh = 64;
 };
 
 /**
@@ -55,11 +77,46 @@ class Zone
     ContiguityMap &contigMap() { return contigMap_; }
     const ContiguityMap &contigMap() const { return contigMap_; }
 
+    /**
+     * The zone lock (Linux `zone->lock`). Allocation goes through the
+     * locked entry points below; callers that scan the contiguity map
+     * directly (the CA placement policies, the observatory) take this
+     * around the scan.
+     */
+    SpinLock &lock() const { return lock_; }
+
     bool
     contains(Pfn pfn) const
     {
         return pfn >= basePfn() && pfn < basePfn() + numFrames();
     }
+
+    /**
+     * Locked allocation front end. Order-0 requests are served from
+     * the calling CPU's pcp cache when caches are enabled; everything
+     * else takes the zone lock around the buddy call.
+     */
+    std::optional<Pfn> alloc(unsigned order);
+
+    /** Locked BuddyAllocator::allocSpecific. */
+    bool allocSpecific(Pfn pfn, unsigned order);
+
+    /**
+     * Locked free. Order-0 frees land on the calling CPU's pcp cache
+     * (spilling a batch to the buddy past the high-water mark).
+     */
+    void free(Pfn pfn, unsigned order);
+
+    /**
+     * Return every pcp-cached frame to the buddy (process teardown,
+     * stats capture). Leaves the caches enabled.
+     */
+    void drainPcp();
+
+    /** Frames currently parked across this zone's pcp caches. */
+    std::uint64_t pcpCachedPages() const;
+
+    bool pcpEnabled() const { return !pcp_.empty(); }
 
     /**
      * The zone's free-block size distribution, weighted by pages
@@ -70,9 +127,21 @@ class Zone
     Log2Histogram freeBlockHistogram() const;
 
   private:
+    /** One CPU's private cache; padded so neighbours don't false-share. */
+    struct alignas(64) PcpList
+    {
+        std::vector<Pfn> pfns;
+    };
+
+    PcpList &myPcp() { return pcp_[ThisCpu::id() % pcp_.size()]; }
+
     NodeId node_;
     ContiguityMap contigMap_;
     BuddyAllocator buddy_;
+    mutable SpinLock lock_;
+    unsigned pcpBatch_;
+    unsigned pcpHigh_;
+    std::vector<PcpList> pcp_;
 };
 
 } // namespace contig

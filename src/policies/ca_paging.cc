@@ -36,21 +36,28 @@ CaPagingPolicy::place(Kernel &kernel, NodeId home, std::uint64_t req_pages,
     for (unsigned i = 0; i < n; ++i) {
         Zone &zone = pm.zone((home + i) % n);
         ContiguityMap &map = zone.contigMap();
-        const std::uint64_t steps_before = map.stats().placementScanSteps;
-        auto cluster = map.placeNextFit(req_pages);
-        res.placementCycles +=
-            cfg_.placementBaseCycles +
-            cfg_.cyclesPerScanStep *
-                (map.stats().placementScanSteps - steps_before);
+        std::optional<Cluster> cluster;
+        {
+            // Map scans mutate the rover and scan-step counters, so
+            // they run under the zone lock like every other map update.
+            std::lock_guard<SpinLock> g(zone.lock());
+            const std::uint64_t steps_before =
+                map.stats().placementScanSteps;
+            cluster = map.placeNextFit(req_pages);
+            res.placementCycles +=
+                cfg_.placementBaseCycles +
+                cfg_.cyclesPerScanStep *
+                    (map.stats().placementScanSteps - steps_before);
+        }
         if (!cluster)
             continue; // zone has no top-order blocks left
         if (takeTarget(kernel, cluster->startPfn, order)) {
             res.pfn = cluster->startPfn;
             return res;
         }
-        // The cluster vanished between map lookup and allocation (it
-        // cannot in this single-threaded model, but stay defensive) —
-        // fall through to the next node.
+        // A racing thread carved up the cluster between the map scan
+        // and our allocSpecific — the probe/claim race the paper
+        // accepts (§III-C). Fall through to the next node.
     }
     // No contiguity anywhere: default allocation. Tag the failure
     // reason in place (not via AllocResult::failure, which would
@@ -67,8 +74,7 @@ CaPagingPolicy::allocate(Kernel &kernel, Process &proc, Vma &vma, Vpn vpn,
                          unsigned order)
 {
     // Fast path: extend an existing sub-VMA mapping through its Offset.
-    if (vma.hasCaOffsets()) {
-        auto off = vma.nearestCaOffset(vpn);
+    if (auto off = vma.nearestCaOffset(vpn)) {
         const std::int64_t target_signed =
             static_cast<std::int64_t>(vpn) - off->offsetPages;
         if (target_signed >= 0 &&
@@ -89,16 +95,31 @@ CaPagingPolicy::allocate(Kernel &kernel, Process &proc, Vma &vma, Vpn vpn,
         }
 
         // Huge failure: sub-VMA re-placement keyed by the remaining
-        // unmapped size. Only one thread may re-place at a time; a
-        // loser in that race would retry, which in this single-threaded
-        // model means simply re-running the fast path.
+        // unmapped size. The replacement guard's CAS admits exactly
+        // one re-placing thread (§III-C); everyone else loses.
         if (!vma.tryBeginReplacement()) {
-            AllocResult res;
-            if (takeTarget(kernel, static_cast<Pfn>(target_signed), order))
-                res.pfn = static_cast<Pfn>(target_signed);
-            else
-                res.fail = AllocFail::NoHugeBlock;
-            return res;
+            // Loser path: retry the fast path against the winner's
+            // freshly published Offset instead of stacking a redundant
+            // re-placement. A few rounds bound the spin if the winner
+            // is slow; if the retries exhaust, report NoHugeBlock and
+            // let the fault engine demote to 4 KiB.
+            constexpr int kLoserRetries = 4;
+            for (int attempt = 0; attempt < kLoserRetries; ++attempt) {
+                if (auto fresh = vma.nearestCaOffset(vpn)) {
+                    const std::int64_t t =
+                        static_cast<std::int64_t>(vpn) - fresh->offsetPages;
+                    if (t >= 0 &&
+                        takeTarget(kernel, static_cast<Pfn>(t), order)) {
+                        ++stats_.offsetHits;
+                        AllocResult res;
+                        res.pfn = static_cast<Pfn>(t);
+                        return res;
+                    }
+                }
+                if (!vma.replacementActive())
+                    break; // winner done; its Offset still failed us
+            }
+            return AllocResult::failure(order);
         }
         const std::uint64_t remaining =
             vma.pages() > vma.allocatedPages
@@ -108,6 +129,8 @@ CaPagingPolicy::allocate(Kernel &kernel, Process &proc, Vma &vma, Vpn vpn,
                                 order, placementOwner(proc, vma));
         if (res.ok()) {
             ++stats_.subVmaPlacements;
+            // Publish the new Offset before releasing the guard so
+            // losers retry against it the moment the guard clears.
             vma.pushCaOffset(vpn, static_cast<std::int64_t>(vpn) -
                                       static_cast<std::int64_t>(res.pfn));
         }

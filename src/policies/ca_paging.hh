@@ -24,6 +24,7 @@
 #ifndef CONTIG_POLICIES_CA_PAGING_HH
 #define CONTIG_POLICIES_CA_PAGING_HH
 
+#include <atomic>
 #include <cstdint>
 
 #include "mm/policy.hh"
@@ -48,16 +49,20 @@ struct CaPagingConfig
     Cycles placementBaseCycles = 150;
 };
 
-/** Observable CA paging behaviour (tests + benches). */
+/**
+ * Observable CA paging behaviour (tests + benches). Atomic because
+ * allocate() runs concurrently on fault threads.
+ */
 struct CaPagingStats
 {
-    std::uint64_t placements = 0;        //!< first-fault placements
-    std::uint64_t subVmaPlacements = 0;  //!< re-placements after failures
-    std::uint64_t offsetHits = 0;        //!< target frame free and taken
-    std::uint64_t offsetMisses = 0;      //!< target occupied/invalid
-    std::uint64_t fallbacks = 0;         //!< 4 KiB default-path fallbacks
-    std::uint64_t filePlacements = 0;
-    std::uint64_t markedPtes = 0;        //!< contiguity bits set
+    std::atomic<std::uint64_t> placements{0};  //!< first-fault placements
+    /** Re-placements after failures. */
+    std::atomic<std::uint64_t> subVmaPlacements{0};
+    std::atomic<std::uint64_t> offsetHits{0};  //!< target free and taken
+    std::atomic<std::uint64_t> offsetMisses{0}; //!< target occupied/invalid
+    std::atomic<std::uint64_t> fallbacks{0};   //!< 4 KiB default fallbacks
+    std::atomic<std::uint64_t> filePlacements{0};
+    std::atomic<std::uint64_t> markedPtes{0};  //!< contiguity bits set
 };
 
 class CaPagingPolicy : public AllocationPolicy

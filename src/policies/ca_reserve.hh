@@ -21,6 +21,7 @@
 #include <map>
 #include <vector>
 
+#include "base/sync.hh"
 #include "policies/ca_paging.hh"
 
 namespace contig
@@ -72,6 +73,11 @@ class CaReservePolicy : public CaPagingPolicy
     std::multimap<std::uint64_t, Reservation> reservations_;
     Pfn rover_ = 0;
     CaReserveStats rstats_;
+    /**
+     * Serializes reservation-table and rover updates: place() runs on
+     * concurrent fault workers while onMunmap() drops reservations.
+     */
+    mutable SpinLock reserveLock_;
 };
 
 } // namespace contig

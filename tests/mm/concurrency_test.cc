@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Concurrency stress for the threaded fault path — built to run under
+ * ThreadSanitizer (the CONTIG_SANITIZE=thread CI job). Covers the
+ * three shared structures the threading refactor introduced: the
+ * parallel fault pipeline itself (per-CPU frame caches + sharded zone
+ * locks + per-VMA fault mutexes), the lock-free §III-C Offset ring
+ * with its replacement guard, and the pcp-cache teardown invariant
+ * (per-zone buddy free lists return exactly to their pre-run state).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/parallel.hh"
+#include "mm/fault_engine.hh"
+#include "mm/kernel.hh"
+#include "mm/vma.hh"
+#include "phys/phys_mem.hh"
+#include "phys/zone.hh"
+
+namespace contig
+{
+namespace
+{
+
+constexpr unsigned kThreads = 4;
+
+KernelConfig
+threadedConfig(PolicyKind kind)
+{
+    KernelConfig cfg = kernelConfigFor(kind);
+    cfg.threads = kThreads;
+    return cfg;
+}
+
+/** Per-zone (free pages, free-list lengths) snapshot. */
+std::vector<std::pair<std::uint64_t, std::vector<std::uint64_t>>>
+buddySnapshot(const PhysicalMemory &pm)
+{
+    std::vector<std::pair<std::uint64_t, std::vector<std::uint64_t>>> snap;
+    for (unsigned n = 0; n < pm.numNodes(); ++n)
+        snap.emplace_back(pm.zone(n).buddy().freePages(),
+                          pm.zone(n).buddy().freeBlockCounts());
+    return snap;
+}
+
+/** Concurrent demand faulting: every page lands exactly once. */
+TEST(Concurrency, ParallelFaultsResolveEveryPage)
+{
+    for (PolicyKind kind : {PolicyKind::Base4k, PolicyKind::Thp,
+                            PolicyKind::Ca}) {
+        KernelConfig cfg = threadedConfig(kind);
+        Kernel k(cfg, makePolicy(kind));
+        ASSERT_TRUE(k.threaded());
+
+        ParallelDriverConfig pd;
+        pd.threads = kThreads;
+        pd.bytesPerWorker = 8ull << 20;
+        pd.chunkBytes = 1ull << 20;
+        pd.seed = 0xFEED + static_cast<int>(kind);
+        ParallelDriver driver(k, pd);
+        driver.run();
+
+        const std::uint64_t pages =
+            kThreads * (pd.bytesPerWorker / kPageSize);
+        std::uint64_t mapped = 0;
+        for (const ParallelDriver::WorkerPlan &plan : driver.plans()) {
+            EXPECT_EQ(plan.vma->touchedPages,
+                      pd.bytesPerWorker / kPageSize);
+            plan.proc->pageTable().forEachLeaf(
+                [&](Vpn, const Mapping &m) {
+                    mapped += pagesInOrder(m.order);
+                });
+        }
+        EXPECT_EQ(mapped, pages);
+        // Each page faults exactly once, whatever the interleaving.
+        const FaultStats &st = k.faultStats();
+        EXPECT_EQ(st.baseFaults +
+                      st.hugeFaults * pagesInOrder(kHugeOrder),
+                  pages);
+        driver.exitAll();
+    }
+}
+
+/**
+ * Teardown invariant: after exitProcess() the per-CPU caches drain
+ * and every zone's buddy free lists return exactly to their pre-run
+ * snapshot (frames parked in a pcp cache would show up here as
+ * missing order-0 blocks).
+ */
+TEST(Concurrency, PcpCachesDrainOnExit)
+{
+    KernelConfig cfg = threadedConfig(PolicyKind::Base4k);
+    Kernel k(cfg, makePolicy(PolicyKind::Base4k));
+
+    ParallelDriverConfig pd;
+    pd.threads = kThreads;
+    pd.bytesPerWorker = 8ull << 20;
+    pd.chunkBytes = 1ull << 20;
+
+    // Warm-up run: grows the (deliberately sticky) kernel page-table
+    // pool to steady state so the snapshot below isolates pcp/buddy
+    // behaviour from pool growth.
+    {
+        ParallelDriver warm(k, pd);
+        warm.run();
+        warm.exitAll();
+    }
+    ASSERT_EQ(k.physMem().pcpCachedPages(), 0u);
+    const auto before = buddySnapshot(k.physMem());
+
+    ParallelDriver driver(k, pd);
+    driver.run();
+    EXPECT_GT(k.faultStats().faults, 0u);
+
+    driver.exitAll();
+    EXPECT_EQ(k.physMem().pcpCachedPages(), 0u);
+    EXPECT_EQ(buddySnapshot(k.physMem()), before);
+}
+
+/**
+ * The lock-free Offset ring and the replacement guard, hammered
+ * directly: writers publish Offsets while readers scan, and all
+ * threads race the §III-C CAS gate. The guard must admit exactly one
+ * re-placer at a time; the ring must never report more than
+ * kMaxCaOffsets records.
+ */
+TEST(Concurrency, OffsetRingAndReplacementGuard)
+{
+    Vma vma(1, Gva{0x5500ull << 32}, 64ull << 20, VmaKind::Anon);
+    constexpr int kIters = 20000;
+
+    std::atomic<int> inReplacement{0};
+    std::atomic<std::uint64_t> wins{0};
+    std::atomic<bool> invariantBroken{false};
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            const Vpn base = vma.start().pageNumber();
+            for (int i = 0; i < kIters; ++i) {
+                if (t % 2 == 0) {
+                    // Writer: publish, then read back some record.
+                    vma.pushCaOffset(base + i, i - static_cast<int>(t));
+                    auto best = vma.nearestCaOffset(base + i);
+                    if (!best)
+                        invariantBroken = true;
+                } else {
+                    // Reader: scan and count.
+                    vma.nearestCaOffset(base + i);
+                    if (vma.caOffsetCount() > kMaxCaOffsets)
+                        invariantBroken = true;
+                }
+                // Everyone races the replacement gate.
+                if (vma.tryBeginReplacement()) {
+                    if (inReplacement.fetch_add(1) != 0)
+                        invariantBroken = true;
+                    inReplacement.fetch_sub(1);
+                    wins.fetch_add(1);
+                    vma.endReplacement();
+                }
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+
+    EXPECT_FALSE(invariantBroken.load());
+    EXPECT_GT(wins.load(), 0u);
+    EXPECT_FALSE(vma.replacementActive());
+    EXPECT_LE(vma.caOffsetCount(), kMaxCaOffsets);
+    EXPECT_TRUE(vma.hasCaOffsets());
+}
+
+/**
+ * Concurrent faults against the CA policy specifically: exercises the
+ * zone-locked contiguity-map scan, the Offset fast path and the
+ * replacement guard from real fault traffic, not just the unit
+ * hammer above.
+ */
+TEST(Concurrency, CaPagingConcurrentFaultTraffic)
+{
+    KernelConfig cfg = threadedConfig(PolicyKind::Ca);
+    cfg.thpEnabled = false; // order-0 installs stress the map hardest
+    Kernel k(cfg, makePolicy(PolicyKind::Ca));
+
+    ParallelDriverConfig pd;
+    pd.threads = kThreads;
+    pd.bytesPerWorker = 4ull << 20;
+    pd.chunkBytes = 512ull << 10;
+    ParallelDriver driver(k, pd);
+    driver.run();
+
+    const std::uint64_t pages = kThreads * (pd.bytesPerWorker / kPageSize);
+    EXPECT_EQ(k.faultStats().faults, pages);
+    driver.exitAll();
+    EXPECT_EQ(k.physMem().pcpCachedPages(), 0u);
+}
+
+} // namespace
+} // namespace contig
