@@ -22,6 +22,9 @@ namespace
 
 constexpr std::uint64_t kAccesses = ScaledDefaults::kAccessesPerRun;
 
+/** Replay-engine knobs (--xlat-threads / --xlat-chunk). */
+XlatReplayOpts gReplay;
+
 double
 nativeOverhead(const std::string &name, PolicyKind kind,
                std::uint64_t seed)
@@ -30,7 +33,8 @@ nativeOverhead(const std::string &name, PolicyKind kind,
     auto wl = makeWorkload(name, {1.0, seed});
     Process &proc = sys.kernel().createProcess(name);
     wl->setup(proc);
-    auto r = runTranslation(*wl, nullptr, XlatScheme::Base, kAccesses);
+    auto r = runTranslation(*wl, nullptr, XlatScheme::Base, kAccesses,
+                            99, gReplay);
     return r.overhead.overhead;
 }
 
@@ -50,7 +54,8 @@ virtBaseOverhead(const std::string &name, PolicyKind kind,
     auto wl = makeWorkload(name, {1.0, seed});
     Process &proc = sys.guest().createProcess(name);
     wl->setup(proc);
-    auto r = runTranslation(*wl, &sys.vm(), XlatScheme::Base, kAccesses);
+    auto r = runTranslation(*wl, &sys.vm(), XlatScheme::Base, kAccesses,
+                            99, gReplay);
     return r.overhead.overhead;
 }
 
@@ -70,15 +75,15 @@ virtCaOverheads(std::uint64_t seed)
         Process &proc = sys.guest().createProcess(name);
         wl->setup(proc);
         VirtResult res;
-        res.spot =
-            runTranslation(*wl, &sys.vm(), XlatScheme::Spot, kAccesses)
-                .overhead.overhead;
-        res.rmm =
-            runTranslation(*wl, &sys.vm(), XlatScheme::Rmm, kAccesses)
-                .overhead.overhead;
-        res.ds =
-            runTranslation(*wl, &sys.vm(), XlatScheme::Ds, kAccesses)
-                .overhead.overhead;
+        res.spot = runTranslation(*wl, &sys.vm(), XlatScheme::Spot,
+                                  kAccesses, 99, gReplay)
+                       .overhead.overhead;
+        res.rmm = runTranslation(*wl, &sys.vm(), XlatScheme::Rmm,
+                                 kAccesses, 99, gReplay)
+                      .overhead.overhead;
+        res.ds = runTranslation(*wl, &sys.vm(), XlatScheme::Ds,
+                                kAccesses, 99, gReplay)
+                     .overhead.overhead;
         out.push_back(res);
         wl->teardown();
         sys.guest().exitProcess(proc);
@@ -93,6 +98,8 @@ main(int argc, char **argv)
 {
     printScaledBanner();
     BenchOutput out("fig13_translation_overhead", argc, argv);
+    gReplay.threads = out.xlatThreads();
+    gReplay.chunkAccesses = out.xlatChunk();
 
     Report rep("Fig. 13 — translation overhead vs ideal execution "
                "(lower is better)");

@@ -23,6 +23,9 @@ main(int argc, char **argv)
 {
     printScaledBanner();
     BenchOutput out("fig14_spot_breakdown", argc, argv);
+    XlatReplayOpts replay;
+    replay.threads = out.xlatThreads();
+    replay.chunkAccesses = out.xlatChunk();
 
     Report rep("Fig. 14 — SpOT outcome breakdown per L2-TLB miss");
     rep.header({"workload", "correct", "mispredicted", "no-prediction",
@@ -34,7 +37,8 @@ main(int argc, char **argv)
         Process &proc = sys.guest().createProcess(name);
         wl->setup(proc);
         auto r = runTranslation(*wl, &sys.vm(), XlatScheme::Spot,
-                                ScaledDefaults::kAccessesPerRun);
+                                ScaledDefaults::kAccessesPerRun, 99,
+                                replay);
         const double w = r.stats.walks ? r.stats.walks : 1;
         rep.row({name,
                  Report::pct(r.stats.spotCorrect / w),

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Micro-benchmark: replay-engine throughput across the chunk-size ×
+ * shard-thread grid, on the fig13 access stream (pagerank under CA
+ * paging guest+host, SpOT scheme). One pre-generated trace is
+ * replayed through every cell, so:
+ *
+ *  - all threads=1 cells must report identical simulated counters
+ *    regardless of chunk size (chunking is pure batching), and the
+ *    memo on/off pair must match too — both are locked by the
+ *    committed baseline (bench/baselines/BENCH_micro_xlat_scaling.json);
+ *  - threads=N cells are deterministic for fixed N (hash-partitioned
+ *    shards with private caches, merged in shard order), so their
+ *    counters are baseline-gated as well;
+ *  - wall-clock columns are named `*.wall_us` and ignored by
+ *    `contig_inspect check-baseline` (CI may run on one CPU, where
+ *    thread scaling measures locking, not the scaling headline).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/bench_io.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "tlb/replay.hh"
+#include "workloads/access_stream.hh"
+
+using namespace contig;
+
+namespace
+{
+
+constexpr std::uint64_t kAccesses = 2u << 20;
+
+double
+wallUs(const std::function<void()> &fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+struct Cell
+{
+    XlatStats stats;
+    double replayUs = 0.0;
+};
+
+Cell
+runCell(const std::vector<MemAccess> &trace, const PageTable &pt,
+        const VirtualMachine &vm, unsigned threads, std::uint64_t chunk,
+        bool memo)
+{
+    XlatConfig cfg;
+    cfg.tlb = ScaledDefaults::tlb();
+    cfg.walker = ScaledDefaults::walker();
+    cfg.scheme = XlatScheme::Spot;
+    cfg.spot = ScaledDefaults::spot();
+    cfg.rangeTlb = ScaledDefaults::rangeTlb();
+    cfg.walker.memoEnabled = memo;
+
+    ReplayEngine engine(cfg, threads, pt, vm);
+    Cell cell;
+    cell.replayUs = wallUs([&] {
+        for (std::uint64_t off = 0; off < trace.size(); off += chunk) {
+            const std::uint64_t n =
+                std::min<std::uint64_t>(chunk, trace.size() - off);
+            engine.replayChunk(&trace[off], n);
+        }
+    });
+    cell.stats = engine.mergedStats();
+    return cell;
+}
+
+void
+addRow(Report &rep, const std::string &label, unsigned threads,
+       std::uint64_t chunk, bool memo, const Cell &cell,
+       double base_us)
+{
+    const XlatStats &s = cell.stats;
+    rep.row({label, std::to_string(threads), std::to_string(chunk),
+             memo ? "on" : "off", std::to_string(s.accesses),
+             std::to_string(s.walks), std::to_string(s.l1Hits),
+             std::to_string(s.l2Hits), std::to_string(s.exposedCycles),
+             Report::num(cell.replayUs, 1),
+             Report::num(s.accesses / cell.replayUs, 2),
+             Report::num(base_us / cell.replayUs, 2)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printScaledBanner();
+    BenchOutput out("micro_xlat_scaling", argc, argv);
+    out.note("accesses", kAccesses);
+    out.note("workload", "pagerank");
+    out.note("scheme", "spot");
+
+    // The fig13 stream: pagerank inside a CA/CA VM, replayed through
+    // the SpOT pipeline with the fig13 seeds (workload 7, stream 99).
+    VirtSystem sys(PolicyKind::Ca, PolicyKind::Ca, 7);
+    auto wl = makeWorkload("pagerank", {1.0, 7});
+    Process &proc = sys.guest().createProcess("bench");
+    wl->setup(proc);
+
+    std::vector<MemAccess> trace(kAccesses);
+    {
+        Rng rng(99);
+        wl->fillAccesses(rng, trace.data(), trace.size());
+    }
+    const PageTable &pt = proc.pageTable();
+
+    Report rep("micro — replay throughput vs chunk size x shards "
+               "(fig13 pagerank stream, SpOT)");
+    rep.header({"cell", "threads", "chunk", "memo", "accesses", "walks",
+                "l1_hits", "l2_hits", "exposed_cycles",
+                "replay.wall_us", "maccs_s.wall_us",
+                "speedup.wall_us"});
+
+    // Chunk sweep at one shard: identical counters by construction.
+    // Speedups are relative to the default cell (chunk 4096, 1 shard).
+    const std::uint64_t kChunks[] = {1024, 4096, 16384};
+    std::vector<Cell> sweep;
+    for (std::uint64_t chunk : kChunks)
+        sweep.push_back(runCell(trace, pt, sys.vm(), 1, chunk, true));
+    const double base_us = sweep[1].replayUs;
+    for (std::size_t i = 0; i < sweep.size(); ++i)
+        addRow(rep, "chunk_sweep", 1, kChunks[i], true, sweep[i],
+               base_us);
+    // Memo off: simulated counters must not move.
+    {
+        const Cell cell = runCell(trace, pt, sys.vm(), 1, 4096, false);
+        addRow(rep, "memo_off", 1, 4096, false, cell, base_us);
+    }
+    // Thread sweep at the default chunk.
+    for (unsigned threads : {1u, 2u, 4u}) {
+        const Cell cell =
+            runCell(trace, pt, sys.vm(), threads, 4096, true);
+        addRow(rep, "thread_sweep", threads, 4096, true, cell, base_us);
+    }
+    out.add(rep);
+    rep.print();
+
+    out.write();
+    return 0;
+}

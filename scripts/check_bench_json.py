@@ -151,9 +151,13 @@ def main():
     run = config["run"]
     # Every kernel instance (one "<prefix>.instances" counter each)
     # must record its threading knobs: worker-thread count and the
-    # per-CPU frame-cache geometry.
+    # per-CPU frame-cache geometry. Not every ".instances" prefix is
+    # a kernel — VirtualMachine records "vm.instances" with VM-level
+    # knobs only — so identify kernels by a kernel-only config key.
     kernel_prefixes = [k[: -len(".instances")] for k in run
-                       if k.endswith(".instances")]
+                       if k.endswith(".instances")
+                       and f"{k[: -len('.instances')]}.thp_enabled"
+                       in run]
     for kp in kernel_prefixes:
         for key in ("threads", "phys.pcp_cpus", "phys.pcp_batch",
                     "phys.pcp_high"):
@@ -174,6 +178,13 @@ def main():
         for i in range(int(threads)):
             if f"parallel.worker{i}.seed" not in run:
                 fail(f"'config.run' missing parallel.worker{i}.seed")
+    # Runs that replayed a translation stream (runTranslation notes
+    # "seed.translation") must record the replay-engine knobs: shard
+    # count, chunk size, and the walk-memo toggle.
+    if "seed.translation" in run:
+        for key in ("xlat.threads", "xlat.chunk_accesses", "xlat.memo"):
+            if key not in run:
+                fail(f"'config.run' missing {key!r}")
 
     rows = doc["rows"]
     if not isinstance(rows, list) or not rows:

@@ -38,21 +38,22 @@ build_and_test asan-ubsan "" \
 build_and_test tsan 'test_concurrency|test_parallel|test_mm' \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCONTIG_SANITIZE=thread
 
-# Micro-bench artifacts (Release binaries). micro_alloc_path is a
-# plain BenchOutput bench; the other two are google-benchmark
-# binaries, which have their own JSON reporter.
+# Micro-bench artifacts (Release binaries). micro_obs_overhead is a
+# google-benchmark binary with its own JSON reporter; the rest are
+# plain BenchOutput benches.
 bench="$out/release/bench"
 echo "=== bench artifacts ==="
 "$bench/micro_alloc_path" --json "$root/BENCH_micro_alloc_path.json"
-"$bench/micro_tlb_spot" \
-    --benchmark_out="$root/BENCH_micro_tlb_spot.json" \
-    --benchmark_out_format=json
+"$bench/micro_tlb_spot" --json "$root/BENCH_micro_tlb_spot.json"
 "$bench/micro_obs_overhead" \
     --benchmark_out="$root/BENCH_micro_obs_overhead.json" \
     --benchmark_out_format=json
 "$bench/micro_fault_scaling" --json "$root/BENCH_micro_fault_scaling.json"
+"$bench/micro_xlat_scaling" --json "$root/BENCH_micro_xlat_scaling.json"
 python3 "$root/scripts/check_bench_json.py" "$bench/micro_alloc_path"
 python3 "$root/scripts/check_bench_json.py" "$bench/micro_fault_scaling"
+python3 "$root/scripts/check_bench_json.py" "$bench/micro_xlat_scaling"
+python3 "$root/scripts/check_bench_json.py" "$bench/fig14_spot_breakdown"
 
 # Regression gate: the fig09 rows/metrics must match the committed
 # baseline within contig_inspect's per-metric tolerances.
@@ -70,5 +71,15 @@ python3 "$root/scripts/check_bench_json.py" \
 "$out/release/tools/contig_inspect" check-baseline \
     "$root/BENCH_micro_fault_scaling.json" \
     "$root/bench/baselines/BENCH_micro_fault_scaling.json"
+# Translation replay gates: component counters and the chunk-size x
+# shard-thread grid are deterministic (chunking and the walk memo
+# never move simulated counters; threads=N is a fixed hash
+# partition); *.wall_us throughput columns are ignored.
+"$out/release/tools/contig_inspect" check-baseline \
+    "$root/BENCH_micro_tlb_spot.json" \
+    "$root/bench/baselines/BENCH_micro_tlb_spot.json"
+"$out/release/tools/contig_inspect" check-baseline \
+    "$root/BENCH_micro_xlat_scaling.json" \
+    "$root/bench/baselines/BENCH_micro_xlat_scaling.json"
 
 echo "CI: all configurations green"

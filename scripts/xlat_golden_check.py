@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Golden-equivalence gate for the translation replay engine.
+
+Usage: xlat_golden_check.py <fig13-binary> <fig14-binary> <golden-dir>
+
+The replay engine's contract (tlb/replay.hh) is that --xlat-threads 1
+is instruction-identical to the pre-engine per-access simulator, and
+that chunk size is pure batching. This check pins both at the
+strongest possible grain — the printed fig13/fig14 tables must be
+byte-for-byte identical to the committed goldens:
+
+  1. default flags (threads=1, default chunk)  == golden,
+  2. --xlat-threads 1 --xlat-chunk 1024        == golden
+     (chunking never moves a counter),
+  3. --xlat-threads 2 run twice: both runs identical to each other
+     (sharded replay is deterministic; its counters legitimately
+     differ from the golden — private per-shard caches).
+
+The goldens (tests/golden/*.txt) were captured from the seed
+simulator before the replay engine existed; regenerate them only for
+an intentional model change, never to absorb a replay-engine diff.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+
+def fail(msg):
+    print(f"xlat_golden_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run(binary, *flags):
+    cmd = [str(binary), *flags]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, timeout=600)
+    if proc.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}:\n"
+             f"{proc.stdout.decode(errors='replace')[-2000:]}")
+    return proc.stdout
+
+
+def diff_lines(a, b):
+    """First differing line of two byte outputs, for the error text."""
+    for i, (la, lb) in enumerate(zip(a.splitlines(), b.splitlines()), 1):
+        if la != lb:
+            return (f"line {i}:\n  got:    {la.decode(errors='replace')}"
+                    f"\n  golden: {lb.decode(errors='replace')}")
+    return f"lengths differ ({len(a)} vs {len(b)} bytes)"
+
+
+def check_golden(name, binary, golden_path):
+    golden = golden_path.read_bytes()
+    for flags in ([], ["--xlat-threads", "1", "--xlat-chunk", "1024"]):
+        got = run(binary, *flags)
+        if got != golden:
+            fail(f"{name} {' '.join(flags) or '(default flags)'} "
+                 f"diverged from {golden_path.name}: "
+                 f"{diff_lines(got, golden)}")
+    print(f"xlat_golden_check: OK: {name} matches "
+          f"{golden_path.name} (default and chunked)")
+
+
+def main():
+    if len(sys.argv) != 4:
+        fail("usage: xlat_golden_check.py <fig13> <fig14> <golden-dir>")
+    fig13, fig14 = Path(sys.argv[1]), Path(sys.argv[2])
+    golden = Path(sys.argv[3])
+    for p in (fig13, fig14):
+        if not p.exists():
+            fail(f"bench binary not found: {p}")
+
+    check_golden("fig13", fig13,
+                 golden / "fig13_translation_overhead.txt")
+    check_golden("fig14", fig14, golden / "fig14_spot_breakdown.txt")
+
+    first = run(fig14, "--xlat-threads", "2")
+    second = run(fig14, "--xlat-threads", "2")
+    if first != second:
+        fail(f"fig14 --xlat-threads 2 is not deterministic: "
+             f"{diff_lines(second, first)}")
+    print("xlat_golden_check: OK: fig14 --xlat-threads 2 is "
+          "run-to-run identical")
+
+
+if __name__ == "__main__":
+    main()

@@ -45,6 +45,14 @@ BenchOutput::BenchOutput(std::string bench, int argc, char **argv)
         if (const char *env = std::getenv("CONTIG_THREADS"))
             threads_ = static_cast<unsigned>(
                 std::max(1l, std::strtol(env, nullptr, 10)));
+    if (xlatThreads_ == 1)
+        if (const char *env = std::getenv("CONTIG_XLAT_THREADS"))
+            xlatThreads_ = static_cast<unsigned>(
+                std::max(1l, std::strtol(env, nullptr, 10)));
+    if (xlatChunk_ == 0)
+        if (const char *env = std::getenv("CONTIG_XLAT_CHUNK"))
+            xlatChunk_ = static_cast<std::uint64_t>(
+                std::max(0l, std::strtol(env, nullptr, 10)));
 
     if (!timelinePath_.empty() &&
         !obs::TimelineSink::global().open(timelinePath_))
@@ -85,20 +93,34 @@ BenchOutput::parseArgs(int argc, char **argv)
                 fatal("%s: --threads wants a positive count, got '%s'",
                       bench_.c_str(), argv[i]);
             threads_ = static_cast<unsigned>(n);
+        } else if (arg == "--xlat-threads" && has_next) {
+            const long n = std::strtol(argv[++i], nullptr, 10);
+            if (n < 1)
+                fatal("%s: --xlat-threads wants a positive count,"
+                      " got '%s'",
+                      bench_.c_str(), argv[i]);
+            xlatThreads_ = static_cast<unsigned>(n);
+        } else if (arg == "--xlat-chunk" && has_next) {
+            const long n = std::strtol(argv[++i], nullptr, 10);
+            if (n < 1)
+                fatal("%s: --xlat-chunk wants a positive access count,"
+                      " got '%s'",
+                      bench_.c_str(), argv[i]);
+            xlatChunk_ = static_cast<std::uint64_t>(n);
         } else if (arg == "--trace-categories" && has_next) {
             const char *list = argv[++i];
             const std::uint32_t mask = obs::parseTraceCategories(list);
             if (mask == 0)
                 fatal("%s: unknown trace category in '%s'\n"
                       "valid: all, fault, alloc, migrate, walk, spot,"
-                      " daemon, phase (or a hex mask)",
+                      " daemon, phase, replay (or a hex mask)",
                       bench_.c_str(), list);
             obs::TraceSink::global().setCategoryMask(mask);
         } else {
             fatal("%s: unknown argument '%s'\n"
                   "usage: %s [--json FILE] [--trace FILE]"
                   " [--timeline FILE] [--trace-categories LIST]"
-                  " [--threads N]",
+                  " [--threads N] [--xlat-threads N] [--xlat-chunk N]",
                   bench_.c_str(), argv[i], bench_.c_str());
         }
     }

@@ -70,6 +70,22 @@ class BenchOutput
      */
     unsigned threads() const { return threads_; }
 
+    /**
+     * Replay shards requested via `--xlat-threads N` (or
+     * CONTIG_XLAT_THREADS); 1 when absent. Translation benches pass
+     * this to the ReplayEngine; 1 replays the access stream through
+     * a single pipeline, instruction-identical to the unsharded
+     * simulator.
+     */
+    unsigned xlatThreads() const { return xlatThreads_; }
+
+    /**
+     * Replay chunk size via `--xlat-chunk N` accesses (or
+     * CONTIG_XLAT_CHUNK); 0 when absent — the AccessStream default.
+     * Chunking never changes simulated results, only batching.
+     */
+    std::uint64_t xlatChunk() const { return xlatChunk_; }
+
     /** The bench JSON document schema ("schema_version"). */
     static constexpr int kSchemaVersion = 2;
 
@@ -92,6 +108,8 @@ class BenchOutput
     std::string tracePath_;
     std::string timelinePath_;
     unsigned threads_ = 1;
+    unsigned xlatThreads_ = 1;
+    std::uint64_t xlatChunk_ = 0;
     std::vector<Note> notes_;
     std::vector<Report> reports_;
     bool written_ = false;

@@ -7,6 +7,8 @@
 #include "policies/ideal.hh"
 #include "policies/ingens.hh"
 #include "policies/ranger.hh"
+#include "tlb/replay.hh"
+#include "workloads/access_stream.hh"
 
 namespace contig
 {
@@ -230,7 +232,8 @@ VirtSystem::finish(Workload &wl)
 
 XlatRunResult
 runTranslation(Workload &wl, const VirtualMachine *vm, XlatScheme scheme,
-               std::uint64_t accesses, std::uint64_t seed)
+               std::uint64_t accesses, std::uint64_t seed,
+               const XlatReplayOpts &opts)
 {
     Process *proc = wl.process();
     contig_assert(proc, "runTranslation before workload setup");
@@ -241,24 +244,36 @@ runTranslation(Workload &wl, const VirtualMachine *vm, XlatScheme scheme,
     cfg.scheme = scheme;
     cfg.spot = ScaledDefaults::spot();
     cfg.rangeTlb = ScaledDefaults::rangeTlb();
+    cfg.walker.memoEnabled = opts.memo;
 
-    std::unique_ptr<TranslationSim> sim;
+    const unsigned threads = opts.threads ? opts.threads : 1;
+    std::unique_ptr<ReplayEngine> engine;
     if (vm) {
-        sim = std::make_unique<TranslationSim>(cfg, proc->pageTable(),
-                                               *vm);
+        engine = std::make_unique<ReplayEngine>(cfg, threads,
+                                                proc->pageTable(), *vm);
         if (scheme == XlatScheme::Rmm || scheme == XlatScheme::Ds)
-            sim->setSegments(extract2d(*proc, *vm));
+            engine->setSegments(extract2d(*proc, *vm));
     } else {
-        sim = std::make_unique<TranslationSim>(cfg, proc->pageTable());
+        engine = std::make_unique<ReplayEngine>(cfg, threads,
+                                                proc->pageTable());
         if (scheme == XlatScheme::Rmm || scheme == XlatScheme::Ds)
-            sim->setSegments(extractSegs(proc->pageTable()));
+            engine->setSegments(extractSegs(proc->pageTable()));
     }
 
     obs::RunInfo::global().note("seed.translation", seed);
+    obs::RunInfo::global().note("xlat.threads",
+                                static_cast<std::uint64_t>(threads));
+    obs::RunInfo::global().note(
+        "xlat.chunk_accesses",
+        opts.chunkAccesses ? opts.chunkAccesses
+                           : AccessStream::kDefaultChunk);
+    obs::RunInfo::global().note("xlat.memo", opts.memo);
 
     // With an open timeline, stream TLB/walker/SpOT counters at 1/8
     // run granularity (the sampler has no kernel, so ticks are access
-    // counts and captures are explicit).
+    // counts and captures are explicit). Captures happen at chunk
+    // boundaries: the first boundary at or past each period multiple
+    // (timelines are not baseline-gated; see DESIGN.md).
     std::unique_ptr<obs::StateSampler> sampler;
     std::uint64_t xlat_period = 0;
     if (obs::TimelineSink::global().enabled()) {
@@ -266,21 +281,28 @@ runTranslation(Workload &wl, const VirtualMachine *vm, XlatScheme scheme,
         scfg.keepSnapshots = false;
         scfg.domain = "xlat:" + wl.name();
         sampler = std::make_unique<obs::StateSampler>(scfg);
-        sampler->attachTranslation(*sim);
+        sampler->attachTranslation(*engine);
         xlat_period = std::max<std::uint64_t>(1, accesses / 8);
     }
 
-    Rng rng(seed);
-    for (std::uint64_t i = 0; i < accesses; ++i) {
-        sim->access(wl.nextAccess(rng));
-        if (sampler && (i + 1) % xlat_period == 0)
-            sampler->sampleAt(i + 1);
+    AccessStream stream(wl, accesses, seed, opts.chunkAccesses);
+    std::uint64_t next_sample = xlat_period;
+    std::uint64_t last_sample = ~0ull;
+    const MemAccess *chunk = nullptr;
+    while (std::size_t n = stream.next(chunk)) {
+        engine->replayChunk(chunk, n);
+        if (sampler && stream.produced() >= next_sample) {
+            last_sample = stream.produced();
+            sampler->sampleAt(last_sample);
+            while (next_sample <= stream.produced())
+                next_sample += xlat_period;
+        }
     }
-    if (sampler && (accesses == 0 || accesses % xlat_period != 0))
+    if (sampler && last_sample != accesses)
         sampler->sampleAt(accesses);
 
     XlatRunResult res;
-    res.stats = sim->stats();
+    res.stats = engine->mergedStats();
     res.overhead = overheadOf(res.stats, ScaledDefaults::perf());
     return res;
 }

@@ -109,6 +109,7 @@ PageTable::map(Vpn vpn, Pfn pfn, unsigned order, bool writable, bool cow)
         ++stats_.mappedHugePages;
     else
         ++stats_.mappedBasePages;
+    bumpGeneration();
     if (updateHook_)
         updateHook_(vpn, slot.leaf, true);
 }
@@ -143,6 +144,7 @@ PageTable::unmap(Vpn vpn, unsigned order)
         --stats_.mappedHugePages;
     else
         --stats_.mappedBasePages;
+    bumpGeneration();
     if (updateHook_)
         updateHook_(vpn & ~(pagesInOrder(order) - 1), old, false);
 }
@@ -184,6 +186,7 @@ PageTable::setContigBit(Vpn vpn, bool value)
     Slot *slot = findLeafSlot(vpn);
     contig_assert(slot && slot->present, "setContigBit on unmapped vpn");
     slot->leaf.contigBit = value;
+    bumpGeneration();
     if (updateHook_) {
         const Vpn base = vpn & ~(pagesInOrder(slot->leaf.order) - 1);
         updateHook_(base, slot->leaf, true);
@@ -197,6 +200,7 @@ PageTable::setWritable(Vpn vpn, bool writable, bool cow)
     contig_assert(slot && slot->present, "setWritable on unmapped vpn");
     slot->leaf.writable = writable;
     slot->leaf.cow = cow;
+    bumpGeneration();
     if (updateHook_) {
         const Vpn base = vpn & ~(pagesInOrder(slot->leaf.order) - 1);
         updateHook_(base, slot->leaf, true);
@@ -318,6 +322,7 @@ PageTable::RunMapper::map(Vpn vpn, Pfn pfn, bool writable, bool cow)
     slot.leaf = Mapping{pfn, 0, writable, cow, false};
     ++pt_.stats_.maps;
     ++pt_.stats_.mappedBasePages;
+    pt_.bumpGeneration();
     if (pt_.updateHook_)
         pt_.updateHook_(vpn, slot.leaf, true);
 }

@@ -182,8 +182,23 @@ class PageTable
 
     const PageTableStats &stats() const { return stats_; }
 
+    /**
+     * Mapping-change epoch: bumped by every leaf mutation (map,
+     * unmap, setContigBit, setWritable, RunMapper installs). Software
+     * walk memos key their entries on this counter so any change to
+     * the table — guest or nested — invalidates cached traversals
+     * without a flush broadcast. Monotonic; relaxed is enough because
+     * readers only compare for equality against a value they stored
+     * under the same ordering regime as the walk itself.
+     */
+    std::uint64_t generation() const
+    { return generation_.load(std::memory_order_relaxed); }
+
   private:
     struct Node;
+
+    void bumpGeneration()
+    { generation_.fetch_add(1, std::memory_order_relaxed); }
 
     /** One slot: either a child node or a leaf PTE (or empty). */
     struct Slot
@@ -227,6 +242,7 @@ class PageTable
     std::unique_ptr<Node> root_;
     Pfn syntheticNext_;
     PageTableStats stats_;
+    std::atomic<std::uint64_t> generation_{0};
 };
 
 /**

@@ -5,6 +5,7 @@
 #include "base/json.hh"
 #include "base/logging.hh"
 #include "mm/kernel.hh"
+#include "tlb/replay.hh"
 #include "tlb/translation_sim.hh"
 #include "virt/vm.hh"
 
@@ -71,6 +72,14 @@ void
 StateSampler::attachTranslation(const TranslationSim &sim)
 {
     xlat_ = &sim;
+    replay_ = nullptr;
+}
+
+void
+StateSampler::attachTranslation(const ReplayEngine &engine)
+{
+    replay_ = &engine;
+    xlat_ = nullptr;
 }
 
 const Snapshot &
@@ -145,8 +154,9 @@ StateSampler::capture(Snapshot &snap, std::uint64_t tick)
         }
     }
 
-    if (xlat_) {
-        const XlatStats &xs = xlat_->stats();
+    if (xlat_ || replay_) {
+        const XlatStats xs =
+            replay_ ? replay_->mergedStats() : xlat_->stats();
         snap.hasXlat = true;
         snap.xlat.accesses = xs.accesses;
         snap.xlat.l1Hits = xs.l1Hits;
@@ -158,11 +168,19 @@ StateSampler::capture(Snapshot &snap, std::uint64_t tick)
         snap.xlat.spotCorrect = xs.spotCorrect;
         snap.xlat.spotMispredicted = xs.spotMispredicted;
         snap.xlat.spotNoPrediction = xs.spotNoPrediction;
-        if (const SpotEngine *spot = xlat_->spot()) {
-            const SpotStats &ss = spot->stats();
-            snap.xlat.spotFills = ss.fills;
-            snap.xlat.spotCoverage = ss.coverage();
-            snap.xlat.spotAccuracy = ss.accuracy();
+        std::optional<SpotStats> merged;
+        const SpotStats *ss = nullptr;
+        if (replay_) {
+            merged = replay_->mergedSpotStats();
+            if (merged)
+                ss = &*merged;
+        } else if (const SpotEngine *spot = xlat_->spot()) {
+            ss = &spot->stats();
+        }
+        if (ss) {
+            snap.xlat.spotFills = ss->fills;
+            snap.xlat.spotCoverage = ss->coverage();
+            snap.xlat.spotAccuracy = ss->accuracy();
         }
     }
 }

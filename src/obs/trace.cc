@@ -44,7 +44,7 @@ parseTraceCategories(std::string_view spec)
          {"promote", kCatPromote}, {"migrate", kCatMigrate},
          {"tlb", kCatTlb},         {"spot", kCatSpot},
          {"walk", kCatWalk},       {"daemon", kCatDaemon},
-         {"phase", kCatPhase}};
+         {"phase", kCatPhase},     {"replay", kCatReplay}};
     std::uint32_t mask = 0;
     std::size_t pos = 0;
     while (pos <= spec.size()) {
@@ -181,6 +181,7 @@ categoryName(std::uint32_t category)
       case kCatWalk: return "walk";
       case kCatDaemon: return "daemon";
       case kCatPhase: return "phase";
+      case kCatReplay: return "replay";
       default: return "other";
     }
 }

@@ -48,6 +48,7 @@ enum TraceCategory : std::uint32_t
     kCatWalk = 1u << 6,    //!< nested (2-D) page walks
     kCatDaemon = 1u << 7,  //!< policy daemon ticks
     kCatPhase = 1u << 8,   //!< scoped phase-timer spans
+    kCatReplay = 1u << 9,  //!< translation-replay chunk boundaries
     kCatAll = 0xffffffffu,
 };
 
@@ -71,6 +72,7 @@ enum class TraceEventKind : std::uint8_t
     NestedWalk,   //!< args: vpn, refs, cycles
     DaemonTick,   //!< args: now (faults)
     PhaseSpan,    //!< complete event; args: cycles
+    ReplayChunk,  //!< args: chunk, accesses, walks
     NumKinds,
 };
 
@@ -99,6 +101,7 @@ constexpr TraceEventDesc kTraceEventDescs[] = {
     {"nested_walk", kCatWalk, {"vpn", "refs", "cycles"}},
     {"daemon_tick", kCatDaemon, {"now", nullptr, nullptr}},
     {"phase", kCatPhase, {"cycles", nullptr, nullptr}},
+    {"replay_chunk", kCatReplay, {"chunk", "accesses", "walks"}},
 };
 
 static_assert(sizeof(kTraceEventDescs) / sizeof(kTraceEventDescs[0]) ==

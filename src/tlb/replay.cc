@@ -1,0 +1,180 @@
+#include "tlb/replay.hh"
+
+#include "base/logging.hh"
+#include "obs/trace.hh"
+
+namespace contig
+{
+
+ReplayEngine::ReplayEngine(const XlatConfig &cfg, unsigned threads,
+                           const PageTable &pt)
+    : threads_(threads ? threads : 1),
+      chunkPhase_(obs::Phase::bind(obs::MetricRegistry::global(),
+                                   "xlat.chunk"))
+{
+    initShards(cfg, pt, nullptr);
+}
+
+ReplayEngine::ReplayEngine(const XlatConfig &cfg, unsigned threads,
+                           const PageTable &guest_pt,
+                           const VirtualMachine &vm)
+    : threads_(threads ? threads : 1),
+      chunkPhase_(obs::Phase::bind(obs::MetricRegistry::global(),
+                                   "xlat.chunk"))
+{
+    initShards(cfg, guest_pt, &vm);
+}
+
+void
+ReplayEngine::initShards(const XlatConfig &cfg, const PageTable &pt,
+                         const VirtualMachine *vm)
+{
+    // The engine times chunks itself (on the replay thread); shard
+    // phase timers would race on the global summaries when threaded,
+    // and would double-count when not.
+    XlatConfig shard_cfg = cfg;
+    shard_cfg.phaseTimers = false;
+    shards_.reserve(threads_);
+    for (unsigned i = 0; i < threads_; ++i) {
+        if (vm)
+            shards_.push_back(std::make_unique<TranslationSim>(
+                shard_cfg, pt, *vm));
+        else
+            shards_.push_back(
+                std::make_unique<TranslationSim>(shard_cfg, pt));
+    }
+    metricSource_ = obs::MetricSource(
+        obs::MetricRegistry::global(), "xlat.replay",
+        [this](obs::MetricSink &sink) {
+            sink.counter("chunks", chunks_);
+            sink.counter("accesses", accessesDone_);
+            sink.gauge("threads", threads_);
+        });
+    if (threads_ > 1)
+        startWorkers();
+}
+
+void
+ReplayEngine::startWorkers()
+{
+    lanes_.resize(threads_);
+    startBarrier_ = std::make_unique<std::barrier<>>(threads_ + 1);
+    endBarrier_ = std::make_unique<std::barrier<>>(threads_ + 1);
+    workers_.reserve(threads_);
+    for (unsigned i = 0; i < threads_; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ReplayEngine::~ReplayEngine()
+{
+    if (!workers_.empty()) {
+        stop_ = true;
+        startBarrier_->arrive_and_wait();
+        for (std::thread &t : workers_)
+            t.join();
+    }
+}
+
+void
+ReplayEngine::setSegments(const std::vector<Seg> &segs)
+{
+    for (auto &shard : shards_)
+        shard->setSegments(segs);
+}
+
+unsigned
+ReplayEngine::shardOf(Vpn vpn, unsigned threads)
+{
+    // splitmix64 finalizer: adjacent pages spread across shards, and
+    // the partition is a pure function of (vpn, threads).
+    std::uint64_t key = vpn + 0x9E3779B97F4A7C15ull;
+    key = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9ull;
+    key = (key ^ (key >> 27)) * 0x94D049BB133111EBull;
+    key ^= key >> 31;
+    return static_cast<unsigned>(key % threads);
+}
+
+void
+ReplayEngine::workerLoop(unsigned id)
+{
+    std::vector<MemAccess> &mine = lanes_[id];
+    for (;;) {
+        startBarrier_->arrive_and_wait();
+        if (stop_)
+            return;
+        mine.clear();
+        for (std::size_t i = 0; i < chunkN_; ++i)
+            if (shardOf(chunk_[i].va.pageNumber(), threads_) == id)
+                mine.push_back(chunk_[i]);
+        shards_[id]->accessChunk(mine.data(), mine.size());
+        endBarrier_->arrive_and_wait();
+    }
+}
+
+void
+ReplayEngine::replayChunk(const MemAccess *a, std::size_t n)
+{
+    {
+        // Single-shard runs attribute the modelled walk cycles to the
+        // phase as TranslationSim did; threaded runs record wall time
+        // only (shard cycle counters advance concurrently).
+        obs::ScopedPhase timer(
+            chunkPhase_,
+            threads_ == 1 ? &shards_[0]->stats().walkCycles : nullptr);
+        if (threads_ == 1) {
+            shards_[0]->accessChunk(a, n);
+        } else {
+            chunk_ = a;
+            chunkN_ = n;
+            startBarrier_->arrive_and_wait();
+            endBarrier_->arrive_and_wait();
+        }
+    }
+    ++chunks_;
+    accessesDone_ += n;
+    CONTIG_TRACE(obs::TraceEventKind::ReplayChunk, chunks_ - 1, n,
+                 mergedStats().walks);
+}
+
+XlatStats
+ReplayEngine::mergedStats() const
+{
+    XlatStats sum;
+    for (const auto &shard : shards_) {
+        const XlatStats &s = shard->stats();
+        sum.accesses += s.accesses;
+        sum.l1Hits += s.l1Hits;
+        sum.l2Hits += s.l2Hits;
+        sum.walks += s.walks;
+        sum.walkRefs += s.walkRefs;
+        sum.walkCycles += s.walkCycles;
+        sum.exposedCycles += s.exposedCycles;
+        sum.spotCorrect += s.spotCorrect;
+        sum.spotMispredicted += s.spotMispredicted;
+        sum.spotNoPrediction += s.spotNoPrediction;
+        sum.rangeHits += s.rangeHits;
+        sum.segmentHits += s.segmentHits;
+    }
+    return sum;
+}
+
+std::optional<SpotStats>
+ReplayEngine::mergedSpotStats() const
+{
+    if (!shards_[0]->spot())
+        return std::nullopt;
+    SpotStats sum;
+    for (const auto &shard : shards_) {
+        const SpotStats &s = shard->spot()->stats();
+        sum.lookups += s.lookups;
+        sum.correct += s.correct;
+        sum.mispredicted += s.mispredicted;
+        sum.noPrediction += s.noPrediction;
+        sum.fills += s.fills;
+        sum.fillsBlockedByBits += s.fillsBlockedByBits;
+        sum.offsetReplacements += s.offsetReplacements;
+    }
+    return sum;
+}
+
+} // namespace contig

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Batched, sharded translation replay. A ReplayEngine owns
+ * `threads` TranslationSim shards — each with its own private
+ * L1/L2 TLBs, SpOT table, PSC, nested TLB and walk memo — and
+ * partitions every access chunk across them by a hash of the guest
+ * page number.
+ *
+ * Determinism contract:
+ *  - threads == 1 is instruction-identical to feeding every access
+ *    to a single TranslationSim: no worker threads exist, the chunk
+ *    goes straight to shard 0 (tests/tlb/replay_test.cc and the
+ *    fig13/fig14 golden-equivalence test pin this byte-for-byte);
+ *  - threads == N is deterministic for a fixed N: the partition is
+ *    a pure function of the vpn, each shard's private caches see a
+ *    fixed subsequence in stream order, and stats are merged in
+ *    shard order at chunk barriers — reruns produce identical
+ *    merged counters;
+ *  - different N produce different (each valid) cache interleavings,
+ *    like running the trace on N cores with private MMUs.
+ *
+ * The worker protocol is two std::barrier phases per chunk: main
+ * publishes the chunk pointer and arrives; workers filter their
+ * subsequence into a private lane buffer, replay it through their
+ * shard, and arrive at the end barrier; main then owns all shard
+ * state until the next chunk (lock-free stats merge — readers only
+ * run while workers are parked).
+ */
+
+#ifndef CONTIG_TLB_REPLAY_HH
+#define CONTIG_TLB_REPLAY_HH
+
+#include <barrier>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "tlb/translation_sim.hh"
+
+namespace contig
+{
+
+class ReplayEngine
+{
+  public:
+    /** Native: all shards walk `pt`. */
+    ReplayEngine(const XlatConfig &cfg, unsigned threads,
+                 const PageTable &pt);
+
+    /** Virtualized: all shards walk (guest_pt, vm). */
+    ReplayEngine(const XlatConfig &cfg, unsigned threads,
+                 const PageTable &guest_pt, const VirtualMachine &vm);
+
+    ~ReplayEngine();
+
+    ReplayEngine(const ReplayEngine &) = delete;
+    ReplayEngine &operator=(const ReplayEngine &) = delete;
+
+    /** Install the extracted segments on every shard (Rmm/Ds). */
+    void setSegments(const std::vector<Seg> &segs);
+
+    /**
+     * Replay one chunk. threads == 1 feeds shard 0 directly;
+     * otherwise the chunk is fanned out and this call returns after
+     * every worker reached the chunk barrier.
+     */
+    void replayChunk(const MemAccess *a, std::size_t n);
+
+    /** Pipeline stats summed over shards (shard order). */
+    XlatStats mergedStats() const;
+
+    /** SpOT engine stats summed over shards (nullopt if no SpOT). */
+    std::optional<SpotStats> mergedSpotStats() const;
+
+    unsigned threads() const { return threads_; }
+    std::uint64_t chunks() const { return chunks_; }
+    std::uint64_t accesses() const { return accessesDone_; }
+    const TranslationSim &shard(unsigned i) const { return *shards_[i]; }
+
+    /** The shard an access to `vpn` lands on (pure in vpn). */
+    static unsigned shardOf(Vpn vpn, unsigned threads);
+
+  private:
+    void initShards(const XlatConfig &cfg, const PageTable &pt,
+                    const VirtualMachine *vm);
+    void startWorkers();
+    void workerLoop(unsigned id);
+
+    unsigned threads_;
+    std::vector<std::unique_ptr<TranslationSim>> shards_;
+
+    /** Worker machinery (empty when threads_ == 1). */
+    std::vector<std::thread> workers_;
+    std::unique_ptr<std::barrier<>> startBarrier_;
+    std::unique_ptr<std::barrier<>> endBarrier_;
+    /** Per-worker filtered subsequences (stream order preserved). */
+    std::vector<std::vector<MemAccess>> lanes_;
+    /** Chunk handoff; written by main strictly before startBarrier_. */
+    const MemAccess *chunk_ = nullptr;
+    std::size_t chunkN_ = 0;
+    bool stop_ = false;
+
+    std::uint64_t chunks_ = 0;
+    std::uint64_t accessesDone_ = 0;
+    obs::Phase chunkPhase_;
+    obs::MetricSource metricSource_;
+};
+
+} // namespace contig
+
+#endif // CONTIG_TLB_REPLAY_HH

@@ -6,11 +6,33 @@
 namespace contig
 {
 
+namespace
+{
+
+/** Largest power of two <= n (n >= 1). */
+unsigned
+prevPow2(unsigned n)
+{
+    unsigned p = 1;
+    while (p * 2 <= n)
+        p *= 2;
+    return p;
+}
+
+} // namespace
+
 Tlb::Tlb(const TlbConfig &cfg, unsigned page_order)
     : cfg_(cfg), pageOrder_(page_order),
       entries_(cfg.sets * cfg.ways)
 {
     contig_assert(cfg.sets > 0 && cfg.ways > 0, "degenerate TLB");
+    // The set index is tag & (sets - 1): a non-power-of-two set count
+    // would silently alias sets together. Configs are user input, so
+    // reject them cleanly rather than assert.
+    if ((cfg.sets & (cfg.sets - 1)) != 0)
+        fatal("TLB set count must be a power of two, got %u "
+              "(round to %u or %u)",
+              cfg.sets, prevPow2(cfg.sets), prevPow2(cfg.sets) * 2);
 }
 
 Vpn
@@ -22,7 +44,7 @@ Tlb::tagOf(Vpn vpn) const
 unsigned
 Tlb::setOf(Vpn vpn) const
 {
-    return static_cast<unsigned>(tagOf(vpn) % cfg_.sets);
+    return static_cast<unsigned>(tagOf(vpn) & (cfg_.sets - 1));
 }
 
 bool

@@ -73,6 +73,13 @@ struct XlatConfig
     XlatScheme scheme = XlatScheme::Base;
     SpotConfig spot;
     RangeTlbConfig rangeTlb;
+    /**
+     * Record the per-chunk phase timer ("xlat.chunk"). The ReplayEngine
+     * turns this off for its shards when running threaded — the global
+     * phase summaries are not synchronized — and records chunk wall
+     * time itself at the barriers instead.
+     */
+    bool phaseTimers = true;
 };
 
 /**
@@ -99,6 +106,15 @@ class TranslationSim
     /** Simulate one access. */
     void access(const MemAccess &a);
 
+    /**
+     * Simulate a contiguous chunk of accesses. Semantically a loop of
+     * access() — statistics and scheme state evolve identically — but
+     * the scheme/virtualization dispatch is resolved once for the
+     * whole chunk and the phase timer brackets the chunk instead of
+     * every walk. This is the replay engine's inner loop.
+     */
+    void accessChunk(const MemAccess *a, std::size_t n);
+
     const XlatStats &stats() const { return stats_; }
     const Walker &walker() const { return *walker_; }
     const SpotEngine *spot() const { return spot_.get(); }
@@ -115,6 +131,10 @@ class TranslationSim
   private:
     void init();
 
+    /** The monomorphized inner loop (scheme + virtualization fixed). */
+    template <XlatScheme S, bool Virt>
+    void runChunk(const MemAccess *a, std::size_t n);
+
     XlatConfig cfg_;
     TlbHierarchy tlb_;
     std::unique_ptr<Walker> walker_;
@@ -130,7 +150,7 @@ class TranslationSim
     XlatStats stats_;
     /** Exposed translation cycles per L2 miss (walk + scheme effects). */
     Summary l2MissLatency_;
-    obs::Phase walkPhase_;
+    obs::Phase chunkPhase_;
     obs::MetricSource metricSource_;
 };
 

@@ -11,6 +11,8 @@ Walker::Walker(const PageTable &pt, const WalkerConfig &cfg)
     : pt_(pt), cfg_(cfg), psc_(cfg.pscEntries),
       nestedTlb_(cfg.nestedTlbEntries)
 {
+    if (cfg.memoEnabled)
+        memo_ = std::make_unique<WalkMemo>(cfg.memoEntriesLog2);
 }
 
 Walker::Walker(const PageTable &guest_pt, const VirtualMachine &vm,
@@ -18,6 +20,8 @@ Walker::Walker(const PageTable &guest_pt, const VirtualMachine &vm,
     : pt_(guest_pt), vm_(&vm), cfg_(cfg), psc_(cfg.pscEntries),
       nestedTlb_(cfg.nestedTlbEntries)
 {
+    if (cfg.memoEnabled)
+        memo_ = std::make_unique<WalkMemo>(cfg.memoEntriesLog2);
 }
 
 bool
@@ -62,6 +66,27 @@ Walker::flushCaches()
         e.valid = false;
 }
 
+void
+Walker::nestedResolve(Pfn gfn, bool &hit, unsigned &count, Mapping &m)
+{
+    if (memo_) {
+        const std::uint64_t gen = vm_->nestedPageTable().generation();
+        if (const WalkMemo::NestedEntry *e = memo_->findNested(gfn, gen)) {
+            hit = e->hit;
+            count = e->nodeCount;
+            m = e->mapping;
+            return;
+        }
+        vm_->nestedWalk(gfn, nestedScratch_);
+        memo_->fillNested(gfn, gen, nestedScratch_);
+    } else {
+        vm_->nestedWalk(gfn, nestedScratch_);
+    }
+    hit = nestedScratch_.hit;
+    count = static_cast<unsigned>(nestedScratch_.nodeFrames.size());
+    m = nestedScratch_.mapping;
+}
+
 std::optional<Mapping>
 Walker::nestedTranslate(Pfn gfn, unsigned &refs)
 {
@@ -72,19 +97,58 @@ Walker::nestedTranslate(Pfn gfn, unsigned &refs)
         // is predominantly THP-mapped).
         if (cacheLookup(nestedTlb_, gfn >> kHugeOrder)) {
             ++stats_.nestedTlbHits;
-            auto m = vm_->nestedLookup(gfn);
-            return m;
+            // A nested-TLB hit charges no refs; the memo (epoch-
+            // checked) serves the same exact mapping nestedLookup
+            // would descend for.
+            if (memo_) {
+                const std::uint64_t gen =
+                    vm_->nestedPageTable().generation();
+                if (const WalkMemo::NestedEntry *e =
+                        memo_->findNested(gfn, gen)) {
+                    if (!e->hit)
+                        return std::nullopt;
+                    return e->mapping;
+                }
+            }
+            return vm_->nestedLookup(gfn);
         }
     }
-    WalkTrace trace;
-    vm_->nestedWalk(gfn, trace);
-    refs += trace.nodeFrames.size();
-    if (!trace.hit)
+    bool hit = false;
+    unsigned count = 0;
+    Mapping m;
+    nestedResolve(gfn, hit, count, m);
+    refs += count;
+    if (!hit)
         return std::nullopt;
     // Refill the nested TLB with whatever nested leaf was resolved.
     if (cfg_.nestedTlbEnabled)
         cacheFill(nestedTlb_, gfn >> kHugeOrder);
-    return trace.mapping;
+    return m;
+}
+
+Walker::GuestView
+Walker::guestTraversal(Vpn vpn)
+{
+    GuestView view;
+    if (memo_) {
+        const std::uint64_t gen = pt_.generation();
+        if (const WalkMemo::GuestEntry *e = memo_->findGuest(vpn, gen)) {
+            view.frames = e->nodeFrames.data();
+            view.count = e->nodeCount;
+            view.mapping = e->mapping;
+            view.hit = e->hit;
+            return view;
+        }
+        pt_.walk(vpn, guestScratch_);
+        memo_->fillGuest(vpn, gen, guestScratch_);
+    } else {
+        pt_.walk(vpn, guestScratch_);
+    }
+    view.frames = guestScratch_.nodeFrames.data();
+    view.count = static_cast<unsigned>(guestScratch_.nodeFrames.size());
+    view.mapping = guestScratch_.mapping;
+    view.hit = guestScratch_.hit;
+    return view;
 }
 
 WalkResult
@@ -93,11 +157,10 @@ Walker::walk(Vpn vpn)
     WalkResult res;
     ++stats_.walks;
 
-    WalkTrace gtrace;
-    pt_.walk(vpn, gtrace);
+    const GuestView gtrace = guestTraversal(vpn);
 
     // PSC: L4+L3 reads skipped on a hit (tag covers 1 GiB regions).
-    unsigned guest_refs = gtrace.nodeFrames.size();
+    unsigned guest_refs = gtrace.count;
     unsigned skipped = 0;
     if (cfg_.pscEnabled && guest_refs > 2) {
         const std::uint64_t tag = vpn >> 18;
@@ -117,8 +180,8 @@ Walker::walk(Vpn vpn)
     } else {
         // Nested: each remaining guest node read needs a nested
         // translation of the node's gPA plus the node read itself.
-        for (std::size_t i = skipped; i < gtrace.nodeFrames.size(); ++i) {
-            nestedTranslate(gtrace.nodeFrames[i], refs);
+        for (unsigned i = skipped; i < gtrace.count; ++i) {
+            nestedTranslate(gtrace.frames[i], refs);
             refs += 1; // the guest PTE read
         }
     }
@@ -176,6 +239,14 @@ Walker::collectMetrics(obs::MetricSink &sink) const
     sink.counter("psc_hits", stats_.pscHits);
     sink.counter("nested_tlb_hits", stats_.nestedTlbHits);
     sink.counter("nested_tlb_lookups", stats_.nestedTlbLookups);
+    if (memo_) {
+        const WalkMemoStats &ms = memo_->stats();
+        sink.counter("memo.guest_hits", ms.guestHits);
+        sink.counter("memo.guest_misses", ms.guestMisses);
+        sink.counter("memo.nested_hits", ms.nestedHits);
+        sink.counter("memo.nested_misses", ms.nestedMisses);
+        sink.counter("memo.stale_drops", ms.staleDrops);
+    }
 }
 
 } // namespace contig

@@ -18,10 +18,12 @@
 #define CONTIG_TLB_WALKER_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "mm/page_table.hh"
 #include "tlb/tlb.hh"
+#include "tlb/walk_memo.hh"
 
 namespace contig
 {
@@ -40,6 +42,15 @@ struct WalkerConfig
     unsigned nestedTlbEntries = 16;
     bool pscEnabled = true;
     bool nestedTlbEnabled = true;
+    /**
+     * Software traversal memo (tlb/walk_memo.hh): caches page-table
+     * descents keyed by page + table epoch. Pure wall-clock
+     * optimization — modelled refs/cycles/stats are identical on or
+     * off, because the stateful PSC / nested-TLB models still run on
+     * every walk.
+     */
+    bool memoEnabled = true;
+    unsigned memoEntriesLog2 = 12;
 };
 
 /** Result of one modelled walk. */
@@ -92,6 +103,9 @@ class Walker
     bool virtualized() const { return vm_ != nullptr; }
     const WalkerStats &stats() const { return stats_; }
     const WalkerConfig &config() const { return cfg_; }
+    /** Traversal-memo counters (null when the memo is disabled). */
+    const WalkMemoStats *memoStats() const
+    { return memo_ ? &memo_->stats() : nullptr; }
 
     /** Report walk/cache counters into a metric sink. */
     void collectMetrics(obs::MetricSink &sink) const;
@@ -102,6 +116,23 @@ class Walker
   private:
     /** Nested translation of one guest frame, with costing. */
     std::optional<Mapping> nestedTranslate(Pfn gfn, unsigned &refs);
+
+    /**
+     * The guest traversal feeding one walk: a borrowed view over
+     * either a memo entry or the scratch trace.
+     */
+    struct GuestView
+    {
+        const Pfn *frames = nullptr;
+        unsigned count = 0;
+        Mapping mapping;
+        bool hit = false;
+    };
+
+    GuestView guestTraversal(Vpn vpn);
+
+    /** Nested walk of gfn: (hit, node count, exact mapping). */
+    void nestedResolve(Pfn gfn, bool &hit, unsigned &count, Mapping &m);
 
     struct CacheEntry
     {
@@ -123,6 +154,12 @@ class Walker
     /** Nested TLB: gfn -> backed, keyed by gfn (4 KiB grain). */
     std::vector<CacheEntry> nestedTlb_;
     std::uint64_t clock_ = 0;
+
+    /** Traversal memo (null when disabled). */
+    std::unique_ptr<WalkMemo> memo_;
+    /** Reusable walk traces: no per-walk vector allocations. */
+    WalkTrace guestScratch_;
+    WalkTrace nestedScratch_;
 };
 
 } // namespace contig

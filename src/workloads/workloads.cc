@@ -83,6 +83,13 @@ Workload::teardown()
 }
 
 void
+Workload::fillAccesses(Rng &rng, MemAccess *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = nextAccess(rng);
+}
+
+void
 Workload::touchPattern(Process &proc)
 {
     for (std::size_t i = 0; i < regions_.size(); ++i)

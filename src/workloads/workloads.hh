@@ -74,6 +74,15 @@ class Workload
     /** One steady-state memory access. */
     virtual MemAccess nextAccess(Rng &rng) = 0;
 
+    /**
+     * Fill a chunk of steady-state accesses. Semantically exactly
+     * `for (i < n) out[i] = nextAccess(rng)` — the base implementation
+     * is that loop — with the workload virtual dispatch hoisted to
+     * once per chunk. Overrides must produce the identical sequence
+     * (tests/workloads compare against nextAccess element-wise).
+     */
+    virtual void fillAccesses(Rng &rng, MemAccess *out, std::size_t n);
+
     /** Touched (used) footprint in bytes. */
     std::uint64_t footprintBytes() const;
     /** Total reserved (VMA) bytes, >= footprint (slack = bloat source). */

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "core/config.hh"
+#include "mm/kernel.hh"
+#include "tlb/replay.hh"
+#include "virt/vm.hh"
+
+using namespace contig;
+
+namespace
+{
+
+/**
+ * The replay engine's determinism contract (tlb/replay.hh): one shard
+ * is instruction-identical to a plain per-access TranslationSim loop,
+ * chunking and the walk memo never move simulated counters, and a
+ * fixed shard count is deterministic across reruns.
+ */
+struct ReplayTest : public ::testing::Test
+{
+    ReplayTest()
+        : kernel(
+              [] {
+                  KernelConfig cfg;
+                  cfg.phys.bytesPerNode = 256ull << 20;
+                  cfg.phys.numNodes = 1;
+                  return cfg;
+              }(),
+              std::make_unique<DefaultThpPolicy>()),
+          proc(kernel.createProcess("r"))
+    {
+        vma = &proc.mmap(64 * kHugeSize);
+        proc.touchRange(vma->start(), vma->bytes());
+        // Mark the mapping so SpOT is allowed to fill its table.
+        for (Vpn v = vma->start().pageNumber();
+             v < vma->start().pageNumber() + vma->pages(); v += 512)
+            proc.pageTable().setContigBit(v, true);
+    }
+
+    XlatConfig
+    config(XlatScheme scheme)
+    {
+        XlatConfig cfg;
+        cfg.tlb = ScaledDefaults::tlb();
+        cfg.walker = ScaledDefaults::walker();
+        cfg.scheme = scheme;
+        cfg.spot = ScaledDefaults::spot();
+        cfg.rangeTlb = ScaledDefaults::rangeTlb();
+        return cfg;
+    }
+
+    /** A mixed-PC random stream over the touched VMA. */
+    std::vector<MemAccess>
+    trace(std::size_t n, std::uint64_t seed)
+    {
+        Rng rng(seed);
+        std::vector<MemAccess> t(n);
+        for (auto &a : t)
+            a = {0x400000 + (rng.below(8) << 3),
+                 vma->start() + (rng.below(vma->bytes()) & ~7ull)};
+        return t;
+    }
+
+    Kernel kernel;
+    Process &proc;
+    Vma *vma = nullptr;
+};
+
+void
+feed(ReplayEngine &engine, const std::vector<MemAccess> &t,
+     std::size_t chunk)
+{
+    for (std::size_t off = 0; off < t.size(); off += chunk)
+        engine.replayChunk(&t[off], std::min(chunk, t.size() - off));
+}
+
+void
+expectSameStats(const XlatStats &a, const XlatStats &b)
+{
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.l1Hits, b.l1Hits);
+    EXPECT_EQ(a.l2Hits, b.l2Hits);
+    EXPECT_EQ(a.walks, b.walks);
+    EXPECT_EQ(a.walkRefs, b.walkRefs);
+    EXPECT_EQ(a.walkCycles, b.walkCycles);
+    EXPECT_EQ(a.exposedCycles, b.exposedCycles);
+    EXPECT_EQ(a.spotCorrect, b.spotCorrect);
+    EXPECT_EQ(a.spotMispredicted, b.spotMispredicted);
+    EXPECT_EQ(a.spotNoPrediction, b.spotNoPrediction);
+    EXPECT_EQ(a.rangeHits, b.rangeHits);
+    EXPECT_EQ(a.segmentHits, b.segmentHits);
+}
+
+} // namespace
+
+TEST_F(ReplayTest, OneShardMatchesSequentialSimAllSchemes)
+{
+    const auto t = trace(20000, 11);
+    for (XlatScheme scheme : {XlatScheme::Base, XlatScheme::Spot,
+                              XlatScheme::Rmm, XlatScheme::Ds}) {
+        TranslationSim sim(config(scheme), proc.pageTable());
+        ReplayEngine engine(config(scheme), 1, proc.pageTable());
+        if (scheme == XlatScheme::Rmm || scheme == XlatScheme::Ds) {
+            sim.setSegments(extractSegs(proc.pageTable()));
+            engine.setSegments(extractSegs(proc.pageTable()));
+        }
+        for (const MemAccess &a : t)
+            sim.access(a);
+        feed(engine, t, 97); // odd chunk: exercises short tails
+        expectSameStats(engine.mergedStats(), sim.stats());
+        EXPECT_EQ(engine.accesses(), t.size());
+    }
+}
+
+TEST_F(ReplayTest, ChunkSizeNeverMovesCounters)
+{
+    const auto t = trace(20000, 12);
+    ReplayEngine a(config(XlatScheme::Spot), 1, proc.pageTable());
+    ReplayEngine b(config(XlatScheme::Spot), 1, proc.pageTable());
+    feed(a, t, 4096);
+    feed(b, t, 33);
+    expectSameStats(a.mergedStats(), b.mergedStats());
+    EXPECT_GT(a.chunks(), 0u);
+    EXPECT_GT(b.chunks(), a.chunks());
+}
+
+TEST_F(ReplayTest, WalkMemoNeverMovesCounters)
+{
+    const auto t = trace(20000, 13);
+    XlatConfig on = config(XlatScheme::Spot);
+    XlatConfig off = config(XlatScheme::Spot);
+    on.walker.memoEnabled = true;
+    off.walker.memoEnabled = false;
+    ReplayEngine ea(on, 1, proc.pageTable());
+    ReplayEngine eb(off, 1, proc.pageTable());
+    feed(ea, t, 1024);
+    feed(eb, t, 1024);
+    expectSameStats(ea.mergedStats(), eb.mergedStats());
+    // The memo was actually exercised, not just disabled twice.
+    const WalkMemoStats *ms = ea.shard(0).walker().memoStats();
+    ASSERT_NE(ms, nullptr);
+    EXPECT_GT(ms->guestHits + ms->guestMisses, 0u);
+    EXPECT_EQ(eb.shard(0).walker().memoStats(), nullptr);
+}
+
+TEST_F(ReplayTest, MutationEpochKeepsMemoizedReplayFresh)
+{
+    // Kernel-path table mutations bump PageTable::generation(), so a
+    // replay interleaved with mapping changes must keep matching a
+    // memo-off replay (stale memo entries are dropped, not served).
+    const auto t1 = trace(8000, 14);
+    XlatConfig on = config(XlatScheme::Base);
+    XlatConfig off = config(XlatScheme::Base);
+    off.walker.memoEnabled = false;
+    ReplayEngine ea(on, 1, proc.pageTable());
+    ReplayEngine eb(off, 1, proc.pageTable());
+    feed(ea, t1, 512);
+    feed(eb, t1, 512);
+
+    const std::uint64_t gen_before = proc.pageTable().generation();
+    Vma &extra = proc.mmap(4 * kHugeSize);
+    proc.touchRange(extra.start(), extra.bytes());
+    EXPECT_GT(proc.pageTable().generation(), gen_before);
+
+    Rng rng(15);
+    std::vector<MemAccess> t2(8000);
+    for (auto &a : t2)
+        a = {0x400000, extra.start() + (rng.below(extra.bytes()) & ~7ull)};
+    feed(ea, t1, 512); // revisit memoized pages: stale entries drop
+    feed(eb, t1, 512);
+    feed(ea, t2, 512);
+    feed(eb, t2, 512);
+    expectSameStats(ea.mergedStats(), eb.mergedStats());
+    const WalkMemoStats *ms = ea.shard(0).walker().memoStats();
+    ASSERT_NE(ms, nullptr);
+    EXPECT_GT(ms->staleDrops, 0u);
+}
+
+TEST_F(ReplayTest, VirtualizedOneShardMatchesSequentialSim)
+{
+    KernelConfig hcfg;
+    hcfg.phys.bytesPerNode = 256ull << 20;
+    hcfg.phys.numNodes = 1;
+    Kernel host(hcfg, std::make_unique<DefaultThpPolicy>());
+    VmConfig vcfg;
+    vcfg.guestBytesPerNode = 128ull << 20;
+    vcfg.guestNodes = 1;
+    VirtualMachine vm(host, std::make_unique<DefaultThpPolicy>(), vcfg);
+    Process &p = vm.guest().createProcess("g");
+    Vma &gvma = p.mmap(32 * kHugeSize);
+    p.touchRange(gvma.start(), gvma.bytes());
+
+    Rng rng(16);
+    std::vector<MemAccess> t(20000);
+    for (auto &a : t)
+        a = {0x400000 + (rng.below(8) << 3),
+             gvma.start() + (rng.below(gvma.bytes()) & ~7ull)};
+
+    TranslationSim sim(config(XlatScheme::Spot), p.pageTable(), vm);
+    ReplayEngine engine(config(XlatScheme::Spot), 1, p.pageTable(), vm);
+    for (const MemAccess &a : t)
+        sim.access(a);
+    feed(engine, t, 97);
+    expectSameStats(engine.mergedStats(), sim.stats());
+}
+
+TEST_F(ReplayTest, ShardedReplayIsDeterministicAndConserving)
+{
+    const auto t = trace(20000, 17);
+    ReplayEngine a(config(XlatScheme::Spot), 3, proc.pageTable());
+    ReplayEngine b(config(XlatScheme::Spot), 3, proc.pageTable());
+    feed(a, t, 1024);
+    feed(b, t, 1024);
+    expectSameStats(a.mergedStats(), b.mergedStats());
+
+    const XlatStats s = a.mergedStats();
+    EXPECT_EQ(s.accesses, t.size());
+    EXPECT_EQ(s.l1Hits + s.l2Hits + s.walks, s.accesses);
+    EXPECT_EQ(s.spotCorrect + s.spotMispredicted + s.spotNoPrediction,
+              s.walks);
+
+    // Each shard saw exactly its hash-partition subsequence.
+    for (unsigned id = 0; id < 3; ++id) {
+        std::uint64_t expected = 0;
+        for (const MemAccess &m : t)
+            if (ReplayEngine::shardOf(m.va.pageNumber(), 3) == id)
+                ++expected;
+        EXPECT_EQ(a.shard(id).stats().accesses, expected) << "shard "
+                                                          << id;
+    }
+
+    ASSERT_TRUE(a.mergedSpotStats().has_value());
+    ASSERT_TRUE(b.mergedSpotStats().has_value());
+}
+
+TEST_F(ReplayTest, ShardPartitionIsPureAndCoversAllShards)
+{
+    std::vector<std::uint64_t> counts(4, 0);
+    for (Vpn v = 0; v < 4096; ++v) {
+        const unsigned id = ReplayEngine::shardOf(v, 4);
+        ASSERT_LT(id, 4u);
+        EXPECT_EQ(id, ReplayEngine::shardOf(v, 4));
+        ++counts[id];
+    }
+    for (unsigned id = 0; id < 4; ++id)
+        EXPECT_GT(counts[id], 0u) << "shard " << id << " never used";
+    // One shard degenerates to the identity partition.
+    for (Vpn v = 0; v < 64; ++v)
+        EXPECT_EQ(ReplayEngine::shardOf(v, 1), 0u);
+}

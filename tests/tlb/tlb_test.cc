@@ -68,6 +68,28 @@ TEST(Tlb, FlushEmptiesEverything)
         EXPECT_FALSE(tlb.probe(v));
 }
 
+TEST(Tlb, NonPowerOfTwoSetCountIsFatal)
+{
+    // The set index is computed with a mask (tag & (sets - 1)), which
+    // silently aliases sets for non-power-of-two geometries; the
+    // constructor must reject them loudly instead.
+    EXPECT_DEATH(Tlb({3, 4}, 0), "power of two");
+    EXPECT_DEATH(Tlb({12, 2}, kHugeOrder), "power of two");
+}
+
+TEST(Tlb, PowerOfTwoSetCountsUseEverySet)
+{
+    // All power-of-two geometries are accepted, and the mask indexing
+    // spreads consecutive tags across all sets.
+    for (unsigned sets : {1u, 2u, 8u, 64u}) {
+        Tlb tlb({sets, 1}, 0);
+        for (Vpn v = 0; v < sets; ++v)
+            tlb.fill(v);
+        for (Vpn v = 0; v < sets; ++v)
+            EXPECT_TRUE(tlb.probe(v)) << sets << " sets, vpn " << v;
+    }
+}
+
 TEST(TlbHierarchy, L1ThenL2ThenMiss)
 {
     TlbHierarchy h;

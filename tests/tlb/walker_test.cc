@@ -147,6 +147,129 @@ TEST(Walker, NestedTlbCutsRepeatWalks)
     EXPECT_GT(w.stats().nestedTlbHits, 0u);
 }
 
+TEST(Walker, PscLruEvictionRestoresColdRefs)
+{
+    // Three 4 KiB pages in three distinct 1 GiB regions against a
+    // 2-entry PSC: the known-answer ref sequence pins both the hit
+    // accounting and the LRU victim choice.
+    PageTable pt;
+    const Vpn a = 0, b = 1ull << 18, c = 2ull << 18;
+    pt.map(a, 1, 0);
+    pt.map(b, 2, 0);
+    pt.map(c, 3, 0);
+    WalkerConfig cfg = noCaches();
+    cfg.pscEnabled = true;
+    cfg.pscEntries = 2;
+    Walker w(pt, cfg);
+    EXPECT_EQ(w.walk(a).refs, 4u); // cold, fills {a}
+    EXPECT_EQ(w.walk(b).refs, 4u); // cold, fills {a, b}
+    EXPECT_EQ(w.walk(c).refs, 4u); // evicts a (LRU) -> {b, c}
+    EXPECT_EQ(w.walk(a).refs, 4u); // a was evicted; evicts b -> {c, a}
+    EXPECT_EQ(w.walk(c).refs, 2u); // c survived: root+L3 skipped
+    EXPECT_EQ(w.stats().pscHits, 1u);
+}
+
+TEST(Walker, NestedTlbWarmWalkCostsGuestReadsOnly)
+{
+    // 2-D known answer, nested TLB on: once every gPA grain touched
+    // by the walk is cached, a repeat walk pays exactly the 4 guest
+    // node reads — all 5 nested translations hit and charge 0 refs.
+    KernelConfig hcfg;
+    hcfg.phys.bytesPerNode = 256ull << 20;
+    hcfg.phys.numNodes = 1;
+    hcfg.thpEnabled = false;
+    Kernel host(hcfg, std::make_unique<Base4kPolicy>());
+    VmConfig vcfg;
+    vcfg.guestBytesPerNode = 128ull << 20;
+    vcfg.guestNodes = 1;
+    vcfg.guestKernel.thpEnabled = false;
+    VirtualMachine vm(host, std::make_unique<Base4kPolicy>(), vcfg);
+    Process &p = vm.guest().createProcess("g");
+    Vma &vma = p.mmap(1 << 20);
+    p.touch(vma.start());
+
+    WalkerConfig cfg = noCaches();
+    cfg.nestedTlbEnabled = true;
+    cfg.nestedTlbEntries = 16;
+    Walker w(p.pageTable(), vm, cfg);
+    const Vpn vpn = vma.start().pageNumber();
+    ASSERT_TRUE(w.walk(vpn).hit); // cold: fills all grains
+    const std::uint64_t hits_before = w.stats().nestedTlbHits;
+    auto warm = w.walk(vpn);
+    EXPECT_EQ(warm.refs, 4u);
+    EXPECT_EQ(warm.cycles, 4u * cfg.cyclesPerRef);
+    EXPECT_EQ(w.stats().nestedTlbHits, hits_before + 5);
+
+    // PSC on top: root+L3 guest reads skipped too -> 2 refs.
+    WalkerConfig both = cfg;
+    both.pscEnabled = true;
+    Walker w2(p.pageTable(), vm, both);
+    ASSERT_TRUE(w2.walk(vpn).hit);
+    EXPECT_EQ(w2.walk(vpn).refs, 2u);
+}
+
+TEST(Walker, NestedTlbCapacityEvictionLosesCoverage)
+{
+    // Round-robin over 8 huge guest pages (8 distinct 2 MiB gPA
+    // grains): a 1-entry nested TLB must evict on every data grain
+    // switch, so it sees strictly fewer hits / more refs than a
+    // 64-entry TLB over the identical walk sequence.
+    KernelConfig hcfg;
+    hcfg.phys.bytesPerNode = 256ull << 20;
+    hcfg.phys.numNodes = 1;
+    Kernel host(hcfg, std::make_unique<DefaultThpPolicy>());
+    VmConfig vcfg;
+    vcfg.guestBytesPerNode = 128ull << 20;
+    vcfg.guestNodes = 1;
+    VirtualMachine vm(host, std::make_unique<DefaultThpPolicy>(), vcfg);
+    Process &p = vm.guest().createProcess("g");
+    Vma &vma = p.mmap(8 * kHugeSize);
+    p.touchRange(vma.start(), vma.bytes());
+
+    WalkerConfig tiny_cfg = noCaches();
+    tiny_cfg.nestedTlbEnabled = true;
+    tiny_cfg.nestedTlbEntries = 1;
+    WalkerConfig big_cfg = tiny_cfg;
+    big_cfg.nestedTlbEntries = 64;
+    Walker tiny(p.pageTable(), vm, tiny_cfg);
+    Walker big(p.pageTable(), vm, big_cfg);
+    for (int round = 0; round < 3; ++round) {
+        for (std::uint64_t h = 0; h < 8; ++h) {
+            const Vpn vpn = vma.start().pageNumber() + h * 512;
+            tiny.walk(vpn);
+            big.walk(vpn);
+        }
+    }
+    EXPECT_EQ(tiny.stats().nestedTlbLookups,
+              big.stats().nestedTlbLookups);
+    EXPECT_LT(tiny.stats().nestedTlbHits, big.stats().nestedTlbHits);
+    EXPECT_GT(tiny.stats().totalRefs, big.stats().totalRefs);
+    EXPECT_GT(big.stats().nestedTlbHits, 0u);
+}
+
+TEST(Walker, MemoDropsStaleEpochsOnRemap)
+{
+    // The traversal memo must never serve a mapping from before a
+    // table mutation: map/unmap bump PageTable::generation() and the
+    // stale entry is dropped, not returned.
+    PageTable pt;
+    pt.map(5, 100, 0);
+    WalkerConfig cfg = noCaches();
+    cfg.memoEnabled = true;
+    Walker w(pt, cfg);
+    EXPECT_EQ(w.walk(5).mapping.pfn, 100u);
+    EXPECT_EQ(w.walk(5).mapping.pfn, 100u); // served from the memo
+    ASSERT_NE(w.memoStats(), nullptr);
+    EXPECT_EQ(w.memoStats()->guestHits, 1u);
+
+    pt.unmap(5, 0);
+    pt.map(5, 200, 0);
+    auto res = w.walk(5);
+    EXPECT_EQ(res.mapping.pfn, 200u);
+    EXPECT_EQ(res.refs, 4u); // a real re-walk, not a memo hit
+    EXPECT_GE(w.memoStats()->staleDrops, 1u);
+}
+
 TEST(Walker, MissReturnsNoHit)
 {
     PageTable pt;

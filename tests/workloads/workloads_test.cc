@@ -3,6 +3,7 @@
 #include <set>
 
 #include "core/experiment.hh"
+#include "workloads/access_stream.hh"
 #include "workloads/workloads.hh"
 
 using namespace contig;
@@ -103,6 +104,50 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<std::string> &info) {
         return info.param;
     });
+
+TEST(AccessStream, ChunksMatchTheUnchunkedSequence)
+{
+    // Chunk boundaries must never change what is generated: the
+    // stream is element-wise identical to a plain nextAccess loop,
+    // including the short final chunk (1000 % 64 = 40).
+    NativeSystem sys(PolicyKind::Thp, 3);
+    auto w1 = makeWorkload("pagerank", quick(42));
+    auto w2 = makeWorkload("pagerank", quick(42));
+    Process &p1 = sys.kernel().createProcess("a");
+    Process &p2 = sys.kernel().createProcess("b");
+    w1->setup(p1);
+    w2->setup(p2);
+
+    constexpr std::uint64_t kTotal = 1000, kChunk = 64;
+    Rng ref(9);
+    AccessStream stream(*w2, kTotal, 9, kChunk);
+    EXPECT_EQ(stream.chunkAccesses(), kChunk);
+
+    std::uint64_t i = 0, chunks = 0;
+    const MemAccess *chunk = nullptr;
+    while (std::size_t n = stream.next(chunk)) {
+        ++chunks;
+        EXPECT_TRUE(n == kChunk || stream.done()) << "short mid-chunk";
+        for (std::size_t j = 0; j < n; ++j, ++i) {
+            const MemAccess a = w1->nextAccess(ref);
+            EXPECT_EQ(a.pc, chunk[j].pc) << "access " << i;
+            EXPECT_EQ(a.va.value - w1->vmas()[0]->start().value,
+                      chunk[j].va.value - w2->vmas()[0]->start().value)
+                << "access " << i;
+            if (::testing::Test::HasFailure())
+                break;
+        }
+        if (::testing::Test::HasFailure())
+            break;
+    }
+    EXPECT_EQ(i, kTotal);
+    EXPECT_EQ(chunks, (kTotal + kChunk - 1) / kChunk);
+    EXPECT_EQ(stream.produced(), kTotal);
+    EXPECT_TRUE(stream.done());
+    EXPECT_EQ(stream.next(chunk), 0u);
+    w1->teardown();
+    w2->teardown();
+}
 
 TEST(Workloads, FactoryRejectsUnknown)
 {
