@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_mark_threshold.dir/ablate_mark_threshold.cc.o"
+  "CMakeFiles/ablate_mark_threshold.dir/ablate_mark_threshold.cc.o.d"
+  "ablate_mark_threshold"
+  "ablate_mark_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_mark_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_offset_fifo.dir/ablate_offset_fifo.cc.o"
+  "CMakeFiles/ablate_offset_fifo.dir/ablate_offset_fifo.cc.o.d"
+  "ablate_offset_fifo"
+  "ablate_offset_fifo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_offset_fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_offset_fifo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_sorted_list.dir/ablate_sorted_list.cc.o"
+  "CMakeFiles/ablate_sorted_list.dir/ablate_sorted_list.cc.o.d"
+  "ablate_sorted_list"
+  "ablate_sorted_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_sorted_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

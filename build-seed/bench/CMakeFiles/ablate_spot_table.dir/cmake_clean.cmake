@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_spot_table.dir/ablate_spot_table.cc.o"
+  "CMakeFiles/ablate_spot_table.dir/ablate_spot_table.cc.o.d"
+  "ablate_spot_table"
+  "ablate_spot_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_spot_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_5level_paging.dir/ext_5level_paging.cc.o"
+  "CMakeFiles/ext_5level_paging.dir/ext_5level_paging.cc.o.d"
+  "ext_5level_paging"
+  "ext_5level_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_5level_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ca_ranger.dir/ext_ca_ranger.cc.o"
+  "CMakeFiles/ext_ca_ranger.dir/ext_ca_ranger.cc.o.d"
+  "ext_ca_ranger"
+  "ext_ca_ranger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ca_ranger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

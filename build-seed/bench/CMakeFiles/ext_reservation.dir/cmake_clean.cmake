@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_reservation.dir/ext_reservation.cc.o"
+  "CMakeFiles/ext_reservation.dir/ext_reservation.cc.o.d"
+  "ext_reservation"
+  "ext_reservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_shadow_paging.dir/ext_shadow_paging.cc.o"
+  "CMakeFiles/ext_shadow_paging.dir/ext_shadow_paging.cc.o.d"
+  "ext_shadow_paging"
+  "ext_shadow_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_shadow_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_shadow_paging.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01b_eager_fragmentation.dir/fig01b_eager_fragmentation.cc.o"
+  "CMakeFiles/fig01b_eager_fragmentation.dir/fig01b_eager_fragmentation.cc.o.d"
+  "fig01b_eager_fragmentation"
+  "fig01b_eager_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01b_eager_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01c_ranger_delay.dir/fig01c_ranger_delay.cc.o"
+  "CMakeFiles/fig01c_ranger_delay.dir/fig01c_ranger_delay.cc.o.d"
+  "fig01c_ranger_delay"
+  "fig01c_ranger_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01c_ranger_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

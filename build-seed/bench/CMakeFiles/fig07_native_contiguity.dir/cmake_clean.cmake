@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_native_contiguity.dir/fig07_native_contiguity.cc.o"
+  "CMakeFiles/fig07_native_contiguity.dir/fig07_native_contiguity.cc.o.d"
+  "fig07_native_contiguity"
+  "fig07_native_contiguity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_native_contiguity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_fragmentation.dir/fig08_fragmentation.cc.o"
+  "CMakeFiles/fig08_fragmentation.dir/fig08_fragmentation.cc.o.d"
+  "fig08_fragmentation"
+  "fig08_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

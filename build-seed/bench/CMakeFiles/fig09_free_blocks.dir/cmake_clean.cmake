@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_free_blocks.dir/fig09_free_blocks.cc.o"
+  "CMakeFiles/fig09_free_blocks.dir/fig09_free_blocks.cc.o.d"
+  "fig09_free_blocks"
+  "fig09_free_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_free_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_multiprogrammed.dir/fig10_multiprogrammed.cc.o"
+  "CMakeFiles/fig10_multiprogrammed.dir/fig10_multiprogrammed.cc.o.d"
+  "fig10_multiprogrammed"
+  "fig10_multiprogrammed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_multiprogrammed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_sw_overhead.dir/fig11_sw_overhead.cc.o"
+  "CMakeFiles/fig11_sw_overhead.dir/fig11_sw_overhead.cc.o.d"
+  "fig11_sw_overhead"
+  "fig11_sw_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sw_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_virt_contiguity.dir/fig12_virt_contiguity.cc.o"
+  "CMakeFiles/fig12_virt_contiguity.dir/fig12_virt_contiguity.cc.o.d"
+  "fig12_virt_contiguity"
+  "fig12_virt_contiguity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_virt_contiguity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_translation_overhead.dir/fig13_translation_overhead.cc.o"
+  "CMakeFiles/fig13_translation_overhead.dir/fig13_translation_overhead.cc.o.d"
+  "fig13_translation_overhead"
+  "fig13_translation_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_translation_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_spot_breakdown.dir/fig14_spot_breakdown.cc.o"
+  "CMakeFiles/fig14_spot_breakdown.dir/fig14_spot_breakdown.cc.o.d"
+  "fig14_spot_breakdown"
+  "fig14_spot_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_spot_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_alloc_path.dir/micro_alloc_path.cc.o"
+  "CMakeFiles/micro_alloc_path.dir/micro_alloc_path.cc.o.d"
+  "micro_alloc_path"
+  "micro_alloc_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_alloc_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

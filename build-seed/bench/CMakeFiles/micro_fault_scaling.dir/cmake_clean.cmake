@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fault_scaling.dir/micro_fault_scaling.cc.o"
+  "CMakeFiles/micro_fault_scaling.dir/micro_fault_scaling.cc.o.d"
+  "micro_fault_scaling"
+  "micro_fault_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fault_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

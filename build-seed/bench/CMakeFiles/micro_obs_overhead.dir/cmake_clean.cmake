@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_obs_overhead.dir/micro_obs_overhead.cc.o"
+  "CMakeFiles/micro_obs_overhead.dir/micro_obs_overhead.cc.o.d"
+  "micro_obs_overhead"
+  "micro_obs_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_obs_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tlb_spot.dir/micro_tlb_spot.cc.o"
+  "CMakeFiles/micro_tlb_spot.dir/micro_tlb_spot.cc.o.d"
+  "micro_tlb_spot"
+  "micro_tlb_spot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tlb_spot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_ranges_anchors.dir/table1_ranges_anchors.cc.o"
+  "CMakeFiles/table1_ranges_anchors.dir/table1_ranges_anchors.cc.o.d"
+  "table1_ranges_anchors"
+  "table1_ranges_anchors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ranges_anchors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

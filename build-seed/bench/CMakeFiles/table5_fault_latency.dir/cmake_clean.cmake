@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_fault_latency.dir/table5_fault_latency.cc.o"
+  "CMakeFiles/table5_fault_latency.dir/table5_fault_latency.cc.o.d"
+  "table5_fault_latency"
+  "table5_fault_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_fault_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

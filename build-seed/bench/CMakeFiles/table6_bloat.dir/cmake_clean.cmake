@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_bloat.dir/table6_bloat.cc.o"
+  "CMakeFiles/table6_bloat.dir/table6_bloat.cc.o.d"
+  "table6_bloat"
+  "table6_bloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_bloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

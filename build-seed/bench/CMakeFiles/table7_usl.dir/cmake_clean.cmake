@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_usl.dir/table7_usl.cc.o"
+  "CMakeFiles/table7_usl.dir/table7_usl.cc.o.d"
+  "table7_usl"
+  "table7_usl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_usl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-seed/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(check_bench_json "/root/.pyenv/shims/python3" "/root/repo/scripts/check_bench_json.py" "/root/repo/build-seed/bench/fig09_free_blocks")
+set_tests_properties(check_bench_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;49;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(timeline_smoke "/root/.pyenv/shims/python3" "/root/repo/scripts/timeline_smoke.py" "/root/repo/build-seed/bench/fig09_free_blocks" "/root/repo/build-seed/tools/contig_inspect" "/root/repo/bench/baselines/BENCH_fig09_free_blocks.json")
+set_tests_properties(timeline_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;56;add_test;/root/repo/bench/CMakeLists.txt;0;")

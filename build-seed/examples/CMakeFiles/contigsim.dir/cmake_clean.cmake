@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contigsim.dir/contigsim.cpp.o"
+  "CMakeFiles/contigsim.dir/contigsim.cpp.o.d"
+  "contigsim"
+  "contigsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contigsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

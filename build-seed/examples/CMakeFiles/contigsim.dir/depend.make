@@ -1,0 +1,2 @@
+# Empty dependencies file for contigsim.
+# This may be replaced when dependencies are built.

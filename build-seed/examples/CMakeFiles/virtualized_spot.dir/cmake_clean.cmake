@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtualized_spot.dir/virtualized_spot.cpp.o"
+  "CMakeFiles/virtualized_spot.dir/virtualized_spot.cpp.o.d"
+  "virtualized_spot"
+  "virtualized_spot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtualized_spot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/json.cc" "src/CMakeFiles/contig.dir/base/json.cc.o" "gcc" "src/CMakeFiles/contig.dir/base/json.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/contig.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/contig.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/rng.cc" "src/CMakeFiles/contig.dir/base/rng.cc.o" "gcc" "src/CMakeFiles/contig.dir/base/rng.cc.o.d"
+  "/root/repo/src/base/stats.cc" "src/CMakeFiles/contig.dir/base/stats.cc.o" "gcc" "src/CMakeFiles/contig.dir/base/stats.cc.o.d"
+  "/root/repo/src/contig/analysis.cc" "src/CMakeFiles/contig.dir/contig/analysis.cc.o" "gcc" "src/CMakeFiles/contig.dir/contig/analysis.cc.o.d"
+  "/root/repo/src/core/bench_io.cc" "src/CMakeFiles/contig.dir/core/bench_io.cc.o" "gcc" "src/CMakeFiles/contig.dir/core/bench_io.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/contig.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/contig.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/parallel.cc" "src/CMakeFiles/contig.dir/core/parallel.cc.o" "gcc" "src/CMakeFiles/contig.dir/core/parallel.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/contig.dir/core/report.cc.o" "gcc" "src/CMakeFiles/contig.dir/core/report.cc.o.d"
+  "/root/repo/src/mm/address_space.cc" "src/CMakeFiles/contig.dir/mm/address_space.cc.o" "gcc" "src/CMakeFiles/contig.dir/mm/address_space.cc.o.d"
+  "/root/repo/src/mm/fault_engine.cc" "src/CMakeFiles/contig.dir/mm/fault_engine.cc.o" "gcc" "src/CMakeFiles/contig.dir/mm/fault_engine.cc.o.d"
+  "/root/repo/src/mm/kernel.cc" "src/CMakeFiles/contig.dir/mm/kernel.cc.o" "gcc" "src/CMakeFiles/contig.dir/mm/kernel.cc.o.d"
+  "/root/repo/src/mm/migrate.cc" "src/CMakeFiles/contig.dir/mm/migrate.cc.o" "gcc" "src/CMakeFiles/contig.dir/mm/migrate.cc.o.d"
+  "/root/repo/src/mm/page_cache.cc" "src/CMakeFiles/contig.dir/mm/page_cache.cc.o" "gcc" "src/CMakeFiles/contig.dir/mm/page_cache.cc.o.d"
+  "/root/repo/src/mm/page_table.cc" "src/CMakeFiles/contig.dir/mm/page_table.cc.o" "gcc" "src/CMakeFiles/contig.dir/mm/page_table.cc.o.d"
+  "/root/repo/src/mm/policy.cc" "src/CMakeFiles/contig.dir/mm/policy.cc.o" "gcc" "src/CMakeFiles/contig.dir/mm/policy.cc.o.d"
+  "/root/repo/src/mm/process.cc" "src/CMakeFiles/contig.dir/mm/process.cc.o" "gcc" "src/CMakeFiles/contig.dir/mm/process.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "src/CMakeFiles/contig.dir/obs/metrics.cc.o" "gcc" "src/CMakeFiles/contig.dir/obs/metrics.cc.o.d"
+  "/root/repo/src/obs/observatory.cc" "src/CMakeFiles/contig.dir/obs/observatory.cc.o" "gcc" "src/CMakeFiles/contig.dir/obs/observatory.cc.o.d"
+  "/root/repo/src/obs/phase.cc" "src/CMakeFiles/contig.dir/obs/phase.cc.o" "gcc" "src/CMakeFiles/contig.dir/obs/phase.cc.o.d"
+  "/root/repo/src/obs/snapshot.cc" "src/CMakeFiles/contig.dir/obs/snapshot.cc.o" "gcc" "src/CMakeFiles/contig.dir/obs/snapshot.cc.o.d"
+  "/root/repo/src/obs/trace.cc" "src/CMakeFiles/contig.dir/obs/trace.cc.o" "gcc" "src/CMakeFiles/contig.dir/obs/trace.cc.o.d"
+  "/root/repo/src/perfmodel/model.cc" "src/CMakeFiles/contig.dir/perfmodel/model.cc.o" "gcc" "src/CMakeFiles/contig.dir/perfmodel/model.cc.o.d"
+  "/root/repo/src/phys/buddy.cc" "src/CMakeFiles/contig.dir/phys/buddy.cc.o" "gcc" "src/CMakeFiles/contig.dir/phys/buddy.cc.o.d"
+  "/root/repo/src/phys/contiguity_map.cc" "src/CMakeFiles/contig.dir/phys/contiguity_map.cc.o" "gcc" "src/CMakeFiles/contig.dir/phys/contiguity_map.cc.o.d"
+  "/root/repo/src/phys/phys_mem.cc" "src/CMakeFiles/contig.dir/phys/phys_mem.cc.o" "gcc" "src/CMakeFiles/contig.dir/phys/phys_mem.cc.o.d"
+  "/root/repo/src/phys/zone.cc" "src/CMakeFiles/contig.dir/phys/zone.cc.o" "gcc" "src/CMakeFiles/contig.dir/phys/zone.cc.o.d"
+  "/root/repo/src/policies/ca_paging.cc" "src/CMakeFiles/contig.dir/policies/ca_paging.cc.o" "gcc" "src/CMakeFiles/contig.dir/policies/ca_paging.cc.o.d"
+  "/root/repo/src/policies/ca_ranger.cc" "src/CMakeFiles/contig.dir/policies/ca_ranger.cc.o" "gcc" "src/CMakeFiles/contig.dir/policies/ca_ranger.cc.o.d"
+  "/root/repo/src/policies/ca_reserve.cc" "src/CMakeFiles/contig.dir/policies/ca_reserve.cc.o" "gcc" "src/CMakeFiles/contig.dir/policies/ca_reserve.cc.o.d"
+  "/root/repo/src/policies/eager.cc" "src/CMakeFiles/contig.dir/policies/eager.cc.o" "gcc" "src/CMakeFiles/contig.dir/policies/eager.cc.o.d"
+  "/root/repo/src/policies/ideal.cc" "src/CMakeFiles/contig.dir/policies/ideal.cc.o" "gcc" "src/CMakeFiles/contig.dir/policies/ideal.cc.o.d"
+  "/root/repo/src/policies/ingens.cc" "src/CMakeFiles/contig.dir/policies/ingens.cc.o" "gcc" "src/CMakeFiles/contig.dir/policies/ingens.cc.o.d"
+  "/root/repo/src/policies/ranger.cc" "src/CMakeFiles/contig.dir/policies/ranger.cc.o" "gcc" "src/CMakeFiles/contig.dir/policies/ranger.cc.o.d"
+  "/root/repo/src/ranges/ranges.cc" "src/CMakeFiles/contig.dir/ranges/ranges.cc.o" "gcc" "src/CMakeFiles/contig.dir/ranges/ranges.cc.o.d"
+  "/root/repo/src/spot/spot.cc" "src/CMakeFiles/contig.dir/spot/spot.cc.o" "gcc" "src/CMakeFiles/contig.dir/spot/spot.cc.o.d"
+  "/root/repo/src/tlb/tlb.cc" "src/CMakeFiles/contig.dir/tlb/tlb.cc.o" "gcc" "src/CMakeFiles/contig.dir/tlb/tlb.cc.o.d"
+  "/root/repo/src/tlb/translation_sim.cc" "src/CMakeFiles/contig.dir/tlb/translation_sim.cc.o" "gcc" "src/CMakeFiles/contig.dir/tlb/translation_sim.cc.o.d"
+  "/root/repo/src/tlb/walker.cc" "src/CMakeFiles/contig.dir/tlb/walker.cc.o" "gcc" "src/CMakeFiles/contig.dir/tlb/walker.cc.o.d"
+  "/root/repo/src/virt/vm.cc" "src/CMakeFiles/contig.dir/virt/vm.cc.o" "gcc" "src/CMakeFiles/contig.dir/virt/vm.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/CMakeFiles/contig.dir/workloads/workloads.cc.o" "gcc" "src/CMakeFiles/contig.dir/workloads/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

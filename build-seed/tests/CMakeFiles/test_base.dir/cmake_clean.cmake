@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base.dir/base/json_test.cc.o"
+  "CMakeFiles/test_base.dir/base/json_test.cc.o.d"
+  "CMakeFiles/test_base.dir/base/rng_test.cc.o"
+  "CMakeFiles/test_base.dir/base/rng_test.cc.o.d"
+  "CMakeFiles/test_base.dir/base/stats_test.cc.o"
+  "CMakeFiles/test_base.dir/base/stats_test.cc.o.d"
+  "CMakeFiles/test_base.dir/base/types_test.cc.o"
+  "CMakeFiles/test_base.dir/base/types_test.cc.o.d"
+  "test_base"
+  "test_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concurrency.dir/mm/concurrency_test.cc.o"
+  "CMakeFiles/test_concurrency.dir/mm/concurrency_test.cc.o.d"
+  "test_concurrency"
+  "test_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contig.dir/contig/analysis_test.cc.o"
+  "CMakeFiles/test_contig.dir/contig/analysis_test.cc.o.d"
+  "test_contig"
+  "test_contig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/core/integration_test.cc.o"
+  "CMakeFiles/test_integration.dir/core/integration_test.cc.o.d"
+  "CMakeFiles/test_integration.dir/core/report_test.cc.o"
+  "CMakeFiles/test_integration.dir/core/report_test.cc.o.d"
+  "test_integration"
+  "test_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mm/address_space_test.cc" "tests/CMakeFiles/test_mm.dir/mm/address_space_test.cc.o" "gcc" "tests/CMakeFiles/test_mm.dir/mm/address_space_test.cc.o.d"
+  "/root/repo/tests/mm/fault_engine_test.cc" "tests/CMakeFiles/test_mm.dir/mm/fault_engine_test.cc.o" "gcc" "tests/CMakeFiles/test_mm.dir/mm/fault_engine_test.cc.o.d"
+  "/root/repo/tests/mm/kernel_test.cc" "tests/CMakeFiles/test_mm.dir/mm/kernel_test.cc.o" "gcc" "tests/CMakeFiles/test_mm.dir/mm/kernel_test.cc.o.d"
+  "/root/repo/tests/mm/mm_property_test.cc" "tests/CMakeFiles/test_mm.dir/mm/mm_property_test.cc.o" "gcc" "tests/CMakeFiles/test_mm.dir/mm/mm_property_test.cc.o.d"
+  "/root/repo/tests/mm/page_cache_test.cc" "tests/CMakeFiles/test_mm.dir/mm/page_cache_test.cc.o" "gcc" "tests/CMakeFiles/test_mm.dir/mm/page_cache_test.cc.o.d"
+  "/root/repo/tests/mm/page_table_test.cc" "tests/CMakeFiles/test_mm.dir/mm/page_table_test.cc.o" "gcc" "tests/CMakeFiles/test_mm.dir/mm/page_table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-seed/src/CMakeFiles/contig.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mm.dir/mm/address_space_test.cc.o"
+  "CMakeFiles/test_mm.dir/mm/address_space_test.cc.o.d"
+  "CMakeFiles/test_mm.dir/mm/fault_engine_test.cc.o"
+  "CMakeFiles/test_mm.dir/mm/fault_engine_test.cc.o.d"
+  "CMakeFiles/test_mm.dir/mm/kernel_test.cc.o"
+  "CMakeFiles/test_mm.dir/mm/kernel_test.cc.o.d"
+  "CMakeFiles/test_mm.dir/mm/mm_property_test.cc.o"
+  "CMakeFiles/test_mm.dir/mm/mm_property_test.cc.o.d"
+  "CMakeFiles/test_mm.dir/mm/page_cache_test.cc.o"
+  "CMakeFiles/test_mm.dir/mm/page_cache_test.cc.o.d"
+  "CMakeFiles/test_mm.dir/mm/page_table_test.cc.o"
+  "CMakeFiles/test_mm.dir/mm/page_table_test.cc.o.d"
+  "test_mm"
+  "test_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

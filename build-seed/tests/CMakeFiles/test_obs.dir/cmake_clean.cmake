@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obs.dir/obs/metrics_test.cc.o"
+  "CMakeFiles/test_obs.dir/obs/metrics_test.cc.o.d"
+  "CMakeFiles/test_obs.dir/obs/observatory_test.cc.o"
+  "CMakeFiles/test_obs.dir/obs/observatory_test.cc.o.d"
+  "CMakeFiles/test_obs.dir/obs/trace_test.cc.o"
+  "CMakeFiles/test_obs.dir/obs/trace_test.cc.o.d"
+  "test_obs"
+  "test_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

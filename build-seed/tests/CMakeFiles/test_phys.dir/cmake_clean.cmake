@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phys.dir/phys/buddy_property_test.cc.o"
+  "CMakeFiles/test_phys.dir/phys/buddy_property_test.cc.o.d"
+  "CMakeFiles/test_phys.dir/phys/buddy_test.cc.o"
+  "CMakeFiles/test_phys.dir/phys/buddy_test.cc.o.d"
+  "CMakeFiles/test_phys.dir/phys/contiguity_map_test.cc.o"
+  "CMakeFiles/test_phys.dir/phys/contiguity_map_test.cc.o.d"
+  "CMakeFiles/test_phys.dir/phys/phys_mem_test.cc.o"
+  "CMakeFiles/test_phys.dir/phys/phys_mem_test.cc.o.d"
+  "test_phys"
+  "test_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

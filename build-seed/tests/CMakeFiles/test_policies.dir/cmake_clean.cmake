@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policies.dir/policies/baselines_test.cc.o"
+  "CMakeFiles/test_policies.dir/policies/baselines_test.cc.o.d"
+  "CMakeFiles/test_policies.dir/policies/ca_paging_test.cc.o"
+  "CMakeFiles/test_policies.dir/policies/ca_paging_test.cc.o.d"
+  "CMakeFiles/test_policies.dir/policies/extensions_test.cc.o"
+  "CMakeFiles/test_policies.dir/policies/extensions_test.cc.o.d"
+  "test_policies"
+  "test_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

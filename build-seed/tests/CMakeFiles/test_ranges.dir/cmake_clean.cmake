@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ranges.dir/ranges/ranges_test.cc.o"
+  "CMakeFiles/test_ranges.dir/ranges/ranges_test.cc.o.d"
+  "test_ranges"
+  "test_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spot.dir/spot/spot_test.cc.o"
+  "CMakeFiles/test_spot.dir/spot/spot_test.cc.o.d"
+  "test_spot"
+  "test_spot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlb.dir/tlb/tlb_test.cc.o"
+  "CMakeFiles/test_tlb.dir/tlb/tlb_test.cc.o.d"
+  "CMakeFiles/test_tlb.dir/tlb/translation_sim_test.cc.o"
+  "CMakeFiles/test_tlb.dir/tlb/translation_sim_test.cc.o.d"
+  "CMakeFiles/test_tlb.dir/tlb/walker_test.cc.o"
+  "CMakeFiles/test_tlb.dir/tlb/walker_test.cc.o.d"
+  "test_tlb"
+  "test_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

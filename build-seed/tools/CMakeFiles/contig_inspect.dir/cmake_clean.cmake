@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contig_inspect.dir/contig_inspect.cc.o"
+  "CMakeFiles/contig_inspect.dir/contig_inspect.cc.o.d"
+  "contig_inspect"
+  "contig_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contig_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
