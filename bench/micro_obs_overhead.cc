@@ -20,7 +20,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <mutex>
+
+#include "base/lock_stats.hh"
 #include "base/stats.hh"
+#include "base/sync.hh"
 #include "core/experiment.hh"
 #include "obs/metrics.hh"
 #include "obs/observatory.hh"
@@ -157,6 +161,44 @@ BM_SnapshotCapture(benchmark::State &state)
     }
 }
 
+/**
+ * The lock-stats tax, uncontended path. Bare: a SpinLock with no
+ * site bound — with the accounting compiled in this pays exactly one
+ * null-check branch after the exchange, which is the shipping
+ * default (`micro_obs_overhead` gates this against BM_SpinLockBare's
+ * committed baseline).
+ */
+void
+BM_SpinLockBare(benchmark::State &state)
+{
+    SpinLock lock;
+    std::uint64_t x = 1;
+    for (auto _ : state) {
+        std::lock_guard<SpinLock> g(lock);
+        x = step(x);
+        benchmark::DoNotOptimize(x);
+    }
+}
+
+/** Site bound (--lock-stats on): adds one relaxed striped add. */
+void
+BM_SpinLockInstrumented(benchmark::State &state)
+{
+    LockSite &site =
+        LockStatsRegistry::global().site("bench.spinlock");
+    site.reset();
+    SpinLock lock;
+    lock.bindStats(&site);
+    std::uint64_t x = 1;
+    for (auto _ : state) {
+        std::lock_guard<SpinLock> g(lock);
+        x = step(x);
+        benchmark::DoNotOptimize(x);
+    }
+    benchmark::DoNotOptimize(site.totals().acquisitions);
+    site.reset();
+}
+
 /** Delta-encoding one snapshot against its predecessor. */
 void
 BM_DeltaEncode(benchmark::State &state)
@@ -188,4 +230,6 @@ BENCHMARK(BM_RegistrySnapshot);
 BENCHMARK(BM_SamplerDetached);
 BENCHMARK(BM_SamplerIdle);
 BENCHMARK(BM_SnapshotCapture);
+BENCHMARK(BM_SpinLockBare);
+BENCHMARK(BM_SpinLockInstrumented);
 BENCHMARK(BM_DeltaEncode);

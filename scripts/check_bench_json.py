@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
 """Validate a bench binary's --json output against the documented schema.
 
-Usage: check_bench_json.py <bench-binary> [extra args...]
+Usage: check_bench_json.py [--expect-lock-stats] [--expect-scaling]
+                           <bench-binary> [extra args...]
        check_bench_json.py --timeline-file <timeline.jsonl>
 
 Runs the bench with --json into a temp file and checks the document is
 valid JSON of shape {schema_version, bench, config, rows, metrics}:
-  - "schema_version" is an integer (currently 2),
+  - "schema_version" is an integer (currently 3),
   - "bench" is a non-empty string,
   - "config" is an object with the scaled-machine geometry keys and a
     "run" reproducibility object (RNG seeds, kernel knobs),
@@ -15,6 +16,16 @@ valid JSON of shape {schema_version, bench, config, rows, metrics}:
   - "metrics" is a non-empty object of MetricRegistry samples
     (counters/gauges as numbers, summaries as {count, sum, min, max,
     mean}, histograms as {log2_buckets: [...]}).
+
+Schema v3 additions are validated whenever present:
+  - "metrics" keys of the form lock.<site>.<leaf> must use exactly the
+    leaves {acquisitions, contended, retries, spin_us} and be numeric,
+  - the derived "scaling" section must follow the documented shape
+    ({parallel: {...}, xlat: {...}, locks: {top_contended: [...]}},
+    every sub-section optional but well-formed when emitted).
+--expect-lock-stats / --expect-scaling turn presence of lock.* metrics
+and of a "scaling" section into hard requirements (used by the ctest
+that runs a bench under --lock-stats).
 
 With --timeline-file it instead validates an observatory timeline: one
 JSON snapshot record per line, per-stream strictly-increasing seq and
@@ -34,6 +45,106 @@ from pathlib import Path
 def fail(msg):
     print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+LOCK_LEAVES = {"acquisitions", "contended", "retries", "spin_us"}
+
+
+def check_lock_metrics(metrics):
+    """Validate lock.<site>.<leaf> keys; return the site names seen."""
+    sites = {}
+    for name, value in metrics.items():
+        if not name.startswith("lock."):
+            continue
+        body = name[len("lock."):]
+        site, dot, leaf = body.rpartition(".")
+        if not dot or not site:
+            fail(f"lock metric {name!r} is not of the form "
+                 f"lock.<site>.<leaf>")
+        if leaf not in LOCK_LEAVES:
+            fail(f"lock metric {name!r} has unknown leaf {leaf!r} "
+                 f"(expected one of {sorted(LOCK_LEAVES)})")
+        if not isinstance(value, (int, float)):
+            fail(f"lock metric {name!r} is not numeric: {value!r}")
+        sites.setdefault(site, set()).add(leaf)
+    for site, leaves in sites.items():
+        missing = LOCK_LEAVES - leaves
+        if missing:
+            fail(f"lock site {site!r} missing leaves {sorted(missing)}")
+    return sites
+
+
+def check_numeric_list(where, value):
+    if not isinstance(value, list) or not value:
+        fail(f"'{where}' must be a non-empty list")
+    if not all(isinstance(v, (int, float)) for v in value):
+        fail(f"'{where}' has non-numeric entries")
+
+
+def check_scaling(scaling):
+    """Validate the derived 'scaling' report section (schema v3)."""
+    if not isinstance(scaling, dict) or not scaling:
+        fail("'scaling' must be a non-empty object")
+    unknown = set(scaling) - {"parallel", "xlat", "locks"}
+    if unknown:
+        fail(f"'scaling' has unknown sub-sections {sorted(unknown)}")
+
+    if "parallel" in scaling:
+        par = scaling["parallel"]
+        if not isinstance(par, dict):
+            fail("'scaling.parallel' must be an object")
+        for key in ("workers", "wall_us", "busy_us_total",
+                    "worker_busy_us", "achieved_speedup",
+                    "serial_fraction"):
+            if key not in par:
+                fail(f"'scaling.parallel' missing {key!r}")
+        check_numeric_list("scaling.parallel.worker_busy_us",
+                           par["worker_busy_us"])
+        if len(par["worker_busy_us"]) != par["workers"]:
+            fail("'scaling.parallel.worker_busy_us' length != workers")
+        if not 0.0 <= par["serial_fraction"] <= 1.0:
+            fail(f"'scaling.parallel.serial_fraction' out of [0,1]: "
+                 f"{par['serial_fraction']}")
+
+    if "xlat" in scaling:
+        xlat = scaling["xlat"]
+        if not isinstance(xlat, dict):
+            fail("'scaling.xlat' must be an object")
+        for key in ("shards", "shard_accesses", "shard_busy_us",
+                    "shard_stall_us", "shard_wait_us", "imbalance"):
+            if key not in xlat:
+                fail(f"'scaling.xlat' missing {key!r}")
+        for key in ("shard_accesses", "shard_busy_us",
+                    "shard_stall_us", "shard_wait_us"):
+            check_numeric_list(f"scaling.xlat.{key}", xlat[key])
+            if len(xlat[key]) != xlat["shards"]:
+                fail(f"'scaling.xlat.{key}' length != shards")
+
+    if "locks" in scaling:
+        locks = scaling["locks"]
+        if not isinstance(locks, dict):
+            fail("'scaling.locks' must be an object")
+        for key in ("sites", "top_contended"):
+            if key not in locks:
+                fail(f"'scaling.locks' missing {key!r}")
+        top = locks["top_contended"]
+        if not isinstance(top, list) or len(top) > 5:
+            fail("'scaling.locks.top_contended' must be a list of "
+                 "at most 5 entries")
+        for i, entry in enumerate(top):
+            if not isinstance(entry, dict):
+                fail(f"'scaling.locks.top_contended[{i}]' is not an "
+                     f"object")
+            for key in ("site", "acquisitions", "contended",
+                        "retries", "spin_us"):
+                if key not in entry:
+                    fail(f"'scaling.locks.top_contended[{i}]' "
+                         f"missing {key!r}")
+        # The ranking invariant: sorted by contended, descending.
+        contended = [e["contended"] for e in top]
+        if contended != sorted(contended, reverse=True):
+            fail("'scaling.locks.top_contended' not sorted by "
+                 "contended count")
 
 
 def check_metric(name, value):
@@ -99,21 +210,31 @@ def check_timeline(path):
 
 
 def main():
-    if len(sys.argv) < 2:
-        fail("usage: check_bench_json.py <bench-binary> [args...] | "
+    argv = sys.argv[1:]
+    expect_lock_stats = False
+    expect_scaling = False
+    while argv and argv[0] in ("--expect-lock-stats", "--expect-scaling"):
+        if argv[0] == "--expect-lock-stats":
+            expect_lock_stats = True
+        else:
+            expect_scaling = True
+        argv = argv[1:]
+    if not argv:
+        fail("usage: check_bench_json.py [--expect-lock-stats] "
+             "[--expect-scaling] <bench-binary> [args...] | "
              "--timeline-file <timeline.jsonl>")
-    if sys.argv[1] == "--timeline-file":
-        if len(sys.argv) != 3:
+    if argv[0] == "--timeline-file":
+        if len(argv) != 2:
             fail("--timeline-file takes exactly one path")
-        check_timeline(sys.argv[2])
+        check_timeline(argv[1])
         return
-    bench = Path(sys.argv[1])
+    bench = Path(argv[0])
     if not bench.exists():
         fail(f"bench binary not found: {bench}")
 
     with tempfile.TemporaryDirectory() as tmp:
         out_path = Path(tmp) / "out.json"
-        cmd = [str(bench), *sys.argv[2:], "--json", str(out_path)]
+        cmd = [str(bench), *argv[1:], "--json", str(out_path)]
         proc = subprocess.run(cmd, stdout=subprocess.PIPE,
                               stderr=subprocess.STDOUT, timeout=600)
         if proc.returncode != 0:
@@ -201,8 +322,23 @@ def main():
     for name, value in metrics.items():
         check_metric(name, value)
 
+    lock_sites = check_lock_metrics(metrics)
+    if expect_lock_stats and not lock_sites:
+        fail("--expect-lock-stats: no lock.<site>.* metrics in output "
+             "(was the bench run with --lock-stats?)")
+
+    if "scaling" in doc:
+        check_scaling(doc["scaling"])
+    elif expect_scaling:
+        fail("--expect-scaling: no 'scaling' section in output")
+
+    extra = ""
+    if lock_sites:
+        extra = f", {len(lock_sites)} lock sites"
+    if "scaling" in doc:
+        extra += ", scaling section"
     print(f"check_bench_json: OK: {doc['bench']}: {len(rows)} rows, "
-          f"{len(metrics)} metrics")
+          f"{len(metrics)} metrics{extra}")
 
 
 if __name__ == "__main__":

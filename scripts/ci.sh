@@ -32,10 +32,12 @@ build_and_test asan-ubsan "" \
 
 # ThreadSanitizer configuration: the threaded fault path (per-CPU
 # frame caches, sharded zone locks, per-VMA fault mutexes) must be
-# race-free under the concurrent stress + parallel-driver tests.
+# race-free under the concurrent stress + parallel-driver tests, and
+# the instrumented-lock striped counters (test_base's lock_stats
+# tests) must be race-free too.
 # Only the thread-exercising tests run here; the full suite already
 # ran in both configurations above.
-build_and_test tsan 'test_concurrency|test_parallel|test_mm' \
+build_and_test tsan 'test_concurrency|test_parallel|test_mm|test_base' \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCONTIG_SANITIZE=thread
 
 # Micro-bench artifacts (Release binaries). micro_obs_overhead is a
@@ -48,12 +50,41 @@ echo "=== bench artifacts ==="
 "$bench/micro_obs_overhead" \
     --benchmark_out="$root/BENCH_micro_obs_overhead.json" \
     --benchmark_out_format=json
+# Observability-tax gate: each disabled-mode loop's ratio to the bare
+# loop (BM_SpinLockBare, BM_TraceDisabled, ...) must stay within
+# tolerance of the committed baseline ratios.
+python3 "$root/scripts/obs_overhead_gate.py" --check \
+    "$root/BENCH_micro_obs_overhead.json" \
+    "$root/bench/baselines/BENCH_micro_obs_overhead.json"
 "$bench/micro_fault_scaling" --json "$root/BENCH_micro_fault_scaling.json"
 "$bench/micro_xlat_scaling" --json "$root/BENCH_micro_xlat_scaling.json"
 python3 "$root/scripts/check_bench_json.py" "$bench/micro_alloc_path"
 python3 "$root/scripts/check_bench_json.py" "$bench/micro_fault_scaling"
 python3 "$root/scripts/check_bench_json.py" "$bench/micro_xlat_scaling"
 python3 "$root/scripts/check_bench_json.py" "$bench/fig14_spot_breakdown"
+
+# Concurrency observatory artifacts: the scaling micro benches again
+# under --lock-stats (per-site contention metrics + the derived
+# "scaling" report section, both schema-checked), plus a per-thread
+# Chrome trace from a 4-worker run for by-hand inspection.
+echo "=== lock-stats artifacts ==="
+"$bench/micro_fault_scaling" --lock-stats \
+    --json "$root/BENCH_micro_fault_scaling_locks.json"
+"$bench/micro_xlat_scaling" --lock-stats \
+    --json "$root/BENCH_micro_xlat_scaling_locks.json"
+python3 "$root/scripts/check_bench_json.py" \
+    --expect-lock-stats --expect-scaling \
+    "$bench/micro_fault_scaling" --lock-stats
+"$bench/micro_fault_scaling" --threads 4 --lock-stats \
+    --trace "$root/BENCH_thread_lanes_trace.json" \
+    --json "$root/BENCH_micro_fault_scaling_t4.json"
+# Structural contention gate: the set of instrumented lock sites each
+# bench touches (and the report sections it emits) must match the
+# committed baseline. Counts are scheduling-dependent and not gated.
+python3 "$root/scripts/lock_contention_summary.py" --check \
+    "$root/bench/baselines/BENCH_lock_contention.json" \
+    "$root/BENCH_micro_fault_scaling_locks.json" \
+    "$root/BENCH_micro_xlat_scaling_locks.json"
 
 # Regression gate: the fig09 rows/metrics must match the committed
 # baseline within contig_inspect's per-metric tolerances.

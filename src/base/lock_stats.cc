@@ -1,0 +1,80 @@
+#include "base/lock_stats.hh"
+
+#include <deque>
+#include <map>
+#include <mutex>
+
+namespace contig {
+
+unsigned
+LockSite::stripeIndex() noexcept
+{
+    // Threads grab a stripe slot on first use; a plain round-robin
+    // ticket keeps the main thread and up to kStripes-1 workers on
+    // private cache lines without needing ThisCpu (which lives a
+    // header above us).
+    static std::atomic<unsigned> next{0};
+    thread_local const unsigned idx =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return idx;
+}
+
+// Registration is rare (kernel/policy construction) and export is
+// cold, so a plain std::mutex around a name->site map is plenty. The
+// deque keeps LockSite addresses stable across growth.
+struct LockStatsRegistry::Impl {
+    std::mutex mu;
+    std::deque<LockSite> storage;
+    std::map<std::string, LockSite *, std::less<>> byName;
+};
+
+LockStatsRegistry &
+LockStatsRegistry::global()
+{
+    static LockStatsRegistry reg;
+    return reg;
+}
+
+LockStatsRegistry::Impl &
+LockStatsRegistry::impl() const
+{
+    static Impl impl;
+    return impl;
+}
+
+LockSite &
+LockStatsRegistry::site(std::string_view name)
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> g(im.mu);
+    auto it = im.byName.find(name);
+    if (it != im.byName.end())
+        return *it->second;
+    im.storage.emplace_back(std::string(name));
+    LockSite &s = im.storage.back();
+    im.byName.emplace(s.name(), &s);
+    return s;
+}
+
+std::vector<const LockSite *>
+LockStatsRegistry::sites() const
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> g(im.mu);
+    std::vector<const LockSite *> out;
+    out.reserve(im.byName.size());
+    for (const auto &[name, site] : im.byName)
+        out.push_back(site);
+    return out;
+}
+
+void
+LockStatsRegistry::resetCounters()
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> g(im.mu);
+    for (LockSite &s : im.storage)
+        s.reset();
+}
+
+} // namespace contig

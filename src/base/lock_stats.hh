@@ -1,0 +1,153 @@
+#pragma once
+// Lock-contention accounting for the concurrency observatory.
+//
+// A LockSite is a named bundle of counters (acquisitions, contended
+// acquisitions, CAS retries, time spent blocked) shared by every lock
+// that logically belongs to the same place in the code: all per-VMA
+// fault locks fold into one "vma.fault" site, each zone's buddy lock
+// gets its own "zone<N>.buddy" site, and so on.  Hot paths only touch
+// a site through a nullable pointer, so the disabled configuration
+// costs one predictable branch; building with -DCONTIG_LOCK_STATS=OFF
+// removes even that.
+//
+// Counters are striped: each thread hashes to one of a few
+// cache-line-padded stripes and increments with relaxed atomics, then
+// totals() folds the stripes at export time — the same
+// accumulate-privately / merge-on-read shape FaultEngine::WorkerScope
+// uses for fault stats.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef CONTIG_LOCK_STATS
+#define CONTIG_LOCK_STATS 1
+#endif
+
+namespace contig {
+
+/** Monotonic nanoseconds for spin/block timing. */
+inline std::uint64_t
+lockNowNs() noexcept
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Named contention counters shared by one logical lock site. */
+class LockSite {
+public:
+    struct Totals {
+        std::uint64_t acquisitions = 0; //!< successful lock()s
+        std::uint64_t contended = 0;    //!< lock()s that had to wait
+        std::uint64_t retries = 0;      //!< CAS retries (lock-free sites)
+        std::uint64_t spinNs = 0;       //!< total time spent waiting
+    };
+
+    explicit LockSite(std::string name) : name_(std::move(name)) {}
+    LockSite(const LockSite &) = delete;
+    LockSite &operator=(const LockSite &) = delete;
+
+    const std::string &name() const noexcept { return name_; }
+
+    void noteAcquire() noexcept {
+        myStripe().acquisitions.fetch_add(1, std::memory_order_relaxed);
+    }
+    void noteContended(std::uint64_t spin_ns) noexcept {
+        Stripe &s = myStripe();
+        s.contended.fetch_add(1, std::memory_order_relaxed);
+        s.spinNs.fetch_add(spin_ns, std::memory_order_relaxed);
+    }
+    void noteRetries(std::uint64_t n) noexcept {
+        if (n)
+            myStripe().retries.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    Totals totals() const noexcept {
+        Totals t;
+        for (const Stripe &s : stripes_) {
+            t.acquisitions += s.acquisitions.load(std::memory_order_relaxed);
+            t.contended += s.contended.load(std::memory_order_relaxed);
+            t.retries += s.retries.load(std::memory_order_relaxed);
+            t.spinNs += s.spinNs.load(std::memory_order_relaxed);
+        }
+        return t;
+    }
+
+    void reset() noexcept {
+        for (Stripe &s : stripes_) {
+            s.acquisitions.store(0, std::memory_order_relaxed);
+            s.contended.store(0, std::memory_order_relaxed);
+            s.retries.store(0, std::memory_order_relaxed);
+            s.spinNs.store(0, std::memory_order_relaxed);
+        }
+    }
+
+private:
+    struct alignas(64) Stripe {
+        std::atomic<std::uint64_t> acquisitions{0};
+        std::atomic<std::uint64_t> contended{0};
+        std::atomic<std::uint64_t> retries{0};
+        std::atomic<std::uint64_t> spinNs{0};
+    };
+    static constexpr unsigned kStripes = 8;
+
+    Stripe &myStripe() noexcept { return stripes_[stripeIndex()]; }
+    static unsigned stripeIndex() noexcept;
+
+    std::string name_;
+    Stripe stripes_[kStripes];
+};
+
+/**
+ * Process-wide table of lock sites.  site() hands out stable
+ * references, so locks can cache the pointer for their lifetime;
+ * registration is cold (kernel construction), export walks the table.
+ */
+class LockStatsRegistry {
+public:
+    static LockStatsRegistry &global();
+
+    /** Master switch: BenchOutput --lock-stats flips it before kernels
+     *  are built. Sites can be created and pointers bound regardless;
+     *  binding decisions key off this. */
+    static bool enabled() noexcept {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+    static void setEnabled(bool on) noexcept {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    /** Register-or-fetch a site; the reference stays valid forever. */
+    LockSite &site(std::string_view name);
+
+    /** Stable snapshot of every registered site (pointers, not copies). */
+    std::vector<const LockSite *> sites() const;
+
+    /** Zero every counter (tests and fresh bench runs). */
+    void resetCounters();
+
+    /** Shared site for Offset-ring CAS retries in Vma (header-only hot
+     *  path, so it reaches its site through this global pointer). */
+    static LockSite *offsetRingSite() noexcept {
+        return offsetRing_.load(std::memory_order_relaxed);
+    }
+    static void setOffsetRingSite(LockSite *s) noexcept {
+        offsetRing_.store(s, std::memory_order_relaxed);
+    }
+
+private:
+    LockStatsRegistry() = default;
+    inline static std::atomic<bool> enabled_{false};
+    inline static std::atomic<LockSite *> offsetRing_{nullptr};
+
+    struct Impl;
+    Impl &impl() const;
+};
+
+} // namespace contig

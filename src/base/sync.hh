@@ -5,24 +5,70 @@
 // refill) hold locks for tens of nanoseconds, so a test-and-test-and-set
 // spinlock beats a futex-backed std::mutex there.  Everything coarser
 // (mmap, daemon ticks, teardown) uses std::shared_mutex in the kernel.
+//
+// Every primitive here can carry an optional LockSite: when the
+// concurrency observatory is armed (--lock-stats), acquisitions,
+// contended acquisitions and block time are tallied per named site.
+// Unbound locks pay one always-not-taken branch; CONTIG_LOCK_STATS=0
+// compiles even that away.
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
+
+#include "base/lock_stats.hh"
 
 namespace contig {
+
+/** Polite busy-wait hint: let the core know we are spinning. */
+inline void
+cpuRelax() noexcept
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/**
+ * Bounded exponential backoff for contended spins: 1, 2, 4, ...
+ * pause instructions up to a cap, then yield to the scheduler. Keeps
+ * waiters off the owner's cache line instead of hammering it with
+ * coherence traffic.
+ */
+class SpinBackoff {
+public:
+    void pause() noexcept {
+        if (spins_ <= kMaxSpins) {
+            for (std::uint32_t i = 0; i < spins_; ++i)
+                cpuRelax();
+            spins_ <<= 1;
+        } else {
+            std::this_thread::yield();
+        }
+    }
+
+private:
+    static constexpr std::uint32_t kMaxSpins = 256;
+    std::uint32_t spins_ = 1;
+};
 
 // Cache-line sized TTAS spinlock.  Satisfies Lockable, so it works with
 // std::lock_guard / std::scoped_lock.
 class alignas(64) SpinLock {
 public:
     void lock() noexcept {
-        for (;;) {
-            if (!locked_.exchange(true, std::memory_order_acquire))
-                return;
-            while (locked_.load(std::memory_order_relaxed)) {
-                // spin on the cached line until it looks free
-            }
+        if (!locked_.exchange(true, std::memory_order_acquire)) {
+#if CONTIG_LOCK_STATS
+            if (site_)
+                site_->noteAcquire();
+#endif
+            return;
         }
+        lockContended();
     }
 
     bool try_lock() noexcept {
@@ -32,21 +78,73 @@ public:
 
     void unlock() noexcept { locked_.store(false, std::memory_order_release); }
 
+    /** Attach contention counters; several locks may share one site
+     *  (e.g. every per-VMA fault lock folds into "vma.fault"). */
+    void bindStats(LockSite *site) noexcept {
+#if CONTIG_LOCK_STATS
+        site_ = site;
+#else
+        (void)site;
+#endif
+    }
+
 private:
+    void lockContended() noexcept {
+#if CONTIG_LOCK_STATS
+        const std::uint64_t t0 = site_ ? lockNowNs() : 0;
+#endif
+        SpinBackoff backoff;
+        for (;;) {
+            while (locked_.load(std::memory_order_relaxed))
+                backoff.pause();
+            if (!locked_.exchange(true, std::memory_order_acquire))
+                break;
+        }
+#if CONTIG_LOCK_STATS
+        if (site_) {
+            site_->noteAcquire();
+            site_->noteContended(lockNowNs() - t0);
+        }
+#endif
+    }
+
     std::atomic<bool> locked_{false};
+#if CONTIG_LOCK_STATS
+    LockSite *site_ = nullptr;
+#endif
 };
 
 // Conditionally engaged lock guard: takes the lock only when `engage`
 // is true. The threaded fault path uses these so single-threaded runs
 // skip every lock acquisition and stay instruction-identical to the
-// pre-threading engine.
+// pre-threading engine.  An optional site tallies contention for
+// lock types that cannot carry their own (std::shared_mutex); locks
+// with a bound site (SpinLock) should not also pass one here.
 template <typename Mutex>
 class MaybeGuard
 {
 public:
-    MaybeGuard(Mutex &m, bool engage) : m_(engage ? &m : nullptr) {
-        if (m_)
+    MaybeGuard(Mutex &m, bool engage, LockSite *site = nullptr)
+        : m_(engage ? &m : nullptr)
+    {
+        if (!m_)
+            return;
+#if CONTIG_LOCK_STATS
+        if (site) {
+            if (m_->try_lock()) {
+                site->noteAcquire();
+                return;
+            }
+            const std::uint64_t t0 = lockNowNs();
             m_->lock();
+            site->noteAcquire();
+            site->noteContended(lockNowNs() - t0);
+            return;
+        }
+#else
+        (void)site;
+#endif
+        m_->lock();
     }
     ~MaybeGuard() {
         if (m_)
@@ -64,9 +162,27 @@ template <typename Mutex>
 class MaybeSharedGuard
 {
 public:
-    MaybeSharedGuard(Mutex &m, bool engage) : m_(engage ? &m : nullptr) {
-        if (m_)
+    MaybeSharedGuard(Mutex &m, bool engage, LockSite *site = nullptr)
+        : m_(engage ? &m : nullptr)
+    {
+        if (!m_)
+            return;
+#if CONTIG_LOCK_STATS
+        if (site) {
+            if (m_->try_lock_shared()) {
+                site->noteAcquire();
+                return;
+            }
+            const std::uint64_t t0 = lockNowNs();
             m_->lock_shared();
+            site->noteAcquire();
+            site->noteContended(lockNowNs() - t0);
+            return;
+        }
+#else
+        (void)site;
+#endif
+        m_->lock_shared();
     }
     ~MaybeSharedGuard() {
         if (m_)
@@ -83,24 +199,45 @@ private:
 // caches.  Worker threads bind an id for their lifetime via Scope; the
 // main thread (and any thread that never bound one) reads cpu 0, which
 // keeps the single-threaded path on the same cache a sequential run
-// would use.
+// would use.  For observability the two cases are NOT folded together:
+// lane() maps unbound threads to lane 0 ("main") and worker cpu i to
+// lane i+1, so traces and per-thread stats never alias the main thread
+// with worker 0.
 class ThisCpu {
 public:
     static int id() noexcept { return id_; }
 
+    /** True iff this thread currently holds a bound Scope. */
+    static bool bound() noexcept { return bound_; }
+
+    /** Stable trace lane: 0 = main/unbound, i+1 = worker cpu i. */
+    static std::uint32_t lane() noexcept {
+        return bound_ ? static_cast<std::uint32_t>(id_) + 1 : 0;
+    }
+
     class Scope {
     public:
-        explicit Scope(int cpu) noexcept : prev_(id_) { id_ = cpu; }
-        ~Scope() { id_ = prev_; }
+        explicit Scope(int cpu) noexcept
+            : prev_(id_), prevBound_(bound_)
+        {
+            id_ = cpu;
+            bound_ = true;
+        }
+        ~Scope() {
+            id_ = prev_;
+            bound_ = prevBound_;
+        }
         Scope(const Scope&) = delete;
         Scope& operator=(const Scope&) = delete;
 
     private:
         int prev_;
+        bool prevBound_;
     };
 
 private:
     inline static thread_local int id_ = 0;
+    inline static thread_local bool bound_ = false;
 };
 
 }  // namespace contig

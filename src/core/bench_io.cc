@@ -6,8 +6,10 @@
 #include <cstring>
 
 #include "base/json.hh"
+#include "base/lock_stats.hh"
 #include "base/logging.hh"
 #include "core/config.hh"
+#include "obs/lock_metrics.hh"
 #include "obs/metrics.hh"
 #include "obs/observatory.hh"
 #include "obs/trace.hh"
@@ -53,6 +55,17 @@ BenchOutput::BenchOutput(std::string bench, int argc, char **argv)
         if (const char *env = std::getenv("CONTIG_XLAT_CHUNK"))
             xlatChunk_ = static_cast<std::uint64_t>(
                 std::max(0l, std::strtol(env, nullptr, 10)));
+    if (!lockStats_)
+        if (const char *env = std::getenv("CONTIG_LOCK_STATS"))
+            lockStats_ = env[0] != '\0' && std::strcmp(env, "0") != 0;
+
+    if (lockStats_) {
+        // Flip the switch before any kernel exists so every
+        // KernelConfig::normalized() in this run binds its lock sites.
+        LockStatsRegistry::setEnabled(true);
+        lockSource_ =
+            obs::makeLockMetricsSource(obs::MetricRegistry::global());
+    }
 
     if (!timelinePath_.empty() &&
         !obs::TimelineSink::global().open(timelinePath_))
@@ -107,6 +120,8 @@ BenchOutput::parseArgs(int argc, char **argv)
                       " got '%s'",
                       bench_.c_str(), argv[i]);
             xlatChunk_ = static_cast<std::uint64_t>(n);
+        } else if (arg == "--lock-stats") {
+            lockStats_ = true;
         } else if (arg == "--trace-categories" && has_next) {
             const char *list = argv[++i];
             const std::uint32_t mask = obs::parseTraceCategories(list);
@@ -120,7 +135,8 @@ BenchOutput::parseArgs(int argc, char **argv)
             fatal("%s: unknown argument '%s'\n"
                   "usage: %s [--json FILE] [--trace FILE]"
                   " [--timeline FILE] [--trace-categories LIST]"
-                  " [--threads N] [--xlat-threads N] [--xlat-chunk N]",
+                  " [--threads N] [--xlat-threads N] [--xlat-chunk N]"
+                  " [--lock-stats]",
                   bench_.c_str(), argv[i], bench_.c_str());
         }
     }
@@ -151,6 +167,178 @@ BenchOutput::add(const Report &rep)
 }
 
 void
+BenchOutput::writeScaling(JsonWriter &w) const
+{
+    const obs::SampleMap snap =
+        obs::MetricRegistry::global().snapshot();
+    const auto summaryOf =
+        [&snap](const std::string &name) -> const Summary * {
+        const auto it = snap.find(name);
+        if (it == snap.end() ||
+            it->second.type != obs::MetricType::Summary)
+            return nullptr;
+        return &it->second.summary;
+    };
+    const auto counterOf = [&snap](const std::string &name,
+                                   std::uint64_t &out) {
+        const auto it = snap.find(name);
+        if (it == snap.end())
+            return false;
+        out = it->second.counter;
+        return true;
+    };
+
+    // Per-worker fault-driver busy times (ParallelDriver::run()).
+    std::vector<double> busy;
+    for (unsigned i = 0;; ++i) {
+        const Summary *s = summaryOf(
+            "parallel.worker" + std::to_string(i) + ".busy_us");
+        if (!s)
+            break;
+        busy.push_back(s->sum());
+    }
+    const Summary *wall = summaryOf("parallel.run.wall_us");
+
+    // Per-shard replay load (ReplayEngine).
+    struct Shard
+    {
+        std::uint64_t accesses = 0;
+        std::uint64_t busy = 0;
+        std::uint64_t stall = 0;
+        std::uint64_t wait = 0;
+    };
+    std::vector<Shard> shards;
+    for (unsigned i = 0;; ++i) {
+        const std::string p = "xlat.shard" + std::to_string(i) + ".";
+        Shard sh;
+        if (!counterOf(p + "accesses", sh.accesses))
+            break;
+        counterOf(p + "busy_us", sh.busy);
+        counterOf(p + "stall_us", sh.stall);
+        counterOf(p + "wait_us", sh.wait);
+        shards.push_back(sh);
+    }
+    const Summary *skew = summaryOf("xlat.barrier.skew_us");
+
+    std::vector<const LockSite *> sites;
+    if (lockStats_)
+        sites = LockStatsRegistry::global().sites();
+
+    if ((busy.empty() || !wall) && shards.empty() && sites.empty())
+        return;
+
+    w.key("scaling");
+    w.beginObject();
+
+    if (!busy.empty() && wall) {
+        double total = 0.0;
+        for (double b : busy)
+            total += b;
+        const double wall_us = wall->sum();
+        const double speedup = wall_us > 0.0 ? total / wall_us : 0.0;
+        const unsigned n = static_cast<unsigned>(busy.size());
+        // Karp-Flatt experimentally determined serial fraction; a
+        // single worker is serial by definition.
+        double serial = 1.0;
+        if (n > 1 && speedup > 0.0)
+            serial = std::clamp(
+                (1.0 / speedup - 1.0 / n) / (1.0 - 1.0 / n), 0.0, 1.0);
+        w.key("parallel");
+        w.beginObject();
+        w.field("workers", n);
+        w.field("wall_us", wall_us);
+        w.field("busy_us_total", total);
+        w.key("worker_busy_us");
+        w.beginArray();
+        for (double b : busy)
+            w.value(b);
+        w.endArray();
+        w.field("achieved_speedup", speedup);
+        w.field("serial_fraction", serial);
+        w.endObject();
+    }
+
+    if (!shards.empty()) {
+        std::uint64_t busy_max = 0, busy_total = 0;
+        for (const Shard &sh : shards) {
+            busy_max = std::max(busy_max, sh.busy);
+            busy_total += sh.busy;
+        }
+        const double busy_mean =
+            static_cast<double>(busy_total) / shards.size();
+        w.key("xlat");
+        w.beginObject();
+        w.field("shards", static_cast<std::uint64_t>(shards.size()));
+        w.key("shard_accesses");
+        w.beginArray();
+        for (const Shard &sh : shards)
+            w.value(sh.accesses);
+        w.endArray();
+        w.key("shard_busy_us");
+        w.beginArray();
+        for (const Shard &sh : shards)
+            w.value(sh.busy);
+        w.endArray();
+        w.key("shard_stall_us");
+        w.beginArray();
+        for (const Shard &sh : shards)
+            w.value(sh.stall);
+        w.endArray();
+        w.key("shard_wait_us");
+        w.beginArray();
+        for (const Shard &sh : shards)
+            w.value(sh.wait);
+        w.endArray();
+        // max/mean busy: 1.0 = perfectly balanced shards.
+        w.field("imbalance", busy_mean > 0.0
+                                 ? static_cast<double>(busy_max) /
+                                       busy_mean
+                                 : 1.0);
+        if (skew && skew->count() > 0) {
+            w.field("barrier_skew_us_mean", skew->mean());
+            w.field("barrier_skew_us_max", skew->max());
+        }
+        w.endObject();
+    }
+
+    if (!sites.empty()) {
+        std::vector<std::pair<const LockSite *, LockSite::Totals>>
+            ranked;
+        ranked.reserve(sites.size());
+        for (const LockSite *s : sites)
+            ranked.emplace_back(s, s->totals());
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.second.contended != b.second.contended)
+                          return a.second.contended > b.second.contended;
+                      if (a.second.spinNs != b.second.spinNs)
+                          return a.second.spinNs > b.second.spinNs;
+                      return a.second.retries > b.second.retries;
+                  });
+        w.key("locks");
+        w.beginObject();
+        w.field("sites", static_cast<std::uint64_t>(sites.size()));
+        w.key("top_contended");
+        w.beginArray();
+        const std::size_t top = std::min<std::size_t>(5, ranked.size());
+        for (std::size_t i = 0; i < top; ++i) {
+            const LockSite::Totals &t = ranked[i].second;
+            w.beginObject();
+            w.field("site", ranked[i].first->name());
+            w.field("acquisitions", t.acquisitions);
+            w.field("contended", t.contended);
+            w.field("retries", t.retries);
+            w.field("spin_us", t.spinNs / 1000);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+
+    w.endObject();
+}
+
+void
 BenchOutput::write()
 {
     written_ = true;
@@ -167,6 +355,7 @@ BenchOutput::write()
         w.field("host_node_bytes", ScaledDefaults::kHostNodeBytes);
         w.field("guest_nodes", ScaledDefaults::kGuestNodes);
         w.field("guest_node_bytes", ScaledDefaults::kGuestNodeBytes);
+        w.field("lock_stats", lockStats_);
         for (const Note &n : notes_) {
             w.key(n.key);
             if (n.isNum)
@@ -188,6 +377,10 @@ BenchOutput::write()
 
         w.key("metrics");
         obs::MetricRegistry::global().writeJson(w);
+
+        // Derived concurrency report: present whenever the run
+        // recorded worker/shard accounting or lock stats were on.
+        writeScaling(w);
 
         w.endObject();
 

@@ -9,7 +9,7 @@
  *
  * where "rows" flattens every added Report (one object per table row,
  * tagged with its caption) and "metrics" is the global MetricRegistry
- * snapshot. The document carries "schema_version" (currently 2) and
+ * snapshot. The document carries "schema_version" (currently 3) and
  * a config.run object with the RunInfo reproducibility record (RNG
  * seeds, full KernelConfig knob sets). `--trace <file>` (or
  * CONTIG_TRACE_OUT) additionally enables event tracing and exports
@@ -19,6 +19,15 @@
  * recorded. `--timeline <file>` (or CONTIG_TIMELINE_OUT) opens the
  * observatory TimelineSink: every StateSampler the run creates
  * streams delta-encoded JSONL snapshots there (see obs/observatory).
+ *
+ * `--lock-stats` (or CONTIG_LOCK_STATS=1) switches the lock-site
+ * contention accounting on before any kernel exists: every
+ * instrumented lock exports lock.<site>.* metrics, and the JSON
+ * document gains a derived "scaling" section (per-worker busy time,
+ * achieved speedup, serial fraction, per-shard replay load, top
+ * contended lock sites). The section is also emitted without
+ * --lock-stats whenever a run recorded parallel.* / xlat.shard*
+ * accounting — it then simply omits the lock table.
  */
 
 #ifndef CONTIG_CORE_BENCH_IO_HH
@@ -30,6 +39,7 @@
 #include <vector>
 
 #include "core/report.hh"
+#include "obs/metrics.hh"
 
 namespace contig
 {
@@ -86,8 +96,16 @@ class BenchOutput
      */
     std::uint64_t xlatChunk() const { return xlatChunk_; }
 
+    /**
+     * True when `--lock-stats` (or CONTIG_LOCK_STATS=1) switched the
+     * contention accounting on. Benches never need to check this —
+     * KernelConfig::normalized() picks the mode up from the
+     * LockStatsRegistry — but tools displaying the run might.
+     */
+    bool lockStatsEnabled() const { return lockStats_; }
+
     /** The bench JSON document schema ("schema_version"). */
-    static constexpr int kSchemaVersion = 2;
+    static constexpr int kSchemaVersion = 3;
 
     /** Write the JSON document and/or trace export, if configured. */
     void write();
@@ -102,6 +120,7 @@ class BenchOutput
     };
 
     void parseArgs(int argc, char **argv);
+    void writeScaling(JsonWriter &w) const;
 
     std::string bench_;
     std::string jsonPath_;
@@ -110,6 +129,10 @@ class BenchOutput
     unsigned threads_ = 1;
     unsigned xlatThreads_ = 1;
     std::uint64_t xlatChunk_ = 0;
+    bool lockStats_ = false;
+    /** Live "lock." source over the LockStatsRegistry, bound for the
+     *  run's lifetime when lock stats are on. */
+    obs::MetricSource lockSource_;
     std::vector<Note> notes_;
     std::vector<Report> reports_;
     bool written_ = false;

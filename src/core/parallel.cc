@@ -7,7 +7,9 @@
 #include "base/rng.hh"
 #include "mm/fault_engine.hh"
 #include "mm/kernel.hh"
+#include "obs/metrics.hh"
 #include "obs/observatory.hh"
+#include "obs/trace.hh"
 
 namespace contig
 {
@@ -82,27 +84,63 @@ ParallelDriver::run()
     contig_assert(!ran_, "ParallelDriver::run() may be called once");
     ran_ = true;
 
+    obs::TraceSink &ts = obs::TraceSink::global();
+    const char *span_name = ts.intern("parallel.worker");
+    const std::uint64_t run0 = ts.nowNs();
+    // Each worker writes only its own slot; the join publishes them
+    // to the main thread before the summaries below are recorded.
+    std::vector<std::uint64_t> busy_ns(plans_.size(), 0);
+
     if (!kernel_.threaded() || cfg_.threads == 1) {
-        for (const WorkerPlan &plan : plans_)
-            runWorker(plan);
-        return;
+        for (std::size_t i = 0; i < plans_.size(); ++i) {
+            const std::uint64_t t0 = ts.nowNs();
+            runWorker(plans_[i]);
+            busy_ns[i] = ts.nowNs() - t0;
+#if CONTIG_TRACING
+            if (ts.wants(obs::kCatPhase))
+                ts.recordSpan(span_name, t0, busy_ns[i], i);
+#endif
+        }
+    } else {
+        FaultEngine &engine = kernel_.faultEngine();
+        std::vector<std::thread> workers;
+        workers.reserve(plans_.size());
+        for (unsigned i = 0; i < plans_.size(); ++i) {
+            workers.emplace_back([this, &engine, &busy_ns, span_name,
+                                  i] {
+                FaultEngine::WorkerScope scope(engine,
+                                               static_cast<int>(i));
+                obs::TraceSink &wts = obs::TraceSink::global();
+                const std::uint64_t t0 = wts.nowNs();
+                runWorker(plans_[i]);
+                busy_ns[i] = wts.nowNs() - t0;
+#if CONTIG_TRACING
+                // Recorded on the worker thread so the span lands on
+                // its own Chrome-trace lane.
+                if (wts.wants(obs::kCatPhase))
+                    wts.recordSpan(span_name, t0, busy_ns[i], i);
+#endif
+            });
+        }
+        for (std::thread &t : workers)
+            t.join();
+        // Catch up the policy ticks / samples the workers deferred, so
+        // post-run state matches what a sequential run would have
+        // ticked.
+        engine.drainPendingTicks();
     }
 
-    FaultEngine &engine = kernel_.faultEngine();
-    std::vector<std::thread> workers;
-    workers.reserve(plans_.size());
-    for (unsigned i = 0; i < plans_.size(); ++i) {
-        workers.emplace_back([this, &engine, i] {
-            FaultEngine::WorkerScope scope(engine,
-                                           static_cast<int>(i));
-            runWorker(plans_[i]);
-        });
-    }
-    for (std::thread &t : workers)
-        t.join();
-    // Catch up the policy ticks / samples the workers deferred, so
-    // post-run state matches what a sequential run would have ticked.
-    engine.drainPendingTicks();
+    // Busy/wall accounting feeds the derived scaling report:
+    // achieved speedup = sum(busy) / wall, skew = spread of busy_us.
+    // Summaries are recorded from the main thread after the join —
+    // Summary::add is not synchronized.
+    const std::uint64_t wall = ts.nowNs() - run0;
+    obs::MetricRegistry &mr = obs::MetricRegistry::global();
+    for (std::size_t i = 0; i < busy_ns.size(); ++i)
+        mr.summary("parallel.worker" + std::to_string(i) + ".busy_us")
+            .add(static_cast<double>(busy_ns[i]) / 1000.0);
+    mr.summary("parallel.run.wall_us")
+        .add(static_cast<double>(wall) / 1000.0);
 }
 
 void

@@ -28,6 +28,9 @@ FaultEngine::FaultEngine(Kernel &kernel)
       fillPhase_(obs::Phase::bind(obs::MetricRegistry::global(),
                                   cfg_.metricsPrefix + ".fault.fill"))
 {
+    if (cfg_.lockStats)
+        statsLock_.bindStats(
+            &LockStatsRegistry::global().site("fault.stats"));
 }
 
 // --- threading -----------------------------------------------------------
@@ -69,7 +72,10 @@ FaultEngine::drainPendingTicks()
         !sampler_behind)
         return;
 
-    std::unique_lock<std::shared_mutex> g(kernel_.mmLock());
+    // Deferred ticks take mmLock *exclusive* — the writer side whose
+    // wait time the "mm" site is most interested in.
+    MaybeGuard<std::shared_mutex> g(kernel_.mmLock(), true,
+                                    kernel_.mmLockSite());
     // Sampler catch-up first: captures keep the pre-tick cadence the
     // sequential path has (sample at fault N sees pre-tick state).
     if (sampler_) {
@@ -102,7 +108,8 @@ void
 FaultEngine::touch(Process &proc, Gva gva, Access access)
 {
     drainPendingTicks();
-    MaybeSharedGuard<std::shared_mutex> mm(kernel_.mmLock(), threaded_);
+    MaybeSharedGuard<std::shared_mutex> mm(kernel_.mmLock(), threaded_,
+                                          kernel_.mmLockSite());
     touchLocked(proc, gva, access);
 }
 
@@ -351,7 +358,8 @@ FaultEngine::handleRange(const FaultRequest &span, TouchNote note)
     if (!span.proc || span.pages == 0)
         return;
     drainPendingTicks();
-    MaybeSharedGuard<std::shared_mutex> mm(kernel_.mmLock(), threaded_);
+    MaybeSharedGuard<std::shared_mutex> mm(kernel_.mmLock(), threaded_,
+                                          kernel_.mmLockSite());
     Process &proc = *span.proc;
     FaultBatchStats &bt = curBatch();
     ++bt.rangeRequests;
@@ -709,7 +717,8 @@ FaultEngine::readFile(File &file, std::uint64_t page_start,
     contig_assert(page_start + n_pages <= file.sizePages(),
                   "readFile beyond EOF");
     drainPendingTicks();
-    MaybeSharedGuard<std::shared_mutex> mm(kernel_.mmLock(), threaded_);
+    MaybeSharedGuard<std::shared_mutex> mm(kernel_.mmLock(), threaded_,
+                                          kernel_.mmLockSite());
     MaybeGuard<SpinLock> pc(kernel_.pageCacheLock(), threaded_);
     const std::uint64_t req_end = page_start + n_pages;
 

@@ -19,6 +19,13 @@ Kernel::normalized(KernelConfig cfg)
     // the buddy, exactly the pre-threading behaviour).
     if (cfg.threads > 1 && cfg.phys.zone.pcpCpus == 0)
         cfg.phys.zone.pcpCpus = cfg.threads;
+    // --lock-stats flips the process-wide switch before kernels are
+    // built; fold it into the per-instance knob so every kernel in
+    // the run (host, guest, scratch instances in benches) is armed
+    // without touching each construction site.
+    if (LockStatsRegistry::enabled())
+        cfg.lockStats = true;
+    cfg.phys.zone.lockStats = cfg.lockStats;
     return cfg;
 }
 
@@ -27,6 +34,17 @@ Kernel::Kernel(const KernelConfig &cfg,
     : cfg_(normalized(cfg)), physMem_(cfg_.phys), policy_(std::move(policy))
 {
     contig_assert(policy_ != nullptr, "kernel needs an allocation policy");
+    if (cfg_.lockStats) {
+        // Kernel instances share sites by role (like-named metrics
+        // merge the same way); per-zone sites are bound by Zone.
+        LockStatsRegistry &ls = LockStatsRegistry::global();
+        mmSite_ = &ls.site("mm");
+        vmaFaultSite_ = &ls.site("vma.fault");
+        pageCacheLock_.bindStats(&ls.site("page_cache"));
+        poolLock_.bindStats(&ls.site("pool"));
+        counterLock_.bindStats(&ls.site("counters"));
+        LockStatsRegistry::setOffsetRingSite(&ls.site("vma.offset_ring"));
+    }
     engine_ = std::make_unique<FaultEngine>(*this);
     metricSource_ = obs::MetricSource(
         obs::MetricRegistry::global(), cfg_.metricsPrefix,
@@ -64,6 +82,7 @@ Kernel::Kernel(const KernelConfig &cfg,
             static_cast<std::uint64_t>(cfg_.phys.zone.pcpBatch));
     ri.note(p + "phys.pcp_high",
             static_cast<std::uint64_t>(cfg_.phys.zone.pcpHigh));
+    ri.note(p + "lock_stats", cfg_.lockStats);
 }
 
 void
@@ -131,7 +150,7 @@ Process &
 Kernel::createProcess(const std::string &name, NodeId home_node)
 {
     contig_assert(home_node < physMem_.numNodes(), "bad home node");
-    MaybeGuard<std::shared_mutex> g(mmLock_, threaded());
+    MaybeGuard<std::shared_mutex> g(mmLock_, threaded(), mmSite_);
     processes_.push_back(
         std::make_unique<Process>(*this, nextPid_++, name, home_node));
     return *processes_.back();
@@ -140,7 +159,7 @@ Kernel::createProcess(const std::string &name, NodeId home_node)
 void
 Kernel::exitProcess(Process &proc)
 {
-    MaybeGuard<std::shared_mutex> g(mmLock_, threaded());
+    MaybeGuard<std::shared_mutex> g(mmLock_, threaded(), mmSite_);
     // Tear down every VMA (policy hook + page release).
     std::vector<Vma *> vmas;
     proc.addressSpace().forEachVma([&](Vma &vma) { vmas.push_back(&vma); });
@@ -190,8 +209,9 @@ Kernel::readFile(File &file, std::uint64_t page_start,
 Vma &
 Kernel::mmapAnon(Process &proc, std::uint64_t bytes)
 {
-    MaybeGuard<std::shared_mutex> g(mmLock_, threaded());
+    MaybeGuard<std::shared_mutex> g(mmLock_, threaded(), mmSite_);
     Vma &vma = proc.addressSpace().mmap(bytes, VmaKind::Anon);
+    vma.faultLock().bindStats(vmaFaultSite_);
     if (threaded()) {
         // Pre-create the interior page-table nodes so concurrent
         // faults never race on node creation (leaf slots are distinct
@@ -207,9 +227,10 @@ Vma &
 Kernel::mmapFile(Process &proc, std::uint32_t file_id, std::uint64_t bytes,
                  std::uint64_t file_offset_pages)
 {
-    MaybeGuard<std::shared_mutex> g(mmLock_, threaded());
+    MaybeGuard<std::shared_mutex> g(mmLock_, threaded(), mmSite_);
     Vma &vma = proc.addressSpace().mmap(bytes, VmaKind::File, std::nullopt,
                                         file_id, file_offset_pages);
+    vma.faultLock().bindStats(vmaFaultSite_);
     if (threaded()) {
         const Vpn s = vma.start().pageNumber();
         proc.pageTable().ensureSpine(s, s + vma.pages());
@@ -243,7 +264,7 @@ Kernel::unmapVmaPages(Process &proc, Vma &vma)
 void
 Kernel::munmap(Process &proc, Vma &vma)
 {
-    MaybeGuard<std::shared_mutex> g(mmLock_, threaded());
+    MaybeGuard<std::shared_mutex> g(mmLock_, threaded(), mmSite_);
     munmapLocked(proc, vma);
 }
 
@@ -347,13 +368,14 @@ Kernel::touch(Process &proc, Gva gva, Access access)
 void
 Kernel::forkInto(Process &parent, Process &child)
 {
-    MaybeGuard<std::shared_mutex> g(mmLock_, threaded());
+    MaybeGuard<std::shared_mutex> g(mmLock_, threaded(), mmSite_);
     // Clone anonymous VMAs COW-style.
     parent.addressSpace().forEachVma([&](Vma &pvma) {
         if (pvma.kind() != VmaKind::Anon)
             return;
         Vma &cvma = child.addressSpace().mmap(
             pvma.bytes(), VmaKind::Anon, pvma.start());
+        cvma.faultLock().bindStats(vmaFaultSite_);
         if (threaded()) {
             const Vpn s = cvma.start().pageNumber();
             child.pageTable().ensureSpine(s, s + cvma.pages());

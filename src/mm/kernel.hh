@@ -83,6 +83,15 @@ struct KernelConfig
      * one per-CPU frame cache per worker.
      */
     unsigned threads = 1;
+    /**
+     * Arm lock-contention accounting (the concurrency observatory):
+     * every kernel lock binds a named LockSite and --lock-stats
+     * reports lock.<site>.* metrics. normalized() ORs in the
+     * process-wide LockStatsRegistry::enabled() switch, so benches
+     * need no per-config plumbing. Off: no site is bound and the
+     * locks run their uninstrumented fast path.
+     */
+    bool lockStats = false;
 };
 
 class Kernel
@@ -196,6 +205,14 @@ class Kernel
     /** Serializes page-cache fills/evictions across fault workers. */
     SpinLock &pageCacheLock() { return pageCacheLock_; }
 
+    /** Contention site of mmLock(), or nullptr when lock stats are
+     *  off. std::shared_mutex cannot carry its own site, so guards
+     *  around mmLock() pass this explicitly. */
+    LockSite *mmLockSite() const { return mmSite_; }
+
+    /** Shared contention site bound into every per-VMA fault lock. */
+    LockSite *vmaFaultSite() const { return vmaFaultSite_; }
+
     /**
      * Thread-safe CounterSet::inc for fault-path counters. The map
      * itself stays unlocked for exclusive contexts (policy daemons,
@@ -269,6 +286,9 @@ class Kernel
     SpinLock poolLock_;
     /** Protects counters_ against concurrent fault-path increments. */
     SpinLock counterLock_;
+    /** Lock-stats sites (bound in the ctor iff cfg_.lockStats). */
+    LockSite *mmSite_ = nullptr;
+    LockSite *vmaFaultSite_ = nullptr;
 };
 
 } // namespace contig

@@ -105,12 +105,15 @@ class Vma
         slot.offsetPages.store(offset_pages, std::memory_order_relaxed);
         // Retire overwritten sequence numbers so count/pop stay in
         // step with the ring capacity.
+        std::uint64_t retries = 0;
         std::uint64_t tail = offsetTail_.load(std::memory_order_relaxed);
         while (seq + 1 - tail > kMaxCaOffsets &&
                !offsetTail_.compare_exchange_weak(
                    tail, seq + 1 - kMaxCaOffsets,
                    std::memory_order_acq_rel, std::memory_order_relaxed)) {
+            ++retries;
         }
+        noteOffsetRingRetries(retries);
     }
 
     /**
@@ -158,12 +161,32 @@ class Vma
     void
     popOldestCaOffset()
     {
+        std::uint64_t retries = 0;
         std::uint64_t tail = offsetTail_.load(std::memory_order_acquire);
         while (offsetHead_.load(std::memory_order_acquire) != tail &&
                !offsetTail_.compare_exchange_weak(
                    tail, tail + 1, std::memory_order_acq_rel,
                    std::memory_order_acquire)) {
+            ++retries;
         }
+        noteOffsetRingRetries(retries);
+    }
+
+    /**
+     * Fold lost Offset-ring CAS rounds into the shared
+     * "vma.offset_ring" lock site. Uncontended pushes/pops never get
+     * here with retries != 0, so the common path pays nothing.
+     */
+    static void
+    noteOffsetRingRetries(std::uint64_t retries)
+    {
+#if CONTIG_LOCK_STATS
+        if (retries)
+            if (LockSite *site = LockStatsRegistry::offsetRingSite())
+                site->noteRetries(retries);
+#else
+        (void)retries;
+#endif
     }
 
     /**

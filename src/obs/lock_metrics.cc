@@ -1,0 +1,29 @@
+#include "obs/lock_metrics.hh"
+
+#include <string>
+
+#include "base/lock_stats.hh"
+
+namespace contig
+{
+namespace obs
+{
+
+MetricSource
+makeLockMetricsSource(MetricRegistry &reg)
+{
+    return MetricSource(reg, "lock", [](MetricSink &sink) {
+        for (const LockSite *site :
+             LockStatsRegistry::global().sites()) {
+            const LockSite::Totals t = site->totals();
+            const std::string p = std::string(site->name()) + ".";
+            sink.counter(p + "acquisitions", t.acquisitions);
+            sink.counter(p + "contended", t.contended);
+            sink.counter(p + "retries", t.retries);
+            sink.counter(p + "spin_us", t.spinNs / 1000);
+        }
+    });
+}
+
+} // namespace obs
+} // namespace contig

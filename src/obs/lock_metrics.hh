@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Bridge from the lock-contention accounting (base/lock_stats) into
+ * the metric namespace: a MetricSource that snapshots every
+ * registered LockSite as
+ *
+ *   lock.<site>.acquisitions   contended + uncontended acquires
+ *   lock.<site>.contended      acquires that found the lock held
+ *   lock.<site>.retries        lost CAS rounds / loser-path retries
+ *   lock.<site>.spin_us        time spent waiting, microseconds
+ *
+ * Sites register lazily as kernels bind their locks, so the source
+ * iterates the registry at snapshot time — a site created after the
+ * source still shows up. Kept out of base/ so the accounting layer
+ * stays free of the obs dependency.
+ */
+
+#ifndef CONTIG_OBS_LOCK_METRICS_HH
+#define CONTIG_OBS_LOCK_METRICS_HH
+
+#include "obs/metrics.hh"
+
+namespace contig
+{
+namespace obs
+{
+
+/**
+ * Build the "lock." source over the process-wide LockStatsRegistry.
+ * The caller owns the returned RAII handle (BenchOutput holds one for
+ * the duration of a --lock-stats run).
+ */
+MetricSource makeLockMetricsSource(MetricRegistry &reg);
+
+} // namespace obs
+} // namespace contig
+
+#endif // CONTIG_OBS_LOCK_METRICS_HH

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "base/json.hh"
+#include "base/lock_stats.hh"
 #include "base/logging.hh"
 #include "mm/kernel.hh"
 #include "tlb/replay.hh"
@@ -181,6 +182,40 @@ StateSampler::capture(Snapshot &snap, std::uint64_t tick)
             snap.xlat.spotFills = ss->fills;
             snap.xlat.spotCoverage = ss->coverage();
             snap.xlat.spotAccuracy = ss->accuracy();
+        }
+    }
+
+    if (replay_) {
+        for (unsigned i = 0; i < replay_->threads(); ++i) {
+            const ReplayEngine::ShardLoad l = replay_->shardLoad(i);
+            const std::string p = "xlat.shard" + std::to_string(i) + ".";
+            snap.extras[p + "accesses"] =
+                static_cast<double>(l.accesses);
+            snap.extras[p + "busy_us"] =
+                static_cast<double>(l.busyNs) / 1000.0;
+            snap.extras[p + "stall_us"] =
+                static_cast<double>(l.stallNs) / 1000.0;
+            snap.extras[p + "wait_us"] =
+                static_cast<double>(l.waitNs) / 1000.0;
+        }
+    }
+
+    if (LockStatsRegistry::enabled()) {
+        for (const LockSite *site :
+             LockStatsRegistry::global().sites()) {
+            const LockSite::Totals t = site->totals();
+            if (t.acquisitions == 0 && t.contended == 0 &&
+                t.retries == 0)
+                continue;
+            const std::string p = "lock." + site->name() + ".";
+            snap.extras[p + "acquisitions"] =
+                static_cast<double>(t.acquisitions);
+            snap.extras[p + "contended"] =
+                static_cast<double>(t.contended);
+            snap.extras[p + "retries"] =
+                static_cast<double>(t.retries);
+            snap.extras[p + "spin_us"] =
+                static_cast<double>(t.spinNs) / 1000.0;
         }
     }
 }

@@ -160,6 +160,9 @@ flatten(const Snapshot &snap)
         flat["spot.coverage"] = x.spotCoverage;
         flat["spot.accuracy"] = x.spotAccuracy;
     }
+
+    for (const auto &[key, value] : snap.extras)
+        flat[key] = value;
     return flat;
 }
 

@@ -101,6 +101,13 @@ struct Snapshot
     CoverageMetrics coverage;
     bool hasXlat = false;
     XlatSnap xlat;
+    /**
+     * Already-flat auxiliary keys folded verbatim into the timeline
+     * stream: lock.<site>.* contention counters when lock stats are
+     * on, xlat.shard<i>.* replay load when a ReplayEngine is
+     * attached. Live consumers (tools/contig_top) read these.
+     */
+    std::map<std::string, double> extras;
 };
 
 /**

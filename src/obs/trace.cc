@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <set>
 #include <utility>
 
 #include "base/json.hh"
@@ -44,7 +45,8 @@ parseTraceCategories(std::string_view spec)
          {"promote", kCatPromote}, {"migrate", kCatMigrate},
          {"tlb", kCatTlb},         {"spot", kCatSpot},
          {"walk", kCatWalk},       {"daemon", kCatDaemon},
-         {"phase", kCatPhase},     {"replay", kCatReplay}};
+         {"phase", kCatPhase},     {"replay", kCatReplay},
+         {"sync", kCatSync}};
     std::uint32_t mask = 0;
     std::size_t pos = 0;
     while (pos <= spec.size()) {
@@ -99,6 +101,7 @@ void
 TraceSink::record(TraceEventKind kind, std::uint64_t a0, std::uint64_t a1,
                   std::uint64_t a2)
 {
+    const std::uint32_t lane = ThisCpu::lane();
     std::lock_guard<SpinLock> g(lock_);
     TraceEvent &ev = nextSlot();
     ev.tsNs = nowNs();
@@ -107,22 +110,26 @@ TraceSink::record(TraceEventKind kind, std::uint64_t a0, std::uint64_t a1,
     ev.args[1] = a1;
     ev.args[2] = a2;
     ev.spanName = nullptr;
+    ev.tid = lane;
     ev.kind = kind;
 }
 
 void
 TraceSink::recordSpan(const char *interned_name, std::uint64_t ts_ns,
-                      std::uint64_t dur_ns, std::uint64_t cycles)
+                      std::uint64_t dur_ns, std::uint64_t a0,
+                      TraceEventKind kind)
 {
+    const std::uint32_t lane = ThisCpu::lane();
     std::lock_guard<SpinLock> g(lock_);
     TraceEvent &ev = nextSlot();
     ev.tsNs = ts_ns;
     ev.durNs = dur_ns;
-    ev.args[0] = cycles;
+    ev.args[0] = a0;
     ev.args[1] = 0;
     ev.args[2] = 0;
     ev.spanName = interned_name;
-    ev.kind = TraceEventKind::PhaseSpan;
+    ev.tid = lane;
+    ev.kind = kind;
 }
 
 const char *
@@ -182,6 +189,7 @@ categoryName(std::uint32_t category)
       case kCatDaemon: return "daemon";
       case kCatPhase: return "phase";
       case kCatReplay: return "replay";
+      case kCatSync: return "sync";
       default: return "other";
     }
 }
@@ -191,14 +199,16 @@ writeEventJson(JsonWriter &w, const TraceEvent &ev, bool chrome)
 {
     const TraceEventDesc &desc =
         kTraceEventDescs[static_cast<std::size_t>(ev.kind)];
-    const bool span = ev.kind == TraceEventKind::PhaseSpan;
+    const bool span = traceIsSpanKind(ev.kind);
 
     w.beginObject();
     w.field("name", span && ev.spanName ? ev.spanName : desc.name);
     w.field("cat", categoryName(desc.category));
     if (chrome) {
         // Chrome trace_event: ts/dur in microseconds, instant events
-        // need a scope, complete events carry dur.
+        // need a scope, complete events carry dur. tid is the
+        // recording thread's lane, so the viewer shows one real lane
+        // per worker (plus lane 0 for the main thread).
         w.field("ph", span ? "X" : "i");
         w.field("ts", static_cast<double>(ev.tsNs) / 1000.0);
         if (span)
@@ -206,11 +216,12 @@ writeEventJson(JsonWriter &w, const TraceEvent &ev, bool chrome)
         else
             w.field("s", "t");
         w.field("pid", std::uint64_t{1});
-        w.field("tid", std::uint64_t{1});
+        w.field("tid", std::uint64_t{ev.tid});
     } else {
         w.field("ts_ns", ev.tsNs);
         if (span)
             w.field("dur_ns", ev.durNs);
+        w.field("tid", std::uint64_t{ev.tid});
     }
     w.key("args");
     w.beginObject();
@@ -230,11 +241,41 @@ TraceSink::writeChromeTrace(const std::string &path) const
     if (!f)
         return false;
 
+    const std::vector<TraceEvent> evs = events();
+
     JsonWriter w;
     w.beginObject();
     w.key("traceEvents");
     w.beginArray();
-    for (const TraceEvent &ev : events())
+    // Name each thread lane up front ("M" metadata events) so the
+    // viewer labels lanes "main" / "worker<i>" instead of bare tids.
+    std::set<std::uint32_t> lanes;
+    for (const TraceEvent &ev : evs)
+        lanes.insert(ev.tid);
+    for (std::uint32_t lane : lanes) {
+        w.beginObject();
+        w.field("name", "thread_name");
+        w.field("ph", "M");
+        w.field("pid", std::uint64_t{1});
+        w.field("tid", std::uint64_t{lane});
+        w.key("args");
+        w.beginObject();
+        w.field("name", lane == 0 ? std::string("main")
+                                  : "worker" + std::to_string(lane - 1));
+        w.endObject();
+        w.endObject();
+        w.beginObject();
+        w.field("name", "thread_sort_index");
+        w.field("ph", "M");
+        w.field("pid", std::uint64_t{1});
+        w.field("tid", std::uint64_t{lane});
+        w.key("args");
+        w.beginObject();
+        w.field("sort_index", std::uint64_t{lane});
+        w.endObject();
+        w.endObject();
+    }
+    for (const TraceEvent &ev : evs)
         writeEventJson(w, ev, /*chrome=*/true);
     w.endArray();
     w.field("displayTimeUnit", "ms");

@@ -49,6 +49,7 @@ enum TraceCategory : std::uint32_t
     kCatDaemon = 1u << 7,  //!< policy daemon ticks
     kCatPhase = 1u << 8,   //!< scoped phase-timer spans
     kCatReplay = 1u << 9,  //!< translation-replay chunk boundaries
+    kCatSync = 1u << 10,   //!< barrier waits / synchronization stalls
     kCatAll = 0xffffffffu,
 };
 
@@ -73,6 +74,7 @@ enum class TraceEventKind : std::uint8_t
     DaemonTick,   //!< args: now (faults)
     PhaseSpan,    //!< complete event; args: cycles
     ReplayChunk,  //!< args: chunk, accesses, walks
+    BarrierWait,  //!< complete event; args: worker
     NumKinds,
 };
 
@@ -102,6 +104,7 @@ constexpr TraceEventDesc kTraceEventDescs[] = {
     {"daemon_tick", kCatDaemon, {"now", nullptr, nullptr}},
     {"phase", kCatPhase, {"cycles", nullptr, nullptr}},
     {"replay_chunk", kCatReplay, {"chunk", "accesses", "walks"}},
+    {"barrier_wait", kCatSync, {"worker", nullptr, nullptr}},
 };
 
 static_assert(sizeof(kTraceEventDescs) / sizeof(kTraceEventDescs[0]) ==
@@ -114,14 +117,25 @@ traceCategoryOf(TraceEventKind kind)
     return kTraceEventDescs[static_cast<std::size_t>(kind)].category;
 }
 
-/** One recorded event (24 B of payload + timing). */
+/** Kinds exported as Chrome complete ('X') events with a duration. */
+constexpr bool
+traceIsSpanKind(TraceEventKind kind)
+{
+    return kind == TraceEventKind::PhaseSpan ||
+           kind == TraceEventKind::BarrierWait;
+}
+
+/** One recorded event (24 B of payload + timing + thread lane). */
 struct TraceEvent
 {
     std::uint64_t tsNs = 0;  //!< wall-clock ns since sink epoch
-    std::uint64_t durNs = 0; //!< span duration (PhaseSpan only)
+    std::uint64_t durNs = 0; //!< span duration (span kinds only)
     std::uint64_t args[3] = {0, 0, 0};
-    /** Interned span name (PhaseSpan only), else nullptr. */
+    /** Interned span name (span kinds only), else nullptr. */
     const char *spanName = nullptr;
+    /** Recording thread's lane: 0 = main/unbound, i+1 = worker i
+     *  (ThisCpu::lane()); becomes the Chrome-trace tid. */
+    std::uint32_t tid = 0;
     TraceEventKind kind = TraceEventKind::PageFault;
 };
 
@@ -153,9 +167,11 @@ class TraceSink
     void record(TraceEventKind kind, std::uint64_t a0 = 0,
                 std::uint64_t a1 = 0, std::uint64_t a2 = 0);
 
-    /** Record a completed phase span (Chrome 'X' event). */
+    /** Record a completed span (Chrome 'X' event): a phase timer by
+     *  default, or a barrier wait etc. via `kind`. */
     void recordSpan(const char *interned_name, std::uint64_t ts_ns,
-                    std::uint64_t dur_ns, std::uint64_t cycles);
+                    std::uint64_t dur_ns, std::uint64_t a0,
+                    TraceEventKind kind = TraceEventKind::PhaseSpan);
 
     /**
      * Intern a span name: returns a pointer stable for the sink's

@@ -16,6 +16,12 @@ Zone::Zone(FrameArray &frames, NodeId node, Pfn base_pfn,
     buddy_.setTopListHooks(
         [this](Pfn pfn) { contigMap_.onBlockFree(pfn); },
         [this](Pfn pfn) { contigMap_.onBlockAllocated(pfn); });
+    if (cfg.lockStats) {
+        // Host and guest zones with the same node id share one site,
+        // the same way their buddy metrics merge by name.
+        lock_.bindStats(&LockStatsRegistry::global().site(
+            "zone" + std::to_string(node) + ".buddy"));
+    }
 }
 
 std::optional<Pfn>

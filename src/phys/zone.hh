@@ -52,6 +52,13 @@ struct ZoneConfig
     unsigned pcpBatch = 16;
     /** Pcp list length that triggers a spill back to the buddy. */
     unsigned pcpHigh = 64;
+    /**
+     * Bind the zone lock to a "zone<node>.buddy" LockSite so
+     * --lock-stats can attribute contention to the buddy path
+     * (refills, spills, direct high-order allocations). Kernel::
+     * normalized() sets this from KernelConfig.lockStats.
+     */
+    bool lockStats = false;
 };
 
 /**

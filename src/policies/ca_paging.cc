@@ -8,7 +8,12 @@
 namespace contig
 {
 
-CaPagingPolicy::CaPagingPolicy(const CaPagingConfig &cfg) : cfg_(cfg) {}
+CaPagingPolicy::CaPagingPolicy(const CaPagingConfig &cfg) : cfg_(cfg)
+{
+    if (LockStatsRegistry::enabled())
+        replacementSite_ =
+            &LockStatsRegistry::global().site("vma.replacement");
+}
 
 bool
 CaPagingPolicy::takeTarget(Kernel &kernel, Pfn target, unsigned order)
@@ -98,19 +103,32 @@ CaPagingPolicy::allocate(Kernel &kernel, Process &proc, Vma &vma, Vpn vpn,
         // unmapped size. The replacement guard's CAS admits exactly
         // one re-placing thread (§III-C); everyone else loses.
         if (!vma.tryBeginReplacement()) {
+#if CONTIG_LOCK_STATS
+            const std::uint64_t lost_at =
+                replacementSite_ ? lockNowNs() : 0;
+#endif
             // Loser path: retry the fast path against the winner's
             // freshly published Offset instead of stacking a redundant
             // re-placement. A few rounds bound the spin if the winner
             // is slow; if the retries exhaust, report NoHugeBlock and
             // let the fault engine demote to 4 KiB.
             constexpr int kLoserRetries = 4;
+            int attempts = 0;
             for (int attempt = 0; attempt < kLoserRetries; ++attempt) {
+                ++attempts;
                 if (auto fresh = vma.nearestCaOffset(vpn)) {
                     const std::int64_t t =
                         static_cast<std::int64_t>(vpn) - fresh->offsetPages;
                     if (t >= 0 &&
                         takeTarget(kernel, static_cast<Pfn>(t), order)) {
                         ++stats_.offsetHits;
+#if CONTIG_LOCK_STATS
+                        if (replacementSite_) {
+                            replacementSite_->noteRetries(attempts);
+                            replacementSite_->noteContended(lockNowNs() -
+                                                            lost_at);
+                        }
+#endif
                         AllocResult res;
                         res.pfn = static_cast<Pfn>(t);
                         return res;
@@ -119,8 +137,18 @@ CaPagingPolicy::allocate(Kernel &kernel, Process &proc, Vma &vma, Vpn vpn,
                 if (!vma.replacementActive())
                     break; // winner done; its Offset still failed us
             }
+#if CONTIG_LOCK_STATS
+            if (replacementSite_) {
+                replacementSite_->noteRetries(attempts);
+                replacementSite_->noteContended(lockNowNs() - lost_at);
+            }
+#endif
             return AllocResult::failure(order);
         }
+#if CONTIG_LOCK_STATS
+        if (replacementSite_)
+            replacementSite_->noteAcquire();
+#endif
         const std::uint64_t remaining =
             vma.pages() > vma.allocatedPages
                 ? vma.pages() - vma.allocatedPages

@@ -27,6 +27,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "base/lock_stats.hh"
 #include "mm/policy.hh"
 #include "mm/process.hh"
 
@@ -116,6 +117,14 @@ class CaPagingPolicy : public AllocationPolicy
     }
 
     CaPagingStats stats_;
+
+    /**
+     * "vma.replacement" contention site (nullptr when lock stats are
+     * off): the CAS replacement guard is lock-free, so winners count
+     * as acquisitions and beaten threads as contended, with their
+     * fast-path retry rounds under retries.
+     */
+    LockSite *replacementSite_ = nullptr;
 
   private:
     CaPagingConfig cfg_;

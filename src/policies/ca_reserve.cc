@@ -12,6 +12,9 @@ namespace contig
 CaReservePolicy::CaReservePolicy(const CaPagingConfig &cfg)
     : CaPagingPolicy(cfg)
 {
+    if (LockStatsRegistry::enabled())
+        reserveLock_.bindStats(
+            &LockStatsRegistry::global().site("ca.reserve"));
 }
 
 bool

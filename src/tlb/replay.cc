@@ -1,6 +1,10 @@
 #include "tlb/replay.hh"
 
+#include <algorithm>
+#include <string>
+
 #include "base/logging.hh"
+#include "base/sync.hh"
 #include "obs/trace.hh"
 
 namespace contig
@@ -43,15 +47,34 @@ ReplayEngine::initShards(const XlatConfig &cfg, const PageTable &pt,
             shards_.push_back(
                 std::make_unique<TranslationSim>(shard_cfg, pt));
     }
+    loads_ = std::vector<LoadSlot>(threads_);
+    // Registered under "xlat" (not "xlat.replay") so the per-shard
+    // load counters land next to the replay totals: the exported
+    // names xlat.replay.* are unchanged and xlat.shard<i>.* joins
+    // them for the imbalance view.
     metricSource_ = obs::MetricSource(
-        obs::MetricRegistry::global(), "xlat.replay",
+        obs::MetricRegistry::global(), "xlat",
         [this](obs::MetricSink &sink) {
-            sink.counter("chunks", chunks_);
-            sink.counter("accesses", accessesDone_);
-            sink.gauge("threads", threads_);
+            sink.counter("replay.chunks", chunks_);
+            sink.counter("replay.accesses", accessesDone_);
+            sink.gauge("replay.threads", threads_);
+            for (unsigned i = 0; i < threads_; ++i) {
+                const ShardLoad l = shardLoad(i);
+                const std::string p = "shard" + std::to_string(i) + ".";
+                sink.counter(p + "accesses", l.accesses);
+                sink.counter(p + "busy_us", l.busyNs / 1000);
+                sink.counter(p + "stall_us", l.stallNs / 1000);
+                sink.counter(p + "wait_us", l.waitNs / 1000);
+            }
         });
-    if (threads_ > 1)
+    if (threads_ > 1) {
+        skewSummary_ =
+            &obs::MetricRegistry::global().summary("xlat.barrier.skew_us");
+        obs::TraceSink &ts = obs::TraceSink::global();
+        startWaitName_ = ts.intern("xlat.barrier.start");
+        endWaitName_ = ts.intern("xlat.barrier.end");
         startWorkers();
+    }
 }
 
 void
@@ -97,9 +120,23 @@ ReplayEngine::shardOf(Vpn vpn, unsigned threads)
 void
 ReplayEngine::workerLoop(unsigned id)
 {
+    // Bind a lane so the worker's trace events land on their own
+    // Chrome-trace tid (replay shards never fault, so reusing the
+    // per-CPU cache id space is safe).
+    ThisCpu::Scope lane(static_cast<int>(id));
+    obs::TraceSink &ts = obs::TraceSink::global();
     std::vector<MemAccess> &mine = lanes_[id];
+    LoadSlot &load = loads_[id];
     for (;;) {
+        const std::uint64_t w0 = ts.nowNs();
         startBarrier_->arrive_and_wait();
+        const std::uint64_t t0 = ts.nowNs();
+        load.waitNs.fetch_add(t0 - w0, std::memory_order_relaxed);
+#if CONTIG_TRACING
+        if (ts.wants(obs::kCatSync))
+            ts.recordSpan(startWaitName_, w0, t0 - w0, id,
+                          obs::TraceEventKind::BarrierWait);
+#endif
         if (stop_)
             return;
         mine.clear();
@@ -107,7 +144,18 @@ ReplayEngine::workerLoop(unsigned id)
             if (shardOf(chunk_[i].va.pageNumber(), threads_) == id)
                 mine.push_back(chunk_[i]);
         shards_[id]->accessChunk(mine.data(), mine.size());
+        const std::uint64_t t1 = ts.nowNs();
+        load.accesses.fetch_add(mine.size(), std::memory_order_relaxed);
+        load.busyNs.fetch_add(t1 - t0, std::memory_order_relaxed);
+        load.lastBusyNs.store(t1 - t0, std::memory_order_relaxed);
         endBarrier_->arrive_and_wait();
+        const std::uint64_t t2 = ts.nowNs();
+        load.stallNs.fetch_add(t2 - t1, std::memory_order_relaxed);
+#if CONTIG_TRACING
+        if (ts.wants(obs::kCatSync))
+            ts.recordSpan(endWaitName_, t1, t2 - t1, id,
+                          obs::TraceEventKind::BarrierWait);
+#endif
     }
 }
 
@@ -122,12 +170,29 @@ ReplayEngine::replayChunk(const MemAccess *a, std::size_t n)
             chunkPhase_,
             threads_ == 1 ? &shards_[0]->stats().walkCycles : nullptr);
         if (threads_ == 1) {
+            const std::uint64_t t0 = obs::TraceSink::global().nowNs();
             shards_[0]->accessChunk(a, n);
+            LoadSlot &load = loads_[0];
+            load.accesses.fetch_add(n, std::memory_order_relaxed);
+            load.busyNs.fetch_add(obs::TraceSink::global().nowNs() - t0,
+                                  std::memory_order_relaxed);
         } else {
             chunk_ = a;
             chunkN_ = n;
             startBarrier_->arrive_and_wait();
             endBarrier_->arrive_and_wait();
+            // Workers are past their replay section; their lastBusyNs
+            // stores happened-before the barrier completed. The
+            // max-min spread is the wall time the fastest shard spent
+            // waiting on the slowest — per-chunk barrier skew.
+            std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+            for (LoadSlot &l : loads_) {
+                const std::uint64_t b =
+                    l.lastBusyNs.load(std::memory_order_relaxed);
+                lo = std::min(lo, b);
+                hi = std::max(hi, b);
+            }
+            skewSummary_->add(static_cast<double>(hi - lo) / 1000.0);
         }
     }
     ++chunks_;
@@ -156,6 +221,18 @@ ReplayEngine::mergedStats() const
         sum.segmentHits += s.segmentHits;
     }
     return sum;
+}
+
+ReplayEngine::ShardLoad
+ReplayEngine::shardLoad(unsigned i) const
+{
+    const LoadSlot &l = loads_[i];
+    ShardLoad out;
+    out.accesses = l.accesses.load(std::memory_order_relaxed);
+    out.busyNs = l.busyNs.load(std::memory_order_relaxed);
+    out.stallNs = l.stallNs.load(std::memory_order_relaxed);
+    out.waitNs = l.waitNs.load(std::memory_order_relaxed);
+    return out;
 }
 
 std::optional<SpotStats>

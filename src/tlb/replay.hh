@@ -30,6 +30,7 @@
 #ifndef CONTIG_TLB_REPLAY_HH
 #define CONTIG_TLB_REPLAY_HH
 
+#include <atomic>
 #include <barrier>
 #include <memory>
 #include <optional>
@@ -70,6 +71,21 @@ class ReplayEngine
     /** Pipeline stats summed over shards (shard order). */
     XlatStats mergedStats() const;
 
+    /**
+     * Per-shard load accounting (the imbalance view): accesses
+     * replayed, time spent filtering+replaying (busy), time parked on
+     * the end barrier waiting for slower shards (stall) and time
+     * parked on the start barrier waiting for the next chunk (wait).
+     * threads == 1 runs accumulate busy/accesses on shard 0 only.
+     */
+    struct ShardLoad {
+        std::uint64_t accesses = 0;
+        std::uint64_t busyNs = 0;
+        std::uint64_t stallNs = 0;
+        std::uint64_t waitNs = 0;
+    };
+    ShardLoad shardLoad(unsigned i) const;
+
     /** SpOT engine stats summed over shards (nullopt if no SpOT). */
     std::optional<SpotStats> mergedSpotStats() const;
 
@@ -103,8 +119,33 @@ class ReplayEngine
 
     std::uint64_t chunks_ = 0;
     std::uint64_t accessesDone_ = 0;
+
+    /**
+     * Per-shard load counters, one padded slot per shard. Workers
+     * update their own slot with relaxed atomics; readers (metric
+     * export, the post-barrier skew calculation) fold them whenever —
+     * a reader racing a worker just sees the previous chunk's value.
+     * Declared before metricSource_: the source's destructor absorbs
+     * the final values, so the slots must outlive it.
+     */
+    struct alignas(64) LoadSlot {
+        std::atomic<std::uint64_t> accesses{0};
+        std::atomic<std::uint64_t> busyNs{0};
+        std::atomic<std::uint64_t> stallNs{0};
+        std::atomic<std::uint64_t> waitNs{0};
+        /** Busy time of the latest chunk (barrier-skew input). */
+        std::atomic<std::uint64_t> lastBusyNs{0};
+    };
+    std::vector<LoadSlot> loads_;
+
     obs::Phase chunkPhase_;
     obs::MetricSource metricSource_;
+    /** Per-chunk max-min shard busy time ("xlat.barrier.skew_us"),
+     *  bound only when threads_ > 1. */
+    Summary *skewSummary_ = nullptr;
+    /** Interned barrier-wait span names (kCatSync traces). */
+    const char *startWaitName_ = nullptr;
+    const char *endWaitName_ = nullptr;
 };
 
 } // namespace contig

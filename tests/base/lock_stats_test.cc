@@ -1,0 +1,230 @@
+/**
+ * Lock-contention accounting tests. These run under TSan in the
+ * sanitizer CI job (see scripts/ci.sh), so they double as the
+ * data-race proof for the striped counters and the instrumented
+ * SpinLock / MaybeGuard paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "base/lock_stats.hh"
+#include "base/sync.hh"
+
+using namespace contig;
+
+namespace
+{
+
+class LockStatsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        LockStatsRegistry::global().resetCounters();
+        wasEnabled_ = LockStatsRegistry::enabled();
+    }
+
+    void
+    TearDown() override
+    {
+        LockStatsRegistry::setEnabled(wasEnabled_);
+        LockStatsRegistry::global().resetCounters();
+    }
+
+    bool wasEnabled_ = false;
+};
+
+TEST_F(LockStatsTest, SiteRegistrationIsStableAndDeduplicated)
+{
+    LockSite &a = LockStatsRegistry::global().site("test.dedup");
+    LockSite &b = LockStatsRegistry::global().site("test.dedup");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.name(), "test.dedup");
+
+    bool found = false;
+    for (const LockSite *s : LockStatsRegistry::global().sites())
+        if (s == &a)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST_F(LockStatsTest, CountsExactAcquisitionsAcrossThreads)
+{
+    LockSite &site = LockStatsRegistry::global().site("test.exact");
+    site.reset();
+
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kIters = 2000;
+    SpinLock lock;
+    lock.bindStats(&site);
+
+    std::uint64_t shared = 0;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            for (unsigned i = 0; i < kIters; ++i) {
+                std::lock_guard<SpinLock> g(lock);
+                ++shared;
+            }
+        });
+    for (std::thread &th : threads)
+        th.join();
+
+    EXPECT_EQ(shared, std::uint64_t{kThreads} * kIters);
+    const LockSite::Totals t = site.totals();
+    // Every lock() is exactly one acquisition, contended or not.
+    EXPECT_EQ(t.acquisitions, std::uint64_t{kThreads} * kIters);
+    EXPECT_LE(t.contended, t.acquisitions);
+    // Contended time only accrues on contended acquisitions.
+    if (t.contended == 0) {
+        EXPECT_EQ(t.spinNs, 0u);
+    }
+}
+
+TEST_F(LockStatsTest, ForcedContentionIsObserved)
+{
+    LockSite &site = LockStatsRegistry::global().site("test.forced");
+    site.reset();
+
+    SpinLock lock;
+    lock.bindStats(&site);
+
+    // Hold the lock while a second thread tries to take it: that
+    // acquisition must be counted as contended, with wait time.
+    lock.lock();
+    std::thread waiter([&] {
+        std::lock_guard<SpinLock> g(lock);
+    });
+    // Give the waiter time to reach the contended path.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    lock.unlock();
+    waiter.join();
+
+    const LockSite::Totals t = site.totals();
+    EXPECT_EQ(t.acquisitions, 2u); // holder + waiter
+    EXPECT_GE(t.contended, 1u);
+    EXPECT_GT(t.spinNs, 0u);
+}
+
+TEST_F(LockStatsTest, UnboundLockKeepsSiteUntouched)
+{
+    LockSite &site = LockStatsRegistry::global().site("test.unbound");
+    site.reset();
+
+    SpinLock lock; // no bindStats
+    for (int i = 0; i < 100; ++i) {
+        std::lock_guard<SpinLock> g(lock);
+    }
+
+    const LockSite::Totals t = site.totals();
+    EXPECT_EQ(t.acquisitions, 0u);
+    EXPECT_EQ(t.contended, 0u);
+    EXPECT_EQ(t.spinNs, 0u);
+}
+
+TEST_F(LockStatsTest, MaybeGuardInstrumentsSharedMutex)
+{
+    LockSite &site = LockStatsRegistry::global().site("test.guard");
+    site.reset();
+
+    std::shared_mutex mu;
+    {
+        MaybeGuard<std::shared_mutex> g(mu, /*engage=*/true, &site);
+    }
+    {
+        // Disengaged guards must not count.
+        MaybeGuard<std::shared_mutex> g(mu, /*engage=*/false, &site);
+    }
+    {
+        MaybeSharedGuard<std::shared_mutex> g(mu, /*engage=*/true,
+                                              &site);
+    }
+    LockSite::Totals t = site.totals();
+    EXPECT_EQ(t.acquisitions, 2u);
+    EXPECT_EQ(t.contended, 0u);
+
+    // A writer arriving while a reader holds the mutex is contended.
+    mu.lock_shared();
+    std::thread writer([&] {
+        MaybeGuard<std::shared_mutex> g(mu, /*engage=*/true, &site);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    mu.unlock_shared();
+    writer.join();
+
+    t = site.totals();
+    EXPECT_EQ(t.acquisitions, 3u);
+    EXPECT_GE(t.contended, 1u);
+    EXPECT_GT(t.spinNs, 0u);
+}
+
+TEST_F(LockStatsTest, RetriesAccumulate)
+{
+    LockSite &site = LockStatsRegistry::global().site("test.retries");
+    site.reset();
+    site.noteRetries(0); // no-op
+    EXPECT_EQ(site.totals().retries, 0u);
+    site.noteRetries(3);
+    site.noteRetries(2);
+    EXPECT_EQ(site.totals().retries, 5u);
+}
+
+TEST_F(LockStatsTest, StripesFoldAcrossManyThreads)
+{
+    LockSite &site = LockStatsRegistry::global().site("test.stripes");
+    site.reset();
+
+    // More threads than stripes: several threads share a stripe and
+    // the fold must still be exact.
+    constexpr unsigned kThreads = 12;
+    constexpr unsigned kIters = 500;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            for (unsigned i = 0; i < kIters; ++i)
+                site.noteAcquire();
+        });
+    for (std::thread &th : threads)
+        th.join();
+    EXPECT_EQ(site.totals().acquisitions,
+              std::uint64_t{kThreads} * kIters);
+}
+
+TEST_F(LockStatsTest, EnableSwitchRoundTrips)
+{
+    LockStatsRegistry::setEnabled(true);
+    EXPECT_TRUE(LockStatsRegistry::enabled());
+    LockStatsRegistry::setEnabled(false);
+    EXPECT_FALSE(LockStatsRegistry::enabled());
+}
+
+TEST_F(LockStatsTest, ResetCountersZeroesEverySite)
+{
+    LockSite &site = LockStatsRegistry::global().site("test.reset");
+    site.noteAcquire();
+    site.noteContended(123);
+    site.noteRetries(7);
+    LockStatsRegistry::global().resetCounters();
+    const LockSite::Totals t = site.totals();
+    EXPECT_EQ(t.acquisitions, 0u);
+    EXPECT_EQ(t.contended, 0u);
+    EXPECT_EQ(t.retries, 0u);
+    EXPECT_EQ(t.spinNs, 0u);
+}
+
+TEST_F(LockStatsTest, OffsetRingSitePointerRoundTrips)
+{
+    LockSite &site = LockStatsRegistry::global().site("test.ring");
+    LockSite *saved = LockStatsRegistry::offsetRingSite();
+    LockStatsRegistry::setOffsetRingSite(&site);
+    EXPECT_EQ(LockStatsRegistry::offsetRingSite(), &site);
+    LockStatsRegistry::setOffsetRingSite(saved);
+}
+
+} // namespace

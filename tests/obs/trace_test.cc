@@ -3,7 +3,10 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
+#include "base/json.hh"
+#include "base/sync.hh"
 #include "obs/metrics.hh"
 #include "obs/phase.hh"
 #include "obs/trace.hh"
@@ -276,4 +279,135 @@ TEST_F(TraceTest, DisabledPhaseStillAccumulatesMetrics)
     EXPECT_EQ(TraceSink::global().size(), 0u);
     EXPECT_EQ(reg.snapshot().at("phase.quiet.wall_us").summary.count(),
               1u);
+}
+
+TEST_F(TraceTest, EventsCarryTheRecordingThreadsLane)
+{
+    TraceSink &sink = TraceSink::global();
+    sink.setCategoryMask(kCatAll);
+
+    // Main thread, no Scope bound: lane 0.
+    sink.record(TraceEventKind::PageFault, 1, 0, 0);
+    // A bound worker records on lane cpu+1; main is distinguishable
+    // from worker 0 (which would alias it under raw cpu ids).
+    std::thread worker([&] {
+        ThisCpu::Scope scope(0);
+        sink.record(TraceEventKind::PageFault, 2, 0, 0);
+        sink.recordSpan(sink.intern("w.span"), 10, 5, 0);
+    });
+    worker.join();
+    std::thread worker3([&] {
+        ThisCpu::Scope scope(3);
+        sink.record(TraceEventKind::PageFault, 3, 0, 0);
+    });
+    worker3.join();
+
+    auto evs = sink.events();
+    ASSERT_EQ(evs.size(), 4u);
+    EXPECT_EQ(evs[0].tid, 0u); // main
+    EXPECT_EQ(evs[1].tid, 1u); // worker 0
+    EXPECT_EQ(evs[2].tid, 1u); // worker 0's span
+    EXPECT_EQ(evs[3].tid, 4u); // worker 3
+}
+
+TEST_F(TraceTest, BarrierWaitIsASyncCategorySpan)
+{
+    TraceSink &sink = TraceSink::global();
+    EXPECT_EQ(traceCategoryOf(TraceEventKind::BarrierWait), kCatSync);
+    EXPECT_TRUE(traceIsSpanKind(TraceEventKind::BarrierWait));
+    EXPECT_TRUE(traceIsSpanKind(TraceEventKind::PhaseSpan));
+    EXPECT_FALSE(traceIsSpanKind(TraceEventKind::PageFault));
+
+    sink.setCategoryMask(kCatSync);
+    sink.recordSpan(sink.intern("xlat.barrier.start"), 100, 40, 2,
+                    TraceEventKind::BarrierWait);
+    auto evs = sink.events();
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_EQ(evs[0].kind, TraceEventKind::BarrierWait);
+    EXPECT_EQ(evs[0].durNs, 40u);
+    EXPECT_EQ(evs[0].args[0], 2u); // worker id
+}
+
+TEST_F(TraceTest, ChromeTraceEmitsPerThreadLanes)
+{
+    TraceSink &sink = TraceSink::global();
+    sink.setCategoryMask(kCatAll);
+    sink.record(TraceEventKind::PageFault, 1, 0, 0); // main, lane 0
+    std::thread worker([&] {
+        ThisCpu::Scope scope(1);
+        sink.recordSpan(sink.intern("xlat.barrier.end"), 50, 25, 1,
+                        TraceEventKind::BarrierWait);
+    });
+    worker.join();
+
+    const std::string path = tmpPath("lanes_trace.json");
+    ASSERT_TRUE(sink.writeChromeTrace(path));
+    const std::string doc = slurp(path);
+
+    // Per-lane thread_name metadata: a "main" lane and worker lanes.
+    EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(doc.find("\"main\""), std::string::npos);
+    EXPECT_NE(doc.find("\"worker1\""), std::string::npos);
+    // Events carry their lane as the Chrome tid.
+    EXPECT_NE(doc.find("\"tid\":0"), std::string::npos);
+    EXPECT_NE(doc.find("\"tid\":2"), std::string::npos);
+    // The barrier wait keeps its interned site name and rides the
+    // sync category.
+    EXPECT_NE(doc.find("\"xlat.barrier.end\""), std::string::npos);
+    EXPECT_NE(doc.find("\"sync\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, JsonlRoundTripsTidAndBarrierSpans)
+{
+    TraceSink &sink = TraceSink::global();
+    sink.setCategoryMask(kCatAll);
+    sink.record(TraceEventKind::TlbL2Miss, 0xabc, 0, 0);
+    std::thread worker([&] {
+        ThisCpu::Scope scope(2);
+        sink.recordSpan(sink.intern("xlat.barrier.start"), 100, 40, 2,
+                        TraceEventKind::BarrierWait);
+    });
+    worker.join();
+
+    const std::string path = tmpPath("tid_trace.jsonl");
+    ASSERT_TRUE(sink.writeJsonl(path));
+    std::ifstream in(path);
+    std::string line;
+    std::vector<JsonValue> docs;
+    while (std::getline(in, line)) {
+        std::string err;
+        auto doc = JsonValue::parse(line, &err);
+        ASSERT_TRUE(doc) << err;
+        docs.push_back(std::move(*doc));
+    }
+    std::remove(path.c_str());
+
+    ASSERT_EQ(docs.size(), 2u);
+    EXPECT_DOUBLE_EQ(docs[0].numberOr("tid", -1), 0.0);
+    EXPECT_DOUBLE_EQ(docs[1].numberOr("tid", -1), 3.0);
+    const JsonValue *name = docs[1].find("name");
+    ASSERT_TRUE(name && name->isString());
+    EXPECT_EQ(name->asString(), "xlat.barrier.start");
+    EXPECT_DOUBLE_EQ(docs[1].numberOr("dur_ns", -1), 40.0);
+}
+
+TEST_F(TraceTest, LaneRestoresAcrossNestedScopes)
+{
+    EXPECT_EQ(ThisCpu::lane(), 0u);
+    EXPECT_FALSE(ThisCpu::bound());
+    {
+        ThisCpu::Scope outer(5);
+        EXPECT_EQ(ThisCpu::lane(), 6u);
+        EXPECT_TRUE(ThisCpu::bound());
+        {
+            ThisCpu::Scope inner(0);
+            EXPECT_EQ(ThisCpu::lane(), 1u);
+        }
+        EXPECT_EQ(ThisCpu::lane(), 6u);
+    }
+    EXPECT_EQ(ThisCpu::lane(), 0u);
+    EXPECT_FALSE(ThisCpu::bound());
+    // id() keeps its pcp-cache semantics: 0 when unbound.
+    EXPECT_EQ(ThisCpu::id(), 0);
 }

@@ -3,6 +3,7 @@
 #include "base/rng.hh"
 #include "core/config.hh"
 #include "mm/kernel.hh"
+#include "obs/trace.hh"
 #include "tlb/replay.hh"
 #include "virt/vm.hh"
 
@@ -248,4 +249,68 @@ TEST_F(ReplayTest, ShardPartitionIsPureAndCoversAllShards)
     // One shard degenerates to the identity partition.
     for (Vpn v = 0; v < 64; ++v)
         EXPECT_EQ(ReplayEngine::shardOf(v, 1), 0u);
+}
+
+TEST_F(ReplayTest, ShardLoadAccountingAccumulates)
+{
+    const auto t = trace(20000, 23);
+    ReplayEngine engine(config(XlatScheme::Spot), 3, proc.pageTable());
+    feed(engine, t, 1024);
+
+    std::uint64_t accounted = 0;
+    for (unsigned id = 0; id < 3; ++id) {
+        const ReplayEngine::ShardLoad l = engine.shardLoad(id);
+        EXPECT_EQ(l.accesses, engine.shard(id).stats().accesses)
+            << "shard " << id;
+        accounted += l.accesses;
+    }
+    EXPECT_EQ(accounted, t.size());
+
+    // The single-shard path accounts on slot 0 only.
+    ReplayEngine one(config(XlatScheme::Spot), 1, proc.pageTable());
+    feed(one, t, 1024);
+    EXPECT_EQ(one.shardLoad(0).accesses, t.size());
+    EXPECT_EQ(one.shardLoad(0).stallNs, 0u);
+    EXPECT_EQ(one.shardLoad(0).waitNs, 0u);
+}
+
+TEST_F(ReplayTest, ThreadedReplayEmitsBarrierSpansOnWorkerLanes)
+{
+    obs::TraceSink &sink = obs::TraceSink::global();
+    sink.clear();
+    sink.setCapacity(1u << 16);
+    sink.setCategoryMask(obs::kCatSync);
+
+    {
+        const auto t = trace(8000, 29);
+        ReplayEngine engine(config(XlatScheme::Base), 2,
+                            proc.pageTable());
+        feed(engine, t, 2048);
+    }
+
+    std::vector<unsigned> lane_waits(3, 0);
+    std::uint64_t spans = 0;
+    for (const obs::TraceEvent &ev : sink.events()) {
+        if (ev.kind != obs::TraceEventKind::BarrierWait)
+            continue;
+        ++spans;
+        ASSERT_TRUE(ev.spanName != nullptr);
+        const std::string name = ev.spanName;
+        EXPECT_TRUE(name == "xlat.barrier.start" ||
+                    name == "xlat.barrier.end")
+            << name;
+        // Worker lanes are 1 and 2 (never 0: main doesn't wait on
+        // the worker barriers; the workers do).
+        ASSERT_GE(ev.tid, 1u);
+        ASSERT_LE(ev.tid, 2u);
+        // The span's worker arg agrees with the lane it landed on.
+        EXPECT_EQ(ev.args[0] + 1, ev.tid);
+        ++lane_waits[ev.tid];
+    }
+    EXPECT_GT(spans, 0u);
+    EXPECT_GT(lane_waits[1], 0u);
+    EXPECT_GT(lane_waits[2], 0u);
+
+    sink.setCategoryMask(0);
+    sink.clear();
 }

@@ -333,12 +333,24 @@ numbersClose(double cur, double base, double rel_tol)
     return std::fabs(cur - base) <= rel_tol * mag + 1e-12;
 }
 
-/** Wall-clock phase timers vary run to run; never gate on them. */
+/** Wall-clock metrics vary run to run; never gate on them. That is
+ *  the phase timers plus the concurrency-observatory accounting:
+ *  worker/shard busy/stall/wait times, barrier skew, and the whole
+ *  lock.* contention group (counts depend on scheduling). */
 bool
 ignoredMetric(const std::string &path)
 {
-    return path.size() >= 8 &&
-           path.compare(path.size() - 8, 8, ".wall_us") == 0;
+    static const char *const suffixes[] = {
+        ".wall_us", ".busy_us", ".stall_us", ".wait_us",
+        ".spin_us", ".skew_us",
+    };
+    for (const char *suffix : suffixes) {
+        const std::size_t n = std::strlen(suffix);
+        if (path.size() >= n &&
+            path.compare(path.size() - n, n, suffix) == 0)
+            return true;
+    }
+    return path.rfind("metrics.lock.", 0) == 0;
 }
 
 void
