@@ -100,6 +100,11 @@ main(int argc, char **argv)
     BenchOutput out("fig13_translation_overhead", argc, argv);
     gReplay.threads = out.xlatThreads();
     gReplay.chunkAccesses = out.xlatChunk();
+    gReplay.traceIn = out.traceIn();
+    gReplay.traceOut = out.traceOut();
+    gReplay.ckptIn = out.ckptIn();
+    gReplay.ckptOut = out.ckptOut();
+    gReplay.ckptAtChunk = out.ckptAtChunk();
 
     Report rep("Fig. 13 — translation overhead vs ideal execution "
                "(lower is better)");

@@ -26,6 +26,11 @@ main(int argc, char **argv)
     XlatReplayOpts replay;
     replay.threads = out.xlatThreads();
     replay.chunkAccesses = out.xlatChunk();
+    replay.traceIn = out.traceIn();
+    replay.traceOut = out.traceOut();
+    replay.ckptIn = out.ckptIn();
+    replay.ckptOut = out.ckptOut();
+    replay.ckptAtChunk = out.ckptAtChunk();
 
     Report rep("Fig. 14 — SpOT outcome breakdown per L2-TLB miss");
     rep.header({"workload", "correct", "mispredicted", "no-prediction",

@@ -2,7 +2,7 @@
 """Validate a bench binary's --json output against the documented schema.
 
 Usage: check_bench_json.py [--expect-lock-stats] [--expect-scaling]
-                           <bench-binary> [extra args...]
+                           [--expect-trace] <bench-binary> [extra args...]
        check_bench_json.py --timeline-file <timeline.jsonl>
 
 Runs the bench with --json into a temp file and checks the document is
@@ -23,9 +23,18 @@ Schema v3 additions are validated whenever present:
   - the derived "scaling" section must follow the documented shape
     ({parallel: {...}, xlat: {...}, locks: {top_contended: [...]}},
     every sub-section optional but well-formed when emitted).
+Schema v3 trace-frontend additions, also validated whenever present:
+  - "config.run" keys trace.in/trace.out require trace.digest; a
+    ckpt.at_chunk note requires ckpt.out + ckpt.accesses; a
+    ckpt.resume_chunk note requires trace.in,
+  - "metrics" keys trace.frontend.<leaf> must use known leaves and be
+    numeric; any run noting trace.in must emit them,
+  - the "scaling" section may carry a "trace_frontend" decode report.
 --expect-lock-stats / --expect-scaling turn presence of lock.* metrics
 and of a "scaling" section into hard requirements (used by the ctest
-that runs a bench under --lock-stats).
+that runs a bench under --lock-stats). --expect-trace first captures a
+trace (--trace-out into a temp dir), then runs the validated bench
+with --trace-in on it, requiring trace.frontend.* metrics.
 
 With --timeline-file it instead validates an observatory timeline: one
 JSON snapshot record per line, per-stream strictly-increasing seq and
@@ -48,6 +57,26 @@ def fail(msg):
 
 
 LOCK_LEAVES = {"acquisitions", "contended", "retries", "spin_us"}
+
+FRONTEND_LEAVES = {"chunks_decoded", "accesses_decoded",
+                   "bytes_decoded", "decode_us", "stall_us", "wait_us",
+                   "ring_depth", "start_chunk"}
+
+
+def check_frontend_metrics(metrics):
+    """Validate trace.frontend.<leaf> keys; return True if any seen."""
+    seen = False
+    for name, value in metrics.items():
+        if not name.startswith("trace.frontend."):
+            continue
+        seen = True
+        leaf = name[len("trace.frontend."):]
+        if leaf not in FRONTEND_LEAVES:
+            fail(f"trace metric {name!r} has unknown leaf {leaf!r} "
+                 f"(expected one of {sorted(FRONTEND_LEAVES)})")
+        if not isinstance(value, (int, float)):
+            fail(f"trace metric {name!r} is not numeric: {value!r}")
+    return seen
 
 
 def check_lock_metrics(metrics):
@@ -85,7 +114,8 @@ def check_scaling(scaling):
     """Validate the derived 'scaling' report section (schema v3)."""
     if not isinstance(scaling, dict) or not scaling:
         fail("'scaling' must be a non-empty object")
-    unknown = set(scaling) - {"parallel", "xlat", "locks"}
+    unknown = set(scaling) - {"parallel", "xlat", "locks",
+                              "trace_frontend"}
     if unknown:
         fail(f"'scaling' has unknown sub-sections {sorted(unknown)}")
 
@@ -119,6 +149,19 @@ def check_scaling(scaling):
             check_numeric_list(f"scaling.xlat.{key}", xlat[key])
             if len(xlat[key]) != xlat["shards"]:
                 fail(f"'scaling.xlat.{key}' length != shards")
+
+    if "trace_frontend" in scaling:
+        tf = scaling["trace_frontend"]
+        if not isinstance(tf, dict):
+            fail("'scaling.trace_frontend' must be an object")
+        for key in ("chunks_decoded", "accesses_decoded",
+                    "bytes_decoded", "decode_us", "producer_stall_us",
+                    "consumer_wait_us"):
+            if key not in tf:
+                fail(f"'scaling.trace_frontend' missing {key!r}")
+            if not isinstance(tf[key], (int, float)):
+                fail(f"'scaling.trace_frontend.{key}' is not numeric: "
+                     f"{tf[key]!r}")
 
     if "locks" in scaling:
         locks = scaling["locks"]
@@ -213,16 +256,20 @@ def main():
     argv = sys.argv[1:]
     expect_lock_stats = False
     expect_scaling = False
-    while argv and argv[0] in ("--expect-lock-stats", "--expect-scaling"):
+    expect_trace = False
+    while argv and argv[0] in ("--expect-lock-stats", "--expect-scaling",
+                               "--expect-trace"):
         if argv[0] == "--expect-lock-stats":
             expect_lock_stats = True
-        else:
+        elif argv[0] == "--expect-scaling":
             expect_scaling = True
+        else:
+            expect_trace = True
         argv = argv[1:]
     if not argv:
         fail("usage: check_bench_json.py [--expect-lock-stats] "
-             "[--expect-scaling] <bench-binary> [args...] | "
-             "--timeline-file <timeline.jsonl>")
+             "[--expect-scaling] [--expect-trace] <bench-binary> "
+             "[args...] | --timeline-file <timeline.jsonl>")
     if argv[0] == "--timeline-file":
         if len(argv) != 2:
             fail("--timeline-file takes exactly one path")
@@ -235,6 +282,22 @@ def main():
     with tempfile.TemporaryDirectory() as tmp:
         out_path = Path(tmp) / "out.json"
         cmd = [str(bench), *argv[1:], "--json", str(out_path)]
+        if expect_trace:
+            # Capture → replay through the trace frontend inside the
+            # temp dir, then validate the replay run's JSON (it carries
+            # both trace.in provenance and trace.frontend.* metrics).
+            cap = Path(tmp) / "cap"
+            proc = subprocess.run(
+                [str(bench), *argv[1:], "--json",
+                 str(Path(tmp) / "cap.json"), "--trace-out", str(cap)],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                timeout=600)
+            if proc.returncode != 0:
+                fail(f"capture run exited {proc.returncode}:\n"
+                     f"{proc.stdout.decode(errors='replace')[-2000:]}")
+            if not list(Path(tmp).glob("cap.*.ctrace")):
+                fail("--expect-trace: capture produced no .ctrace files")
+            cmd += ["--trace-in", str(cap)]
         proc = subprocess.run(cmd, stdout=subprocess.PIPE,
                               stderr=subprocess.STDOUT, timeout=600)
         if proc.returncode != 0:
@@ -306,6 +369,22 @@ def main():
         for key in ("xlat.threads", "xlat.chunk_accesses", "xlat.memo"):
             if key not in run:
                 fail(f"'config.run' missing {key!r}")
+    # Trace-frontend provenance: a run that captured (trace.out) or
+    # replayed (trace.in) .ctrace files must record the config digest
+    # the files are keyed by, and checkpoint notes must come in
+    # consistent pairs (interrupted runs note ckpt.out + the snapshot
+    # position; resumed runs note where they rejoined the trace).
+    if "trace.in" in run or "trace.out" in run:
+        if "trace.digest" not in run:
+            fail("'config.run' has trace.in/trace.out but no "
+                 "trace.digest")
+    if "ckpt.at_chunk" in run:
+        for key in ("ckpt.out", "ckpt.accesses"):
+            if key not in run:
+                fail(f"'config.run' has ckpt.at_chunk but no {key!r}")
+    if "ckpt.resume_chunk" in run and "trace.in" not in run:
+        fail("'config.run' has ckpt.resume_chunk but no trace.in "
+             "(resume is only defined while replaying a trace)")
 
     rows = doc["rows"]
     if not isinstance(rows, list) or not rows:
@@ -327,6 +406,13 @@ def main():
         fail("--expect-lock-stats: no lock.<site>.* metrics in output "
              "(was the bench run with --lock-stats?)")
 
+    have_frontend = check_frontend_metrics(metrics)
+    if "trace.in" in run and not have_frontend:
+        fail("run replayed a trace (trace.in noted) but emitted no "
+             "trace.frontend.* metrics")
+    if expect_trace and not have_frontend:
+        fail("--expect-trace: no trace.frontend.* metrics in output")
+
     if "scaling" in doc:
         check_scaling(doc["scaling"])
     elif expect_scaling:
@@ -335,6 +421,8 @@ def main():
     extra = ""
     if lock_sites:
         extra = f", {len(lock_sites)} lock sites"
+    if have_frontend:
+        extra += ", trace frontend"
     if "scaling" in doc:
         extra += ", scaling section"
     print(f"check_bench_json: OK: {doc['bench']}: {len(rows)} rows, "

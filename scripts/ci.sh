@@ -86,6 +86,22 @@ python3 "$root/scripts/lock_contention_summary.py" --check \
     "$root/BENCH_micro_fault_scaling_locks.json" \
     "$root/BENCH_micro_xlat_scaling_locks.json"
 
+# Trace-frontend gate: capture fig13 to .ctrace files, replay them,
+# interrupt the replay with a checkpoint at chunk 3, resume, and
+# require the replayed and resumed runs' canonical JSON byte-identical
+# to the live run at 1 and 4 replay shards. The traces, checkpoints
+# and JSONs are kept as TRACE_* artifacts (trace-info summarizes the
+# first capture so the artifact log shows the compression ratio).
+echo "=== trace frontend gate ==="
+mkdir -p "$root/TRACE_roundtrip"
+python3 "$root/scripts/trace_roundtrip_check.py" \
+    "$bench/fig13_translation_overhead" --threads 1,4 --ckpt-at 3 \
+    --artifacts "$root/TRACE_roundtrip"
+python3 "$root/scripts/check_bench_json.py" --expect-trace \
+    "$bench/fig14_spot_breakdown"
+"$out/release/tools/contig_inspect" trace-info \
+    "$(ls "$root"/TRACE_roundtrip/cap.*.ctrace | head -1)"
+
 # Regression gate: the fig09 rows/metrics must match the committed
 # baseline within contig_inspect's per-metric tolerances.
 echo "=== baseline gate ==="

@@ -38,6 +38,25 @@ class Rng
     /** True with the given probability. */
     bool chance(double p);
 
+    /**
+     * Raw xoshiro256** state, for checkpoint/restore. setState with a
+     * previously captured state resumes the stream exactly where the
+     * capture left it.
+     */
+    void
+    state(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = s_[i];
+    }
+
+    void
+    setState(const std::uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            s_[i] = in[i];
+    }
+
     /** Fisher-Yates shuffle of a vector. */
     template <typename T>
     void

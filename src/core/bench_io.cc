@@ -55,9 +55,43 @@ BenchOutput::BenchOutput(std::string bench, int argc, char **argv)
         if (const char *env = std::getenv("CONTIG_XLAT_CHUNK"))
             xlatChunk_ = static_cast<std::uint64_t>(
                 std::max(0l, std::strtol(env, nullptr, 10)));
+    if (traceIn_.empty())
+        if (const char *env = std::getenv("CONTIG_CTRACE_IN"))
+            traceIn_ = env;
+    if (traceOut_.empty())
+        if (const char *env = std::getenv("CONTIG_CTRACE_OUT"))
+            traceOut_ = env;
+    if (ckptIn_.empty())
+        if (const char *env = std::getenv("CONTIG_CKPT_IN"))
+            ckptIn_ = env;
+    if (ckptOut_.empty())
+        if (const char *env = std::getenv("CONTIG_CKPT_OUT"))
+            ckptOut_ = env;
+    if (ckptAtChunk_ == 0)
+        if (const char *env = std::getenv("CONTIG_CKPT_AT"))
+            ckptAtChunk_ = static_cast<std::uint64_t>(
+                std::max(0l, std::strtol(env, nullptr, 10)));
     if (!lockStats_)
         if (const char *env = std::getenv("CONTIG_LOCK_STATS"))
             lockStats_ = env[0] != '\0' && std::strcmp(env, "0") != 0;
+
+    if (!traceIn_.empty() && !traceOut_.empty())
+        fatal("%s: --trace-in and --trace-out are mutually exclusive",
+              bench_.c_str());
+    if (!ckptIn_.empty() && traceIn_.empty())
+        fatal("%s: --ckpt-in requires --trace-in (a checkpoint resumes"
+              " a trace replay)",
+              bench_.c_str());
+    if (!ckptOut_.empty() && traceIn_.empty())
+        fatal("%s: --ckpt-out requires --trace-in (checkpoints are"
+              " taken at trace chunk boundaries)",
+              bench_.c_str());
+    if (!ckptOut_.empty() && ckptAtChunk_ == 0)
+        fatal("%s: --ckpt-out requires --ckpt-at CHUNK",
+              bench_.c_str());
+    if (ckptAtChunk_ != 0 && ckptOut_.empty())
+        fatal("%s: --ckpt-at requires --ckpt-out PREFIX",
+              bench_.c_str());
 
     if (lockStats_) {
         // Flip the switch before any kernel exists so every
@@ -120,6 +154,21 @@ BenchOutput::parseArgs(int argc, char **argv)
                       " got '%s'",
                       bench_.c_str(), argv[i]);
             xlatChunk_ = static_cast<std::uint64_t>(n);
+        } else if (arg == "--trace-in" && has_next) {
+            traceIn_ = argv[++i];
+        } else if (arg == "--trace-out" && has_next) {
+            traceOut_ = argv[++i];
+        } else if (arg == "--ckpt-in" && has_next) {
+            ckptIn_ = argv[++i];
+        } else if (arg == "--ckpt-out" && has_next) {
+            ckptOut_ = argv[++i];
+        } else if (arg == "--ckpt-at" && has_next) {
+            const long n = std::strtol(argv[++i], nullptr, 10);
+            if (n < 1)
+                fatal("%s: --ckpt-at wants a positive chunk index,"
+                      " got '%s'",
+                      bench_.c_str(), argv[i]);
+            ckptAtChunk_ = static_cast<std::uint64_t>(n);
         } else if (arg == "--lock-stats") {
             lockStats_ = true;
         } else if (arg == "--trace-categories" && has_next) {
@@ -136,7 +185,9 @@ BenchOutput::parseArgs(int argc, char **argv)
                   "usage: %s [--json FILE] [--trace FILE]"
                   " [--timeline FILE] [--trace-categories LIST]"
                   " [--threads N] [--xlat-threads N] [--xlat-chunk N]"
-                  " [--lock-stats]",
+                  " [--trace-in PREFIX] [--trace-out PREFIX]"
+                  " [--ckpt-in PREFIX] [--ckpt-out PREFIX]"
+                  " [--ckpt-at CHUNK] [--lock-stats]",
                   bench_.c_str(), argv[i], bench_.c_str());
         }
     }
@@ -220,11 +271,33 @@ BenchOutput::writeScaling(JsonWriter &w) const
     }
     const Summary *skew = summaryOf("xlat.barrier.skew_us");
 
+    // Trace-replay frontend (TraceReplaySource's producer thread).
+    struct Frontend
+    {
+        std::uint64_t chunks = 0;
+        std::uint64_t accesses = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t decodeUs = 0;
+        std::uint64_t stallUs = 0;
+        std::uint64_t waitUs = 0;
+    };
+    Frontend fe;
+    const bool have_frontend =
+        counterOf("trace.frontend.chunks_decoded", fe.chunks);
+    if (have_frontend) {
+        counterOf("trace.frontend.accesses_decoded", fe.accesses);
+        counterOf("trace.frontend.bytes_decoded", fe.bytes);
+        counterOf("trace.frontend.decode_us", fe.decodeUs);
+        counterOf("trace.frontend.stall_us", fe.stallUs);
+        counterOf("trace.frontend.wait_us", fe.waitUs);
+    }
+
     std::vector<const LockSite *> sites;
     if (lockStats_)
         sites = LockStatsRegistry::global().sites();
 
-    if ((busy.empty() || !wall) && shards.empty() && sites.empty())
+    if ((busy.empty() || !wall) && shards.empty() && sites.empty() &&
+        !have_frontend)
         return;
 
     w.key("scaling");
@@ -298,6 +371,18 @@ BenchOutput::writeScaling(JsonWriter &w) const
             w.field("barrier_skew_us_mean", skew->mean());
             w.field("barrier_skew_us_max", skew->max());
         }
+        w.endObject();
+    }
+
+    if (have_frontend) {
+        w.key("trace_frontend");
+        w.beginObject();
+        w.field("chunks_decoded", fe.chunks);
+        w.field("accesses_decoded", fe.accesses);
+        w.field("bytes_decoded", fe.bytes);
+        w.field("decode_us", fe.decodeUs);
+        w.field("producer_stall_us", fe.stallUs);
+        w.field("consumer_wait_us", fe.waitUs);
         w.endObject();
     }
 

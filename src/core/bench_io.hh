@@ -97,6 +97,22 @@ class BenchOutput
     std::uint64_t xlatChunk() const { return xlatChunk_; }
 
     /**
+     * Trace-frontend options (`--trace-in/--trace-out/--ckpt-in/`
+     * `--ckpt-out` file prefixes and `--ckpt-at` chunk index, or the
+     * CONTIG_CTRACE_IN / CONTIG_CTRACE_OUT / CONTIG_CKPT_IN /
+     * CONTIG_CKPT_OUT / CONTIG_CKPT_AT environment fallbacks). Cross
+     * validation happens at parse time: --ckpt-in/--ckpt-out need
+     * --trace-in, --ckpt-out and --ckpt-at need each other, and
+     * --trace-in/--trace-out are mutually exclusive. Translation
+     * benches forward these into XlatReplayOpts.
+     */
+    const std::string &traceIn() const { return traceIn_; }
+    const std::string &traceOut() const { return traceOut_; }
+    const std::string &ckptIn() const { return ckptIn_; }
+    const std::string &ckptOut() const { return ckptOut_; }
+    std::uint64_t ckptAtChunk() const { return ckptAtChunk_; }
+
+    /**
      * True when `--lock-stats` (or CONTIG_LOCK_STATS=1) switched the
      * contention accounting on. Benches never need to check this —
      * KernelConfig::normalized() picks the mode up from the
@@ -129,6 +145,11 @@ class BenchOutput
     unsigned threads_ = 1;
     unsigned xlatThreads_ = 1;
     std::uint64_t xlatChunk_ = 0;
+    std::string traceIn_;
+    std::string traceOut_;
+    std::string ckptIn_;
+    std::string ckptOut_;
+    std::uint64_t ckptAtChunk_ = 0;
     bool lockStats_ = false;
     /** Live "lock." source over the LockStatsRegistry, bound for the
      *  run's lifetime when lock stats are on. */

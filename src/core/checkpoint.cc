@@ -1,0 +1,148 @@
+#include "core/checkpoint.hh"
+
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "base/serialize.hh"
+#include "mm/kernel.hh"
+#include "tlb/replay.hh"
+
+namespace contig
+{
+
+namespace
+{
+
+constexpr std::uint32_t kMetaTag = sectionTag('M', 'E', 'T', 'A');
+constexpr std::uint32_t kEngineTag = sectionTag('E', 'N', 'G', 'B');
+constexpr std::uint32_t kKernelsTag = sectionTag('K', 'B', 'L', 'B');
+
+} // namespace
+
+void
+Checkpoint::write(const std::string &path, const CkptMeta &meta,
+                  const ReplayEngine &engine,
+                  const std::vector<const Kernel *> &kernels)
+{
+    Serializer s;
+    s.u32(kCkptMagic);
+    s.u32(kCkptVersion);
+
+    const std::size_t meta_sec = s.beginSection(kMetaTag);
+    s.u64(meta.traceDigest);
+    s.u64(meta.chunk);
+    s.u64(meta.accesses);
+    s.endSection(meta_sec);
+
+    // The engine state is nested as an opaque byte blob so the outer
+    // reader can hold it without a live engine (restore happens later,
+    // against an engine built from the rerun workload setup).
+    Serializer engine_s;
+    engine.saveState(engine_s);
+    const std::size_t engine_sec = s.beginSection(kEngineTag);
+    s.u64(engine_s.size());
+    s.bytes(engine_s.data().data(), engine_s.size());
+    s.endSection(engine_sec);
+
+    const std::size_t kernels_sec = s.beginSection(kKernelsTag);
+    s.u64(kernels.size());
+    for (const Kernel *k : kernels) {
+        Serializer ks;
+        k->saveState(ks);
+        s.u64(ks.size());
+        s.bytes(ks.data().data(), ks.size());
+    }
+    s.endSection(kernels_sec);
+
+    s.u32(crc32(s.data().data(), s.size()));
+
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open checkpoint '%s' for writing", path.c_str());
+    if (std::fwrite(s.data().data(), 1, s.size(), f) != s.size()) {
+        std::fclose(f);
+        fatal("short write to checkpoint '%s'", path.c_str());
+    }
+    if (std::fclose(f) != 0)
+        fatal("error closing checkpoint '%s'", path.c_str());
+}
+
+Checkpoint::Checkpoint(const std::string &path)
+    : path_(path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open checkpoint '%s'", path.c_str());
+    std::vector<std::uint8_t> buf;
+    std::uint8_t tmp[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(tmp, 1, sizeof tmp, f)) > 0)
+        buf.insert(buf.end(), tmp, tmp + n);
+    std::fclose(f);
+
+    if (buf.size() < 12)
+        fatal("truncated checkpoint '%s': %zu bytes", path.c_str(),
+              buf.size());
+    const std::uint32_t stored_crc =
+        static_cast<std::uint32_t>(buf[buf.size() - 4]) |
+        static_cast<std::uint32_t>(buf[buf.size() - 3]) << 8 |
+        static_cast<std::uint32_t>(buf[buf.size() - 2]) << 16 |
+        static_cast<std::uint32_t>(buf[buf.size() - 1]) << 24;
+    if (crc32(buf.data(), buf.size() - 4) != stored_crc)
+        fatal("checkpoint '%s' CRC mismatch — the file is corrupt or "
+              "truncated",
+              path.c_str());
+
+    Deserializer d(buf.data(), buf.size() - 4, "checkpoint");
+    const std::uint32_t magic = d.u32();
+    if (magic != kCkptMagic)
+        fatal("'%s' is not a checkpoint file: bad magic 0x%08x",
+              path.c_str(), magic);
+    const std::uint32_t version = d.u32();
+    if (version != kCkptVersion)
+        fatal("checkpoint version mismatch in '%s': file is v%u, this "
+              "build reads v%u",
+              path.c_str(), version, kCkptVersion);
+
+    d.expectSection(kMetaTag, "checkpoint meta");
+    meta_.traceDigest = d.u64();
+    meta_.chunk = d.u64();
+    meta_.accesses = d.u64();
+
+    d.expectSection(kEngineTag, "checkpoint engine state");
+    engineBlob_.resize(d.u64());
+    d.bytes(engineBlob_.data(), engineBlob_.size());
+
+    d.expectSection(kKernelsTag, "checkpoint kernel state");
+    kernelBlobs_.resize(d.u64());
+    for (auto &blob : kernelBlobs_) {
+        blob.resize(d.u64());
+        d.bytes(blob.data(), blob.size());
+    }
+}
+
+void
+Checkpoint::restore(ReplayEngine &engine,
+                    const std::vector<const Kernel *> &kernels) const
+{
+    if (kernels.size() != kernelBlobs_.size())
+        fatal("checkpoint '%s' holds %zu kernel snapshots, this run has "
+              "%zu kernels — the configurations do not match",
+              path_.c_str(), kernelBlobs_.size(), kernels.size());
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        Serializer live;
+        kernels[i]->saveState(live);
+        if (live.data() != kernelBlobs_[i])
+            fatal("checkpoint '%s': rebuilt state of kernel %zu (%s) "
+                  "differs from the snapshot — the workload setup did "
+                  "not reproduce the checkpointed run (different seed, "
+                  "config or code version?)",
+                  path_.c_str(), i,
+                  kernels[i]->config().metricsPrefix.c_str());
+    }
+    Deserializer d(engineBlob_.data(), engineBlob_.size(),
+                   "checkpoint engine state");
+    engine.restoreState(d);
+}
+
+} // namespace contig

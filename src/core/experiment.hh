@@ -133,6 +133,26 @@ struct XlatReplayOpts
     std::uint64_t chunkAccesses = 0;
     /** Walk-traversal memo (pure wall-clock knob; results identical). */
     bool memo = true;
+    /**
+     * Trace frontend. The strings are file *prefixes*: a bench calls
+     * runTranslation once per configuration on an evolving workload,
+     * so run N reads/writes "<prefix>.runN.ctrace" (and
+     * "<prefix>.runN.ckpt"), each keyed by a config digest over
+     * (workload, seed, accesses, N).
+     *
+     *  - traceOut: capture the generated access stream to disk while
+     *    replaying it live (results identical to a plain run);
+     *  - traceIn: replay a captured trace through the decoupled
+     *    producer-thread frontend instead of generating accesses;
+     *  - ckptOut + ckptAtChunk: stop after trace chunk K and snapshot
+     *    the full simulator state (requires traceIn);
+     *  - ckptIn: resume a traceIn replay from a snapshot.
+     */
+    std::string traceIn;
+    std::string traceOut;
+    std::string ckptIn;
+    std::string ckptOut;
+    std::uint64_t ckptAtChunk = 0;
 };
 
 /**

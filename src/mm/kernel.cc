@@ -6,6 +6,7 @@
 #include "base/logging.hh"
 #include "obs/observatory.hh"
 #include "obs/trace.hh"
+#include "base/serialize.hh"
 
 namespace contig
 {
@@ -382,6 +383,37 @@ Kernel::forkInto(Process &parent, Process &child)
         }
         engine_->shareCowRange(parent, child, pvma, cvma);
     });
+}
+
+
+void
+Kernel::saveState(Serializer &s) const
+{
+    const std::size_t sec = s.beginSection(sectionTag('K', 'E', 'R', 'N'));
+    s.u64(now());
+    const FaultStats &fs = faultStats();
+    s.u64(fs.faults);
+    s.u64(fs.hugeFaults);
+    s.u64(fs.baseFaults);
+    s.u64(fs.cowFaults);
+    s.u64(fs.fileFaults);
+    s.u64(fs.totalCycles);
+    s.u64(fs.latencyUs.count());
+    const CounterSet::Map &counters = counters_.all();
+    s.u64(counters.size());
+    for (const auto &[name, value] : counters) {
+        s.str(name);
+        s.u64(value);
+    }
+    s.u64(kernelPoolPages_);
+    physMem_.saveState(s);
+    s.u64(processes_.size());
+    for (const auto &p : processes_) {
+        s.u32(p->pid());
+        s.str(p->name());
+        p->addressSpace().saveState(s);
+    }
+    s.endSection(sec);
 }
 
 } // namespace contig

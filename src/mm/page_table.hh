@@ -29,6 +29,8 @@
 namespace contig
 {
 
+class Serializer;
+
 /** Number of entries per page-table node (9 index bits per level). */
 constexpr unsigned kPtFanout = 512;
 /** Default radix depth (x86-64 4-level; 5-level for 57-bit VA). */
@@ -193,6 +195,14 @@ class PageTable
      */
     std::uint64_t generation() const
     { return generation_.load(std::memory_order_relaxed); }
+
+    /**
+     * Serialize the table's observable state — geometry, generation,
+     * stats and every leaf in ascending vpn order — for checkpoint
+     * verification (save-only; the table is rebuilt deterministically
+     * on resume and the bytes compared).
+     */
+    void saveState(Serializer &s) const;
 
   private:
     struct Node;

@@ -3,6 +3,7 @@
 #include "base/align.hh"
 #include "base/rng.hh"
 #include "obs/metrics.hh"
+#include "base/serialize.hh"
 
 namespace contig
 {
@@ -464,6 +465,28 @@ BuddyAllocator::collectMetrics(obs::MetricSink &sink) const
     sink.gauge("free_pages", static_cast<double>(freePages_));
     sink.gauge("free_top_blocks",
                static_cast<double>(lists_[maxOrder_].count));
+}
+
+
+void
+BuddyAllocator::saveState(Serializer &s) const
+{
+    const std::size_t sec = s.beginSection(sectionTag('B', 'U', 'D', 'Y'));
+    s.u64(basePfn_);
+    s.u64(nFrames_);
+    s.u32(maxOrder_);
+    s.u64(freePages_);
+    s.u64(stats_.allocCalls);
+    s.u64(stats_.allocSpecificCalls);
+    s.u64(stats_.allocSpecificFailures);
+    s.u64(stats_.splits);
+    s.u64(stats_.merges);
+    s.u64(stats_.freeCalls);
+    for (unsigned o = 0; o <= maxOrder_; ++o) {
+        s.u64(lists_[o].count);
+        forEachFreeBlock(o, [&s](Pfn pfn) { s.u64(pfn); });
+    }
+    s.endSection(sec);
 }
 
 } // namespace contig

@@ -2,6 +2,7 @@
 
 #include "base/align.hh"
 #include "base/logging.hh"
+#include "base/serialize.hh"
 
 namespace contig
 {
@@ -102,6 +103,18 @@ PhysicalMemory::freeClusters() const
         out.insert(out.end(), clusters.begin(), clusters.end());
     }
     return out;
+}
+
+
+void
+PhysicalMemory::saveState(Serializer &s) const
+{
+    const std::size_t sec = s.beginSection(sectionTag('P', 'M', 'E', 'M'));
+    s.u64(frames_.size());
+    s.u64(zones_.size());
+    for (const auto &z : zones_)
+        z->saveState(s);
+    s.endSection(sec);
 }
 
 } // namespace contig

@@ -87,6 +87,9 @@ class PhysicalMemory
      */
     std::vector<Cluster> freeClusters() const;
 
+    /** Serialize every zone (save-only; checkpoint verification). */
+    void saveState(Serializer &s) const;
+
   private:
     FrameArray frames_;
     std::vector<std::unique_ptr<Zone>> zones_;

@@ -1,4 +1,5 @@
 #include "phys/zone.hh"
+#include "base/serialize.hh"
 
 namespace contig
 {
@@ -107,6 +108,22 @@ Zone::freeBlockHistogram() const
         });
     }
     return hist;
+}
+
+
+void
+Zone::saveState(Serializer &s) const
+{
+    const std::size_t sec = s.beginSection(sectionTag('Z', 'O', 'N', 'E'));
+    s.u32(node_);
+    buddy_.saveState(s);
+    s.u64(pcp_.size());
+    for (const PcpList &p : pcp_) {
+        s.u64(p.pfns.size());
+        for (Pfn pfn : p.pfns)
+            s.u64(pfn);
+    }
+    s.endSection(sec);
 }
 
 } // namespace contig

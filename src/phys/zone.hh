@@ -29,6 +29,8 @@
 namespace contig
 {
 
+class Serializer;
+
 /** Tunables for one zone / the whole physical memory. */
 struct ZoneConfig
 {
@@ -132,6 +134,12 @@ class Zone
      * buddy free lists. O(free blocks) — sampled, not kept hot.
      */
     Log2Histogram freeBlockHistogram() const;
+
+    /**
+     * Serialize buddy free lists plus per-CPU cache contents for
+     * checkpoint verification (save-only; see BuddyAllocator).
+     */
+    void saveState(Serializer &s) const;
 
   private:
     /** One CPU's private cache; padded so neighbours don't false-share. */

@@ -2,6 +2,7 @@
 
 #include "base/logging.hh"
 #include "obs/metrics.hh"
+#include "base/serialize.hh"
 
 namespace contig
 {
@@ -141,6 +142,71 @@ SpotEngine::collectMetrics(obs::MetricSink &sink) const
     sink.counter("fills", stats_.fills);
     sink.counter("fills_blocked_by_bits", stats_.fillsBlockedByBits);
     sink.counter("offset_replacements", stats_.offsetReplacements);
+}
+
+
+void
+SpotEngine::saveState(Serializer &s) const
+{
+    const std::size_t sec = s.beginSection(sectionTag('S', 'P', 'O', 'T'));
+    s.u32(cfg_.sets);
+    s.u32(cfg_.ways);
+    s.u64(clock_);
+    s.u64(stats_.lookups);
+    s.u64(stats_.correct);
+    s.u64(stats_.mispredicted);
+    s.u64(stats_.noPrediction);
+    s.u64(stats_.fills);
+    s.u64(stats_.fillsBlockedByBits);
+    s.u64(stats_.offsetReplacements);
+    s.u64(entries_.size());
+    for (const Entry &e : entries_) {
+        s.u64(e.pcTag);
+        s.i64(e.offset);
+        s.u8(e.confidence);
+        s.boolean(e.valid);
+        s.u64(e.lastUse);
+    }
+    s.boolean(pending_.has_value());
+    s.i64(pending_ ? *pending_ : 0);
+    s.u64(pendingPc_);
+    s.endSection(sec);
+}
+
+void
+SpotEngine::restoreState(Deserializer &d)
+{
+    d.expectSection(sectionTag('S', 'P', 'O', 'T'), "spot");
+    const unsigned sets = d.u32();
+    const unsigned ways = d.u32();
+    if (sets != cfg_.sets || ways != cfg_.ways)
+        fatal("checkpoint SpOT geometry mismatch: file has %ux%u, this"
+              " run has %ux%u",
+              sets, ways, cfg_.sets, cfg_.ways);
+    clock_ = d.u64();
+    stats_.lookups = d.u64();
+    stats_.correct = d.u64();
+    stats_.mispredicted = d.u64();
+    stats_.noPrediction = d.u64();
+    stats_.fills = d.u64();
+    stats_.fillsBlockedByBits = d.u64();
+    stats_.offsetReplacements = d.u64();
+    const std::uint64_t n = d.u64();
+    if (n != entries_.size())
+        fatal("checkpoint SpOT entry count mismatch: %llu vs %zu",
+              static_cast<unsigned long long>(n), entries_.size());
+    for (Entry &e : entries_) {
+        e.pcTag = d.u64();
+        e.offset = d.i64();
+        e.confidence = d.u8();
+        e.valid = d.boolean();
+        e.lastUse = d.u64();
+    }
+    const bool has_pending = d.boolean();
+    const std::int64_t pending = d.i64();
+    pending_ = has_pending ? std::optional<std::int64_t>(pending)
+                           : std::nullopt;
+    pendingPc_ = d.u64();
 }
 
 } // namespace contig

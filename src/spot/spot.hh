@@ -33,6 +33,9 @@ namespace contig
 
 namespace obs { class MetricSink; }
 
+class Serializer;
+class Deserializer;
+
 /** SpOT configuration (Table II: 32-entry, 4-way set associative). */
 struct SpotConfig
 {
@@ -115,6 +118,13 @@ class SpotEngine
     void collectMetrics(obs::MetricSink &sink) const;
 
     void flush();
+
+    /**
+     * Checkpoint the prediction table: entries with confidence
+     * counters, LRU clock, stats and any in-flight prediction.
+     */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     struct Entry

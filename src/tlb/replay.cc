@@ -6,6 +6,7 @@
 #include "base/logging.hh"
 #include "base/sync.hh"
 #include "obs/trace.hh"
+#include "base/serialize.hh"
 
 namespace contig
 {
@@ -252,6 +253,41 @@ ReplayEngine::mergedSpotStats() const
         sum.offsetReplacements += s.offsetReplacements;
     }
     return sum;
+}
+
+
+void
+ReplayEngine::saveState(Serializer &s) const
+{
+    const std::size_t sec = s.beginSection(sectionTag('R', 'E', 'N', 'G'));
+    s.u32(threads_);
+    s.u64(chunks_);
+    s.u64(accessesDone_);
+    for (unsigned i = 0; i < threads_; ++i) {
+        // Per-shard access counts are deterministic (the vpn-hash
+        // partition); the wall-clock busy/stall/wait slots are not
+        // checkpointed and restart at zero.
+        s.u64(loads_[i].accesses.load(std::memory_order_relaxed));
+        shards_[i]->saveState(s);
+    }
+    s.endSection(sec);
+}
+
+void
+ReplayEngine::restoreState(Deserializer &d)
+{
+    d.expectSection(sectionTag('R', 'E', 'N', 'G'), "replay_engine");
+    const unsigned threads = d.u32();
+    if (threads != threads_)
+        fatal("checkpoint was taken with --xlat-threads %u, this run"
+              " has %u — shard partitions would not line up",
+              threads, threads_);
+    chunks_ = d.u64();
+    accessesDone_ = d.u64();
+    for (unsigned i = 0; i < threads_; ++i) {
+        loads_[i].accesses.store(d.u64(), std::memory_order_relaxed);
+        shards_[i]->restoreState(d);
+    }
 }
 
 } // namespace contig

@@ -97,6 +97,19 @@ class ReplayEngine
     /** The shard an access to `vpn` lands on (pure in vpn). */
     static unsigned shardOf(Vpn vpn, unsigned threads);
 
+    /**
+     * Checkpoint the engine: shard count and scheme (verified on
+     * restore), replay position (chunks/accesses) and every shard's
+     * full pipeline state, plus the deterministic per-shard access
+     * counts. Wall-clock load accounting (busy/stall/wait) is not
+     * checkpointed. Call only between replayChunk() calls — workers
+     * are parked at the start barrier then, so main owns all shard
+     * state. Restore requires an engine built with the same shard
+     * count and configuration (fatal otherwise).
+     */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
+
   private:
     void initShards(const XlatConfig &cfg, const PageTable &pt,
                     const VirtualMachine *vm);

@@ -24,6 +24,9 @@
 namespace contig
 {
 
+class Serializer;
+class Deserializer;
+
 /** One memory instruction execution. */
 struct MemAccess
 {
@@ -127,6 +130,17 @@ class TranslationSim
      * simulator's lifetime.
      */
     void collectMetrics(obs::MetricSink &sink) const;
+
+    /**
+     * Checkpoint the full pipeline state: scheme identity (verified
+     * on restore), stats, the L2-miss latency summary, TLB
+     * hierarchy, walker caches, SpOT table and range TLB. The direct
+     * segments / range table are not serialized — setSegments() on
+     * the resumed engine rebuilds them from the (verified-identical)
+     * kernel state.
+     */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     void init();

@@ -1,6 +1,7 @@
 #include "tlb/walker.hh"
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 #include "obs/metrics.hh"
 #include "virt/vm.hh"
 
@@ -247,6 +248,67 @@ Walker::collectMetrics(obs::MetricSink &sink) const
         sink.counter("memo.nested_misses", ms.nestedMisses);
         sink.counter("memo.stale_drops", ms.staleDrops);
     }
+}
+
+
+void
+Walker::saveState(Serializer &s) const
+{
+    const std::size_t sec = s.beginSection(sectionTag('W', 'A', 'L', 'K'));
+    s.boolean(virtualized());
+    s.u64(clock_);
+    s.u64(stats_.walks);
+    s.u64(stats_.totalRefs);
+    s.u64(stats_.pscHits);
+    s.u64(stats_.nestedTlbHits);
+    s.u64(stats_.nestedTlbLookups);
+    const auto save_cache = [&s](const std::vector<CacheEntry> &cache) {
+        s.u64(cache.size());
+        for (const CacheEntry &e : cache) {
+            s.u64(e.tag);
+            s.u64(e.lastUse);
+            s.boolean(e.valid);
+        }
+    };
+    save_cache(psc_);
+    save_cache(nestedTlb_);
+    s.endSection(sec);
+}
+
+void
+Walker::restoreState(Deserializer &d)
+{
+    d.expectSection(sectionTag('W', 'A', 'L', 'K'), "walker");
+    const bool virt = d.boolean();
+    if (virt != virtualized())
+        fatal("checkpoint walker mode mismatch: file is %s, this run"
+              " is %s",
+              virt ? "virtualized" : "native",
+              virtualized() ? "virtualized" : "native");
+    clock_ = d.u64();
+    stats_.walks = d.u64();
+    stats_.totalRefs = d.u64();
+    stats_.pscHits = d.u64();
+    stats_.nestedTlbHits = d.u64();
+    stats_.nestedTlbLookups = d.u64();
+    const auto restore_cache = [&d](std::vector<CacheEntry> &cache,
+                                    const char *what) {
+        const std::uint64_t n = d.u64();
+        if (n != cache.size())
+            fatal("checkpoint walker %s size mismatch: %llu vs %zu",
+                  what, static_cast<unsigned long long>(n),
+                  cache.size());
+        for (CacheEntry &e : cache) {
+            e.tag = d.u64();
+            e.lastUse = d.u64();
+            e.valid = d.boolean();
+        }
+    };
+    restore_cache(psc_, "PSC");
+    restore_cache(nestedTlb_, "nested TLB");
+    // The traversal memo is intentionally not restored: it only
+    // affects wall-clock time, and its epoch tags are bound to this
+    // process's page-table generations anyway.
 }
 
 } // namespace contig

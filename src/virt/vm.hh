@@ -57,6 +57,7 @@ class VirtualMachine
     Kernel &guest() { return *guest_; }
     const Kernel &guest() const { return *guest_; }
     Kernel &host() { return host_; }
+    const Kernel &host() const { return host_; }
 
     /** The host process backing guest RAM. */
     Process &backing() { return *backing_; }

@@ -11,6 +11,15 @@
  * Determinism: the stream owns its own Rng seeded at construction and
  * produces exactly the sequence `wl.nextAccess(rng)` would — chunk
  * boundaries never change what is generated, only how it is batched.
+ * When `total` is not a multiple of the chunk size the final chunk is
+ * exactly the remainder (`total % chunk`), and a zero-length stream
+ * returns 0 from the first next() without touching the workload
+ * (tests/workloads/ctrace_test.cc pins both).
+ *
+ * captureTo() tees every generated chunk into a CtraceWriter — the
+ * capture path of the trace frontend. The tee is downstream of
+ * generation, so a captured run's simulated results are identical to
+ * the same run without capture.
  */
 
 #ifndef CONTIG_WORKLOADS_ACCESS_STREAM_HH
@@ -20,14 +29,15 @@
 #include <vector>
 
 #include "base/rng.hh"
-#include "tlb/translation_sim.hh"
+#include "workloads/access_source.hh"
 
 namespace contig
 {
 
 class Workload;
+class CtraceWriter;
 
-class AccessStream
+class AccessStream : public AccessSource
 {
   public:
     /** Default chunk: 4096 accesses (64 KiB of MemAccess, L2-sized). */
@@ -45,13 +55,20 @@ class AccessStream
      * size (0 when the stream is exhausted) and points `chunk` at the
      * buffer, which stays valid until the next call.
      */
-    std::size_t next(const MemAccess *&chunk);
+    std::size_t next(const MemAccess *&chunk) override;
 
     /** Accesses generated so far. */
-    std::uint64_t produced() const { return produced_; }
-    std::uint64_t total() const { return total_; }
-    std::uint64_t chunkAccesses() const { return buf_.size(); }
-    bool done() const { return produced_ == total_; }
+    std::uint64_t produced() const override { return produced_; }
+    std::uint64_t total() const override { return total_; }
+    std::uint64_t chunkAccesses() const override { return buf_.size(); }
+
+    /**
+     * Tee every subsequently generated chunk into `writer` (nullptr
+     * detaches). The stream finishes the writer when it drains, so a
+     * fully consumed stream leaves a sealed .ctrace behind; partial
+     * consumption leaves finishing to the writer's owner.
+     */
+    void captureTo(CtraceWriter *writer) { writer_ = writer; }
 
   private:
     Workload &wl_;
@@ -59,6 +76,7 @@ class AccessStream
     std::uint64_t total_;
     std::uint64_t produced_ = 0;
     std::vector<MemAccess> buf_;
+    CtraceWriter *writer_ = nullptr;
 };
 
 } // namespace contig

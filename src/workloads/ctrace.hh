@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The `.ctrace` binary memory-trace format: a versioned, mmap-able
+ * container for recorded MemAccess streams, replayable through the
+ * translation engine byte-for-byte equal to the live generator run
+ * that captured it.
+ *
+ * Layout (all fields little-endian):
+ *
+ *   header (64 bytes)
+ *     u32 magic          "CTRC"
+ *     u32 version        kCtraceVersion
+ *     u64 configDigest   FNV-1a over (workload, seed, accesses, run)
+ *     u64 totalAccesses
+ *     u64 chunkAccesses  nominal chunk size (final chunk may be short)
+ *     u64 chunkCount
+ *     u64 indexOffset    byte offset of the chunk index
+ *     u32 flags          reserved, 0
+ *     u32 headerCrc      crc32 of the 60 bytes above
+ *   chunks                back-to-back encoded blocks
+ *   index (at indexOffset) chunkCount records of 24 bytes:
+ *     u64 offset  u32 encodedBytes  u32 accessCount  u32 crc32  u32 rsvd
+ *   u32 indexCrc          crc32 of the raw index bytes
+ *
+ * Chunk encoding is a self-contained zigzag-delta varint (LEB128)
+ * stream of (pc, va) pairs: deltas against the previous access of the
+ * *same chunk* (the first access deltas against 0), so any chunk can
+ * be decoded without its predecessors — that is what makes the index
+ * seekable and checkpoint resume O(1). Synthetic streams are mostly
+ * strided, so deltas are small and the encoding lands well under half
+ * the raw 16 bytes/access. No external compressor is involved.
+ *
+ * CtraceReader maps the file read-only (mmap) and validates magic,
+ * version, header CRC, index CRC and bounds up front; per-chunk CRCs
+ * are checked on decode. Every malformation is a distinct fatal()
+ * with the file name — a damaged trace must never replay quietly.
+ */
+
+#ifndef CONTIG_WORKLOADS_CTRACE_HH
+#define CONTIG_WORKLOADS_CTRACE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tlb/translation_sim.hh"
+
+namespace contig
+{
+
+constexpr std::uint32_t kCtraceMagic = 0x43525443u; // "CTRC"
+constexpr std::uint32_t kCtraceVersion = 1;
+constexpr std::size_t kCtraceHeaderBytes = 64;
+constexpr std::size_t kCtraceIndexEntryBytes = 24;
+
+/**
+ * The trace identity digest: a capture and its replay must agree on
+ * the workload, the stream seed, the access count and the run index
+ * within the bench binary (benches like fig13 call runTranslation
+ * several times on one evolving workload object — each call is a
+ * distinct stream and gets its own trace file).
+ */
+std::uint64_t ctraceDigest(std::string_view workload, std::uint64_t seed,
+                           std::uint64_t accesses,
+                           std::uint64_t run_index);
+
+/** Per-run trace path under a user prefix: `<prefix>.run<N>.ctrace`. */
+std::string ctraceRunPath(std::string_view prefix,
+                          std::uint64_t run_index);
+
+/** Per-run checkpoint path: `<prefix>.run<N>.ckpt`. */
+std::string ckptRunPath(std::string_view prefix, std::uint64_t run_index);
+
+/**
+ * Streaming writer: appendChunk once per generated chunk, finish()
+ * (or destruction) seals the file — chunk index, then the header.
+ * An unfinished file has a zeroed header and never validates.
+ */
+class CtraceWriter
+{
+  public:
+    CtraceWriter(const std::string &path, std::uint64_t config_digest,
+                 std::uint64_t chunk_accesses,
+                 std::uint64_t total_accesses);
+    ~CtraceWriter();
+
+    CtraceWriter(const CtraceWriter &) = delete;
+    CtraceWriter &operator=(const CtraceWriter &) = delete;
+
+    void appendChunk(const MemAccess *a, std::size_t n);
+    void finish();
+
+    std::uint64_t chunksWritten() const { return index_.size(); }
+    std::uint64_t accessesWritten() const { return accessesWritten_; }
+    /** Encoded payload bytes so far (compression-ratio numerator). */
+    std::uint64_t bytesEncoded() const { return bytesEncoded_; }
+    const std::string &path() const { return path_; }
+
+  private:
+    struct IndexEntry
+    {
+        std::uint64_t offset;
+        std::uint32_t encodedBytes;
+        std::uint32_t accessCount;
+        std::uint32_t crc;
+    };
+
+    std::string path_;
+    std::FILE *f_;
+    std::uint64_t configDigest_;
+    std::uint64_t chunkAccesses_;
+    std::uint64_t totalAccesses_;
+    std::uint64_t accessesWritten_ = 0;
+    std::uint64_t bytesEncoded_ = 0;
+    std::vector<IndexEntry> index_;
+    std::vector<std::uint8_t> enc_; // reused encode buffer
+    bool finished_ = false;
+};
+
+/**
+ * mmap-backed reader. Construction validates the container; any
+ * malformation is fatal with a distinct message. decodeChunk(k) is
+ * random access — resume jumps straight to chunk K.
+ */
+class CtraceReader
+{
+  public:
+    explicit CtraceReader(const std::string &path);
+    ~CtraceReader();
+
+    CtraceReader(const CtraceReader &) = delete;
+    CtraceReader &operator=(const CtraceReader &) = delete;
+
+    std::uint32_t version() const { return version_; }
+    std::uint64_t configDigest() const { return configDigest_; }
+    std::uint64_t totalAccesses() const { return totalAccesses_; }
+    std::uint64_t chunkAccesses() const { return chunkAccesses_; }
+    std::uint64_t chunkCount() const { return chunkCount_; }
+    std::uint64_t fileBytes() const { return size_; }
+    const std::string &path() const { return path_; }
+
+    std::uint32_t chunkAccessCount(std::uint64_t k) const;
+    std::uint32_t chunkEncodedBytes(std::uint64_t k) const;
+
+    /** Accesses in chunks [0, k) — the stream position of chunk k. */
+    std::uint64_t accessesBeforeChunk(std::uint64_t k) const;
+
+    /**
+     * Decode chunk k into out (resized to the chunk's access count).
+     * Verifies the chunk CRC; fatal on corruption. Returns the count.
+     */
+    std::size_t decodeChunk(std::uint64_t k,
+                            std::vector<MemAccess> &out) const;
+
+    /** Fatal unless the stored config digest equals `expected`. */
+    void requireDigest(std::uint64_t expected) const;
+
+  private:
+    struct IndexEntry
+    {
+        std::uint64_t offset;
+        std::uint32_t encodedBytes;
+        std::uint32_t accessCount;
+        std::uint32_t crc;
+    };
+
+    std::string path_;
+    int fd_ = -1;
+    const std::uint8_t *map_ = nullptr;
+    std::size_t size_ = 0;
+
+    std::uint32_t version_ = 0;
+    std::uint64_t configDigest_ = 0;
+    std::uint64_t totalAccesses_ = 0;
+    std::uint64_t chunkAccesses_ = 0;
+    std::uint64_t chunkCount_ = 0;
+    std::vector<IndexEntry> index_;
+};
+
+/**
+ * Encode/decode one chunk (exposed for tests and contig_inspect).
+ * encodeChunk appends to out; decodeChunk expects exactly `count`
+ * accesses and returns false on a malformed stream.
+ */
+void ctraceEncodeChunk(const MemAccess *a, std::size_t n,
+                       std::vector<std::uint8_t> &out);
+bool ctraceDecodeChunk(const std::uint8_t *enc, std::size_t enc_bytes,
+                       std::size_t count, MemAccess *out);
+
+} // namespace contig
+
+#endif // CONTIG_WORKLOADS_CTRACE_HH

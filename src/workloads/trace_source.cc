@@ -1,0 +1,143 @@
+#include "workloads/trace_source.hh"
+
+#include <chrono>
+
+#include "base/logging.hh"
+
+namespace contig
+{
+
+namespace
+{
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+TraceReplaySource::TraceReplaySource(const std::string &path, Options opt)
+    : reader_(path), startChunk_(opt.startChunk),
+      ring_(opt.ringDepth ? opt.ringDepth : 1)
+{
+    contig_assert(startChunk_ <= reader_.chunkCount(),
+                  "resume chunk %llu past the trace's %llu chunks",
+                  static_cast<unsigned long long>(startChunk_),
+                  static_cast<unsigned long long>(reader_.chunkCount()));
+    produced_ = reader_.accessesBeforeChunk(startChunk_);
+
+    metricSource_ = obs::MetricSource(
+        obs::MetricRegistry::global(), "trace",
+        [this](obs::MetricSink &sink) {
+            sink.counter("frontend.chunks_decoded",
+                         chunksDecoded_.load(std::memory_order_relaxed));
+            sink.counter(
+                "frontend.accesses_decoded",
+                accessesDecoded_.load(std::memory_order_relaxed));
+            sink.counter("frontend.bytes_decoded",
+                         bytesDecoded_.load(std::memory_order_relaxed));
+            sink.counter("frontend.decode_us",
+                         decodeNs_.load(std::memory_order_relaxed) /
+                             1000);
+            sink.counter(
+                "frontend.stall_us",
+                producerStallNs_.load(std::memory_order_relaxed) / 1000);
+            sink.counter(
+                "frontend.wait_us",
+                consumerWaitNs_.load(std::memory_order_relaxed) / 1000);
+            sink.gauge("frontend.ring_depth",
+                       static_cast<double>(ring_.size()));
+            sink.counter("frontend.start_chunk", startChunk_);
+        });
+
+    producer_ = std::thread([this] { producerLoop(); });
+}
+
+TraceReplaySource::~TraceReplaySource()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+    }
+    canProduce_.notify_all();
+    canConsume_.notify_all();
+    if (producer_.joinable())
+        producer_.join();
+}
+
+void
+TraceReplaySource::producerLoop()
+{
+    const std::uint64_t chunks = reader_.chunkCount();
+    for (std::uint64_t k = startChunk_; k < chunks; ++k) {
+        Slot *slot = nullptr;
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            if (head_ - tail_ == ring_.size()) {
+                const std::uint64_t t0 = nowNs();
+                canProduce_.wait(lk, [this] {
+                    return stop_ || head_ - tail_ < ring_.size();
+                });
+                producerStallNs_.fetch_add(nowNs() - t0,
+                                           std::memory_order_relaxed);
+            }
+            if (stop_)
+                return;
+            slot = &ring_[head_ % ring_.size()];
+        }
+        // Decode outside the lock: the slot at head_ stays invisible
+        // to the consumer until head_ advances below.
+        const std::uint64_t d0 = nowNs();
+        slot->n = reader_.decodeChunk(k, slot->buf);
+        decodeNs_.fetch_add(nowNs() - d0, std::memory_order_relaxed);
+        chunksDecoded_.fetch_add(1, std::memory_order_relaxed);
+        accessesDecoded_.fetch_add(slot->n, std::memory_order_relaxed);
+        bytesDecoded_.fetch_add(reader_.chunkEncodedBytes(k),
+                                std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            ++head_;
+        }
+        canConsume_.notify_one();
+    }
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        eof_ = true;
+    }
+    canConsume_.notify_one();
+}
+
+std::size_t
+TraceReplaySource::next(const MemAccess *&chunk)
+{
+    std::unique_lock<std::mutex> lk(m_);
+    if (holding_) {
+        ++tail_;
+        holding_ = false;
+        canProduce_.notify_one();
+    }
+    if (head_ == tail_ && !eof_) {
+        const std::uint64_t t0 = nowNs();
+        canConsume_.wait(lk, [this] { return head_ > tail_ || eof_; });
+        consumerWaitNs_.fetch_add(nowNs() - t0,
+                                  std::memory_order_relaxed);
+    }
+    if (head_ == tail_) {
+        // EOF and the ring is drained.
+        chunk = nullptr;
+        return 0;
+    }
+    Slot &s = ring_[tail_ % ring_.size()];
+    holding_ = true;
+    produced_ += s.n;
+    ++chunksDelivered_;
+    chunk = s.buf.data();
+    return s.n;
+}
+
+} // namespace contig
