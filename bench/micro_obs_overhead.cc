@@ -20,12 +20,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <mutex>
+#include <vector>
 
 #include "base/lock_stats.hh"
 #include "base/stats.hh"
 #include "base/sync.hh"
+#include "contig/analysis.hh"
 #include "core/experiment.hh"
+#include "obs/attribution.hh"
 #include "obs/metrics.hh"
 #include "obs/observatory.hh"
 #include "obs/trace.hh"
@@ -199,6 +203,50 @@ BM_SpinLockInstrumented(benchmark::State &state)
     site.reset();
 }
 
+/**
+ * The cost-attribution tax, switch off: exactly the null-pointer
+ * branch TranslationSim::runChunk pays per access when --attrib is
+ * not given. Compare against BM_BareLoop for the "disabled = one
+ * branch" claim (gated by obs_overhead_gate.py).
+ */
+void
+BM_AttribOff(benchmark::State &state)
+{
+    std::unique_ptr<obs::XlatAttribution> attrib;
+    benchmark::DoNotOptimize(attrib);
+    std::uint64_t x = 1;
+    for (auto _ : state) {
+        x = step(x);
+        if (attrib)
+            attrib->record(obs::XlatOutcome::FullWalk, x, 10, 10);
+        benchmark::DoNotOptimize(x);
+    }
+}
+
+/**
+ * Switch on: classify the vpn against a 64-run contiguity index
+ * (binary search), bump the (outcome x class) cell, offer the event
+ * to the exemplar reservoir. Priced for reference, not gated.
+ */
+void
+BM_AttribOn(benchmark::State &state)
+{
+    std::vector<Seg> segs;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        segs.push_back(Seg{i * 1024, i * 1024, 512});
+    auto idx = std::make_shared<const obs::ContigClassIndex>(segs);
+    obs::XlatAttribution attrib("bench");
+    attrib.setIndex(idx);
+    std::uint64_t x = 1;
+    for (auto _ : state) {
+        x = step(x);
+        attrib.record(obs::XlatOutcome::FullWalk, x % (64 * 1024),
+                      (x & 63) + 1, (x & 63) + 1);
+        benchmark::DoNotOptimize(x);
+    }
+    benchmark::DoNotOptimize(attrib.events());
+}
+
 /** Delta-encoding one snapshot against its predecessor. */
 void
 BM_DeltaEncode(benchmark::State &state)
@@ -232,4 +280,6 @@ BENCHMARK(BM_SamplerIdle);
 BENCHMARK(BM_SnapshotCapture);
 BENCHMARK(BM_SpinLockBare);
 BENCHMARK(BM_SpinLockInstrumented);
+BENCHMARK(BM_AttribOff);
+BENCHMARK(BM_AttribOn);
 BENCHMARK(BM_DeltaEncode);

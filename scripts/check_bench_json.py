@@ -2,7 +2,8 @@
 """Validate a bench binary's --json output against the documented schema.
 
 Usage: check_bench_json.py [--expect-lock-stats] [--expect-scaling]
-                           [--expect-trace] <bench-binary> [extra args...]
+                           [--expect-trace] [--expect-attrib]
+                           <bench-binary> [extra args...]
        check_bench_json.py --timeline-file <timeline.jsonl>
 
 Runs the bench with --json into a temp file and checks the document is
@@ -35,6 +36,21 @@ and of a "scaling" section into hard requirements (used by the ctest
 that runs a bench under --lock-stats). --expect-trace first captures a
 trace (--trace-out into a temp dir), then runs the validated bench
 with --trace-in on it, requiring trace.frontend.* metrics.
+
+Schema v4 additions, validated whenever present:
+  - "config.attrib" is a boolean mirroring the --attrib switch,
+  - the "attribution" section must follow the documented shape:
+    {exemplar_capacity, classes, xlat: {<label>: table}, fault?}, each
+    xlat table {events, walk_cycles, exposed_cycles, outcomes:
+    {<outcome>: {..., classes: [cost cells]}}, exemplars: [...]} keyed
+    by the stable outcome tokens (tlb_hit, segment_hit, spot_hit,
+    range_hit, psc_walk, full_walk), every cost cell carrying events /
+    cycle sums / p50 / p90 / p99 / hist buckets, exemplars bounded by
+    exemplar_capacity, and the fault sub-section keyed by
+    (kind x order x fallback).
+--expect-attrib turns presence of the "attribution" section into a
+hard requirement (used by the attrib_schema_check ctest, which runs a
+bench under --attrib).
 
 With --timeline-file it instead validates an observatory timeline: one
 JSON snapshot record per line, per-stream strictly-increasing seq and
@@ -101,6 +117,148 @@ def check_lock_metrics(metrics):
         if missing:
             fail(f"lock site {site!r} missing leaves {sorted(missing)}")
     return sites
+
+
+XLAT_OUTCOMES = {"tlb_hit", "segment_hit", "spot_hit", "range_hit",
+                 "psc_walk", "full_walk"}
+
+FAULT_KINDS = {"anon", "cow", "file"}
+FAULT_ORDERS = {"base", "huge"}
+FAULT_FALLS = {"none", "no_huge_block", "oom"}
+
+
+def check_cost_cell(where, cell, cycle_keys):
+    """Validate one cost cell: counts, cycle sums, percentiles, hist."""
+    if not isinstance(cell, dict):
+        fail(f"'{where}' is not an object")
+    for key in ("events", *cycle_keys, "p50", "p90", "p99"):
+        if key not in cell:
+            fail(f"'{where}' missing {key!r}")
+        if not isinstance(cell[key], (int, float)):
+            fail(f"'{where}.{key}' is not numeric: {cell[key]!r}")
+    if "hist" not in cell:
+        fail(f"'{where}' missing 'hist'")
+    if not isinstance(cell["hist"], list) or not all(
+            isinstance(b, (int, float)) for b in cell["hist"]):
+        fail(f"'{where}.hist' must be a list of numbers")
+    if not cell["p50"] <= cell["p90"] <= cell["p99"]:
+        fail(f"'{where}' percentiles not monotone: "
+             f"p50={cell['p50']} p90={cell['p90']} p99={cell['p99']}")
+
+
+def check_attribution(attrib):
+    """Validate the per-event cost 'attribution' section (schema v4)."""
+    if not isinstance(attrib, dict):
+        fail("'attribution' must be an object")
+    for key in ("exemplar_capacity", "classes", "xlat"):
+        if key not in attrib:
+            fail(f"'attribution' missing {key!r}")
+    cap = attrib["exemplar_capacity"]
+    n_classes = attrib["classes"]
+    if not isinstance(cap, int) or cap <= 0:
+        fail(f"'attribution.exemplar_capacity' must be a positive "
+             f"integer: {cap!r}")
+    if not isinstance(n_classes, int) or n_classes <= 0:
+        fail(f"'attribution.classes' must be a positive integer: "
+             f"{n_classes!r}")
+    xlat = attrib["xlat"]
+    if not isinstance(xlat, dict):
+        fail("'attribution.xlat' must be an object")
+    for label, table in xlat.items():
+        where = f"attribution.xlat.{label}"
+        if not isinstance(table, dict):
+            fail(f"'{where}' is not an object")
+        for key in ("events", "walk_cycles", "exposed_cycles",
+                    "outcomes", "exemplars"):
+            if key not in table:
+                fail(f"'{where}' missing {key!r}")
+        outcomes = table["outcomes"]
+        if not isinstance(outcomes, dict) or not outcomes:
+            fail(f"'{where}.outcomes' must be a non-empty object")
+        total_events = 0
+        for name, outcome in outcomes.items():
+            owhere = f"{where}.outcomes.{name}"
+            if name not in XLAT_OUTCOMES:
+                fail(f"'{owhere}': unknown outcome (expected one of "
+                     f"{sorted(XLAT_OUTCOMES)})")
+            if not isinstance(outcome, dict):
+                fail(f"'{owhere}' is not an object")
+            for key in ("events", "walk_cycles", "exposed_cycles",
+                        "exposed_p50", "exposed_p90", "exposed_p99"):
+                if key not in outcome:
+                    fail(f"'{owhere}' missing {key!r}")
+            classes = outcome.get("classes")
+            if not isinstance(classes, list) or not classes:
+                fail(f"'{owhere}.classes' must be a non-empty list "
+                     f"(empty outcomes are elided entirely)")
+            class_events = 0
+            for i, cell in enumerate(classes):
+                cwhere = f"{owhere}.classes[{i}]"
+                if not isinstance(cell, dict):
+                    fail(f"'{cwhere}' is not an object")
+                if not isinstance(cell.get("class"), int) or \
+                        not 0 <= cell["class"] < n_classes:
+                    fail(f"'{cwhere}.class' out of [0,{n_classes}): "
+                         f"{cell.get('class')!r}")
+                if not isinstance(cell.get("name"), str):
+                    fail(f"'{cwhere}.name' must be a string")
+                check_cost_cell(cwhere, cell,
+                                ("walk_cycles", "exposed_cycles"))
+                class_events += cell["events"]
+            if class_events != outcome["events"]:
+                fail(f"'{owhere}': class events sum {class_events} != "
+                     f"outcome events {outcome['events']}")
+            total_events += outcome["events"]
+        if total_events != table["events"]:
+            fail(f"'{where}': outcome events sum {total_events} != "
+                 f"table events {table['events']}")
+        exemplars = table["exemplars"]
+        if not isinstance(exemplars, list) or len(exemplars) > cap:
+            fail(f"'{where}.exemplars' must be a list of at most "
+                 f"{cap} entries")
+        last_cycles = None
+        for i, ex in enumerate(exemplars):
+            ewhere = f"{where}.exemplars[{i}]"
+            if not isinstance(ex, dict):
+                fail(f"'{ewhere}' is not an object")
+            for key in ("vpn", "cycles", "outcome", "class", "chunk",
+                        "seq"):
+                if key not in ex:
+                    fail(f"'{ewhere}' missing {key!r}")
+            if ex["outcome"] not in XLAT_OUTCOMES:
+                fail(f"'{ewhere}.outcome' unknown: {ex['outcome']!r}")
+            if last_cycles is not None and ex["cycles"] > last_cycles:
+                fail(f"'{where}.exemplars' not sorted hottest-first "
+                     f"({last_cycles} then {ex['cycles']})")
+            last_cycles = ex["cycles"]
+    if "fault" in attrib:
+        flt = attrib["fault"]
+        if not isinstance(flt, dict):
+            fail("'attribution.fault' must be an object")
+        for key in ("events", "cycles", "cells"):
+            if key not in flt:
+                fail(f"'attribution.fault' missing {key!r}")
+        cells = flt["cells"]
+        if not isinstance(cells, list):
+            fail("'attribution.fault.cells' must be a list")
+        cell_events = 0
+        for i, cell in enumerate(cells):
+            cwhere = f"attribution.fault.cells[{i}]"
+            if not isinstance(cell, dict):
+                fail(f"'{cwhere}' is not an object")
+            if cell.get("kind") not in FAULT_KINDS:
+                fail(f"'{cwhere}.kind' unknown: {cell.get('kind')!r}")
+            if cell.get("order") not in FAULT_ORDERS:
+                fail(f"'{cwhere}.order' unknown: {cell.get('order')!r}")
+            if cell.get("fallback") not in FAULT_FALLS:
+                fail(f"'{cwhere}.fallback' unknown: "
+                     f"{cell.get('fallback')!r}")
+            check_cost_cell(cwhere, cell, ("cycles",))
+            cell_events += cell["events"]
+        if cell_events != flt["events"]:
+            fail(f"'attribution.fault': cell events sum {cell_events} "
+                 f"!= section events {flt['events']}")
+    return len(xlat)
 
 
 def check_numeric_list(where, value):
@@ -257,19 +415,23 @@ def main():
     expect_lock_stats = False
     expect_scaling = False
     expect_trace = False
+    expect_attrib = False
     while argv and argv[0] in ("--expect-lock-stats", "--expect-scaling",
-                               "--expect-trace"):
+                               "--expect-trace", "--expect-attrib"):
         if argv[0] == "--expect-lock-stats":
             expect_lock_stats = True
         elif argv[0] == "--expect-scaling":
             expect_scaling = True
+        elif argv[0] == "--expect-attrib":
+            expect_attrib = True
         else:
             expect_trace = True
         argv = argv[1:]
     if not argv:
         fail("usage: check_bench_json.py [--expect-lock-stats] "
-             "[--expect-scaling] [--expect-trace] <bench-binary> "
-             "[args...] | --timeline-file <timeline.jsonl>")
+             "[--expect-scaling] [--expect-trace] [--expect-attrib] "
+             "<bench-binary> [args...] | "
+             "--timeline-file <timeline.jsonl>")
     if argv[0] == "--timeline-file":
         if len(argv) != 2:
             fail("--timeline-file takes exactly one path")
@@ -418,6 +580,18 @@ def main():
     elif expect_scaling:
         fail("--expect-scaling: no 'scaling' section in output")
 
+    if "attrib" in config and not isinstance(config["attrib"], bool):
+        fail(f"'config.attrib' must be a boolean: {config['attrib']!r}")
+    n_attrib_labels = 0
+    if "attribution" in doc:
+        if not config.get("attrib"):
+            fail("'attribution' section present but config.attrib is "
+                 "not true")
+        n_attrib_labels = check_attribution(doc["attribution"])
+    elif expect_attrib:
+        fail("--expect-attrib: no 'attribution' section in output "
+             "(was the bench run with --attrib?)")
+
     extra = ""
     if lock_sites:
         extra = f", {len(lock_sites)} lock sites"
@@ -425,6 +599,8 @@ def main():
         extra += ", trace frontend"
     if "scaling" in doc:
         extra += ", scaling section"
+    if n_attrib_labels:
+        extra += f", attribution ({n_attrib_labels} xlat labels)"
     print(f"check_bench_json: OK: {doc['bench']}: {len(rows)} rows, "
           f"{len(metrics)} metrics{extra}")
 

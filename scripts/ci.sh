@@ -102,6 +102,47 @@ python3 "$root/scripts/check_bench_json.py" --expect-trace \
 "$out/release/tools/contig_inspect" trace-info \
     "$(ls "$root"/TRACE_roundtrip/cap.*.ctrace | head -1)"
 
+# Cost-attribution artifacts: fig13/fig14 re-run under --attrib (the
+# schema-v4 "attribution" section: per-outcome x contiguity-class
+# cost cells, bounded exemplars, fault cells), schema-checked, plus a
+# differential contig_report comparing CA-paging (base_2d) against
+# SpOT (spot_2d) out of the same fig13 run — the paper's headline:
+# full-walk/PSC cycles concentrate in the smallest contiguity classes
+# and SpOT hits erase them. The report gate fails the build if SpOT
+# ever regresses exposed-cycle cost against CA-paging here.
+echo "=== cost attribution artifacts ==="
+"$bench/fig13_translation_overhead" --attrib \
+    --json "$root/BENCH_fig13_attrib.json"
+"$bench/fig14_spot_breakdown" --attrib \
+    --json "$root/BENCH_fig14_attrib.json"
+python3 "$root/scripts/check_bench_json.py" --expect-attrib \
+    "$bench/fig13_translation_overhead" --attrib
+"$out/release/tools/contig_report" \
+    "$root/BENCH_fig13_attrib.json" "$root/BENCH_fig13_attrib.json" \
+    --a-xlat base_2d --b-xlat spot_2d --gate \
+    | tee "$root/BENCH_contig_report_ca_vs_spot.txt"
+# Attribution must survive the trace frontend: capture → replay →
+# checkpoint → resume with --attrib, attribution section included in
+# the canonical byte comparison.
+python3 "$root/scripts/trace_roundtrip_check.py" \
+    "$bench/fig14_spot_breakdown" --threads 1,4 --attrib
+# Off means off: without the switch the same binary must emit no
+# attribution section and stay deterministic run-to-run — and the
+# xlat golden ctests above already pin the attrib-off output to the
+# committed pre-attribution goldens byte-for-byte.
+"$bench/fig14_spot_breakdown" --json "$root/BENCH_fig14_plain.json"
+CONTIG_ATTRIB=0 "$bench/fig14_spot_breakdown" \
+    --json "$out/fig14_plain_env0.json"
+python3 - "$root/BENCH_fig14_plain.json" "$out/fig14_plain_env0.json" \
+    <<'PYEOF'
+import json, sys
+a, b = (json.load(open(p)) for p in sys.argv[1:3])
+assert "attribution" not in a and "attribution" not in b, \
+    "attribution section leaked into an attrib-off run"
+assert not a["config"].get("attrib") and not b["config"].get("attrib")
+PYEOF
+rm -f "$out/fig14_plain_env0.json"
+
 # Regression gate: the fig09 rows/metrics must match the committed
 # baseline within contig_inspect's per-metric tolerances.
 echo "=== baseline gate ==="

@@ -38,6 +38,7 @@ GATED = (
     "BM_SamplerDetached",
     "BM_SpinLockBare",
     "BM_SpinLockInstrumented",
+    "BM_AttribOff",
 )
 
 

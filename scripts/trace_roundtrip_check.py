@@ -3,6 +3,7 @@
 
 Usage: trace_roundtrip_check.py <bench-binary> [--threads 1,4]
                                 [--ckpt-at 3] [--artifacts DIR]
+                                [--attrib]
 
 For each requested --xlat-threads value T this script proves the full
 trace-frontend contract on one bench binary:
@@ -22,6 +23,14 @@ timing metrics, walk-memo occupancy, the derived scaling section, and
 the trace.*/ckpt.* bookkeeping keys that legitimately differ between a
 live and a replayed run. Every simulated counter — hits, walks,
 cycles, SpOT predictions, fault statistics — must match exactly.
+
+With --attrib every run additionally carries the cost-attribution
+switch and must emit an "attribution" section; the section is part of
+the canonical document, so per-outcome x contiguity-class cost cells,
+percentiles, and exemplars must survive capture → replay →
+checkpoint → resume byte-for-byte (shard tables are checkpointed and
+merged in deterministic shard order; the fault path re-runs
+identically on resume).
 """
 
 import argparse
@@ -88,6 +97,9 @@ def main():
     ap.add_argument("--ckpt-at", type=int, default=3)
     ap.add_argument("--artifacts", type=Path, default=None,
                     help="keep traces/checkpoints/JSONs here")
+    ap.add_argument("--attrib", action="store_true",
+                    help="run everything under --attrib and require "
+                         "the attribution section to round-trip")
     args = ap.parse_args()
     if not args.binary.exists():
         fail(f"bench binary not found: {args.binary}")
@@ -96,8 +108,16 @@ def main():
     try:
         trace = work / "cap"
         ckpt_at = str(args.ckpt_at)
+
+        def require_attrib(name, doc):
+            if args.attrib and "attribution" not in doc:
+                fail(f"--attrib: {name} run emitted no attribution "
+                     f"section")
+
         for t in args.threads.split(","):
             tf = ["--xlat-threads", t]
+            if args.attrib:
+                tf.append("--attrib")
             # Capture once (the trace is thread-count independent);
             # later thread counts reuse it but need their own live
             # baseline because shard-private caches move counters.
@@ -111,9 +131,11 @@ def main():
                       f"at --xlat-threads {t}")
             else:
                 live = run(args.binary, work / f"live{t}.json", *tf)
+            require_attrib(f"live@t{t}", live)
 
             replay = run(args.binary, work / f"replay{t}.json",
                          *tf, "--trace-in", trace)
+            require_attrib(f"replay@t{t}", replay)
             expect_same(f"replay@t{t}", live, replay)
 
             ck = work / f"ck{t}"
@@ -124,6 +146,7 @@ def main():
                 fail("--ckpt-out produced no .ckpt files")
             resumed = run(args.binary, work / f"resume{t}.json",
                           *tf, "--trace-in", trace, "--ckpt-in", ck)
+            require_attrib(f"resume@t{t}", resumed)
             expect_same(f"resume@t{t}", live, resumed)
         if args.artifacts:
             args.artifacts.mkdir(parents=True, exist_ok=True)

@@ -46,6 +46,37 @@ Log2Histogram::bucket(unsigned i) const
     return i < buckets_.size() ? buckets_[i] : 0;
 }
 
+double
+Log2Histogram::percentile(double q) const
+{
+    if (total_ == 0)
+        return 0.0;
+    if (std::isnan(q) || q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    const double target = q * static_cast<double>(total_);
+    double cum = 0.0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        if (buckets_[b] == 0)
+            continue;
+        const double w = static_cast<double>(buckets_[b]);
+        const double lo =
+            b == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << b);
+        const double hi = static_cast<double>(std::uint64_t{1} << (b + 1));
+        if (target <= cum + w) {
+            const double frac = w > 0.0 ? (target - cum) / w : 0.0;
+            return lo + (frac < 0.0 ? 0.0 : frac) * (hi - lo);
+        }
+        cum += w;
+    }
+    // q == 1 lands here: the upper edge of the last occupied bucket.
+    for (std::size_t b = buckets_.size(); b-- > 0;)
+        if (buckets_[b] != 0)
+            return static_cast<double>(std::uint64_t{1} << (b + 1));
+    return 0.0;
+}
+
 void
 Log2Histogram::mergeFrom(const Log2Histogram &other)
 {

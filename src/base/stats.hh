@@ -144,6 +144,18 @@ class Log2Histogram
     std::uint64_t totalWeight() const { return total_; }
     void reset() { buckets_.clear(); total_ = 0; }
 
+    /**
+     * Bucket-interpolated quantile estimate. With W = totalWeight(),
+     * the target rank is q * W; walking buckets in order, the bucket b
+     * where the cumulative weight crosses the target contributes
+     * lo_b + frac * (hi_b - lo_b), where [lo_b, hi_b) is the bucket's
+     * value span ([0, 2) for bucket 0, [2^b, 2^(b+1)) above) and frac
+     * is the target's fractional position inside the bucket's weight.
+     * Exact to within one bucket span; q is clamped into [0, 1] (NaN
+     * treated as 0) and the empty histogram reports 0.
+     */
+    double percentile(double q) const;
+
     /** Add another histogram bucket-wise. */
     void mergeFrom(const Log2Histogram &other);
 

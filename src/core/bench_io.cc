@@ -9,6 +9,7 @@
 #include "base/lock_stats.hh"
 #include "base/logging.hh"
 #include "core/config.hh"
+#include "obs/attribution.hh"
 #include "obs/lock_metrics.hh"
 #include "obs/metrics.hh"
 #include "obs/observatory.hh"
@@ -74,6 +75,9 @@ BenchOutput::BenchOutput(std::string bench, int argc, char **argv)
     if (!lockStats_)
         if (const char *env = std::getenv("CONTIG_LOCK_STATS"))
             lockStats_ = env[0] != '\0' && std::strcmp(env, "0") != 0;
+    if (!attrib_)
+        if (const char *env = std::getenv("CONTIG_ATTRIB"))
+            attrib_ = env[0] != '\0' && std::strcmp(env, "0") != 0;
 
     if (!traceIn_.empty() && !traceOut_.empty())
         fatal("%s: --trace-in and --trace-out are mutually exclusive",
@@ -99,6 +103,14 @@ BenchOutput::BenchOutput(std::string bench, int argc, char **argv)
         LockStatsRegistry::setEnabled(true);
         lockSource_ =
             obs::makeLockMetricsSource(obs::MetricRegistry::global());
+    }
+
+    if (attrib_) {
+        // Same before-any-kernel contract as lock stats: every
+        // TranslationSim / FaultEngine built after this carries an
+        // attribution table.
+        obs::AttribRegistry::setEnabled(true);
+        obs::RunInfo::global().note("attrib.enabled", true);
     }
 
     if (!timelinePath_.empty() &&
@@ -171,6 +183,8 @@ BenchOutput::parseArgs(int argc, char **argv)
             ckptAtChunk_ = static_cast<std::uint64_t>(n);
         } else if (arg == "--lock-stats") {
             lockStats_ = true;
+        } else if (arg == "--attrib") {
+            attrib_ = true;
         } else if (arg == "--trace-categories" && has_next) {
             const char *list = argv[++i];
             const std::uint32_t mask = obs::parseTraceCategories(list);
@@ -187,7 +201,7 @@ BenchOutput::parseArgs(int argc, char **argv)
                   " [--threads N] [--xlat-threads N] [--xlat-chunk N]"
                   " [--trace-in PREFIX] [--trace-out PREFIX]"
                   " [--ckpt-in PREFIX] [--ckpt-out PREFIX]"
-                  " [--ckpt-at CHUNK] [--lock-stats]",
+                  " [--ckpt-at CHUNK] [--lock-stats] [--attrib]",
                   bench_.c_str(), argv[i], bench_.c_str());
         }
     }
@@ -441,6 +455,7 @@ BenchOutput::write()
         w.field("guest_nodes", ScaledDefaults::kGuestNodes);
         w.field("guest_node_bytes", ScaledDefaults::kGuestNodeBytes);
         w.field("lock_stats", lockStats_);
+        w.field("attrib", attrib_);
         for (const Note &n : notes_) {
             w.key(n.key);
             if (n.isNum)
@@ -466,6 +481,10 @@ BenchOutput::write()
         // Derived concurrency report: present whenever the run
         // recorded worker/shard accounting or lock stats were on.
         writeScaling(w);
+
+        // Cost attribution ("where do the cycles go"): present only
+        // when --attrib ran at least one instrumented kernel.
+        obs::AttribRegistry::global().writeSection(w);
 
         w.endObject();
 

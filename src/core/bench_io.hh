@@ -9,7 +9,7 @@
  *
  * where "rows" flattens every added Report (one object per table row,
  * tagged with its caption) and "metrics" is the global MetricRegistry
- * snapshot. The document carries "schema_version" (currently 3) and
+ * snapshot. The document carries "schema_version" (currently 4) and
  * a config.run object with the RunInfo reproducibility record (RNG
  * seeds, full KernelConfig knob sets). `--trace <file>` (or
  * CONTIG_TRACE_OUT) additionally enables event tracing and exports
@@ -28,6 +28,14 @@
  * contended lock sites). The section is also emitted without
  * --lock-stats whenever a run recorded parallel.* / xlat.shard*
  * accounting — it then simply omits the lock table.
+ *
+ * `--attrib` (or CONTIG_ATTRIB=1) switches the per-event cost
+ * attribution on the same way: translation and fault kernels then
+ * classify every event by outcome and contiguity class (see
+ * obs/attribution), and the JSON document gains an "attribution"
+ * section with per-class cycle histograms and sampled exemplars.
+ * Off (the default) the hot paths carry a dead null-pointer branch
+ * and the document is byte-identical to a run without the flag.
  */
 
 #ifndef CONTIG_CORE_BENCH_IO_HH
@@ -120,8 +128,16 @@ class BenchOutput
      */
     bool lockStatsEnabled() const { return lockStats_; }
 
+    /**
+     * True when `--attrib` (or CONTIG_ATTRIB=1) switched the
+     * cost-attribution accounting on. Kernels pick the mode up from
+     * AttribRegistry::enabled(); benches only need this to decide
+     * whether to build a ContigClassIndex for classification.
+     */
+    bool attribEnabled() const { return attrib_; }
+
     /** The bench JSON document schema ("schema_version"). */
-    static constexpr int kSchemaVersion = 3;
+    static constexpr int kSchemaVersion = 4;
 
     /** Write the JSON document and/or trace export, if configured. */
     void write();
@@ -151,6 +167,7 @@ class BenchOutput
     std::string ckptOut_;
     std::uint64_t ckptAtChunk_ = 0;
     bool lockStats_ = false;
+    bool attrib_ = false;
     /** Live "lock." source over the LockStatsRegistry, bound for the
      *  run's lifetime when lock stats are on. */
     obs::MetricSource lockSource_;

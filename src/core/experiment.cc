@@ -2,6 +2,7 @@
 
 #include "base/logging.hh"
 #include "core/checkpoint.hh"
+#include "obs/attribution.hh"
 #include "obs/observatory.hh"
 #include "policies/ca_paging.hh"
 #include "policies/eager.hh"
@@ -263,13 +264,28 @@ runTranslation(Workload &wl, const VirtualMachine *vm, XlatScheme scheme,
     if (vm) {
         engine = std::make_unique<ReplayEngine>(cfg, threads,
                                                 proc->pageTable(), *vm);
-        if (scheme == XlatScheme::Rmm || scheme == XlatScheme::Ds)
-            engine->setSegments(extract2d(*proc, *vm));
     } else {
         engine = std::make_unique<ReplayEngine>(cfg, threads,
                                                 proc->pageTable());
-        if (scheme == XlatScheme::Rmm || scheme == XlatScheme::Ds)
-            engine->setSegments(extractSegs(proc->pageTable()));
+    }
+    // Extract the offset-run segments once: Rmm/Ds consume them as
+    // the range/segment tables, and --attrib shares them read-only
+    // across shards as the contiguity-class index. The page tables
+    // are static during replay, so one extraction serves both.
+    const bool seg_schemes =
+        scheme == XlatScheme::Rmm || scheme == XlatScheme::Ds;
+    if (seg_schemes || obs::AttribRegistry::enabled()) {
+        const std::vector<Seg> segs =
+            vm ? extract2d(*proc, *vm) : extractSegs(proc->pageTable());
+        if (seg_schemes)
+            engine->setSegments(segs);
+        if (obs::AttribRegistry::enabled()) {
+            engine->setContigIndex(
+                std::make_shared<const obs::ContigClassIndex>(segs));
+            obs::RunInfo::global().note(
+                "attrib.contig_runs",
+                static_cast<std::uint64_t>(segs.size()));
+        }
     }
 
     // --- trace frontend -------------------------------------------------

@@ -8,6 +8,7 @@
 #include "base/logging.hh"
 #include "mm/kernel.hh"
 #include "mm/page_cache.hh"
+#include "obs/attribution.hh"
 #include "obs/observatory.hh"
 #include "obs/trace.hh"
 
@@ -31,6 +32,14 @@ FaultEngine::FaultEngine(Kernel &kernel)
     if (cfg_.lockStats)
         statsLock_.bindStats(
             &LockStatsRegistry::global().site("fault.stats"));
+    if (obs::AttribRegistry::enabled())
+        attrib_ = std::make_unique<obs::FaultAttribution>();
+}
+
+FaultEngine::~FaultEngine()
+{
+    if (attrib_)
+        obs::AttribRegistry::global().absorbFault(*attrib_);
 }
 
 // --- threading -----------------------------------------------------------
@@ -44,6 +53,10 @@ FaultEngine::WorkerScope::WorkerScope(FaultEngine &engine, int cpu)
     tlsOwner_ = &engine_;
     tlsStats_ = &stats_;
     tlsBatch_ = &batch_;
+    if (engine_.attrib_) {
+        attrib_ = std::make_unique<obs::FaultAttribution>();
+        tlsAttrib_ = attrib_.get();
+    }
 }
 
 FaultEngine::WorkerScope::~WorkerScope()
@@ -51,10 +64,13 @@ FaultEngine::WorkerScope::~WorkerScope()
     tlsOwner_ = nullptr;
     tlsStats_ = nullptr;
     tlsBatch_ = nullptr;
+    tlsAttrib_ = nullptr;
     {
         std::lock_guard<SpinLock> g(engine_.statsLock_);
         engine_.stats_.mergeFrom(stats_);
         engine_.batch_.mergeFrom(batch_);
+        if (attrib_)
+            engine_.attrib_->mergeFrom(*attrib_);
     }
     engine_.activeWorkers_.fetch_sub(1, std::memory_order_acq_rel);
 }
@@ -206,7 +222,7 @@ FaultEngine::installAnon(Process &proc, Vma &vma, FaultContext &ctx)
     kernel_.policy().onMapped(kernel_, proc, vma, ctx.base, ctx.alloc.pfn,
                               ctx.order);
     finishFault(proc, vma, ctx.base, ctx.alloc.pfn, ctx.order, ctx.cycles,
-                false, false);
+                false, false, ctx.fallback);
 }
 
 void
@@ -286,7 +302,8 @@ FaultEngine::fileFault(Process &proc, Vma &vma, Vpn vpn)
 
 void
 FaultEngine::finishFault(Process &proc, Vma &vma, Vpn vpn, Pfn pfn,
-                         unsigned order, Cycles cycles, bool cow, bool file)
+                         unsigned order, Cycles cycles, bool cow, bool file,
+                         AllocFail fallback)
 {
     FaultStats &st = curStats();
     ++st.faults;
@@ -298,6 +315,16 @@ FaultEngine::finishFault(Process &proc, Vma &vma, Vpn vpn, Pfn pfn,
     }
     st.totalCycles += cycles;
     st.latencyUs.add(static_cast<double>(cycles) / cfg_.cyclesPerUs);
+
+    if (attrib_) {
+        const unsigned kind = file ? static_cast<unsigned>(FaultKind::File)
+                              : cow ? static_cast<unsigned>(FaultKind::Cow)
+                                    : static_cast<unsigned>(FaultKind::Anon);
+        obs::FaultAttribution &table =
+            inWorker() && tlsAttrib_ ? *tlsAttrib_ : *attrib_;
+        table.record(kind, order == kHugeOrder,
+                     static_cast<unsigned>(fallback), cycles);
+    }
 
     const std::uint64_t c =
         clock_.fetch_add(1, std::memory_order_acq_rel) + 1;

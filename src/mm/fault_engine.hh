@@ -43,6 +43,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "base/stats.hh"
@@ -60,7 +61,11 @@ class Kernel;
 struct KernelConfig;
 struct Mapping;
 
-namespace obs { class StateSampler; }
+namespace obs
+{
+class FaultAttribution;
+class StateSampler;
+} // namespace obs
 
 /** What a fault resolves. */
 enum class FaultKind : std::uint8_t
@@ -181,6 +186,9 @@ class FaultEngine
   public:
     explicit FaultEngine(Kernel &kernel);
 
+    /** Folds the cost-attribution table into AttribRegistry::global(). */
+    ~FaultEngine();
+
     FaultEngine(const FaultEngine &) = delete;
     FaultEngine &operator=(const FaultEngine &) = delete;
 
@@ -267,6 +275,8 @@ class FaultEngine
         FaultEngine &engine_;
         FaultStats stats_;
         FaultBatchStats batch_;
+        /** Thread-private cost attribution (--attrib runs only). */
+        std::unique_ptr<obs::FaultAttribution> attrib_;
         ThisCpu::Scope cpuScope_;
     };
 
@@ -323,7 +333,8 @@ class FaultEngine
     void cowFault(Process &proc, Vma &vma, Vpn vpn, const Mapping &m);
     void fileFault(Process &proc, Vma &vma, Vpn vpn);
     void finishFault(Process &proc, Vma &vma, Vpn vpn, Pfn pfn,
-                     unsigned order, Cycles cycles, bool cow, bool file);
+                     unsigned order, Cycles cycles, bool cow, bool file,
+                     AllocFail fallback = AllocFail::None);
 
     // --- batch internals -------------------------------------------------
 
@@ -390,6 +401,13 @@ class FaultEngine
     const bool threaded_;
     FaultStats stats_;
     FaultBatchStats batch_;
+    /**
+     * (kind x order x fallback) cost attribution; null unless
+     * AttribRegistry::enabled() when the engine was built. Worker
+     * threads accumulate into their WorkerScope's private table
+     * (tlsAttrib_) and merge under statsLock_ on scope exit.
+     */
+    std::unique_ptr<obs::FaultAttribution> attrib_;
     obs::StateSampler *sampler_ = nullptr;
 
     /** Simulated clock: faults completed, all threads. */
@@ -405,6 +423,7 @@ class FaultEngine
     inline static thread_local FaultEngine *tlsOwner_ = nullptr;
     inline static thread_local FaultStats *tlsStats_ = nullptr;
     inline static thread_local FaultBatchStats *tlsBatch_ = nullptr;
+    inline static thread_local obs::FaultAttribution *tlsAttrib_ = nullptr;
 
     /** Phase timers (fault path, policy daemons, batch stages). */
     obs::Phase faultPhase_;

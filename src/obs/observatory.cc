@@ -6,6 +6,7 @@
 #include "base/lock_stats.hh"
 #include "base/logging.hh"
 #include "mm/kernel.hh"
+#include "obs/attribution.hh"
 #include "tlb/replay.hh"
 #include "tlb/translation_sim.hh"
 #include "virt/vm.hh"
@@ -199,6 +200,29 @@ StateSampler::capture(Snapshot &snap, std::uint64_t tick)
                 static_cast<double>(l.waitNs) / 1000.0;
         }
     }
+
+    // Attribution drift: per-outcome rollups so timelines show where
+    // the translation cycles go as the run evolves (--attrib only).
+    const auto attribExtras = [&snap](const XlatAttribution &table) {
+        for (unsigned o = 0; o < kXlatOutcomes; ++o) {
+            const CostCell cell = table.outcomeTotal(o);
+            if (cell.empty())
+                continue;
+            const std::string p =
+                std::string("attrib.") +
+                xlatOutcomeName(static_cast<XlatOutcome>(o)) + ".";
+            snap.extras[p + "events"] =
+                static_cast<double>(cell.events);
+            snap.extras[p + "walk_cycles"] =
+                static_cast<double>(cell.cycles);
+            snap.extras[p + "exposed_cycles"] =
+                static_cast<double>(cell.exposed);
+        }
+    };
+    if (replay_ && replay_->attribEnabled())
+        attribExtras(replay_->attribRollup());
+    else if (xlat_ && xlat_->attrib())
+        attribExtras(*xlat_->attrib());
 
     if (LockStatsRegistry::enabled()) {
         for (const LockSite *site :

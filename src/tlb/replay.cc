@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "base/sync.hh"
+#include "obs/attribution.hh"
 #include "obs/trace.hh"
 #include "base/serialize.hh"
 
@@ -106,6 +107,31 @@ ReplayEngine::setSegments(const std::vector<Seg> &segs)
         shard->setSegments(segs);
 }
 
+void
+ReplayEngine::setContigIndex(
+    std::shared_ptr<const obs::ContigClassIndex> idx)
+{
+    for (auto &shard : shards_)
+        shard->setContigIndex(idx);
+}
+
+bool
+ReplayEngine::attribEnabled() const
+{
+    return shards_[0]->attrib() != nullptr;
+}
+
+obs::XlatAttribution
+ReplayEngine::attribRollup() const
+{
+    const obs::XlatAttribution *first = shards_[0]->attrib();
+    obs::XlatAttribution sum(first ? first->label() : std::string());
+    for (const auto &shard : shards_)
+        if (const obs::XlatAttribution *a = shard->attrib())
+            sum.mergeFrom(*a);
+    return sum;
+}
+
 unsigned
 ReplayEngine::shardOf(Vpn vpn, unsigned threads)
 {
@@ -170,6 +196,12 @@ ReplayEngine::replayChunk(const MemAccess *a, std::size_t n)
         obs::ScopedPhase timer(
             chunkPhase_,
             threads_ == 1 ? &shards_[0]->stats().walkCycles : nullptr);
+        // Stamp the chunk ordinal into the shards' attribution
+        // exemplars (no-op per shard when --attrib is off). Main owns
+        // all shard state here: workers are parked at the start
+        // barrier.
+        for (auto &shard : shards_)
+            shard->noteChunk(chunks_);
         if (threads_ == 1) {
             const std::uint64_t t0 = obs::TraceSink::global().nowNs();
             shards_[0]->accessChunk(a, n);

@@ -61,6 +61,20 @@ class ReplayEngine
     /** Install the extracted segments on every shard (Rmm/Ds). */
     void setSegments(const std::vector<Seg> &segs);
 
+    /** Share one contiguity-class index across all shards (--attrib). */
+    void
+    setContigIndex(std::shared_ptr<const obs::ContigClassIndex> idx);
+
+    /**
+     * Attribution tables summed over shards (shard order, like
+     * mergedStats) — call only between replayChunk() calls. Empty
+     * table when attribution is off.
+     */
+    obs::XlatAttribution attribRollup() const;
+
+    /** True when shards carry attribution tables (--attrib on). */
+    bool attribEnabled() const;
+
     /**
      * Replay one chunk. threads == 1 feeds shard 0 directly;
      * otherwise the chunk is fanned out and this call returns after

@@ -1,11 +1,29 @@
 #include "tlb/translation_sim.hh"
 
 #include "base/logging.hh"
+#include "obs/attribution.hh"
 #include "obs/trace.hh"
 #include "base/serialize.hh"
 
 namespace contig
 {
+
+namespace
+{
+
+const char *
+schemeToken(XlatScheme s)
+{
+    switch (s) {
+      case XlatScheme::Base: return "base";
+      case XlatScheme::Spot: return "spot";
+      case XlatScheme::Rmm: return "rmm";
+      case XlatScheme::Ds: return "ds";
+    }
+    return "?";
+}
+
+} // namespace
 
 TranslationSim::TranslationSim(const XlatConfig &cfg, const PageTable &pt)
     : cfg_(cfg), tlb_(cfg.tlb),
@@ -32,9 +50,38 @@ TranslationSim::init()
 {
     if (cfg_.scheme == XlatScheme::Spot)
         spot_ = std::make_unique<SpotEngine>(cfg_.spot);
+    if (obs::AttribRegistry::enabled()) {
+        // Tables from different schemes/dimensions accumulate under
+        // distinct labels in the registry, so one bench run produces a
+        // side-by-side comparable attribution section.
+        attrib_ = std::make_unique<obs::XlatAttribution>(
+            std::string(schemeToken(cfg_.scheme)) +
+            (walker_->virtualized() ? "_2d" : "_1d"));
+    }
     metricSource_ = obs::MetricSource(
         obs::MetricRegistry::global(), "xlat",
         [this](obs::MetricSink &sink) { collectMetrics(sink); });
+}
+
+TranslationSim::~TranslationSim()
+{
+    if (attrib_)
+        obs::AttribRegistry::global().absorbXlat(*attrib_);
+}
+
+void
+TranslationSim::setContigIndex(
+    std::shared_ptr<const obs::ContigClassIndex> idx)
+{
+    if (attrib_)
+        attrib_->setIndex(std::move(idx));
+}
+
+void
+TranslationSim::noteChunk(std::uint64_t chunk)
+{
+    if (attrib_)
+        attrib_->setChunk(chunk);
 }
 
 void
@@ -65,6 +112,10 @@ TranslationSim::collectMetrics(obs::MetricSink &sink) const
     if (rangeTlb_) {
         obs::MetricSink::Scope s(sink, "range_tlb");
         rangeTlb_->collectMetrics(sink);
+    }
+    if (attrib_) {
+        obs::MetricSink::Scope s(sink, "attrib");
+        attrib_->collectMetrics(sink);
     }
 }
 
@@ -120,6 +171,9 @@ TranslationSim::runChunk(const MemAccess *acc, std::size_t n)
                 if (it != segments_.begin() &&
                     std::prev(it)->contains(vpn)) {
                     ++stats_.segmentHits;
+                    if (attrib_)
+                        attrib_->record(obs::XlatOutcome::SegmentHit,
+                                        vpn, 0, 0);
                     continue;
                 }
             }
@@ -133,10 +187,14 @@ TranslationSim::runChunk(const MemAccess *acc, std::size_t n)
             lvl = tlb_.access(vpn, 0);
         if (lvl == TlbLevel::L1) {
             ++stats_.l1Hits;
+            if (attrib_)
+                attrib_->record(obs::XlatOutcome::TlbHit, vpn, 0, 0);
             continue;
         }
         if (lvl == TlbLevel::L2) {
             ++stats_.l2Hits;
+            if (attrib_)
+                attrib_->record(obs::XlatOutcome::TlbHit, vpn, 0, 0);
             continue;
         }
 
@@ -156,6 +214,7 @@ TranslationSim::runChunk(const MemAccess *acc, std::size_t n)
         stats_.walkRefs += walk.refs;
 
         Cycles exposed = walk.cycles;
+        bool schemeHid = false; // walk cost hidden by SpOT / range hit
         if constexpr (S == XlatScheme::Spot) {
             const bool contig_ok =
                 Virt ? (walk.guestContigBit && walk.nestedContigBit)
@@ -167,6 +226,7 @@ TranslationSim::runChunk(const MemAccess *acc, std::size_t n)
                 CONTIG_TRACE(obs::TraceEventKind::SpotCorrect, a.pc,
                              static_cast<std::uint64_t>(walk.offset));
                 exposed = 0; // walk latency fully hidden
+                schemeHid = true;
                 break;
               case SpotOutcome::Mispredicted:
                 ++stats_.spotMispredicted;
@@ -184,12 +244,23 @@ TranslationSim::runChunk(const MemAccess *acc, std::size_t n)
             if (rangeTlb_->access(vpn)) {
                 ++stats_.rangeHits;
                 exposed = 0; // range hit: translation without a walk
+                schemeHid = true;
             }
         }
         // Base and Ds non-segment accesses pay the normal walk.
 
         stats_.exposedCycles += exposed;
         l2MissLatency_.add(static_cast<double>(exposed));
+        if (attrib_) {
+            obs::XlatOutcome out =
+                walk.pscHit ? obs::XlatOutcome::PscWalk
+                            : obs::XlatOutcome::FullWalk;
+            if (schemeHid) {
+                out = S == XlatScheme::Spot ? obs::XlatOutcome::SpotHit
+                                            : obs::XlatOutcome::RangeHit;
+            }
+            attrib_->record(out, vpn, walk.cycles, exposed);
+        }
         tlb_.fill(vpn, walk.mapping.order);
     }
 }
@@ -262,6 +333,9 @@ TranslationSim::saveState(Serializer &s) const
     s.boolean(rangeTlb_ != nullptr);
     if (rangeTlb_)
         rangeTlb_->saveState(s);
+    s.boolean(attrib_ != nullptr);
+    if (attrib_)
+        attrib_->save(s);
     s.endSection(sec);
 }
 
@@ -307,6 +381,14 @@ TranslationSim::restoreState(Deserializer &d)
               has_range ? 1 : 0, rangeTlb_ ? 1 : 0);
     if (rangeTlb_)
         rangeTlb_->restoreState(d);
+    const bool has_attrib = d.boolean();
+    if (has_attrib != (attrib_ != nullptr))
+        fatal("checkpoint attribution presence mismatch (file %d,"
+              " run %d) — was --attrib toggled between capture and"
+              " resume?",
+              has_attrib ? 1 : 0, attrib_ ? 1 : 0);
+    if (attrib_)
+        attrib_->restore(d);
 }
 
 } // namespace contig

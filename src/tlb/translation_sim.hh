@@ -27,6 +27,12 @@ namespace contig
 class Serializer;
 class Deserializer;
 
+namespace obs
+{
+class ContigClassIndex;
+class XlatAttribution;
+} // namespace obs
+
 /** One memory instruction execution. */
 struct MemAccess
 {
@@ -99,6 +105,9 @@ class TranslationSim
     TranslationSim(const XlatConfig &cfg, const PageTable &guest_pt,
                    const VirtualMachine &vm);
 
+    /** Folds the attribution table into AttribRegistry::global(). */
+    ~TranslationSim();
+
     /**
      * Provide the extracted 2-D segments (required for Rmm, and for
      * Ds if no explicit segment is set — the largest segment becomes
@@ -122,6 +131,16 @@ class TranslationSim
     const Walker &walker() const { return *walker_; }
     const SpotEngine *spot() const { return spot_.get(); }
     const RangeTlb *rangeTlb() const { return rangeTlb_.get(); }
+
+    /**
+     * Cost attribution (null unless AttribRegistry::enabled() when
+     * the simulator was built). The index classifies each event's vpn
+     * into a contiguity class; noteChunk stamps the replay chunk id
+     * into exemplars so hot outliers link back to --trace streams.
+     */
+    const obs::XlatAttribution *attrib() const { return attrib_.get(); }
+    void setContigIndex(std::shared_ptr<const obs::ContigClassIndex> idx);
+    void noteChunk(std::uint64_t chunk);
 
     /**
      * Report pipeline metrics: access/hit/walk counters, the L2-miss
@@ -165,6 +184,12 @@ class TranslationSim
     /** Exposed translation cycles per L2 miss (walk + scheme effects). */
     Summary l2MissLatency_;
     obs::Phase chunkPhase_;
+    /**
+     * Per-event cost attribution; null when the switch is off.
+     * Declared before metricSource_: the source's destructor absorbs
+     * a final collectMetrics() snapshot, which reads this table.
+     */
+    std::unique_ptr<obs::XlatAttribution> attrib_;
     obs::MetricSource metricSource_;
 };
 

@@ -167,6 +167,7 @@ Walker::walk(Vpn vpn)
         const std::uint64_t tag = vpn >> 18;
         if (cacheLookup(psc_, tag)) {
             ++stats_.pscHits;
+            res.pscHit = true;
             // Root and L3 reads avoided; the last two levels (the
             // PDE/leaf reads) are always performed.
             skipped = std::min(2u, guest_refs - 2);

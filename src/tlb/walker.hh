@@ -67,6 +67,8 @@ struct WalkResult
     bool nestedContigBit = false;
     /** Full 2-D offset (vpn - final pfn), the quantity SpOT tracks. */
     std::int64_t offset = 0;
+    /** Upper levels were skipped by a paging-structure-cache hit. */
+    bool pscHit = false;
 };
 
 /** Aggregate walker statistics. */

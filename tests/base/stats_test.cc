@@ -103,6 +103,44 @@ TEST(Log2Histogram, ZeroGoesToBucketZero)
     EXPECT_EQ(h.bucket(0), 1u);
 }
 
+TEST(Log2Histogram, PercentileKnownAnswers)
+{
+    Log2Histogram h;
+    h.add(1, 4);  // bucket 0: [0,2), weight 4
+    h.add(2, 4);  // bucket 1: [2,4), weight 4
+    h.add(4, 16); // bucket 2: [4,8), weight 16
+    h.add(8, 16); // bucket 3: [8,16), weight 16
+    // total weight 40; interpolation inside the crossing bucket:
+    // p50 target 20 -> 12/16 into bucket 2 -> 4 + 0.75 * 4 = 7
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 7.0);
+    // p90 target 36 -> 12/16 into bucket 3 -> 8 + 0.75 * 8 = 14
+    EXPECT_DOUBLE_EQ(h.percentile(0.90), 14.0);
+    // p10 target 4 -> the whole of bucket 0 -> its upper edge
+    EXPECT_DOUBLE_EQ(h.percentile(0.10), 2.0);
+    // q = 1 is the upper edge of the last occupied bucket
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 16.0);
+    // q = 0 is the lower edge of the first occupied bucket
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+}
+
+TEST(Log2Histogram, PercentileSingleValueAndClamping)
+{
+    Log2Histogram h;
+    h.add(5); // bucket 2: [4,8)
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 6.0); // midpoint of [4,8)
+    // Out-of-range q clamps instead of misindexing.
+    EXPECT_DOUBLE_EQ(h.percentile(-1.0), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+    EXPECT_DOUBLE_EQ(h.percentile(std::nan("")), h.percentile(0.0));
+}
+
+TEST(Log2Histogram, PercentileEmptyIsZero)
+{
+    Log2Histogram h;
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+}
+
 TEST(CounterSet, IncrementAndGet)
 {
     CounterSet c;

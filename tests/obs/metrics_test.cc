@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "base/json.hh"
 #include "obs/metrics.hh"
 
@@ -135,6 +137,35 @@ TEST(MetricRegistry, AbsorbedAndLiveMergeByName)
     });
     EXPECT_EQ(reg.snapshot().at("kernel.faults").counter, 12u);
     reg.removeSource(live, false);
+}
+
+TEST(MetricRegistry, SourceAbsorbsBeforeBackingStateDies)
+{
+    // Regression for the absorb-on-destroy lifetime contract: a pull
+    // source's callback reads state owned by the same object (the
+    // TranslationSim attrib_ table). The final pull must happen at
+    // source destruction, while the backing state is still alive, and
+    // registry reads after that must serve the absorbed values
+    // without ever re-invoking the callback.
+    MetricRegistry reg;
+    bool backing_alive = false;
+    {
+        std::vector<std::uint64_t> backing{41};
+        backing_alive = true;
+        MetricSource src(reg, "sim", [&](MetricSink &sink) {
+            ASSERT_TRUE(backing_alive)
+                << "source pulled after its backing state died";
+            sink.counter("events", backing[0]);
+        });
+        backing[0] = 42;
+        EXPECT_EQ(reg.snapshot().at("sim.events").counter, 42u);
+        // `src` dies before `backing` (reverse declaration order):
+        // the absorb-on-destroy pull still sees live state.
+    }
+    backing_alive = false;
+    EXPECT_EQ(reg.snapshot().at("sim.events").counter, 42u);
+    EXPECT_EQ(reg.snapshot().at("sim.events").counter, 42u);
+    EXPECT_EQ(reg.sourceCount(), 0u);
 }
 
 TEST(MetricRegistry, MetricSourceMoveTransfersOwnership)
