@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Overcommit & refault: the memory-pressure experiment the reclaim
+ * path exists for. The machine is shrunk to 2 x 96 MiB and a single
+ * anonymous working set of 1.6x physical memory is populated, so the
+ * allocation slow path must escalate through wake-kswapd ->
+ * direct-reclaim for the run to complete at all. Each policy runs
+ * twice: once with plain second-chance LRU victim selection and once
+ * with contiguity-aware selection (sparse 2 MiB blocks evicted first,
+ * CA/Ranger busy targets routed through targeted reclaim), exposing
+ * the defrag-vs-reclaim interplay: the contig-aware kernel should
+ * hold more huge-frame coverage (cov32, FMFI, largest free cluster)
+ * at the same reclaim volume. A SpOT translation leg replays the
+ * resident hot set, showing what the surviving contiguity buys.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/bench_io.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "mm/kernel.hh"
+#include "perfmodel/model.hh"
+#include "phys/buddy.hh"
+#include "phys/contiguity_map.hh"
+
+using namespace contig;
+
+namespace
+{
+
+constexpr std::uint64_t kMiB = 1ull << 20;
+
+/** Shrunken machine: 2 nodes x 96 MiB. */
+constexpr std::uint64_t kNodeBytes = 96 * kMiB;
+constexpr unsigned kNodes = 2;
+constexpr std::uint64_t kPhysBytes = kNodes * kNodeBytes;
+
+/** Working set: 1.6x physical memory (the overcommit). */
+constexpr std::uint64_t kWsBytes = kPhysBytes + (kPhysBytes * 3) / 5;
+
+/** Hot set: a quarter of physical memory, touched last (stays
+ *  resident) and replayed by the translation leg. */
+constexpr std::uint64_t kHotBytes = kPhysBytes / 4;
+
+constexpr std::uint64_t kXlatAccesses = 1ull << 19;
+
+/**
+ * One anonymous region of 1.6x physical memory. Population sweeps the
+ * whole region once (forcing eviction of the early pages), then
+ * re-touches the hot prefix — whose pages were swapped out by the
+ * tail of the sweep — so the fault path takes real refaults with
+ * modelled swap-in stalls. Steady-state accesses stay inside the hot
+ * prefix: under LRU it is the resident set, and the translation
+ * replay requires mapped addresses.
+ */
+class OvercommitWorkload : public Workload
+{
+  public:
+    explicit OvercommitWorkload(const WorkloadConfig &cfg = {})
+        : Workload(cfg)
+    {
+        regions_.push_back({kWsBytes + 8 * kMiB, kWsBytes});
+    }
+
+    std::string name() const override { return "overcommit"; }
+
+    MemAccess
+    nextAccess(Rng &rng) override
+    {
+        // A slowly-moving hot pointer plus a streaming cursor, both
+        // confined to the hot prefix.
+        if (rng.chance(0.02))
+            hot_ = rng.below(kHotBytes) & ~std::uint64_t{63};
+        cursor_ += 64;
+        if (rng.chance(0.75))
+            return {0x400000, at(0, cursor_ % kHotBytes)};
+        return {0x400040, at(0, hot_)};
+    }
+
+  protected:
+    void
+    touchPattern(Process &proc) override
+    {
+        proc.touchRange(base(0), kWsBytes);   // fills memory, evicts
+        proc.touchRange(base(0), kHotBytes);  // refaults the hot set
+    }
+
+  private:
+    std::uint64_t cursor_ = 0;
+    std::uint64_t hot_ = 0;
+};
+
+std::uint64_t
+statSum(const std::atomic<std::uint64_t> &a)
+{
+    return a.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printScaledBanner();
+    BenchOutput out("fig_overcommit", argc, argv);
+    out.note("phys_mib", kPhysBytes / kMiB);
+    out.note("working_set_mib", kWsBytes / kMiB);
+    out.note("hot_mib", kHotBytes / kMiB);
+
+    Report act("Overcommit (WS = 1.6x phys) — reclaim activity");
+    act.header({"policy", "victims", "faults", "reclaimed", "swapout",
+                "refault", "thp-split", "direct", "kswapd"});
+
+    Report frag("Overcommit — surviving contiguity & translation");
+    frag.header({"policy", "victims", "cov32", "fmfi", "largest",
+                 "swapped", "spot-ovh"});
+
+    const std::vector<PolicyKind> kinds{PolicyKind::Ca,
+                                        PolicyKind::Ranger};
+    for (PolicyKind kind : kinds) {
+        for (bool contig_aware : {false, true}) {
+            NativeSystem sys(kind, 7, [&](KernelConfig &cfg) {
+                cfg.phys.bytesPerNode = kNodeBytes;
+                cfg.phys.numNodes = kNodes;
+                cfg.reclaimEnabled = true;
+                cfg.kswapdEnabled = true;
+                cfg.contigAwareReclaim = contig_aware;
+            });
+            OvercommitWorkload wl({1.0, 7});
+            ContigRunResult r = sys.run(wl);
+
+            // Daemon epochs may have evicted part of the hot set;
+            // re-touch it so the replayed addresses are all mapped.
+            wl.process()->touchRange(wl.vmas()[0]->start(), kHotBytes);
+            XlatRunResult x = runTranslation(wl, nullptr,
+                                             XlatScheme::Spot,
+                                             kXlatAccesses, 99);
+
+            Kernel &kernel = sys.kernel();
+            const ReclaimEngine *rec = kernel.reclaim();
+            const ReclaimStats &rs = rec->stats();
+            const std::string victims = contig_aware ? "contig" : "lru";
+
+            act.row({policyName(kind), victims,
+                     Report::num(static_cast<double>(r.faults), 0),
+                     Report::num(statSum(rs.reclaimed), 0),
+                     Report::num(statSum(rs.swapOuts), 0),
+                     Report::num(statSum(rs.refaults), 0),
+                     Report::num(statSum(rs.thpSplits), 0),
+                     Report::num(statSum(rs.directReclaims), 0),
+                     Report::num(statSum(rs.kswapdRuns), 0)});
+
+            double fmfi = 0.0;
+            std::uint64_t largest = 0;
+            const PhysicalMemory &pm = kernel.physMem();
+            for (unsigned n = 0; n < pm.numNodes(); ++n) {
+                const Zone &zone = pm.zone(n);
+                fmfi += zone.buddy().unusableFreeIndex(kHugeOrder);
+                if (auto big = zone.contigMap().largest())
+                    largest = std::max(largest, big->pages);
+            }
+            fmfi /= pm.numNodes();
+            frag.row({policyName(kind), victims,
+                      Report::pct(r.final.cov32), Report::num(fmfi, 3),
+                      Report::num(static_cast<double>(largest) *
+                                      kPageSize / kMiB, 1) + "M",
+                      Report::num(statSum(rs.swapOuts) -
+                                      statSum(rs.refaults), 0),
+                      Report::pct(x.overhead.overhead)});
+
+            sys.finish(wl);
+        }
+    }
+
+    out.add(act);
+    out.add(frag);
+    act.print();
+    std::printf("\n");
+    frag.print();
+
+    std::printf("\nexpected: every cell completes (the slow path "
+                "escalates wake-kswapd -> direct reclaim instead of "
+                "OOM); for CA, contig-aware victims preserve mapped "
+                "contiguity — cov32 stays near 100%% and SpOT "
+                "overhead near zero at comparable swap volume, where "
+                "plain LRU shreds half the huge mappings\n");
+    out.write();
+    return 0;
+}

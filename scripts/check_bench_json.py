@@ -3,6 +3,7 @@
 
 Usage: check_bench_json.py [--expect-lock-stats] [--expect-scaling]
                            [--expect-trace] [--expect-attrib]
+                           [--expect-reclaim]
                            <bench-binary> [extra args...]
        check_bench_json.py --timeline-file <timeline.jsonl>
 
@@ -52,6 +53,16 @@ Schema v4 additions, validated whenever present:
 hard requirement (used by the attrib_schema_check ctest, which runs a
 bench under --attrib).
 
+Memory-pressure additions, validated whenever present:
+  - "metrics" keys <kernel-prefix>.reclaim.<leaf> must use the
+    ReclaimEngine leaf set (scans, reclaimed, swap_outs, refaults,
+    kswapd_runs, direct_reclaims, ...) and be numeric; every prefix
+    that emits any reclaim leaf must emit the core trio
+    {reclaimed, swap_outs, refaults}.
+--expect-reclaim turns presence of *.reclaim.* metrics into a hard
+requirement (used by the reclaim_schema_check ctest, which runs a
+bench whose kernels enable reclaim).
+
 With --timeline-file it instead validates an observatory timeline: one
 JSON snapshot record per line, per-stream strictly-increasing seq and
 non-decreasing tick, kind "full"|"delta" with the first record of every
@@ -73,6 +84,22 @@ def fail(msg):
 
 
 LOCK_LEAVES = {"acquisitions", "contended", "retries", "spin_us"}
+
+# Leaves under "<kernel-prefix>.reclaim.": the ReclaimEngine counter
+# and gauge set, plus the legacy "direct" alias kept for dashboards.
+RECLAIM_LEAVES = {"scans", "rotations", "deactivations", "reclaimed",
+                  "swap_outs", "refaults", "swap_cache_hits",
+                  "thp_splits", "pagecache_reclaimed", "kswapd_wakes",
+                  "kswapd_runs", "direct_reclaims",
+                  "targeted_reclaims", "direct_cycles",
+                  "kswapd_cycles", "low_watermark_hits",
+                  "min_watermark_hits", "pinned_skips", "busy_skips",
+                  "swapped_pages", "lru_inactive_pages",
+                  "lru_active_pages", "direct"}
+
+# A reclaim-enabled kernel always emits at least these (the headline
+# pressure counters); their absence means reclaim never ran.
+RECLAIM_CORE = {"reclaimed", "swap_outs", "refaults"}
 
 FRONTEND_LEAVES = {"chunks_decoded", "accesses_decoded",
                    "bytes_decoded", "decode_us", "stall_us", "wait_us",
@@ -117,6 +144,38 @@ def check_lock_metrics(metrics):
         if missing:
             fail(f"lock site {site!r} missing leaves {sorted(missing)}")
     return sites
+
+
+def check_reclaim_metrics(metrics):
+    """Validate <prefix>.reclaim.<leaf> keys; return prefixes seen."""
+    prefixes = {}
+    for name, value in metrics.items():
+        if name.startswith("reclaim."):
+            prefix, leaf = "", name[len("reclaim."):]
+        elif ".reclaim." in name:
+            prefix, _, leaf = name.partition(".reclaim.")
+        else:
+            continue
+        if leaf not in RECLAIM_LEAVES:
+            fail(f"reclaim metric {name!r} has unknown leaf {leaf!r} "
+                 f"(expected one of {sorted(RECLAIM_LEAVES)})")
+        if not isinstance(value, (int, float)):
+            fail(f"reclaim metric {name!r} is not numeric: {value!r}")
+        prefixes.setdefault(prefix, set()).add(leaf)
+    engine_prefixes = {}
+    for prefix, leaves in prefixes.items():
+        if leaves == {"direct"}:
+            # Reclaim-off kernels still bump the legacy
+            # "reclaim.direct" slow-path counter (dropCaches retry);
+            # only a real ReclaimEngine owes the full core set, and
+            # only engine-backed prefixes satisfy --expect-reclaim.
+            continue
+        missing = RECLAIM_CORE - leaves
+        if missing:
+            fail(f"reclaim prefix {prefix!r} missing core leaves "
+                 f"{sorted(missing)}")
+        engine_prefixes[prefix] = leaves
+    return engine_prefixes
 
 
 XLAT_OUTCOMES = {"tlb_hit", "segment_hit", "spot_hit", "range_hit",
@@ -416,21 +475,25 @@ def main():
     expect_scaling = False
     expect_trace = False
     expect_attrib = False
+    expect_reclaim = False
     while argv and argv[0] in ("--expect-lock-stats", "--expect-scaling",
-                               "--expect-trace", "--expect-attrib"):
+                               "--expect-trace", "--expect-attrib",
+                               "--expect-reclaim"):
         if argv[0] == "--expect-lock-stats":
             expect_lock_stats = True
         elif argv[0] == "--expect-scaling":
             expect_scaling = True
         elif argv[0] == "--expect-attrib":
             expect_attrib = True
+        elif argv[0] == "--expect-reclaim":
+            expect_reclaim = True
         else:
             expect_trace = True
         argv = argv[1:]
     if not argv:
         fail("usage: check_bench_json.py [--expect-lock-stats] "
              "[--expect-scaling] [--expect-trace] [--expect-attrib] "
-             "<bench-binary> [args...] | "
+             "[--expect-reclaim] <bench-binary> [args...] | "
              "--timeline-file <timeline.jsonl>")
     if argv[0] == "--timeline-file":
         if len(argv) != 2:
@@ -568,6 +631,11 @@ def main():
         fail("--expect-lock-stats: no lock.<site>.* metrics in output "
              "(was the bench run with --lock-stats?)")
 
+    reclaim_prefixes = check_reclaim_metrics(metrics)
+    if expect_reclaim and not reclaim_prefixes:
+        fail("--expect-reclaim: no *.reclaim.* metrics in output "
+             "(did any kernel run with reclaimEnabled?)")
+
     have_frontend = check_frontend_metrics(metrics)
     if "trace.in" in run and not have_frontend:
         fail("run replayed a trace (trace.in noted) but emitted no "
@@ -595,6 +663,8 @@ def main():
     extra = ""
     if lock_sites:
         extra = f", {len(lock_sites)} lock sites"
+    if reclaim_prefixes:
+        extra += f", reclaim ({len(reclaim_prefixes)} kernels)"
     if have_frontend:
         extra += ", trace frontend"
     if "scaling" in doc:

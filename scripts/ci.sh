@@ -58,10 +58,15 @@ python3 "$root/scripts/obs_overhead_gate.py" --check \
     "$root/bench/baselines/BENCH_micro_obs_overhead.json"
 "$bench/micro_fault_scaling" --json "$root/BENCH_micro_fault_scaling.json"
 "$bench/micro_xlat_scaling" --json "$root/BENCH_micro_xlat_scaling.json"
+"$bench/micro_reclaim_path" --json "$root/BENCH_micro_reclaim_path.json"
 python3 "$root/scripts/check_bench_json.py" "$bench/micro_alloc_path"
 python3 "$root/scripts/check_bench_json.py" "$bench/micro_fault_scaling"
 python3 "$root/scripts/check_bench_json.py" "$bench/micro_xlat_scaling"
 python3 "$root/scripts/check_bench_json.py" "$bench/fig14_spot_breakdown"
+# Memory-pressure schema gate: every micro_reclaim_path cell enables
+# reclaim, so its JSON must carry well-formed *.reclaim.* metrics.
+python3 "$root/scripts/check_bench_json.py" --expect-reclaim \
+    "$bench/micro_reclaim_path"
 
 # Concurrency observatory artifacts: the scaling micro benches again
 # under --lock-stats (per-site contention metrics + the derived
@@ -169,5 +174,10 @@ python3 "$root/scripts/check_bench_json.py" \
 "$out/release/tools/contig_inspect" check-baseline \
     "$root/BENCH_micro_xlat_scaling.json" \
     "$root/bench/baselines/BENCH_micro_xlat_scaling.json"
+# Reclaim-path gate: the sequential kernel makes every reclaim/swap/
+# refault counter deterministic; only the *.wall_us columns float.
+"$out/release/tools/contig_inspect" check-baseline \
+    "$root/BENCH_micro_reclaim_path.json" \
+    "$root/bench/baselines/BENCH_micro_reclaim_path.json"
 
 echo "CI: all configurations green"

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Reclaim-off golden gate for the memory-pressure PR.
+
+Usage: reclaim_off_golden_check.py <binary> <golden.txt> [binary golden]...
+
+Every KernelConfig defaults to reclaimEnabled=false, so the pressure
+path (LRU bookkeeping, watermarks, kswapd, swap) must be completely
+invisible to the existing figures: each named binary's stdout, run
+with default flags, must be byte-for-byte identical to its committed
+golden. fig13/fig14 are pinned the same way by xlat_golden_check;
+this gate covers the allocator-side figures (fig08/fig09) whose
+tables come from the fault/defrag path that reclaim now hooks into.
+
+Regenerate a golden only for an intentional model change, never to
+absorb a reclaim-path diff — a byte moving here means reclaim-off is
+no longer free.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+
+def fail(msg):
+    print(f"reclaim_off_golden_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def diff_lines(a, b):
+    for i, (la, lb) in enumerate(zip(a.splitlines(), b.splitlines()), 1):
+        if la != lb:
+            return (f"line {i}:\n  got:    {la.decode(errors='replace')}"
+                    f"\n  golden: {lb.decode(errors='replace')}")
+    return f"lengths differ ({len(a)} vs {len(b)} bytes)"
+
+
+def main():
+    args = sys.argv[1:]
+    if len(args) < 2 or len(args) % 2:
+        fail("usage: reclaim_off_golden_check.py "
+             "<binary> <golden.txt> [binary golden]...")
+    for binary, golden_path in zip(args[::2], args[1::2]):
+        golden = Path(golden_path)
+        if not golden.exists():
+            fail(f"missing golden {golden}")
+        proc = subprocess.run([binary], stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT, timeout=600)
+        if proc.returncode != 0:
+            fail(f"{binary} exited {proc.returncode}:\n"
+                 f"{proc.stdout.decode(errors='replace')[-2000:]}")
+        if proc.stdout != golden.read_bytes():
+            fail(f"{Path(binary).name} diverged from {golden.name} "
+                 f"with reclaim off (default config): "
+                 f"{diff_lines(proc.stdout, golden.read_bytes())}")
+        print(f"reclaim_off_golden_check: OK: {Path(binary).name} "
+              f"== {golden.name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -66,6 +66,10 @@ kernelConfigFor(PolicyKind kind)
         kind == PolicyKind::Ca || kind == PolicyKind::Ideal;
     cfg.phys.zone.sortedTopList = ca_like;
     cfg.phys.zone.scrambleSeed = ca_like ? 0 : 0xC0FFEE;
+    // Contiguity-steering kernels route their replacement decisions
+    // through contiguity-aware victim selection; dormant until an
+    // experiment turns reclaimEnabled on (fig_overcommit).
+    cfg.contigAwareReclaim = ca_like || kind == PolicyKind::Ranger;
     if (kind == PolicyKind::Eager)
         cfg.phys.zone.maxOrder = ScaledDefaults::kEagerMaxOrder;
     if (kind == PolicyKind::Base4k)
@@ -153,12 +157,15 @@ runSampled(Kernel &kernel, Process &proc, Workload &wl,
 
 } // namespace
 
-NativeSystem::NativeSystem(PolicyKind kind, std::uint64_t seed)
-    : kind_(kind),
-      kernel_(std::make_unique<Kernel>(kernelConfigFor(kind),
-                                       makePolicy(kind))),
-      rng_(seed)
+NativeSystem::NativeSystem(PolicyKind kind, std::uint64_t seed,
+                           const std::function<void(KernelConfig &)>
+                               &tweak)
+    : kind_(kind), rng_(seed)
 {
+    KernelConfig cfg = kernelConfigFor(kind);
+    if (tweak)
+        tweak(cfg);
+    kernel_ = std::make_unique<Kernel>(cfg, makePolicy(kind));
     obs::RunInfo::global().note("seed.native_system", seed);
 }
 

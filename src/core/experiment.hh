@@ -9,6 +9,7 @@
 #ifndef CONTIG_CORE_EXPERIMENT_HH
 #define CONTIG_CORE_EXPERIMENT_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -63,8 +64,15 @@ struct ContigRunResult
 class NativeSystem
 {
   public:
-    explicit NativeSystem(PolicyKind kind,
-                          std::uint64_t seed = 1);
+    /**
+     * @param tweak optional hook applied to kernelConfigFor(kind)
+     *        before the kernel is built — overcommit experiments use
+     *        it to shrink physical memory and enable reclaim without
+     *        duplicating the system plumbing.
+     */
+    explicit NativeSystem(PolicyKind kind, std::uint64_t seed = 1,
+                          const std::function<void(KernelConfig &)>
+                              &tweak = {});
 
     Kernel &kernel() { return *kernel_; }
     PolicyKind policy() const { return kind_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 #include <optional>
+#include <thread>
 
 #include "base/align.hh"
 #include "base/logging.hh"
@@ -124,6 +125,10 @@ void
 FaultEngine::touch(Process &proc, Gva gva, Access access)
 {
     drainPendingTicks();
+    // Watermark probe before any lock: threaded kernels just nudge
+    // kswapd; sequential ones run its balancing synchronously here.
+    if (ReclaimEngine *rec = kernel_.reclaim())
+        rec->checkWatermarks(proc.homeNode());
     MaybeSharedGuard<std::shared_mutex> mm(kernel_.mmLock(), threaded_,
                                           kernel_.mmLockSite());
     touchLocked(proc, gva, access);
@@ -136,10 +141,15 @@ FaultEngine::touchLocked(Process &proc, Gva gva, Access access)
     contig_assert(vma, "touch outside any VMA (gva 0x%llx)",
                   static_cast<unsigned long long>(gva.value));
     MaybeGuard<SpinLock> vg(vma->faultLock(), threaded_);
+    // Any direct reclaim this fault escalates to may evict from the
+    // VMA whose lock this thread now holds (see HeldVmaScope).
+    ReclaimEngine::HeldVmaScope held(vma);
 
     const Vpn vpn = gva.pageNumber();
     auto m = proc.pageTable().lookup(vpn);
     if (m && m->valid()) {
+        if (ReclaimEngine *rec = kernel_.reclaim())
+            rec->noteReferenced(m->pfn); // second chance for the leaf
         if (access == Access::Write && m->cow) {
             std::optional<obs::ScopedPhase> timer;
             if (!inWorker())
@@ -182,14 +192,23 @@ void
 FaultEngine::placeAnon(Process &proc, Vma &vma, FaultContext &ctx)
 {
     AllocationPolicy &policy = kernel_.policy();
+    ReclaimEngine *rec = kernel_.reclaim();
     ctx.alloc = policy.allocate(kernel_, proc, vma, ctx.base, ctx.order);
-    if (!ctx.alloc.ok()) {
+    if (!ctx.alloc.ok() && !rec) {
         // Direct reclaim: evict clean page-cache pages and retry.
         kernel_.dropCaches();
         kernel_.incCounter("reclaim.direct");
         ctx.alloc = policy.allocate(kernel_, proc, vma, ctx.base, ctx.order);
     }
+    if (!ctx.alloc.ok() && rec && ctx.order != kHugeOrder)
+        reclaimRetry(proc, vma, ctx.base, ctx.order, ctx.alloc);
     if (!ctx.alloc.ok() && ctx.order == kHugeOrder) {
+        // A huge-order shortfall is a defragmentation problem, not a
+        // pressure problem: wake kswapd and demote immediately rather
+        // than stall this fault on direct reclaim of 512 pages (the
+        // THP defrag=madvise stance).
+        if (rec)
+            rec->wakeKswapd();
         ctx.fallback = ctx.alloc.fail == AllocFail::None
                            ? AllocFail::NoHugeBlock
                            : ctx.alloc.fail;
@@ -198,12 +217,61 @@ FaultEngine::placeAnon(Process &proc, Vma &vma, FaultContext &ctx)
         ctx.order = 0;
         ctx.base = ctx.vpn;
         ctx.alloc = policy.allocate(kernel_, proc, vma, ctx.base, ctx.order);
+        if (!ctx.alloc.ok() && rec)
+            reclaimRetry(proc, vma, ctx.base, ctx.order, ctx.alloc);
     }
     if (!ctx.alloc.ok()) {
         policy.noteAllocFail(AllocFail::Oom);
         fatal("out of memory: anon fault in %s (vma %u)",
               proc.name().c_str(), vma.id());
     }
+}
+
+void
+FaultEngine::reclaimRetry(Process &proc, Vma &vma, Vpn base, unsigned order,
+                          AllocResult &res)
+{
+    // The order-0 slow path: kswapd is woken so background reclaim
+    // keeps running after this fault, then bounded direct-reclaim
+    // rounds satisfy it synchronously. The "reclaim.direct" counter
+    // keeps its pre-reclaim meaning: one bump per slow-path entry.
+    ReclaimEngine &rec = *kernel_.reclaim();
+    rec.wakeKswapd();
+    kernel_.incCounter("reclaim.direct");
+    AllocationPolicy &policy = kernel_.policy();
+    Cycles stall = 0;
+    const std::uint64_t want = pagesInOrder(order);
+    // Sequentially a zero-freed round is final (nothing will change
+    // under our feet) and four rounds always suffice. Threaded, a
+    // round can transiently free nothing (candidates requeued while
+    // other workers hold their VMA locks) and freed pages can be
+    // stolen before the retry allocates — so yield through a bounded
+    // number of dry rounds before declaring OOM.
+    const bool threaded = kernel_.threaded();
+    const int max_rounds = threaded ? 64 : 4;
+    int dry = 0;
+    for (int round = 0; round < max_rounds && !res.ok(); ++round) {
+        const ReclaimEngine::Progress p =
+            rec.directReclaim(proc.homeNode(), want);
+        stall += p.cycles;
+        if (p.freed == 0) {
+            // Dry rounds are cheap (one popped-and-requeued scan
+            // batch), and peers hold their VMA locks for whole touch
+            // spans, so genuine progress can take many tries.
+            if (!threaded || ++dry >= 16)
+                break; // everything left is pinned or lock-busy
+            std::this_thread::yield();
+            continue;
+        }
+        dry = 0;
+        res = policy.allocate(kernel_, proc, vma, base, order);
+    }
+    if (!res.ok()) {
+        kernel_.dropCaches();
+        res = policy.allocate(kernel_, proc, vma, base, order);
+    }
+    if (res.ok())
+        res.placementCycles += stall;
 }
 
 void
@@ -219,6 +287,8 @@ FaultEngine::installAnon(Process &proc, Vma &vma, FaultContext &ctx)
 
     ctx.cycles = cfg_.faultBaseCycles + cfg_.zeroCyclesPerPage * n +
                  ctx.alloc.placementCycles;
+    if (ReclaimEngine *rec = kernel_.reclaim())
+        ctx.cycles += rec->chargeSwapIn(proc.pid(), ctx.base, ctx.order);
     kernel_.policy().onMapped(kernel_, proc, vma, ctx.base, ctx.alloc.pfn,
                               ctx.order);
     finishFault(proc, vma, ctx.base, ctx.alloc.pfn, ctx.order, ctx.cycles,
@@ -253,6 +323,8 @@ FaultEngine::cowFault(Process &proc, Vma &vma, Vpn vpn, const Mapping &m)
 
     AllocResult res =
         kernel_.policy().allocate(kernel_, proc, vma, base, order);
+    if (!res.ok() && kernel_.reclaim() && order == 0)
+        reclaimRetry(proc, vma, base, order, res);
     if (!res.ok()) {
         kernel_.policy().noteAllocFail(AllocFail::Oom);
         fatal("out of memory: COW fault in %s", proc.name().c_str());
@@ -286,13 +358,21 @@ FaultEngine::fileFault(Process &proc, Vma &vma, Vpn vpn)
                   "file fault beyond EOF (page %llu)",
                   static_cast<unsigned long long>(file_page));
 
-    Pfn pfn = ensureFileCached(file, file_page);
-    if (pfn == kInvalidPfn)
-        fatal("out of memory: page-cache fault in %s", proc.name().c_str());
+    Pfn pfn;
+    {
+        // The page-cache lock spans lookup AND map+getFrame: dropping
+        // it in between would let kswapd evict the frame before the
+        // extra reference pins it.
+        MaybeGuard<SpinLock> pc(kernel_.pageCacheLock(), threaded_);
+        pfn = ensureFileCachedLocked(file, file_page);
+        if (pfn == kInvalidPfn)
+            fatal("out of memory: page-cache fault in %s",
+                  proc.name().c_str());
 
-    // File mappings are shared read-only in this model.
-    proc.pageTable().map(vpn, pfn, 0, false, false);
-    kernel_.getFrame(pfn);
+        // File mappings are shared read-only in this model.
+        proc.pageTable().map(vpn, pfn, 0, false, false);
+        kernel_.getFrame(pfn);
+    }
     ++kernel_.physMem().frame(pfn).mapCount;
     vma.allocatedPages += 1;
 
@@ -385,6 +465,8 @@ FaultEngine::handleRange(const FaultRequest &span, TouchNote note)
     if (!span.proc || span.pages == 0)
         return;
     drainPendingTicks();
+    if (ReclaimEngine *rec = kernel_.reclaim())
+        rec->checkWatermarks(span.proc->homeNode());
     MaybeSharedGuard<std::shared_mutex> mm(kernel_.mmLock(), threaded_,
                                           kernel_.mmLockSite());
     Process &proc = *span.proc;
@@ -420,6 +502,7 @@ FaultEngine::handleRange(const FaultRequest &span, TouchNote note)
             std::min(end, vma->start().pageNumber() + vma->pages());
         {
             MaybeGuard<SpinLock> vg(vma->faultLock(), threaded_);
+            ReclaimEngine::HeldVmaScope held(vma);
             resolveSpan(proc, *vma, v, sub_end, span.access,
                         note == TouchNote::AllPages);
         }
@@ -462,6 +545,8 @@ FaultEngine::resolveSpan(Process &proc, Vma &vma, Vpn start, Vpn end,
             auto m = pt.lookup(v);
             if (!m)
                 break;
+            if (ReclaimEngine *rec = kernel_.reclaim())
+                rec->noteReferenced(m->pfn);
             const std::uint64_t n = pagesInOrder(m->order);
             const Vpn leaf_end = std::min(end, (v & ~(n - 1)) + n);
             if (access == Access::Write && m->cow) {
@@ -543,16 +628,43 @@ FaultEngine::commitAnonChunk(Process &proc, Vma &vma,
     AllocationPolicy &policy = kernel_.policy();
     PageTable::RunMapper mapper(proc.pageTable());
     FaultBatchStats &bt = curBatch();
+    ReclaimEngine *rec = kernel_.reclaim();
+    // Per-chunk watermark probe: a span can be hundreds of chunks, so
+    // checking only at handleRange entry would leave the background
+    // reclaimer asleep while the span drains the zone and every
+    // shortfall became a direct-reclaim stall.
+    if (rec)
+        rec->checkWatermarks(proc.homeNode());
+
+    // Reclaim (a policy's targeted eviction inside allocateBatch, the
+    // slow path below, or a page-table pool refill inside mapper.map
+    // itself) can unmap leaves of this very page table and free
+    // interior nodes the mapper has cached. Track the engine's unmap
+    // epoch and drop the cached node whenever it moved — checked
+    // before every mapper use (one relaxed load on the fast path).
+    std::uint64_t epoch = rec ? rec->unmapEpoch() : 0;
+    const auto resyncMapper = [&] {
+        if (!rec)
+            return;
+        const std::uint64_t e = rec->unmapEpoch();
+        if (e != epoch) {
+            mapper.invalidate();
+            epoch = e;
+        }
+    };
 
     auto install = [&](FaultSlot &s) {
         kernel_.claimFrames(s.res.pfn, 0, FrameOwner::Anon, proc.pid(),
                             s.base << kPageShift);
+        resyncMapper();
         mapper.map(s.base, s.res.pfn, true, false);
         ++kernel_.physMem().frame(s.res.pfn).mapCount;
         vma.allocatedPages += 1;
-        const Cycles cycles = cfg_.faultBaseCycles +
-                              cfg_.zeroCyclesPerPage +
-                              s.res.placementCycles;
+        Cycles cycles = cfg_.faultBaseCycles +
+                        cfg_.zeroCyclesPerPage +
+                        s.res.placementCycles;
+        if (rec)
+            cycles += rec->chargeSwapIn(proc.pid(), s.base, 0);
         policy.onMapped(kernel_, proc, vma, s.base, s.res.pfn, 0);
         finishFault(proc, vma, s.base, s.res.pfn, 0, cycles, false, false);
         proc.noteTouched(vma, s.base);
@@ -569,6 +681,7 @@ FaultEngine::commitAnonChunk(Process &proc, Vma &vma,
                                        slots.data() + i,
                                        slots.size() - i);
         }
+        resyncMapper();
         {
             std::optional<obs::ScopedPhase> stage;
             if (!inWorker())
@@ -582,14 +695,19 @@ FaultEngine::commitAnonChunk(Process &proc, Vma &vma,
             // The per-fault failure machinery for the failing slot:
             // direct reclaim, one retry, OOM is fatal at order 0.
             FaultSlot &s = slots[i];
-            kernel_.dropCaches();
-            kernel_.incCounter("reclaim.direct");
-            s.res = policy.allocate(kernel_, proc, vma, s.base, 0);
+            if (rec) {
+                reclaimRetry(proc, vma, s.base, 0, s.res);
+            } else {
+                kernel_.dropCaches();
+                kernel_.incCounter("reclaim.direct");
+                s.res = policy.allocate(kernel_, proc, vma, s.base, 0);
+            }
             if (!s.res.ok()) {
                 policy.noteAllocFail(AllocFail::Oom);
                 fatal("out of memory: anon fault in %s (vma %u)",
                       proc.name().c_str(), vma.id());
             }
+            resyncMapper();
             install(s);
             ++i;
         }
@@ -608,10 +726,27 @@ FaultEngine::resolveFileGap(Process &proc, Vma &vma, Vpn gap_start,
     PageTable::RunMapper mapper(proc.pageTable());
     const Vpn vma_start = vma.start().pageNumber();
     FaultBatchStats &bt = curBatch();
+    ReclaimEngine *rec = kernel_.reclaim();
+
+    // Same mapper-vs-reclaim discipline as commitAnonChunk: the cache
+    // fills and page-table pool refills below can trigger reclaim,
+    // whose unmaps may free interior nodes the mapper cached.
+    std::uint64_t epoch = rec ? rec->unmapEpoch() : 0;
+    const auto resyncMapper = [&] {
+        if (!rec)
+            return;
+        const std::uint64_t e = rec->unmapEpoch();
+        if (e != epoch) {
+            mapper.invalidate();
+            epoch = e;
+        }
+    };
 
     Vpn v = gap_start;
     while (v < gap_end) {
         const Vpn chunk_end = std::min(gap_end, v + tickBudget());
+        if (rec)
+            rec->checkWatermarks(proc.homeNode());
         std::optional<obs::ScopedPhase> fault_timer;
         if (!inWorker())
             fault_timer.emplace(faultPhase_, &stats_.totalCycles);
@@ -641,6 +776,7 @@ FaultEngine::resolveFileGap(Process &proc, Vma &vma, Vpn gap_start,
                 const std::uint64_t fp =
                     vma.fileOffsetPages() + (w - vma_start);
                 const Pfn pfn = file.frameFor(fp);
+                resyncMapper();
                 mapper.map(w, pfn, false, false);
                 kernel_.getFrame(pfn);
                 ++kernel_.physMem().frame(pfn).mapCount;
@@ -686,6 +822,11 @@ FaultEngine::fillFileSpan(File &file, std::uint64_t begin,
 {
     AllocationPolicy &policy = kernel_.policy();
     const bool steered = policy.steersFilePlacement();
+    // While this scope is live, any reclaim this thread triggers skips
+    // page-cache victims — a sequential kernel (whose page-cache lock
+    // is disengaged) could otherwise evict the pages this very run
+    // just installed.
+    ReclaimEngine::PageCacheFillScope fill_scope;
     std::uint64_t filled = 0;
     std::vector<AllocResult> results;
 
@@ -702,19 +843,34 @@ FaultEngine::fillFileSpan(File &file, std::uint64_t begin,
         const std::size_t n = run_end - p;
         results.resize(n);
 
-        std::size_t got;
-        if (steered) {
-            got = policy.allocateFileRange(kernel_, file, p, n,
-                                           results.data());
-        } else {
-            // Unsteered policies take plain buddy pages; skip the
-            // virtual dispatch per page.
-            got = 0;
-            while (got < n) {
-                results[got] = buddyAlloc(kernel_, 0, 0);
-                if (!results[got].ok())
-                    break;
-                ++got;
+        const auto allocRun = [&](std::uint64_t page0, std::size_t off,
+                                  std::size_t count) {
+            std::size_t g;
+            if (steered) {
+                g = policy.allocateFileRange(kernel_, file, page0, count,
+                                             results.data() + off);
+            } else {
+                // Unsteered policies take plain buddy pages; skip the
+                // virtual dispatch per page.
+                g = 0;
+                while (g < count) {
+                    results[off + g] = buddyAlloc(kernel_, 0, 0);
+                    if (!results[off + g].ok())
+                        break;
+                    ++g;
+                }
+            }
+            return g;
+        };
+        std::size_t got = allocRun(p, 0, n);
+        if (got < n) {
+            if (ReclaimEngine *reng = kernel_.reclaim()) {
+                // Readahead under pressure: reclaim (anon victims
+                // only, per the fill scope above) and retry the
+                // shortfall once before trimming the window.
+                reng->wakeKswapd();
+                if (reng->directReclaim(0, n - got).freed)
+                    got += allocRun(p + got, got, n - got);
             }
         }
         for (std::size_t i = 0; i < got; ++i) {
@@ -744,6 +900,8 @@ FaultEngine::readFile(File &file, std::uint64_t page_start,
     contig_assert(page_start + n_pages <= file.sizePages(),
                   "readFile beyond EOF");
     drainPendingTicks();
+    if (ReclaimEngine *rec = kernel_.reclaim())
+        rec->checkWatermarks(0); // file fills allocate node-0 first
     MaybeSharedGuard<std::shared_mutex> mm(kernel_.mmLock(), threaded_,
                                           kernel_.mmLockSite());
     MaybeGuard<SpinLock> pc(kernel_.pageCacheLock(), threaded_);

@@ -323,6 +323,16 @@ class FaultEngine
     void classifyAnon(Process &proc, Vma &vma, FaultContext &ctx) const;
     /** Policy placement incl. direct reclaim and huge demotion. */
     void placeAnon(Process &proc, Vma &vma, FaultContext &ctx);
+    /**
+     * Memory-pressure escalation for a failed allocation at (base,
+     * order): wake kswapd, then up to four direct-reclaim rounds with
+     * an allocation retry after each, then dropping the clean page
+     * cache as the last resort before the caller declares OOM. Adds
+     * the reclaim stall to res.placementCycles on success. Reclaim
+     * kernels only (kernel_.reclaim() != nullptr).
+     */
+    void reclaimRetry(Process &proc, Vma &vma, Vpn base, unsigned order,
+                      AllocResult &res);
     /** claim + PTE install + accounting for a resolved anon fault. */
     void installAnon(Process &proc, Vma &vma, FaultContext &ctx);
 

@@ -18,8 +18,16 @@ Kernel::normalized(KernelConfig cfg)
     // caller pinned the geometry explicitly. threads == 1 leaves
     // pcpCpus alone (0 by default: order-0 allocations go straight to
     // the buddy, exactly the pre-threading behaviour).
-    if (cfg.threads > 1 && cfg.phys.zone.pcpCpus == 0)
-        cfg.phys.zone.pcpCpus = cfg.threads;
+    if (cfg.threads > 1 && cfg.phys.zone.pcpCpus == 0) {
+        // Reclaim kernels add one slot for the kswapd thread so its
+        // frees never alias a fault worker's cache.
+        cfg.phys.zone.pcpCpus =
+            cfg.threads + (cfg.reclaimEnabled ? 1 : 0);
+    }
+    // Fan the pressure knobs out to the zones (watermarks, LRU lists,
+    // the free-page gauge all live there).
+    cfg.phys.zone.reclaim = cfg.reclaimEnabled;
+    cfg.phys.zone.watermarkScale = cfg.watermarkScale;
     // --lock-stats flips the process-wide switch before kernels are
     // built; fold it into the per-instance knob so every kernel in
     // the run (host, guest, scratch instances in benches) is armed
@@ -47,6 +55,10 @@ Kernel::Kernel(const KernelConfig &cfg,
         LockStatsRegistry::setOffsetRingSite(&ls.site("vma.offset_ring"));
     }
     engine_ = std::make_unique<FaultEngine>(*this);
+    if (cfg_.reclaimEnabled) {
+        reclaim_ = std::make_unique<ReclaimEngine>(*this);
+        reclaim_->startKswapd();
+    }
     metricSource_ = obs::MetricSource(
         obs::MetricRegistry::global(), cfg_.metricsPrefix,
         [this](obs::MetricSink &sink) { collectMetrics(sink); });
@@ -84,6 +96,19 @@ Kernel::Kernel(const KernelConfig &cfg,
     ri.note(p + "phys.pcp_high",
             static_cast<std::uint64_t>(cfg_.phys.zone.pcpHigh));
     ri.note(p + "lock_stats", cfg_.lockStats);
+    // Pressure knobs are recorded only when the path is armed so
+    // reclaim-off runs keep their pre-reclaim config block (and stay
+    // byte-identical to the committed goldens).
+    if (cfg_.reclaimEnabled) {
+        ri.note(p + "reclaim_enabled", cfg_.reclaimEnabled);
+        ri.note(p + "kswapd_enabled", cfg_.kswapdEnabled);
+        ri.note(p + "contig_aware_reclaim", cfg_.contigAwareReclaim);
+        ri.note(p + "watermark_scale", cfg_.watermarkScale);
+        ri.note(p + "swap.out_cycles_per_page", cfg_.swapCost.outCyclesPerPage);
+        ri.note(p + "swap.in_cycles_per_page", cfg_.swapCost.inCyclesPerPage);
+        ri.note(p + "swap.cache_hit_cycles", cfg_.swapCost.cacheHitCycles);
+        ri.note(p + "swap.cache_pages", cfg_.swapCost.cachePages);
+    }
 }
 
 void
@@ -137,10 +162,19 @@ Kernel::collectMetrics(obs::MetricSink &sink) const
         policy_->collectMetrics(sink);
         policy_->collectFailMetrics(sink);
     }
+
+    if (reclaim_) {
+        obs::MetricSink::Scope s(sink, "reclaim");
+        reclaim_->collectMetrics(sink);
+    }
 }
 
 Kernel::~Kernel()
 {
+    // Quiesce kswapd before tearing anything down: it walks processes
+    // and zones under the mm lock.
+    if (reclaim_)
+        reclaim_->stop();
     // Destroy processes before the kernel pool and physical memory:
     // their page-table destructors return node frames via
     // freeKernelFrame().
@@ -274,6 +308,10 @@ Kernel::munmapLocked(Process &proc, Vma &vma)
 {
     policy_->onMunmap(*this, proc, vma);
     unmapVmaPages(proc, vma);
+    if (reclaim_) {
+        reclaim_->dropVmaRange(proc.pid(), vma.start().pageNumber(),
+                               vma.pages());
+    }
     proc.addressSpace().munmap(vma);
 }
 
@@ -293,6 +331,8 @@ Kernel::claimFrames(Pfn pfn, unsigned order, FrameOwner kind,
         f.mapCount.store(0, std::memory_order_relaxed);
     }
     physMem_.frame(pfn).refCount.store(1, std::memory_order_relaxed);
+    if (reclaim_)
+        reclaim_->onClaim(pfn, order, kind);
     CONTIG_TRACE(obs::TraceEventKind::Alloc, pfn, order, owner_id);
     if (backingHook)
         backingHook(pfn, order);
@@ -320,35 +360,60 @@ Kernel::putFrame(Pfn pfn, unsigned order)
             g.ownerId = kNoOwner;
             g.ownerVaddr = 0;
         }
+        if (reclaim_)
+            reclaim_->onFree(pfn);
         physMem_.free(pfn, order);
     }
+}
+
+bool
+Kernel::refillKernelPoolLocked(NodeId node)
+{
+    if (auto blk = physMem_.alloc(kKernelPoolOrder, node)) {
+        claimFrames(*blk, kKernelPoolOrder, FrameOwner::PageTable,
+                    kNoOwner, 0);
+        const std::uint64_t n = pagesInOrder(kKernelPoolOrder);
+        kernelPoolPages_ += n;
+        // Hand out ascending: push descending.
+        for (std::uint64_t i = n; i > 0; --i)
+            kernelPool_.push_back(*blk + i - 1);
+        return true;
+    }
+    if (auto single = physMem_.alloc(0, node)) {
+        // Memory too fragmented for a chunk: fall back to one page.
+        claimFrames(*single, 0, FrameOwner::PageTable, kNoOwner, 0);
+        kernelPoolPages_ += 1;
+        kernelPool_.push_back(*single);
+        return true;
+    }
+    return false;
 }
 
 Pfn
 Kernel::allocKernelFrame(NodeId node)
 {
-    MaybeGuard<SpinLock> g(poolLock_, threaded());
-    if (kernelPool_.empty()) {
-        if (auto blk = physMem_.alloc(kKernelPoolOrder, node)) {
-            claimFrames(*blk, kKernelPoolOrder, FrameOwner::PageTable,
-                        kNoOwner, 0);
-            const std::uint64_t n = pagesInOrder(kKernelPoolOrder);
-            kernelPoolPages_ += n;
-            // Hand out ascending: push descending.
-            for (std::uint64_t i = n; i > 0; --i)
-                kernelPool_.push_back(*blk + i - 1);
-        } else if (auto single = physMem_.alloc(0, node)) {
-            // Memory too fragmented for a chunk: fall back to one page.
-            claimFrames(*single, 0, FrameOwner::PageTable, kNoOwner, 0);
-            kernelPoolPages_ += 1;
-            kernelPool_.push_back(*single);
-        } else {
-            fatal("out of memory allocating a kernel (page-table) frame");
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        {
+            MaybeGuard<SpinLock> g(poolLock_, threaded());
+            if (!kernelPool_.empty() || refillKernelPoolLocked(node)) {
+                Pfn pfn = kernelPool_.back();
+                kernelPool_.pop_back();
+                return pfn;
+            }
+        }
+        // Page-table allocations have no failure path of their own, so
+        // under overcommit the empty pool escalates to direct reclaim.
+        // The pool lock must be dropped first: reclaim's unmaps free
+        // empty page-table nodes back through freeKernelFrame, which
+        // takes it.
+        if (!reclaim_ ||
+            reclaim_->directReclaim(node,
+                                    pagesInOrder(kKernelPoolOrder))
+                    .freed == 0) {
+            break;
         }
     }
-    Pfn pfn = kernelPool_.back();
-    kernelPool_.pop_back();
-    return pfn;
+    fatal("out of memory allocating a kernel (page-table) frame");
 }
 
 void

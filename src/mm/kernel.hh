@@ -25,6 +25,7 @@
 #include "mm/page_cache.hh"
 #include "mm/policy.hh"
 #include "mm/process.hh"
+#include "mm/reclaim.hh"
 #include "obs/metrics.hh"
 #include "phys/phys_mem.hh"
 
@@ -94,6 +95,33 @@ struct KernelConfig
      * locks run their uninstrumented fast path.
      */
     bool lockStats = false;
+    /**
+     * Arm the memory-pressure path: per-zone LRU lists + watermarks,
+     * the ReclaimEngine (LRU scan, swap-out, THP split-on-reclaim)
+     * and the fast-path -> wake-kswapd -> direct-reclaim -> OOM
+     * escalation in the allocator slow path. Off (the default), no
+     * pressure state exists and every run is byte-identical to the
+     * pre-reclaim kernel.
+     */
+    bool reclaimEnabled = false;
+    /**
+     * Run the background reclaimer (a kswapd thread when threads > 1;
+     * synchronous balancing at fault entry when sequential). Off,
+     * only allocation-failure direct reclaim runs.
+     */
+    bool kswapdEnabled = true;
+    /**
+     * Contiguity-aware victim selection: the LRU scanner scores
+     * candidates by the occupancy of their enclosing 2 MiB block and
+     * evicts sparse blocks first (restoring large free blocks), and
+     * the CA/Ranger policies route busy-target replacements through
+     * targeted reclaim. Off: plain second-chance LRU order.
+     */
+    bool contigAwareReclaim = false;
+    /** Swap device model (reclaimEnabled kernels only). */
+    SwapCostModel swapCost;
+    /** Multiplier over the derived min/low/high zone watermarks. */
+    double watermarkScale = 1.0;
 };
 
 class Kernel
@@ -159,6 +187,14 @@ class Kernel
     FaultEngine &faultEngine() { return *engine_; }
     const FaultEngine &faultEngine() const { return *engine_; }
 
+    /**
+     * The memory-pressure engine, or nullptr when
+     * KernelConfig::reclaimEnabled is off (the hooks below compile to
+     * one null test in that case).
+     */
+    ReclaimEngine *reclaim() { return reclaim_.get(); }
+    const ReclaimEngine *reclaim() const { return reclaim_.get(); }
+
     /** COW-share every anon mapping of parent into child (fork). */
     void forkInto(Process &parent, Process &child);
 
@@ -189,6 +225,8 @@ class Kernel
      */
     Pfn allocKernelFrame(NodeId node = 0);
     void freeKernelFrame(Pfn pfn);
+    /** Refill the pool from the buddy; call with poolLock_ held. */
+    bool refillKernelPoolLocked(NodeId node);
     /** Pages currently reserved by the kernel metadata pool. */
     std::uint64_t kernelPoolPages() const { return kernelPoolPages_; }
 
@@ -283,6 +321,8 @@ class Kernel
      * so it must outlive the registration.
      */
     std::unique_ptr<FaultEngine> engine_;
+    /** The memory-pressure path (reclaimEnabled kernels only). */
+    std::unique_ptr<ReclaimEngine> reclaim_;
     /** Registration with the global MetricRegistry (absorb on death). */
     obs::MetricSource metricSource_;
     /** Free node frames of the kernel metadata pool. */

@@ -224,6 +224,39 @@ StateSampler::capture(Snapshot &snap, std::uint64_t tick)
     else if (xlat_ && xlat_->attrib())
         attribExtras(*xlat_->attrib());
 
+    // Memory-pressure drift: watermark / LRU / swap state as the run
+    // evolves. Reclaim kernels only — the keys are absent otherwise,
+    // so committed timeline goldens keep their exact shape.
+    if (kernel_) {
+        if (const ReclaimEngine *rec = kernel_->reclaim()) {
+            const ReclaimStats &rs = rec->stats();
+            const auto v = [](const std::atomic<std::uint64_t> &a) {
+                return static_cast<double>(
+                    a.load(std::memory_order_relaxed));
+            };
+            snap.extras["reclaim.scans"] = v(rs.scans);
+            snap.extras["reclaim.rotations"] = v(rs.rotations);
+            snap.extras["reclaim.reclaimed"] = v(rs.reclaimed);
+            snap.extras["reclaim.swap_outs"] = v(rs.swapOuts);
+            snap.extras["reclaim.refaults"] = v(rs.refaults);
+            snap.extras["reclaim.thp_splits"] = v(rs.thpSplits);
+            snap.extras["reclaim.swapped_pages"] =
+                static_cast<double>(rec->swappedPages());
+            const PhysicalMemory &pm = kernel_->physMem();
+            for (unsigned n = 0; n < pm.numNodes(); ++n) {
+                const Zone &zone = pm.zone(n);
+                const std::string p =
+                    "reclaim.node" + std::to_string(n) + ".";
+                snap.extras[p + "free_pages"] =
+                    static_cast<double>(zone.freePagesFast());
+                snap.extras[p + "lru_inactive"] = static_cast<double>(
+                    zone.lruPages(Frame::LruList::Inactive));
+                snap.extras[p + "lru_active"] = static_cast<double>(
+                    zone.lruPages(Frame::LruList::Active));
+            }
+        }
+    }
+
     if (LockStatsRegistry::enabled()) {
         for (const LockSite *site :
              LockStatsRegistry::global().sites()) {

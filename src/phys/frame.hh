@@ -42,10 +42,13 @@ enum class FrameOwner : std::uint8_t
  * threads touch them outside any lock — freeFlag is CA paging's
  * lockless occupancy probe (§III-C; a stale read is benign, the
  * subsequent allocSpecific re-validates under the zone lock). The
- * free-list linkage and owner fields are plain: the former is only
- * touched under the owning zone's lock, the latter only between a
- * buddy alloc and the matching free, so the zone lock's handoff
- * orders them.
+ * free-list linkage is plain: it is only touched under the owning
+ * zone's lock. The owner fields are relaxed atomics: they are written
+ * between a buddy alloc and the matching free (ordered by the zone
+ * lock handoff), but the LRU reclaim scanner reads them from stale
+ * candidate handles without any lock — a torn owner triple is benign
+ * because eviction re-validates the frame against the owner's page
+ * table under the victim VMA's fault lock before touching anything.
  */
 struct Frame
 {
@@ -66,9 +69,29 @@ struct Frame
     Pfn freePrev = kInvalidPfn;
 
     /** Reverse mapping: which process/file and which virtual page. */
-    FrameOwner ownerKind = FrameOwner::None;
-    std::uint32_t ownerId = kNoOwner; //!< process id or file id
-    Addr ownerVaddr = 0;              //!< owning gva (or file offset)
+    std::atomic<FrameOwner> ownerKind{FrameOwner::None};
+    std::atomic<std::uint32_t> ownerId{kNoOwner}; //!< process or file id
+    std::atomic<Addr> ownerVaddr{0}; //!< owning gva (or file offset)
+
+    // --- LRU reclaim state (reclaimEnabled kernels only) ---------------
+    //
+    // Mirrors the free-list idiom above: intrusive linkage on block
+    // heads only, guarded by the owning zone's LRU lock. `referenced`
+    // is the second-chance bit, set by the fault path outside any lock
+    // (a lost update costs at worst one early eviction or one extra
+    // rotation, both benign), hence atomic.
+
+    /** Which LRU list the block headed here sits on. */
+    enum class LruList : std::uint8_t { None, Inactive, Active };
+
+    /** Intrusive LRU linkage (heads of claimed blocks only). */
+    Pfn lruNext = kInvalidPfn;
+    Pfn lruPrev = kInvalidPfn;
+    /** Mapping order of the block this frame heads on an LRU list. */
+    std::uint8_t lruOrder = 0;
+    LruList lruList = LruList::None;
+    /** Second-chance bit: touched since the last LRU scan looked. */
+    std::atomic<bool> referenced{false};
 };
 
 /**

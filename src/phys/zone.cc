@@ -7,12 +7,14 @@ namespace contig
 Zone::Zone(FrameArray &frames, NodeId node, Pfn base_pfn,
            std::uint64_t n_frames, const ZoneConfig &cfg)
     : node_(node),
+      frames_(frames),
       contigMap_(pagesInOrder(cfg.maxOrder)),
       buddy_(frames, base_pfn, n_frames, cfg.maxOrder, cfg.sortedTopList,
              cfg.scrambleSeed),
       pcpBatch_(cfg.pcpBatch),
       pcpHigh_(cfg.pcpHigh),
-      pcp_(cfg.pcpCpus)
+      pcp_(cfg.pcpCpus),
+      reclaim_(cfg.reclaim)
 {
     buddy_.setTopListHooks(
         [this](Pfn pfn) { contigMap_.onBlockFree(pfn); },
@@ -22,6 +24,25 @@ Zone::Zone(FrameArray &frames, NodeId node, Pfn base_pfn,
         // the same way their buddy metrics merge by name.
         lock_.bindStats(&LockStatsRegistry::global().site(
             "zone" + std::to_string(node) + ".buddy"));
+        lruLock_.bindStats(&LockStatsRegistry::global().site(
+            "zone" + std::to_string(node) + ".lru"));
+    }
+    if (reclaim_) {
+        // Watermarks derived from zone size (Linux derives min from
+        // managed pages; low/high are fixed fractions above it):
+        // min = 1/256th of the zone, low = 1.5x min, high = 2x min,
+        // all scaled by the config multiplier and floored at one pcp
+        // batch so tiny test zones still have a sensible band.
+        const auto scaled = [&](std::uint64_t pages) {
+            const auto v =
+                static_cast<std::uint64_t>(pages * cfg.watermarkScale);
+            return std::max<std::uint64_t>(v, cfg.pcpBatch);
+        };
+        wm_.min = scaled(n_frames / 256);
+        wm_.low = scaled(n_frames / 256 + n_frames / 512);
+        wm_.high = scaled(n_frames / 128);
+        freePagesGauge_.store(buddy_.freePages(),
+                              std::memory_order_relaxed);
     }
 }
 
@@ -43,17 +64,29 @@ Zone::alloc(unsigned order)
             return std::nullopt;
         Pfn pfn = pcp.pfns.back();
         pcp.pfns.pop_back();
+        // Pcp-cached frames count as free (NR_FREE_PAGES semantics),
+        // so the gauge moves on the cache pop, not the buddy refill.
+        if (reclaim_)
+            freePagesGauge_.fetch_sub(1, std::memory_order_relaxed);
         return pfn;
     }
     std::lock_guard<SpinLock> g(lock_);
-    return buddy_.alloc(order);
+    auto pfn = buddy_.alloc(order);
+    if (reclaim_ && pfn)
+        freePagesGauge_.fetch_sub(pagesInOrder(order),
+                                  std::memory_order_relaxed);
+    return pfn;
 }
 
 bool
 Zone::allocSpecific(Pfn pfn, unsigned order)
 {
     std::lock_guard<SpinLock> g(lock_);
-    return buddy_.allocSpecific(pfn, order);
+    const bool ok = buddy_.allocSpecific(pfn, order);
+    if (reclaim_ && ok)
+        freePagesGauge_.fetch_sub(pagesInOrder(order),
+                                  std::memory_order_relaxed);
+    return ok;
 }
 
 void
@@ -62,6 +95,8 @@ Zone::free(Pfn pfn, unsigned order)
     if (order == 0 && pcpEnabled()) {
         PcpList &pcp = myPcp();
         pcp.pfns.push_back(pfn);
+        if (reclaim_)
+            freePagesGauge_.fetch_add(1, std::memory_order_relaxed);
         if (pcp.pfns.size() >= pcpHigh_) {
             std::lock_guard<SpinLock> g(lock_);
             for (unsigned i = 0; i < pcpBatch_ && !pcp.pfns.empty(); ++i) {
@@ -73,6 +108,9 @@ Zone::free(Pfn pfn, unsigned order)
     }
     std::lock_guard<SpinLock> g(lock_);
     buddy_.free(pfn, order);
+    if (reclaim_)
+        freePagesGauge_.fetch_add(pagesInOrder(order),
+                                  std::memory_order_relaxed);
 }
 
 void
@@ -110,6 +148,136 @@ Zone::freeBlockHistogram() const
     return hist;
 }
 
+
+// --- LRU lists (memory-pressure kernels only) ----------------------------
+
+Zone::Lru &
+Zone::lruOf(Frame::LruList list)
+{
+    return list == Frame::LruList::Active ? active_ : inactive_;
+}
+
+const Zone::Lru &
+Zone::lruOf(Frame::LruList list) const
+{
+    return list == Frame::LruList::Active ? active_ : inactive_;
+}
+
+void
+Zone::lruUnlinkLocked(Pfn head)
+{
+    Frame &f = frames_[head];
+    contig_assert(f.lruList != Frame::LruList::None,
+                  "lru unlink of unlisted frame %llu",
+                  static_cast<unsigned long long>(head));
+    Lru &lru = lruOf(f.lruList);
+    if (f.lruPrev != kInvalidPfn)
+        frames_[f.lruPrev].lruNext = f.lruNext;
+    else
+        lru.head = f.lruNext;
+    if (f.lruNext != kInvalidPfn)
+        frames_[f.lruNext].lruPrev = f.lruPrev;
+    else
+        lru.tail = f.lruPrev;
+    lru.pages -= pagesInOrder(f.lruOrder);
+    f.lruNext = kInvalidPfn;
+    f.lruPrev = kInvalidPfn;
+    f.lruList = Frame::LruList::None;
+}
+
+void
+Zone::lruInsert(Frame::LruList list, Pfn head, unsigned order)
+{
+    std::lock_guard<SpinLock> g(lruLock_);
+    Frame &f = frames_[head];
+    contig_assert(f.lruList == Frame::LruList::None,
+                  "lru insert of already-listed frame %llu",
+                  static_cast<unsigned long long>(head));
+    Lru &lru = lruOf(list);
+    f.lruOrder = static_cast<std::uint8_t>(order);
+    f.lruList = list;
+    f.lruPrev = kInvalidPfn;
+    f.lruNext = lru.head;
+    if (lru.head != kInvalidPfn)
+        frames_[lru.head].lruPrev = head;
+    lru.head = head;
+    if (lru.tail == kInvalidPfn)
+        lru.tail = head;
+    lru.pages += pagesInOrder(order);
+}
+
+bool
+Zone::lruInsertTail(Frame::LruList list, Pfn head, unsigned order)
+{
+    std::lock_guard<SpinLock> g(lruLock_);
+    Frame &f = frames_[head];
+    if (f.lruList != Frame::LruList::None)
+        return false;
+    Lru &lru = lruOf(list);
+    f.lruOrder = static_cast<std::uint8_t>(order);
+    f.lruList = list;
+    f.lruNext = kInvalidPfn;
+    f.lruPrev = lru.tail;
+    if (lru.tail != kInvalidPfn)
+        frames_[lru.tail].lruNext = head;
+    lru.tail = head;
+    if (lru.head == kInvalidPfn)
+        lru.head = head;
+    lru.pages += pagesInOrder(order);
+    return true;
+}
+
+bool
+Zone::lruRequeue(Frame::LruList list, Pfn head, unsigned order)
+{
+    std::lock_guard<SpinLock> g(lruLock_);
+    Frame &f = frames_[head];
+    if (f.lruList != Frame::LruList::None)
+        return false;
+    Lru &lru = lruOf(list);
+    f.lruOrder = static_cast<std::uint8_t>(order);
+    f.lruList = list;
+    f.lruPrev = kInvalidPfn;
+    f.lruNext = lru.head;
+    if (lru.head != kInvalidPfn)
+        frames_[lru.head].lruPrev = head;
+    lru.head = head;
+    if (lru.tail == kInvalidPfn)
+        lru.tail = head;
+    lru.pages += pagesInOrder(order);
+    return true;
+}
+
+void
+Zone::lruRemove(Pfn head)
+{
+    std::lock_guard<SpinLock> g(lruLock_);
+    if (frames_[head].lruList == Frame::LruList::None)
+        return;
+    lruUnlinkLocked(head);
+}
+
+std::size_t
+Zone::lruPopTail(Frame::LruList list, std::size_t n, LruEntry *out)
+{
+    std::lock_guard<SpinLock> g(lruLock_);
+    Lru &lru = lruOf(list);
+    std::size_t got = 0;
+    while (got < n && lru.tail != kInvalidPfn) {
+        const Pfn head = lru.tail;
+        const std::uint8_t order = frames_[head].lruOrder;
+        lruUnlinkLocked(head);
+        out[got++] = LruEntry{head, order};
+    }
+    return got;
+}
+
+std::uint64_t
+Zone::lruPages(Frame::LruList list) const
+{
+    std::lock_guard<SpinLock> g(lruLock_);
+    return lruOf(list).pages;
+}
 
 void
 Zone::saveState(Serializer &s) const

@@ -61,6 +61,29 @@ struct ZoneConfig
      * normalized() sets this from KernelConfig.lockStats.
      */
     bool lockStats = false;
+    /**
+     * Maintain the free-page gauge + LRU lists + watermarks (the
+     * memory-pressure machinery). Kernel::normalized() sets this from
+     * KernelConfig.reclaimEnabled; off, none of the pressure state is
+     * touched and alloc/free are byte-identical to the pre-reclaim
+     * allocator.
+     */
+    bool reclaim = false;
+    /** Multiplier over the derived min/low/high watermarks. */
+    double watermarkScale = 1.0;
+};
+
+/**
+ * Per-zone allocation watermarks (pages), derived from zone size the
+ * way Linux derives them from managed pages: below `low` kswapd is
+ * woken, below `min` allocations direct-reclaim, at `high` kswapd goes
+ * back to sleep.
+ */
+struct Watermarks
+{
+    std::uint64_t min = 0;
+    std::uint64_t low = 0;
+    std::uint64_t high = 0;
 };
 
 /**
@@ -135,6 +158,63 @@ class Zone
      */
     Log2Histogram freeBlockHistogram() const;
 
+    // --- memory pressure (ZoneConfig::reclaim kernels only) -------------
+
+    /** Watermarks derived from zone size (all zero when reclaim off). */
+    const Watermarks &watermarks() const { return wm_; }
+
+    /**
+     * Buddy free pages, readable without the zone lock (kept as an
+     * atomic shadow of BuddyAllocator::freePages, updated only on the
+     * locked paths). Frames parked in pcp caches count as free, like
+     * Linux's NR_FREE_PAGES. Only maintained when ZoneConfig::reclaim.
+     */
+    std::uint64_t
+    freePagesFast() const
+    {
+        return freePagesGauge_.load(std::memory_order_relaxed);
+    }
+
+    /** One popped LRU candidate (order captured under the LRU lock). */
+    struct LruEntry
+    {
+        Pfn head = kInvalidPfn;
+        std::uint8_t order = 0;
+    };
+
+    /**
+     * LRU list manipulation. All entries are heads of claimed blocks
+     * (order 0 or the THP order); each call takes the zone's LRU lock
+     * internally, which nests inside every other lock (leaf). Callers
+     * are the kernel's claim/free hooks and the ReclaimEngine — never
+     * the raw allocator, so reclaim-off runs never touch this state.
+     */
+    void lruInsert(Frame::LruList list, Pfn head, unsigned order);
+    /**
+     * Insert at the *tail* (next-to-scan end). Returns false without
+     * touching anything if the frame is already on a list — the
+     * scanner uses this to requeue candidate handles that may have
+     * been freed and re-claimed (and thus re-listed) since the pop.
+     */
+    bool lruInsertTail(Frame::LruList list, Pfn head, unsigned order);
+    /**
+     * Lenient head (MRU-end) insert: like lruInsertTail but at the far
+     * end from the scanner. Used to requeue lock-busy candidates and
+     * unprocessed batch leftovers.
+     */
+    bool lruRequeue(Frame::LruList list, Pfn head, unsigned order);
+    /** Remove head from whatever list it is on (no-op if on none). */
+    void lruRemove(Pfn head);
+    /**
+     * Pop up to n block heads from the *tail* (oldest end) of `list`
+     * into out; returns the number popped. The popped entries are off
+     * every list (lruList = None) until re-inserted.
+     */
+    std::size_t lruPopTail(Frame::LruList list, std::size_t n,
+                           LruEntry *out);
+    /** Pages (not blocks) currently on the given list. */
+    std::uint64_t lruPages(Frame::LruList list) const;
+
     /**
      * Serialize buddy free lists plus per-CPU cache contents for
      * checkpoint verification (save-only; see BuddyAllocator).
@@ -150,13 +230,35 @@ class Zone
 
     PcpList &myPcp() { return pcp_[ThisCpu::id() % pcp_.size()]; }
 
+    /** One LRU list: head = MRU end, tail = LRU end (eviction end). */
+    struct Lru
+    {
+        Pfn head = kInvalidPfn;
+        Pfn tail = kInvalidPfn;
+        std::uint64_t pages = 0;
+    };
+
+    Lru &lruOf(Frame::LruList list);
+    const Lru &lruOf(Frame::LruList list) const;
+    /** Unlink head from its current list; caller holds lruLock_. */
+    void lruUnlinkLocked(Pfn head);
+
     NodeId node_;
+    FrameArray &frames_;
     ContiguityMap contigMap_;
     BuddyAllocator buddy_;
     mutable SpinLock lock_;
     unsigned pcpBatch_;
     unsigned pcpHigh_;
     std::vector<PcpList> pcp_;
+
+    /** Memory-pressure state (ZoneConfig::reclaim kernels only). */
+    bool reclaim_ = false;
+    Watermarks wm_;
+    std::atomic<std::uint64_t> freePagesGauge_{0};
+    mutable SpinLock lruLock_;
+    Lru inactive_;
+    Lru active_;
 };
 
 } // namespace contig

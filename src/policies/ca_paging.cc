@@ -25,9 +25,19 @@ CaPagingPolicy::takeTarget(Kernel &kernel, Pfn target, unsigned order)
         return false;
     // Occupancy probe via the mem_map (the paper's _count/_mapcount
     // check), then carve the exact block out of the buddy lists.
-    if (!pm.isFreePage(target))
-        return false;
-    return pm.allocSpecific(target, order);
+    if (pm.isFreePage(target) && pm.allocSpecific(target, order))
+        return true;
+    // Contiguity-aware reclaim: the target block is occupied, but its
+    // residents may be reclaimable — evict them and retake instead of
+    // abandoning the Offset (and the contiguity it would extend).
+    if (ReclaimEngine *rec = kernel.reclaim(); rec && rec->contigAware()) {
+        if (rec->reclaimRange(target, order) && pm.isFreePage(target) &&
+            pm.allocSpecific(target, order)) {
+            stats_.reclaimTakes.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    return false;
 }
 
 AllocResult
@@ -271,6 +281,10 @@ CaPagingPolicy::collectMetrics(obs::MetricSink &sink) const
     sink.counter("fallbacks", stats_.fallbacks);
     sink.counter("file_placements", stats_.filePlacements);
     sink.counter("marked_ptes", stats_.markedPtes);
+    // Only present on reclaim kernels, so committed baselines from
+    // reclaim-off runs keep their exact metric set.
+    if (const std::uint64_t rt = stats_.reclaimTakes)
+        sink.counter("reclaim_takes", rt);
 }
 
 } // namespace contig

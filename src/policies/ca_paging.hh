@@ -64,6 +64,9 @@ struct CaPagingStats
     std::atomic<std::uint64_t> fallbacks{0};   //!< 4 KiB default fallbacks
     std::atomic<std::uint64_t> filePlacements{0};
     std::atomic<std::uint64_t> markedPtes{0};  //!< contiguity bits set
+    /** Targets taken only after contiguity-aware reclaim evicted the
+     *  occupants (reclaim kernels with contigAwareReclaim only). */
+    std::atomic<std::uint64_t> reclaimTakes{0};
 };
 
 class CaPagingPolicy : public AllocationPolicy

@@ -149,6 +149,21 @@ RangerPolicy::onTick(Kernel &kernel)
                     // like Translation Ranger's exchange_pages().
                     res = swapLeaves(kernel, proc, vpn, want);
                 }
+                if (res == MigrateResult::DestBusy) {
+                    // Neither migration nor exchange worked (e.g. the
+                    // destination spans differently-sized leaves).
+                    // Contiguity-aware reclaim kernels evict the
+                    // destination block and retry the migration.
+                    ReclaimEngine *rec = kernel.reclaim();
+                    if (rec && rec->contigAware()) {
+                        auto m = proc.pageTable().lookup(vpn);
+                        if (m && rec->reclaimRange(want, m->order)) {
+                            res = migrateLeaf(kernel, proc, vpn, want);
+                            if (res == MigrateResult::Done)
+                                ++stats_.reclaimAssists;
+                        }
+                    }
+                }
                 if (res == MigrateResult::Done) {
                     auto m = proc.pageTable().lookup(vpn);
                     const std::uint64_t n = pagesInOrder(m->order);

@@ -32,6 +32,8 @@ struct RangerStats
     std::uint64_t migratedPages = 0;
     std::uint64_t skippedBusy = 0;
     std::uint64_t regionsAssigned = 0;
+    /** Migrations unblocked by contiguity-aware targeted reclaim. */
+    std::uint64_t reclaimAssists = 0;
 };
 
 class RangerPolicy : public AllocationPolicy

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Concurrency stress for the memory-pressure path — built to run
+ * under ThreadSanitizer (the CONTIG_SANITIZE=thread CI job). A
+ * deliberately overcommitted threaded kernel makes the kswapd thread,
+ * direct-reclaiming fault workers and refaulting touch loops all race
+ * over the zone LRU lists, the swap map and the victims' page tables
+ * at once. The assertions are invariants that hold under any
+ * interleaving; TSan supplies the race detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/parallel.hh"
+#include "mm/fault_engine.hh"
+#include "mm/kernel.hh"
+#include "mm/process.hh"
+#include "mm/reclaim.hh"
+#include "mm/vma.hh"
+#include "phys/phys_mem.hh"
+#include "phys/zone.hh"
+
+namespace contig
+{
+namespace
+{
+
+constexpr unsigned kThreads = 4;
+constexpr std::uint64_t kMiB = 1ull << 20;
+
+/** 4 workers x 16 MiB against one 48 MiB node: 1.33x overcommit. */
+KernelConfig
+pressureConfig(PolicyKind kind)
+{
+    KernelConfig cfg = kernelConfigFor(kind);
+    cfg.threads = kThreads;
+    cfg.phys.numNodes = 1;
+    cfg.phys.bytesPerNode = 48 * kMiB;
+    cfg.reclaimEnabled = true;
+    cfg.kswapdEnabled = true;
+    cfg.contigAwareReclaim = false;
+    return cfg;
+}
+
+ParallelDriverConfig
+overcommitPlan()
+{
+    ParallelDriverConfig pd;
+    pd.threads = kThreads;
+    pd.bytesPerWorker = 16 * kMiB;
+    pd.chunkBytes = 1 * kMiB;
+    pd.seed = 0xC0FFEE;
+    return pd;
+}
+
+std::uint64_t
+rstat(const std::atomic<std::uint64_t> &a)
+{
+    return a.load(std::memory_order_relaxed);
+}
+
+/** Per-zone (free pages, free-list lengths) snapshot. */
+std::vector<std::pair<std::uint64_t, std::vector<std::uint64_t>>>
+buddySnapshot(const PhysicalMemory &pm)
+{
+    std::vector<std::pair<std::uint64_t, std::vector<std::uint64_t>>> snap;
+    for (unsigned n = 0; n < pm.numNodes(); ++n)
+        snap.emplace_back(pm.zone(n).buddy().freePages(),
+                          pm.zone(n).buddy().freeBlockCounts());
+    return snap;
+}
+
+/**
+ * kswapd vs concurrent faults: an overcommitted parallel populate
+ * must complete (no OOM — the slow path escalates through reclaim),
+ * every worker touches every page, and the pressure machinery
+ * demonstrably engaged. THP policy so evictions also race the
+ * split_huge_page path against concurrent faults.
+ */
+TEST(ReclaimStress, KswapdRacesConcurrentFaults)
+{
+    KernelConfig cfg = pressureConfig(PolicyKind::Thp);
+    Kernel k(cfg, makePolicy(PolicyKind::Thp));
+    ASSERT_TRUE(k.threaded());
+    ASSERT_NE(k.reclaim(), nullptr);
+
+    ParallelDriverConfig pd = overcommitPlan();
+    ParallelDriver driver(k, pd);
+    driver.run();
+
+    for (const ParallelDriver::WorkerPlan &plan : driver.plans())
+        EXPECT_EQ(plan.vma->touchedPages, pd.bytesPerWorker / kPageSize);
+
+    const ReclaimStats &rs = k.reclaim()->stats();
+    EXPECT_GT(rstat(rs.reclaimed), 0u);
+    EXPECT_GT(rstat(rs.swapOuts), 0u);
+    EXPECT_GT(rstat(rs.scans), 0u);
+
+    driver.exitAll();
+    EXPECT_EQ(k.physMem().pcpCachedPages(), 0u);
+    // exit dropped every process's swap entries.
+    EXPECT_EQ(k.reclaim()->swappedPages(), 0u);
+}
+
+/**
+ * Refault loops vs kswapd: after the overcommit populate, every
+ * worker re-touches its coldest (long since swapped-out) pages in a
+ * loop while the background reclaimer keeps evicting to hold the
+ * watermark — swap-in (chargeSwapIn) races swap-out (recordSwapOut)
+ * on the same VMAs until refaults are observed.
+ */
+TEST(ReclaimStress, RefaultsRaceKswapd)
+{
+    KernelConfig cfg = pressureConfig(PolicyKind::Thp);
+    Kernel k(cfg, makePolicy(PolicyKind::Thp));
+
+    ParallelDriverConfig pd = overcommitPlan();
+    ParallelDriver driver(k, pd);
+    driver.run();
+
+    const ReclaimStats &rs = k.reclaim()->stats();
+    std::vector<std::thread> touchers;
+    int cpu = 0;
+    for (const ParallelDriver::WorkerPlan &plan : driver.plans()) {
+        touchers.emplace_back([&, cpu, proc = plan.proc,
+                               start = plan.vma->start()] {
+            // Concurrent fault callers register like real workers so
+            // their stats land in per-thread accumulators.
+            FaultEngine::WorkerScope ws(k.faultEngine(), cpu);
+            for (int pass = 0; pass < 4; ++pass) {
+                proc->touchRange(start, 4 * kMiB);
+                if (rstat(rs.refaults) > 0)
+                    break;
+            }
+        });
+        ++cpu;
+    }
+    for (std::thread &t : touchers)
+        t.join();
+
+    EXPECT_GT(rstat(rs.refaults), 0u);
+
+    driver.exitAll();
+    EXPECT_EQ(k.reclaim()->swappedPages(), 0u);
+}
+
+/**
+ * Teardown invariant under pressure: after the stressed processes
+ * exit, the per-CPU caches drain and the buddy returns to its
+ * pre-run state. Base-4k policy keeps the page-table footprint
+ * layout-determined; the warm-up run grows the sticky kernel pool to
+ * steady state, and the exact free-list comparison applies whenever
+ * the measured run didn't grow it further (always asserted: the free
+ * page delta equals the pool growth, and no page leaked to swap).
+ */
+TEST(ReclaimStress, BuddyRestoresExactlyAfterPressure)
+{
+    KernelConfig cfg = pressureConfig(PolicyKind::Base4k);
+    Kernel k(cfg, makePolicy(PolicyKind::Base4k));
+
+    ParallelDriverConfig pd = overcommitPlan();
+    {
+        ParallelDriver warm(k, pd);
+        warm.run();
+        warm.exitAll();
+    }
+    ASSERT_EQ(k.physMem().pcpCachedPages(), 0u);
+    const auto before = buddySnapshot(k.physMem());
+    const std::uint64_t pool_before = k.kernelPoolPages();
+
+    ParallelDriver driver(k, pd);
+    driver.run();
+    EXPECT_GT(rstat(k.reclaim()->stats().reclaimed), 0u);
+    driver.exitAll();
+
+    EXPECT_EQ(k.physMem().pcpCachedPages(), 0u);
+    EXPECT_EQ(k.reclaim()->swappedPages(), 0u);
+    const auto after = buddySnapshot(k.physMem());
+    const std::uint64_t pool_growth = k.kernelPoolPages() - pool_before;
+    EXPECT_EQ(before[0].first, after[0].first + pool_growth);
+    if (pool_growth == 0)
+        EXPECT_EQ(before, after);
+}
+
+} // namespace
+} // namespace contig
