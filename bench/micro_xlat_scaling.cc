@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "base/simd.hh"
 #include "core/bench_io.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
@@ -54,7 +55,8 @@ struct Cell
 Cell
 runCell(const std::vector<MemAccess> &trace, const PageTable &pt,
         const VirtualMachine &vm, unsigned threads, std::uint64_t chunk,
-        bool memo)
+        bool memo, XlatEngine xe = XlatEngine::Batched,
+        bool force_scalar = false)
 {
     XlatConfig cfg;
     cfg.tlb = ScaledDefaults::tlb();
@@ -63,8 +65,16 @@ runCell(const std::vector<MemAccess> &trace, const PageTable &pt,
     cfg.spot = ScaledDefaults::spot();
     cfg.rangeTlb = ScaledDefaults::rangeTlb();
     cfg.walker.memoEnabled = memo;
+    cfg.engine = xe;
 
+    // The scalar override only affects structures built after it, so
+    // flip it around engine construction and restore straight away.
+    const bool was_scalar = simd::forceScalar();
+    if (force_scalar)
+        simd::setForceScalar(true);
     ReplayEngine engine(cfg, threads, pt, vm);
+    if (force_scalar)
+        simd::setForceScalar(was_scalar);
     Cell cell;
     cell.replayUs = wallUs([&] {
         for (std::uint64_t off = 0; off < trace.size(); off += chunk) {
@@ -102,6 +112,7 @@ main(int argc, char **argv)
     out.note("accesses", kAccesses);
     out.note("workload", "pagerank");
     out.note("scheme", "spot");
+    out.note("simd", std::string_view(simd::modeName(simd::enabled())));
 
     // The fig13 stream: pagerank inside a CA/CA VM, replayed through
     // the SpOT pipeline with the fig13 seeds (workload 7, stream 99).
@@ -138,6 +149,22 @@ main(int argc, char **argv)
     {
         const Cell cell = runCell(trace, pt, sys.vm(), 1, 4096, false);
         addRow(rep, "memo_off", 1, 4096, false, cell, base_us);
+    }
+    // Engine A/B at the default cell. Reference is the historical
+    // per-access scalar loop (the denominator of the SoA/SIMD speedup
+    // gate, scripts/xlat_ratio_gate.py); soa_scalar is the batched
+    // engine with the probe kernels forced scalar, isolating the SIMD
+    // share of the win. Simulated counters must not move across the
+    // three engines — only the wall_us columns may.
+    {
+        const Cell ref = runCell(trace, pt, sys.vm(), 1, 4096, true,
+                                 XlatEngine::Reference);
+        addRow(rep, "engine_ref", 1, 4096, true, ref, base_us);
+        const Cell scalar = runCell(trace, pt, sys.vm(), 1, 4096, true,
+                                    XlatEngine::Batched, true);
+        addRow(rep, "soa_scalar", 1, 4096, true, scalar, base_us);
+        out.note("xlat.speedup_vs_ref.wall_us",
+                 ref.replayUs / base_us);
     }
     // Thread sweep at the default chunk.
     for (unsigned threads : {1u, 2u, 4u}) {

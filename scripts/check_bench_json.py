@@ -589,11 +589,21 @@ def main():
                 fail(f"'config.run' missing parallel.worker{i}.seed")
     # Runs that replayed a translation stream (runTranslation notes
     # "seed.translation") must record the replay-engine knobs: shard
-    # count, chunk size, and the walk-memo toggle.
+    # count, chunk size, the walk-memo toggle, the inner-loop engine
+    # (reference/batched), and the probe width (avx2/scalar). The
+    # engine and probe width never change simulated results — they are
+    # recorded so a wall-clock artifact is attributable to its build.
     if "seed.translation" in run:
-        for key in ("xlat.threads", "xlat.chunk_accesses", "xlat.memo"):
+        for key in ("xlat.threads", "xlat.chunk_accesses", "xlat.memo",
+                    "xlat.engine", "xlat.simd", "xlat.numa_shards"):
             if key not in run:
                 fail(f"'config.run' missing {key!r}")
+        if run["xlat.engine"] not in ("reference", "batched"):
+            fail(f"'xlat.engine' must be reference|batched: "
+                 f"{run['xlat.engine']!r}")
+        if run["xlat.simd"] not in ("avx2", "scalar"):
+            fail(f"'xlat.simd' must be avx2|scalar: "
+                 f"{run['xlat.simd']!r}")
     # Trace-frontend provenance: a run that captured (trace.out) or
     # replayed (trace.in) .ctrace files must record the config digest
     # the files are keyed by, and checkpoint notes must come in

@@ -40,6 +40,15 @@ build_and_test asan-ubsan "" \
 build_and_test tsan 'test_concurrency|test_parallel|test_mm|test_base' \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCONTIG_SANITIZE=thread
 
+# Forced-scalar configuration: -DCONTIG_SIMD=OFF compiles the AVX2
+# probe kernels out entirely, so the SoA structures run the scalar
+# loop everywhere. The translation-facing tests (TLB/SpOT/replay/
+# checkpoint + the fig13/fig14 golden equivalence) must pass
+# unchanged — simulated results are independent of probe width.
+build_and_test scalar-simd \
+    'test_tlb|test_spot|test_ranges|test_parallel|test_checkpoint|xlat_golden_check' \
+    -DCMAKE_BUILD_TYPE=Release -DCONTIG_SIMD=OFF
+
 # Micro-bench artifacts (Release binaries). micro_obs_overhead is a
 # google-benchmark binary with its own JSON reporter; the rest are
 # plain BenchOutput benches.
@@ -67,6 +76,44 @@ python3 "$root/scripts/check_bench_json.py" "$bench/fig14_spot_breakdown"
 # reclaim, so its JSON must carry well-formed *.reclaim.* metrics.
 python3 "$root/scripts/check_bench_json.py" --expect-reclaim \
     "$bench/micro_reclaim_path"
+
+# SIMD equivalence + speedup gates. The fig13 table from the AVX2
+# build, the same binary under --no-simd, and the CONTIG_SIMD=OFF
+# build must agree on every simulated row value (only config/wall
+# clock may differ). Then the replay-throughput ratio: the committed
+# baseline records the paper-reproduction evidence (>= 1.5x batched
+# SoA+SIMD vs the per-access Reference loop, same-run ratio so it is
+# wall-clock-robust); the fresh run is gated at a noise-tolerant
+# floor so a silent fallback to the scalar per-access path still
+# fails the build.
+echo "=== simd equivalence + xlat ratio gate ==="
+"$bench/fig13_translation_overhead" --json "$out/fig13_simd.json"
+"$bench/fig13_translation_overhead" --no-simd \
+    --json "$out/fig13_nosimd.json"
+"$out/scalar-simd/bench/fig13_translation_overhead" \
+    --json "$out/fig13_scalar_build.json"
+python3 - "$out/fig13_simd.json" "$out/fig13_nosimd.json" \
+    "$out/fig13_scalar_build.json" <<'PYEOF'
+import json, sys
+def rows(path):
+    doc = json.load(open(path))
+    assert doc["config"]["run"].get("xlat.simd"), \
+        f"{path}: no xlat.simd note"
+    return [{k: v for k, v in r.items() if not k.endswith(".wall_us")}
+            for r in doc["rows"]]
+simd, nosimd, scalar = (rows(p) for p in sys.argv[1:4])
+assert simd == nosimd, "fig13 rows differ: avx2 vs --no-simd"
+assert simd == scalar, "fig13 rows differ: avx2 vs CONTIG_SIMD=OFF build"
+print(f"fig13 simd equivalence: {len(simd)} rows identical "
+      "across avx2 / --no-simd / scalar build")
+PYEOF
+rm -f "$out/fig13_simd.json" "$out/fig13_nosimd.json" \
+    "$out/fig13_scalar_build.json"
+python3 "$root/scripts/xlat_ratio_gate.py" \
+    "$root/bench/baselines/BENCH_micro_xlat_scaling.json" \
+    --min-ratio 1.5
+python3 "$root/scripts/xlat_ratio_gate.py" \
+    "$root/BENCH_micro_xlat_scaling.json" --min-ratio 1.2
 
 # Concurrency observatory artifacts: the scaling micro benches again
 # under --lock-stats (per-site contention metrics + the derived

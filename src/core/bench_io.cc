@@ -8,7 +8,9 @@
 #include "base/json.hh"
 #include "base/lock_stats.hh"
 #include "base/logging.hh"
+#include "base/simd.hh"
 #include "core/config.hh"
+#include "mm/kernel.hh"
 #include "obs/attribution.hh"
 #include "obs/lock_metrics.hh"
 #include "obs/metrics.hh"
@@ -72,6 +74,10 @@ BenchOutput::BenchOutput(std::string bench, int argc, char **argv)
         if (const char *env = std::getenv("CONTIG_CKPT_AT"))
             ckptAtChunk_ = static_cast<std::uint64_t>(
                 std::max(0l, std::strtol(env, nullptr, 10)));
+    if (numaShards_ == 0)
+        if (const char *env = std::getenv("CONTIG_NUMA_SHARDS"))
+            numaShards_ = static_cast<unsigned>(
+                std::max(0l, std::strtol(env, nullptr, 10)));
     if (!lockStats_)
         if (const char *env = std::getenv("CONTIG_LOCK_STATS"))
             lockStats_ = env[0] != '\0' && std::strcmp(env, "0") != 0;
@@ -96,6 +102,21 @@ BenchOutput::BenchOutput(std::string bench, int argc, char **argv)
     if (ckptAtChunk_ != 0 && ckptOut_.empty())
         fatal("%s: --ckpt-at requires --ckpt-out PREFIX",
               bench_.c_str());
+
+    if (numaShards_ > 1) {
+        // Same before-any-kernel contract as lock stats: every kernel
+        // built after this (host, guest, bench scratch instances)
+        // shards its physical metadata without touching each
+        // construction site.
+        KernelConfig::setDefaultNumaShards(numaShards_);
+    }
+
+    if (noSimd_) {
+        // Before any simulator exists, like the switches below; the
+        // CONTIG_SIMD=0 environment form is honoured by simd::
+        // enabled() itself.
+        simd::setForceScalar(true);
+    }
 
     if (lockStats_) {
         // Flip the switch before any kernel exists so every
@@ -166,6 +187,15 @@ BenchOutput::parseArgs(int argc, char **argv)
                       " got '%s'",
                       bench_.c_str(), argv[i]);
             xlatChunk_ = static_cast<std::uint64_t>(n);
+        } else if (arg == "--no-simd") {
+            noSimd_ = true;
+        } else if (arg == "--numa-shards" && has_next) {
+            const long n = std::strtol(argv[++i], nullptr, 10);
+            if (n < 1)
+                fatal("%s: --numa-shards wants a positive count,"
+                      " got '%s'",
+                      bench_.c_str(), argv[i]);
+            numaShards_ = static_cast<unsigned>(n);
         } else if (arg == "--trace-in" && has_next) {
             traceIn_ = argv[++i];
         } else if (arg == "--trace-out" && has_next) {
@@ -199,6 +229,7 @@ BenchOutput::parseArgs(int argc, char **argv)
                   "usage: %s [--json FILE] [--trace FILE]"
                   " [--timeline FILE] [--trace-categories LIST]"
                   " [--threads N] [--xlat-threads N] [--xlat-chunk N]"
+                  " [--no-simd] [--numa-shards N]"
                   " [--trace-in PREFIX] [--trace-out PREFIX]"
                   " [--ckpt-in PREFIX] [--ckpt-out PREFIX]"
                   " [--ckpt-at CHUNK] [--lock-stats] [--attrib]",

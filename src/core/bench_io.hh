@@ -105,6 +105,22 @@ class BenchOutput
     std::uint64_t xlatChunk() const { return xlatChunk_; }
 
     /**
+     * True when `--no-simd` (or CONTIG_SIMD=0) forced the probe
+     * kernels scalar. Purely a wall-clock knob: simulated results are
+     * identical either way. The switch is applied process-wide
+     * (simd::setForceScalar) before any simulator exists.
+     */
+    bool simdDisabled() const { return noSimd_; }
+
+    /**
+     * Physical-metadata shards via `--numa-shards N` (or
+     * CONTIG_NUMA_SHARDS); 0 when absent. Benches that build kernels
+     * pass this to KernelConfig::numaShards; 0/1 keeps the legacy
+     * unsharded metadata.
+     */
+    unsigned numaShards() const { return numaShards_; }
+
+    /**
      * Trace-frontend options (`--trace-in/--trace-out/--ckpt-in/`
      * `--ckpt-out` file prefixes and `--ckpt-at` chunk index, or the
      * CONTIG_CTRACE_IN / CONTIG_CTRACE_OUT / CONTIG_CKPT_IN /
@@ -161,6 +177,8 @@ class BenchOutput
     unsigned threads_ = 1;
     unsigned xlatThreads_ = 1;
     std::uint64_t xlatChunk_ = 0;
+    bool noSimd_ = false;
+    unsigned numaShards_ = 0;
     std::string traceIn_;
     std::string traceOut_;
     std::string ckptIn_;

@@ -1,6 +1,7 @@
 #include "core/experiment.hh"
 
 #include "base/logging.hh"
+#include "base/simd.hh"
 #include "core/checkpoint.hh"
 #include "obs/attribution.hh"
 #include "obs/observatory.hh"
@@ -265,6 +266,7 @@ runTranslation(Workload &wl, const VirtualMachine *vm, XlatScheme scheme,
     cfg.spot = ScaledDefaults::spot();
     cfg.rangeTlb = ScaledDefaults::rangeTlb();
     cfg.walker.memoEnabled = opts.memo;
+    cfg.engine = opts.engine;
 
     const unsigned threads = opts.threads ? opts.threads : 1;
     std::unique_ptr<ReplayEngine> engine;
@@ -367,6 +369,23 @@ runTranslation(Workload &wl, const VirtualMachine *vm, XlatScheme scheme,
     obs::RunInfo::global().note("xlat.chunk_accesses",
                                 source->chunkAccesses());
     obs::RunInfo::global().note("xlat.memo", opts.memo);
+    obs::RunInfo::global().note(
+        "xlat.engine", opts.engine == XlatEngine::Reference
+                           ? std::string_view("reference")
+                           : std::string_view("batched"));
+    // The effective probe-kernel mode: "avx2" only when the batched
+    // engine runs with SIMD compiled in, the CPU capable and not
+    // forced scalar (CONTIG_SIMD=0 / --no-simd).
+    obs::RunInfo::global().note(
+        "xlat.simd",
+        std::string_view(simd::modeName(
+            opts.engine == XlatEngine::Batched && simd::enabled())));
+    obs::RunInfo::global().note(
+        "xlat.numa_shards",
+        static_cast<std::uint64_t>(
+            proc->kernel().config().numaShards > 1
+                ? proc->kernel().config().numaShards
+                : 1));
     if (!opts.traceIn.empty()) {
         obs::RunInfo::global().note("trace.in",
                                     ctraceRunPath(opts.traceIn, run_idx));

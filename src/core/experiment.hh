@@ -142,6 +142,12 @@ struct XlatReplayOpts
     /** Walk-traversal memo (pure wall-clock knob; results identical). */
     bool memo = true;
     /**
+     * Replay inner loop (pure wall-clock knob; results identical).
+     * Reference retains the historical per-access scalar loop as the
+     * denominator of the SoA/SIMD speedup gate.
+     */
+    XlatEngine engine = XlatEngine::Batched;
+    /**
      * Trace frontend. The strings are file *prefixes*: a bench calls
      * runTranslation once per configuration on an evolving workload,
      * so run N reads/writes "<prefix>.runN.ctrace" (and

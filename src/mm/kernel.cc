@@ -11,6 +11,23 @@
 namespace contig
 {
 
+namespace
+{
+unsigned defaultNumaShards_ = 0;
+} // namespace
+
+void
+KernelConfig::setDefaultNumaShards(unsigned n)
+{
+    defaultNumaShards_ = n;
+}
+
+unsigned
+KernelConfig::defaultNumaShards()
+{
+    return defaultNumaShards_;
+}
+
 KernelConfig
 Kernel::normalized(KernelConfig cfg)
 {
@@ -28,6 +45,13 @@ Kernel::normalized(KernelConfig cfg)
     // the free-page gauge all live there).
     cfg.phys.zone.reclaim = cfg.reclaimEnabled;
     cfg.phys.zone.watermarkScale = cfg.watermarkScale;
+    // Metadata sharding: the zones stripe their contiguity map and
+    // top-order free list the same number of ways as the kernel pool.
+    // --numa-shards sets the process-wide default before kernels are
+    // built; a caller that pinned the knob explicitly wins.
+    if (cfg.numaShards == 0)
+        cfg.numaShards = KernelConfig::defaultNumaShards();
+    cfg.phys.zone.numaShards = cfg.numaShards;
     // --lock-stats flips the process-wide switch before kernels are
     // built; fold it into the per-instance knob so every kernel in
     // the run (host, guest, scratch instances in benches) is armed
@@ -40,7 +64,8 @@ Kernel::normalized(KernelConfig cfg)
 
 Kernel::Kernel(const KernelConfig &cfg,
                std::unique_ptr<AllocationPolicy> policy)
-    : cfg_(normalized(cfg)), physMem_(cfg_.phys), policy_(std::move(policy))
+    : cfg_(normalized(cfg)), physMem_(cfg_.phys), policy_(std::move(policy)),
+      pool_(cfg_.numaShards > 1 ? cfg_.numaShards : 1)
 {
     contig_assert(policy_ != nullptr, "kernel needs an allocation policy");
     if (cfg_.lockStats) {
@@ -50,7 +75,16 @@ Kernel::Kernel(const KernelConfig &cfg,
         mmSite_ = &ls.site("mm");
         vmaFaultSite_ = &ls.site("vma.fault");
         pageCacheLock_.bindStats(&ls.site("page_cache"));
-        poolLock_.bindStats(&ls.site("pool"));
+        // A single-shard pool keeps the historical "pool" site name;
+        // sharded pools get one site per shard.
+        if (pool_.size() == 1) {
+            pool_[0].lock.bindStats(&ls.site("pool"));
+        } else {
+            for (std::size_t i = 0; i < pool_.size(); ++i) {
+                pool_[i].lock.bindStats(
+                    &ls.site("pool" + std::to_string(i)));
+            }
+        }
         counterLock_.bindStats(&ls.site("counters"));
         LockStatsRegistry::setOffsetRingSite(&ls.site("vma.offset_ring"));
     }
@@ -96,6 +130,12 @@ Kernel::Kernel(const KernelConfig &cfg,
     ri.note(p + "phys.pcp_high",
             static_cast<std::uint64_t>(cfg_.phys.zone.pcpHigh));
     ri.note(p + "lock_stats", cfg_.lockStats);
+    // Sharding recorded only when armed so unsharded runs keep their
+    // pre-sharding config block (and the committed goldens).
+    if (cfg_.numaShards > 1) {
+        ri.note(p + "numa_shards",
+                static_cast<std::uint64_t>(cfg_.numaShards));
+    }
     // Pressure knobs are recorded only when the path is armed so
     // reclaim-off runs keep their pre-reclaim config block (and stay
     // byte-identical to the committed goldens).
@@ -137,7 +177,7 @@ Kernel::collectMetrics(obs::MetricSink &sink) const
     }
     engine_->collectMetrics(sink);
     sink.gauge("kernel_pool_pages",
-               static_cast<double>(kernelPoolPages_));
+               static_cast<double>(kernelPoolPages()));
     sink.gauge("processes", static_cast<double>(processes_.size()));
 
     for (const auto &[name, v] : counters_.all())
@@ -366,24 +406,30 @@ Kernel::putFrame(Pfn pfn, unsigned order)
     }
 }
 
+Kernel::PoolShard &
+Kernel::myPoolShard()
+{
+    return pool_[ThisCpu::id() % pool_.size()];
+}
+
 bool
-Kernel::refillKernelPoolLocked(NodeId node)
+Kernel::refillPoolLocked(PoolShard &shard, NodeId node)
 {
     if (auto blk = physMem_.alloc(kKernelPoolOrder, node)) {
         claimFrames(*blk, kKernelPoolOrder, FrameOwner::PageTable,
                     kNoOwner, 0);
         const std::uint64_t n = pagesInOrder(kKernelPoolOrder);
-        kernelPoolPages_ += n;
+        kernelPoolPages_.fetch_add(n, std::memory_order_relaxed);
         // Hand out ascending: push descending.
         for (std::uint64_t i = n; i > 0; --i)
-            kernelPool_.push_back(*blk + i - 1);
+            shard.pfns.push_back(*blk + i - 1);
         return true;
     }
     if (auto single = physMem_.alloc(0, node)) {
         // Memory too fragmented for a chunk: fall back to one page.
         claimFrames(*single, 0, FrameOwner::PageTable, kNoOwner, 0);
-        kernelPoolPages_ += 1;
-        kernelPool_.push_back(*single);
+        kernelPoolPages_.fetch_add(1, std::memory_order_relaxed);
+        shard.pfns.push_back(*single);
         return true;
     }
     return false;
@@ -392,12 +438,26 @@ Kernel::refillKernelPoolLocked(NodeId node)
 Pfn
 Kernel::allocKernelFrame(NodeId node)
 {
+    PoolShard &home = myPoolShard();
     for (int attempt = 0; attempt < 4; ++attempt) {
         {
-            MaybeGuard<SpinLock> g(poolLock_, threaded());
-            if (!kernelPool_.empty() || refillKernelPoolLocked(node)) {
-                Pfn pfn = kernelPool_.back();
-                kernelPool_.pop_back();
+            MaybeGuard<SpinLock> g(home.lock, threaded());
+            if (!home.pfns.empty() || refillPoolLocked(home, node)) {
+                Pfn pfn = home.pfns.back();
+                home.pfns.pop_back();
+                return pfn;
+            }
+        }
+        // The buddy is dry: raid the other shards' spare frames
+        // before escalating (frames freed by workers on other lanes
+        // accumulate there).
+        for (PoolShard &other : pool_) {
+            if (&other == &home)
+                continue;
+            MaybeGuard<SpinLock> g(other.lock, threaded());
+            if (!other.pfns.empty()) {
+                Pfn pfn = other.pfns.back();
+                other.pfns.pop_back();
                 return pfn;
             }
         }
@@ -421,8 +481,9 @@ Kernel::freeKernelFrame(Pfn pfn)
 {
     // Node frames return to the pool, not to the buddy allocator —
     // matching the sticky behaviour of per-CPU lists.
-    MaybeGuard<SpinLock> g(poolLock_, threaded());
-    kernelPool_.push_back(pfn);
+    PoolShard &home = myPoolShard();
+    MaybeGuard<SpinLock> g(home.lock, threaded());
+    home.pfns.push_back(pfn);
 }
 
 void
@@ -470,7 +531,7 @@ Kernel::saveState(Serializer &s) const
         s.str(name);
         s.u64(value);
     }
-    s.u64(kernelPoolPages_);
+    s.u64(kernelPoolPages());
     physMem_.saveState(s);
     s.u64(processes_.size());
     for (const auto &p : processes_) {

@@ -122,6 +122,28 @@ struct KernelConfig
     SwapCostModel swapCost;
     /** Multiplier over the derived min/low/high zone watermarks. */
     double watermarkScale = 1.0;
+    /**
+     * Shard the per-zone physical metadata (contiguity map stripes,
+     * buddy top-order free lists) and the kernel metadata pool this
+     * many ways, so concurrent fault workers stop serializing on the
+     * zone and pool locks (the lock.zone*.buddy / lock.pool hot spots
+     * of the scaling report). 0 or 1 keeps the legacy unsharded
+     * structures and is byte-identical to the pre-sharding kernel;
+     * sharded runs trade the exact global placement-scan order for
+     * per-stripe scans (same clusters, different tie-breaks under
+     * concurrency).
+     */
+    unsigned numaShards = 0;
+
+    /**
+     * Process-wide default for numaShards, flipped by bench_io from
+     * --numa-shards / CONTIG_NUMA_SHARDS before any kernel exists
+     * (the --lock-stats contract). Kernel::normalized() applies it
+     * only when the per-instance knob is unset, so tests and tweak
+     * hooks that pin numaShards explicitly always win.
+     */
+    static void setDefaultNumaShards(unsigned n);
+    static unsigned defaultNumaShards();
 };
 
 class Kernel
@@ -221,14 +243,18 @@ class Kernel
      * Allocate one frame for kernel metadata (page-table nodes).
      * Served from a pooled chunk (the per-CPU page-list analogue) so
      * metadata allocations do not nibble single pages next to CA
-     * paging's data targets.
+     * paging's data targets. With KernelConfig::numaShards the pool
+     * splits into per-shard lists (own lock each), routed by worker
+     * id, so fault workers stop colliding on one pool lock.
      */
     Pfn allocKernelFrame(NodeId node = 0);
     void freeKernelFrame(Pfn pfn);
-    /** Refill the pool from the buddy; call with poolLock_ held. */
-    bool refillKernelPoolLocked(NodeId node);
     /** Pages currently reserved by the kernel metadata pool. */
-    std::uint64_t kernelPoolPages() const { return kernelPoolPages_; }
+    std::uint64_t
+    kernelPoolPages() const
+    {
+        return kernelPoolPages_.load(std::memory_order_relaxed);
+    }
 
     // --- concurrency ------------------------------------------------------
 
@@ -325,17 +351,31 @@ class Kernel
     std::unique_ptr<ReclaimEngine> reclaim_;
     /** Registration with the global MetricRegistry (absorb on death). */
     obs::MetricSource metricSource_;
-    /** Free node frames of the kernel metadata pool. */
-    std::vector<Pfn> kernelPool_;
-    std::uint64_t kernelPoolPages_ = 0;
+    /**
+     * One shard of the kernel metadata pool; padded so neighbouring
+     * shard locks don't false-share. One shard (the default) is the
+     * legacy single pool.
+     */
+    struct alignas(64) PoolShard
+    {
+        std::vector<Pfn> pfns;
+        SpinLock lock;
+    };
+
+    /** The calling worker's home shard. */
+    PoolShard &myPoolShard();
+    /** Refill one shard from the buddy; call with its lock held. */
+    bool refillPoolLocked(PoolShard &shard, NodeId node);
+
+    /** Kernel metadata pool shards (see allocKernelFrame). */
+    std::vector<PoolShard> pool_;
+    std::atomic<std::uint64_t> kernelPoolPages_{0};
     /** Chunk order for pool refills (64 pages, like a pcp batch). */
     static constexpr unsigned kKernelPoolOrder = 6;
 
     /** See mmLock() / pageCacheLock(). Taken only when threaded(). */
     std::shared_mutex mmLock_;
     SpinLock pageCacheLock_;
-    /** Protects kernelPool_ (page-table node frames, fault path). */
-    SpinLock poolLock_;
     /** Protects counters_ against concurrent fault-path increments. */
     SpinLock counterLock_;
     /** Lock-stats sites (bound in the ctor iff cfg_.lockStats). */

@@ -11,10 +11,12 @@ namespace contig
 BuddyAllocator::BuddyAllocator(FrameArray &frames, Pfn base_pfn,
                                std::uint64_t n_frames, unsigned max_order,
                                bool sorted_top,
-                               std::uint64_t scramble_seed)
+                               std::uint64_t scramble_seed,
+                               unsigned top_stripes)
     : frames_(frames), basePfn_(base_pfn), nFrames_(n_frames),
       maxOrder_(max_order), sortedTop_(sorted_top),
-      lists_(max_order + 1)
+      lists_(max_order + 1),
+      topStripes_(top_stripes > 1 ? top_stripes : 1)
 {
     const std::uint64_t top_pages = pagesInOrder(maxOrder_);
     contig_assert(isAligned(basePfn_, top_pages),
@@ -23,14 +25,21 @@ BuddyAllocator::BuddyAllocator(FrameArray &frames, Pfn base_pfn,
                   "zone size must be a multiple of the top-order block");
     contig_assert(base_pfn + n_frames <= frames_.size(),
                   "zone exceeds mem_map");
+    if (topStripes_ > 1) {
+        const std::uint64_t per =
+            (n_frames + topStripes_ - 1) / topStripes_;
+        topStripeSpan_ = alignUp(per, top_pages);
+        topLists_.resize(topStripes_);
+    }
 
     // Seed the allocator: mark everything free as top-order blocks.
     for (std::uint64_t off = n_frames; off > 0; off -= top_pages)
         markFree(base_pfn + off - top_pages, maxOrder_);
 
     // Build the seeding order: ascending by default (head insertion
-    // back-to-front yields an ascending list), or shuffled to model
-    // an aged machine's list churn.
+    // back-to-front yields an ascending list — per stripe too, since
+    // routing preserves the relative order), or shuffled to model an
+    // aged machine's list churn.
     std::vector<Pfn> order;
     order.reserve(n_frames / top_pages);
     for (std::uint64_t off = n_frames; off > 0; off -= top_pages)
@@ -40,12 +49,70 @@ BuddyAllocator::BuddyAllocator(FrameArray &frames, Pfn base_pfn,
         rng.shuffle(order);
     }
     for (Pfn pfn : order) {
-        insertHead(lists_[maxOrder_], pfn, maxOrder_);
-        ++lists_[maxOrder_].count;
+        FreeList &list = listFor(pfn, maxOrder_);
+        insertHead(list, pfn, maxOrder_);
+        ++list.count;
         if (onTopInsert_)
             onTopInsert_(pfn);
     }
     freePages_ = n_frames;
+}
+
+unsigned
+BuddyAllocator::topStripeOf(Pfn pfn) const
+{
+    if (topStripes_ == 1)
+        return 0;
+    const std::uint64_t idx = (pfn - basePfn_) / topStripeSpan_;
+    const std::uint64_t last = topStripes_ - 1;
+    return static_cast<unsigned>(idx < last ? idx : last);
+}
+
+BuddyAllocator::FreeList &
+BuddyAllocator::listFor(Pfn pfn, unsigned order)
+{
+    if (order == maxOrder_ && topStripes_ > 1)
+        return topLists_[topStripeOf(pfn)];
+    return lists_[order];
+}
+
+const BuddyAllocator::FreeList &
+BuddyAllocator::listFor(Pfn pfn, unsigned order) const
+{
+    if (order == maxOrder_ && topStripes_ > 1)
+        return topLists_[topStripeOf(pfn)];
+    return lists_[order];
+}
+
+bool
+BuddyAllocator::sameList(Pfn a, Pfn b, unsigned order) const
+{
+    return order != maxOrder_ || topStripes_ == 1 ||
+           topStripeOf(a) == topStripeOf(b);
+}
+
+std::uint64_t
+BuddyAllocator::listCount(unsigned order) const
+{
+    if (order == maxOrder_ && topStripes_ > 1) {
+        std::uint64_t n = 0;
+        for (const FreeList &list : topLists_)
+            n += list.count;
+        return n;
+    }
+    return lists_[order].count;
+}
+
+bool
+BuddyAllocator::listNonEmpty(unsigned order) const
+{
+    if (order == maxOrder_ && topStripes_ > 1) {
+        for (const FreeList &list : topLists_)
+            if (list.head != kInvalidPfn)
+                return true;
+        return false;
+    }
+    return lists_[order].head != kInvalidPfn;
 }
 
 void
@@ -121,11 +188,14 @@ BuddyAllocator::insertSorted(FreeList &list, Pfn pfn, unsigned order)
     // Fast path via neighbour computation (the paper's trick): if the
     // physically adjacent same-order block is free and listed, splice
     // next to it without scanning.
+    // A striped top list must not splice next to a neighbour that is
+    // listed in the adjacent stripe — that would cross-link the lists.
     const std::uint64_t n = pagesInOrder(order);
     if (pfn >= basePfn_ + n) {
         Pfn left = pfn - n;
         const Frame &lf = frames_[left];
-        if (lf.freeHead && lf.order == order) {
+        if (lf.freeHead && lf.order == order &&
+            sameList(left, pfn, order)) {
             f.freePrev = left;
             f.freeNext = lf.freeNext;
             if (lf.freeNext != kInvalidPfn)
@@ -137,7 +207,8 @@ BuddyAllocator::insertSorted(FreeList &list, Pfn pfn, unsigned order)
     if (contains(pfn + n, order)) {
         Pfn right = pfn + n;
         const Frame &rf = frames_[right];
-        if (rf.freeHead && rf.order == order) {
+        if (rf.freeHead && rf.order == order &&
+            sameList(right, pfn, order)) {
             f.freeNext = right;
             f.freePrev = rf.freePrev;
             if (rf.freePrev != kInvalidPfn)
@@ -169,7 +240,7 @@ BuddyAllocator::insertSorted(FreeList &list, Pfn pfn, unsigned order)
 void
 BuddyAllocator::pushBlock(Pfn pfn, unsigned order)
 {
-    FreeList &list = lists_[order];
+    FreeList &list = listFor(pfn, order);
     if (order == maxOrder_ && sortedTop_)
         insertSorted(list, pfn, order);
     else
@@ -182,7 +253,7 @@ BuddyAllocator::pushBlock(Pfn pfn, unsigned order)
 void
 BuddyAllocator::removeBlock(Pfn pfn, unsigned order)
 {
-    FreeList &list = lists_[order];
+    FreeList &list = listFor(pfn, order);
     Frame &f = frames_[pfn];
     contig_assert(f.freeHead && f.order == order,
                   "removeBlock on a non-listed block");
@@ -203,6 +274,19 @@ BuddyAllocator::removeBlock(Pfn pfn, unsigned order)
 Pfn
 BuddyAllocator::popBlock(unsigned order)
 {
+    if (order == maxOrder_ && topStripes_ > 1) {
+        // First non-empty stripe in address order — for a sorted top
+        // list this is the globally lowest head, same block the
+        // unsharded list would pop.
+        for (FreeList &list : topLists_) {
+            if (list.head == kInvalidPfn)
+                continue;
+            Pfn pfn = list.head;
+            removeBlock(pfn, order);
+            return pfn;
+        }
+        contig_assert(false, "popBlock on empty list");
+    }
     FreeList &list = lists_[order];
     contig_assert(list.head != kInvalidPfn, "popBlock on empty list");
     Pfn pfn = list.head;
@@ -217,7 +301,7 @@ BuddyAllocator::alloc(unsigned order)
     ++stats_.allocCalls;
 
     unsigned o = order;
-    while (o <= maxOrder_ && lists_[o].head == kInvalidPfn)
+    while (o <= maxOrder_ && !listNonEmpty(o))
         ++o;
     if (o > maxOrder_)
         return std::nullopt;
@@ -345,6 +429,17 @@ void
 BuddyAllocator::forEachFreeBlock(unsigned order,
                                  const std::function<void(Pfn)> &fn) const
 {
+    if (order == maxOrder_ && topStripes_ > 1) {
+        // Stripes ascending: for a sorted top list this visits the
+        // blocks in global ascending order, like the unsharded list.
+        for (const FreeList &list : topLists_) {
+            for (Pfn cur = list.head; cur != kInvalidPfn;
+                 cur = frames_[cur].freeNext) {
+                fn(cur);
+            }
+        }
+        return;
+    }
     for (Pfn cur = lists_[order].head; cur != kInvalidPfn;
          cur = frames_[cur].freeNext) {
         fn(cur);
@@ -355,23 +450,23 @@ std::uint64_t
 BuddyAllocator::freeBlocks(unsigned order) const
 {
     contig_assert(order <= maxOrder_, "order out of range");
-    return lists_[order].count;
+    return listCount(order);
 }
 
 void
 BuddyAllocator::shuffleFreeLists(std::uint64_t seed)
 {
     Rng rng(seed);
-    for (unsigned o = 0; o <= maxOrder_; ++o) {
-        if (o == maxOrder_ && sortedTop_)
-            continue;
+    // Relink one list in the shuffled order.
+    auto shuffle_one = [&](FreeList &list) {
         std::vector<Pfn> blocks;
-        forEachFreeBlock(o, [&](Pfn pfn) { blocks.push_back(pfn); });
+        for (Pfn cur = list.head; cur != kInvalidPfn;
+             cur = frames_[cur].freeNext) {
+            blocks.push_back(cur);
+        }
         if (blocks.size() < 2)
-            continue;
+            return;
         rng.shuffle(blocks);
-        // Relink the list in the shuffled order.
-        FreeList &list = lists_[o];
         list.head = kInvalidPfn;
         for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) {
             Frame &f = frames_[*it];
@@ -381,6 +476,17 @@ BuddyAllocator::shuffleFreeLists(std::uint64_t seed)
                 frames_[list.head].freePrev = *it;
             list.head = *it;
         }
+    };
+    for (unsigned o = 0; o <= maxOrder_; ++o) {
+        if (o == maxOrder_ && sortedTop_)
+            continue;
+        if (o == maxOrder_ && topStripes_ > 1) {
+            // Blocks stay in their stripe; only intra-stripe order churns.
+            for (FreeList &list : topLists_)
+                shuffle_one(list);
+            continue;
+        }
+        shuffle_one(lists_[o]);
     }
 }
 
@@ -388,10 +494,17 @@ bool
 BuddyAllocator::checkInvariants() const
 {
     std::uint64_t free_pages = 0;
-    for (unsigned o = 0; o <= maxOrder_; ++o) {
+    // Check one linked list: integrity, alignment, free flags,
+    // coalescing, its stored count and (sorted top) ascending order.
+    // For a striped top list, every block must also route back to the
+    // stripe whose list holds it.
+    auto check_list = [&](const FreeList &list, unsigned o,
+                          int stripe) -> bool {
         std::uint64_t count = 0;
         Pfn prev = kInvalidPfn;
-        for (Pfn cur = lists_[o].head; cur != kInvalidPfn;
+        Pfn last = 0;
+        bool first = true;
+        for (Pfn cur = list.head; cur != kInvalidPfn;
              cur = frames_[cur].freeNext) {
             const Frame &f = frames_[cur];
             if (!f.freeHead || f.order != o || f.freePrev != prev)
@@ -410,24 +523,36 @@ BuddyAllocator::checkInvariants() const
                 if (contains(buddy, o) && bf.freeHead && bf.order == o)
                     return false;
             }
-            free_pages += pagesInOrder(o);
-            prev = cur;
-            ++count;
-        }
-        if (count != lists_[o].count)
-            return false;
-        // Sorted-top mode: the top list must be in ascending order.
-        if (o == maxOrder_ && sortedTop_) {
-            Pfn last = 0;
-            bool first = true;
-            for (Pfn cur = lists_[o].head; cur != kInvalidPfn;
-                 cur = frames_[cur].freeNext) {
+            if (stripe >= 0 &&
+                topStripeOf(cur) != static_cast<unsigned>(stripe)) {
+                return false;
+            }
+            // Sorted-top mode: ascending order (per stripe suffices —
+            // stripes partition the span in ascending address order).
+            if (o == maxOrder_ && sortedTop_) {
                 if (!first && cur <= last)
                     return false;
                 last = cur;
-                first = false;
             }
+            free_pages += pagesInOrder(o);
+            prev = cur;
+            ++count;
+            first = false;
         }
+        return count == list.count;
+    };
+    for (unsigned o = 0; o <= maxOrder_; ++o) {
+        if (o == maxOrder_ && topStripes_ > 1) {
+            // The legacy slot must stay unused in striped mode.
+            if (lists_[o].head != kInvalidPfn || lists_[o].count != 0)
+                return false;
+            for (unsigned si = 0; si < topStripes_; ++si)
+                if (!check_list(topLists_[si], o, static_cast<int>(si)))
+                    return false;
+            continue;
+        }
+        if (!check_list(lists_[o], o, -1))
+            return false;
     }
     return free_pages == freePages_;
 }
@@ -437,7 +562,7 @@ BuddyAllocator::freeBlockCounts() const
 {
     std::vector<std::uint64_t> counts(maxOrder_ + 1);
     for (unsigned o = 0; o <= maxOrder_; ++o)
-        counts[o] = lists_[o].count;
+        counts[o] = listCount(o);
     return counts;
 }
 
@@ -448,7 +573,7 @@ BuddyAllocator::unusableFreeIndex(unsigned order) const
         return 0.0;
     std::uint64_t usable = 0;
     for (unsigned o = order; o <= maxOrder_; ++o)
-        usable += lists_[o].count * pagesInOrder(o);
+        usable += listCount(o) * pagesInOrder(o);
     return static_cast<double>(freePages_ - usable) /
            static_cast<double>(freePages_);
 }
@@ -464,7 +589,7 @@ BuddyAllocator::collectMetrics(obs::MetricSink &sink) const
     sink.counter("free_calls", stats_.freeCalls);
     sink.gauge("free_pages", static_cast<double>(freePages_));
     sink.gauge("free_top_blocks",
-               static_cast<double>(lists_[maxOrder_].count));
+               static_cast<double>(listCount(maxOrder_)));
 }
 
 
@@ -482,8 +607,11 @@ BuddyAllocator::saveState(Serializer &s) const
     s.u64(stats_.splits);
     s.u64(stats_.merges);
     s.u64(stats_.freeCalls);
+    // listCount + forEachFreeBlock aggregate a striped top list in
+    // ascending stripe order, so sorted-top checkpoints stay
+    // byte-identical whether or not the list is striped.
     for (unsigned o = 0; o <= maxOrder_; ++o) {
-        s.u64(lists_[o].count);
+        s.u64(listCount(o));
         forEachFreeBlock(o, [&s](Pfn pfn) { s.u64(pfn); });
     }
     s.endSection(sec);

@@ -8,9 +8,11 @@ Zone::Zone(FrameArray &frames, NodeId node, Pfn base_pfn,
            std::uint64_t n_frames, const ZoneConfig &cfg)
     : node_(node),
       frames_(frames),
-      contigMap_(pagesInOrder(cfg.maxOrder)),
+      contigMap_(pagesInOrder(cfg.maxOrder),
+                 cfg.numaShards > 1 ? cfg.numaShards : 1, base_pfn,
+                 n_frames),
       buddy_(frames, base_pfn, n_frames, cfg.maxOrder, cfg.sortedTopList,
-             cfg.scrambleSeed),
+             cfg.scrambleSeed, cfg.numaShards > 1 ? cfg.numaShards : 1),
       pcpBatch_(cfg.pcpBatch),
       pcpHigh_(cfg.pcpHigh),
       pcp_(cfg.pcpCpus),
@@ -26,6 +28,10 @@ Zone::Zone(FrameArray &frames, NodeId node, Pfn base_pfn,
             "zone" + std::to_string(node) + ".buddy"));
         lruLock_.bindStats(&LockStatsRegistry::global().site(
             "zone" + std::to_string(node) + ".lru"));
+        if (contigMap_.striped()) {
+            contigMap_.bindLockStats(
+                "zone" + std::to_string(node) + ".cmap");
+        }
     }
     if (reclaim_) {
         // Watermarks derived from zone size (Linux derives min from

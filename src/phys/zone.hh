@@ -71,6 +71,15 @@ struct ZoneConfig
     bool reclaim = false;
     /** Multiplier over the derived min/low/high watermarks. */
     double watermarkScale = 1.0;
+    /**
+     * Stripe the zone's physical metadata — the contiguity map and
+     * the buddy's top-order free list — into this many address-
+     * contiguous shards, each with its own lock, so CA placement
+     * scans stop serializing on the zone lock under threads. 0 or 1
+     * keeps the legacy unsharded structures (byte-identical results).
+     * Kernel::normalized() sets this from KernelConfig.numaShards.
+     */
+    unsigned numaShards = 0;
 };
 
 /**

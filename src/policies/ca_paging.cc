@@ -54,8 +54,11 @@ CaPagingPolicy::place(Kernel &kernel, NodeId home, std::uint64_t req_pages,
         std::optional<Cluster> cluster;
         {
             // Map scans mutate the rover and scan-step counters, so
-            // they run under the zone lock like every other map update.
-            std::lock_guard<SpinLock> g(zone.lock());
+            // they run under the zone lock like every other map update
+            // — unless the map is striped, in which case the scan
+            // takes its own per-stripe locks and serializing on the
+            // zone lock is exactly the contention sharding removes.
+            MaybeGuard<SpinLock> g(zone.lock(), !map.striped());
             const std::uint64_t steps_before =
                 map.stats().placementScanSteps;
             cluster = map.placeNextFit(req_pages);

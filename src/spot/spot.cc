@@ -8,7 +8,13 @@ namespace contig
 {
 
 SpotEngine::SpotEngine(const SpotConfig &cfg)
-    : cfg_(cfg), entries_(cfg.sets * cfg.ways)
+    : cfg_(cfg), wayStride_(simd::padLanes(cfg.ways)),
+      pcTags_(cfg.sets * simd::padLanes(cfg.ways), simd::kNoTag64),
+      offsets_(cfg.sets * simd::padLanes(cfg.ways), 0),
+      confidence_(cfg.sets * simd::padLanes(cfg.ways), 0),
+      valid_(cfg.sets * simd::padLanes(cfg.ways), 0),
+      lastUse_(cfg.sets * simd::padLanes(cfg.ways), 0),
+      simd_(simd::enabled())
 {
     contig_assert(cfg.sets > 0 && cfg.ways > 0, "degenerate SpOT table");
 }
@@ -21,14 +27,10 @@ SpotEngine::setOf(Addr pc) const
     return static_cast<unsigned>(((pc >> 6) ^ (pc >> 12)) % cfg_.sets);
 }
 
-SpotEngine::Entry *
-SpotEngine::find(Addr pc)
+int
+SpotEngine::findWay(unsigned base, Addr pc) const
 {
-    Entry *base = &entries_[setOf(pc) * cfg_.ways];
-    for (unsigned w = 0; w < cfg_.ways; ++w)
-        if (base[w].valid && base[w].pcTag == pc)
-            return &base[w];
-    return nullptr;
+    return simd::findTag(&pcTags_[base], cfg_.ways, pc, simd_);
 }
 
 std::optional<std::int64_t>
@@ -37,10 +39,11 @@ SpotEngine::predict(Addr pc)
     ++stats_.lookups;
     pending_.reset();
     pendingPc_ = pc;
-    Entry *e = find(pc);
-    if (e && e->confidence > cfg_.confidenceThreshold) {
-        e->lastUse = ++clock_;
-        pending_ = e->offset;
+    const unsigned base = setOf(pc) * wayStride_;
+    const int w = findWay(base, pc);
+    if (w >= 0 && confidence_[base + w] > cfg_.confidenceThreshold) {
+        lastUse_[base + w] = ++clock_;
+        pending_ = offsets_[base + w];
     }
     return pending_;
 }
@@ -71,26 +74,28 @@ SpotEngine::update(Addr pc, std::int64_t true_offset, bool contig_ok)
 
     const bool fills_allowed = contig_ok || !cfg_.requireContigBits;
 
-    Entry *e = find(pc);
-    if (e) {
+    const unsigned base = setOf(pc) * wayStride_;
+    const int hit = findWay(base, pc);
+    if (hit >= 0) {
+        const unsigned i = base + hit;
         // Confidence bookkeeping happens on every walk, speculated or
         // not (§IV-C, "predictions are still calculated and compared").
-        if (e->offset == true_offset) {
-            if (e->confidence < 3)
-                ++e->confidence;
-        } else if (e->confidence > 0) {
-            --e->confidence;
+        if (offsets_[i] == true_offset) {
+            if (confidence_[i] < 3)
+                ++confidence_[i];
+        } else if (confidence_[i] > 0) {
+            --confidence_[i];
         }
         // Offsets are replaced only at zero confidence, and only with
         // offsets the OS marked as belonging to large mappings.
-        if (e->confidence == 0 && e->offset != true_offset) {
+        if (confidence_[i] == 0 && offsets_[i] != true_offset) {
             if (fills_allowed) {
-                e->offset = true_offset;
-                e->confidence = 1;
+                offsets_[i] = true_offset;
+                confidence_[i] = 1;
                 ++stats_.offsetReplacements;
             }
         }
-        e->lastUse = ++clock_;
+        lastUse_[i] = ++clock_;
         return outcome;
     }
 
@@ -99,27 +104,29 @@ SpotEngine::update(Addr pc, std::int64_t true_offset, bool contig_ok)
         ++stats_.fillsBlockedByBits;
         return outcome;
     }
-    Entry *base = &entries_[setOf(pc) * cfg_.ways];
-    Entry *victim = nullptr;
+    int victim = -1;
     for (unsigned w = 0; w < cfg_.ways; ++w) {
-        Entry &cand = base[w];
-        if (!cand.valid) {
-            victim = &cand;
+        const unsigned i = base + w;
+        if (!valid_[i]) {
+            victim = static_cast<int>(w);
             break;
         }
         // Only zero-confidence entries may be evicted; LRU among them.
-        if (cand.confidence == 0 &&
-            (!victim || cand.lastUse < victim->lastUse)) {
-            victim = &cand;
+        if (confidence_[i] == 0 &&
+            (victim < 0 || lastUse_[i] < lastUse_[base + victim])) {
+            victim = static_cast<int>(w);
         }
     }
-    if (!victim)
+    if (victim < 0)
         return outcome; // set full of confident entries: drop the fill
-    victim->valid = true;
-    victim->pcTag = pc;
-    victim->offset = true_offset;
-    victim->confidence = 1;
-    victim->lastUse = ++clock_;
+    contig_assert(pc != simd::kNoTag64, "pc collides with the "
+                  "invalid-lane sentinel");
+    const unsigned i = base + victim;
+    valid_[i] = 1;
+    pcTags_[i] = pc;
+    offsets_[i] = true_offset;
+    confidence_[i] = 1;
+    lastUse_[i] = ++clock_;
     ++stats_.fills;
     return outcome;
 }
@@ -127,8 +134,10 @@ SpotEngine::update(Addr pc, std::int64_t true_offset, bool contig_ok)
 void
 SpotEngine::flush()
 {
-    for (auto &e : entries_)
-        e.valid = false;
+    for (std::size_t i = 0; i < valid_.size(); ++i) {
+        valid_[i] = 0;
+        pcTags_[i] = simd::kNoTag64;
+    }
     pending_.reset();
 }
 
@@ -159,13 +168,18 @@ SpotEngine::saveState(Serializer &s) const
     s.u64(stats_.fills);
     s.u64(stats_.fillsBlockedByBits);
     s.u64(stats_.offsetReplacements);
-    s.u64(entries_.size());
-    for (const Entry &e : entries_) {
-        s.u64(e.pcTag);
-        s.i64(e.offset);
-        s.u8(e.confidence);
-        s.boolean(e.valid);
-        s.u64(e.lastUse);
+    s.u64(static_cast<std::uint64_t>(cfg_.sets) * cfg_.ways);
+    // Padding slots are not checkpointed; invalid slots write a
+    // canonical zero tag (the live lane holds the sentinel instead).
+    for (unsigned set = 0; set < cfg_.sets; ++set) {
+        for (unsigned w = 0; w < cfg_.ways; ++w) {
+            const unsigned i = set * wayStride_ + w;
+            s.u64(valid_[i] ? pcTags_[i] : 0);
+            s.i64(offsets_[i]);
+            s.u8(confidence_[i]);
+            s.boolean(valid_[i] != 0);
+            s.u64(lastUse_[i]);
+        }
     }
     s.boolean(pending_.has_value());
     s.i64(pending_ ? *pending_ : 0);
@@ -192,15 +206,20 @@ SpotEngine::restoreState(Deserializer &d)
     stats_.fillsBlockedByBits = d.u64();
     stats_.offsetReplacements = d.u64();
     const std::uint64_t n = d.u64();
-    if (n != entries_.size())
-        fatal("checkpoint SpOT entry count mismatch: %llu vs %zu",
-              static_cast<unsigned long long>(n), entries_.size());
-    for (Entry &e : entries_) {
-        e.pcTag = d.u64();
-        e.offset = d.i64();
-        e.confidence = d.u8();
-        e.valid = d.boolean();
-        e.lastUse = d.u64();
+    if (n != static_cast<std::uint64_t>(cfg_.sets) * cfg_.ways)
+        fatal("checkpoint SpOT entry count mismatch: %llu vs %llu",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(cfg_.sets) * cfg_.ways);
+    for (unsigned set = 0; set < cfg_.sets; ++set) {
+        for (unsigned w = 0; w < cfg_.ways; ++w) {
+            const unsigned i = set * wayStride_ + w;
+            const std::uint64_t tag = d.u64();
+            offsets_[i] = d.i64();
+            confidence_[i] = d.u8();
+            valid_[i] = d.boolean() ? 1 : 0;
+            pcTags_[i] = valid_[i] ? tag : simd::kNoTag64;
+            lastUse_[i] = d.u64();
+        }
     }
     const bool has_pending = d.boolean();
     const std::int64_t pending = d.i64();

@@ -26,6 +26,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/simd.hh"
 #include "base/types.hh"
 
 namespace contig
@@ -114,6 +115,10 @@ class SpotEngine
     const SpotStats &stats() const { return stats_; }
     const SpotConfig &config() const { return cfg_; }
 
+    /** Select the probe kernel; the answer never depends on it. */
+    void setSimd(bool simd) { simd_ = simd; }
+    bool simdEnabled() const { return simd_; }
+
     /** Report prediction-outcome counters into a metric sink. */
     void collectMetrics(obs::MetricSink &sink) const;
 
@@ -127,20 +132,22 @@ class SpotEngine
     void restoreState(Deserializer &d);
 
   private:
-    struct Entry
-    {
-        Addr pcTag = 0;
-        std::int64_t offset = 0;
-        std::uint8_t confidence = 0;
-        bool valid = false;
-        std::uint64_t lastUse = 0;
-    };
-
     unsigned setOf(Addr pc) const;
-    Entry *find(Addr pc);
+
+    /** Way index of pc's entry within the set at `base`, or -1. */
+    int findWay(unsigned base, Addr pc) const;
 
     SpotConfig cfg_;
-    std::vector<Entry> entries_;
+    // SoA lanes, sets * wayStride_ each (see DESIGN.md, "Replay data
+    // layout"); pcTags_ holds simd::kNoTag64 in invalid and padding
+    // slots so a set probe is one tag-lane search.
+    unsigned wayStride_;
+    std::vector<std::uint64_t> pcTags_;
+    std::vector<std::int64_t> offsets_;
+    std::vector<std::uint8_t> confidence_;
+    std::vector<std::uint8_t> valid_;
+    std::vector<std::uint64_t> lastUse_;
+    bool simd_;
     std::uint64_t clock_ = 0;
     SpotStats stats_;
 

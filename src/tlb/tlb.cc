@@ -24,7 +24,11 @@ prevPow2(unsigned n)
 
 Tlb::Tlb(const TlbConfig &cfg, unsigned page_order)
     : cfg_(cfg), pageOrder_(page_order),
-      entries_(cfg.sets * cfg.ways)
+      wayStride_(simd::padLanes(cfg.ways)),
+      tags_(cfg.sets * simd::padLanes(cfg.ways), simd::kNoTag64),
+      valid_(cfg.sets * simd::padLanes(cfg.ways), 0),
+      lastUse_(cfg.sets * simd::padLanes(cfg.ways), 0),
+      simd_(simd::enabled())
 {
     contig_assert(cfg.sets > 0 && cfg.ways > 0, "degenerate TLB");
     // The set index is tag & (sets - 1): a non-power-of-two set count
@@ -36,27 +40,45 @@ Tlb::Tlb(const TlbConfig &cfg, unsigned page_order)
               cfg.sets, prevPow2(cfg.sets), prevPow2(cfg.sets) * 2);
 }
 
-Vpn
-Tlb::tagOf(Vpn vpn) const
+void
+Tlb::fillVictim(unsigned base, Vpn tag)
 {
-    return vpn >> pageOrder_;
-}
-
-unsigned
-Tlb::setOf(Vpn vpn) const
-{
-    return static_cast<unsigned>(tagOf(vpn) & (cfg_.sets - 1));
+    contig_assert(tag != simd::kNoTag64, "vpn tag collides with the "
+                  "invalid-lane sentinel");
+    // First invalid way wins; otherwise the strict-minimum lastUse
+    // among the valid ways (= earliest way on ties), exactly as the
+    // pre-SoA single-pass scan chose.
+    unsigned victim = 0;
+    bool haveInvalid = false;
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        if (!valid_[base + w]) {
+            victim = w;
+            haveInvalid = true;
+            break;
+        }
+        if (lastUse_[base + w] < lastUse_[base + victim])
+            victim = w;
+    }
+    if (!haveInvalid)
+        ++stats_.evictions;
+    valid_[base + victim] = 1;
+    tags_[base + victim] = tag;
+    lastUse_[base + victim] = ++clock_;
 }
 
 bool
-Tlb::lookup(Vpn vpn)
+Tlb::lookupRef(Vpn vpn)
 {
+    // The pre-SoA per-way scan, verbatim modulo the lane indexing:
+    // valid checked explicitly, ways walked in order with an early
+    // exit. Must stay out of line — XlatEngine::Reference measures
+    // the historical call structure.
     ++stats_.lookups;
     const Vpn tag = tagOf(vpn);
-    Entry *base = &entries_[setOf(vpn) * cfg_.ways];
+    const unsigned base = setOf(vpn) * wayStride_;
     for (unsigned w = 0; w < cfg_.ways; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            base[w].lastUse = ++clock_;
+        if (valid_[base + w] && tags_[base + w] == tag) {
+            lastUse_[base + w] = ++clock_;
             ++stats_.hits;
             return true;
         }
@@ -64,50 +86,31 @@ Tlb::lookup(Vpn vpn)
     return false;
 }
 
-bool
-Tlb::probe(Vpn vpn) const
-{
-    const Vpn tag = tagOf(vpn);
-    const Entry *base = &entries_[setOf(vpn) * cfg_.ways];
-    for (unsigned w = 0; w < cfg_.ways; ++w)
-        if (base[w].valid && base[w].tag == tag)
-            return true;
-    return false;
-}
-
 void
-Tlb::fill(Vpn vpn)
+Tlb::fillRef(Vpn vpn)
 {
     ++stats_.fills;
     const Vpn tag = tagOf(vpn);
-    Entry *base = &entries_[setOf(vpn) * cfg_.ways];
-    Entry *victim = nullptr;
+    const unsigned base = setOf(vpn) * wayStride_;
     for (unsigned w = 0; w < cfg_.ways; ++w) {
-        Entry &e = base[w];
-        if (e.valid && e.tag == tag) {
-            e.lastUse = ++clock_; // refill of a present entry
+        if (valid_[base + w] && tags_[base + w] == tag) {
+            lastUse_[base + w] = ++clock_; // refill of a present entry
             return;
         }
-        if (!e.valid) {
-            if (!victim || victim->valid)
-                victim = &e;
-        } else if (!victim || (victim->valid &&
-                               e.lastUse < victim->lastUse)) {
-            victim = &e;
-        }
     }
-    if (victim->valid)
-        ++stats_.evictions;
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lastUse = ++clock_;
+    fillVictim(base, tag);
 }
 
 void
 Tlb::flush()
 {
-    for (auto &e : entries_)
-        e.valid = false;
+    // Invalidate by restoring the tag-lane sentinel; lastUse is kept,
+    // matching the pre-SoA flush (victim selection never reads the
+    // lastUse of an invalid way).
+    for (std::size_t i = 0; i < valid_.size(); ++i) {
+        valid_[i] = 0;
+        tags_[i] = simd::kNoTag64;
+    }
 }
 
 TlbHierarchy::TlbHierarchy(const TlbHierConfig &cfg)
@@ -115,18 +118,25 @@ TlbHierarchy::TlbHierarchy(const TlbHierConfig &cfg)
       l2_4k_({cfg.l2.sets, (cfg.l2.ways + 1) / 2}, 0),
       l2_2m_({cfg.l2.sets, (cfg.l2.ways + 1) / 2}, kHugeOrder)
 {
+    // Each page-size array gets half the unified budget; an odd way
+    // count would round both halves up and quietly model a bigger L2
+    // than configured.
+    if (2 * ((cfg.l2.ways + 1) / 2) != cfg.l2.ways)
+        fatal("unified L2 TLB way count must be even to split across "
+              "page sizes, got %u (round to %u or %u)",
+              cfg.l2.ways, cfg.l2.ways - 1, cfg.l2.ways + 1);
 }
 
 TlbLevel
-TlbHierarchy::access(Vpn vpn, unsigned order)
+TlbHierarchy::accessRef(Vpn vpn, unsigned order)
 {
     ++accesses_;
     Tlb &l1 = (order == kHugeOrder) ? l1_2m_ : l1_4k_;
-    if (l1.lookup(vpn))
+    if (l1.lookupRef(vpn))
         return TlbLevel::L1;
     Tlb &l2 = (order == kHugeOrder) ? l2_2m_ : l2_4k_;
-    if (l2.lookup(vpn)) {
-        l1.fill(vpn); // promote to L1
+    if (l2.lookupRef(vpn)) {
+        l1.fillRef(vpn); // promote to L1
         return TlbLevel::L2;
     }
     ++l2Misses_;
@@ -134,12 +144,12 @@ TlbHierarchy::access(Vpn vpn, unsigned order)
 }
 
 void
-TlbHierarchy::fill(Vpn vpn, unsigned order)
+TlbHierarchy::fillRef(Vpn vpn, unsigned order)
 {
     Tlb &l1 = (order == kHugeOrder) ? l1_2m_ : l1_4k_;
     Tlb &l2 = (order == kHugeOrder) ? l2_2m_ : l2_4k_;
-    l1.fill(vpn);
-    l2.fill(vpn);
+    l1.fillRef(vpn);
+    l2.fillRef(vpn);
 }
 
 void
@@ -149,6 +159,15 @@ TlbHierarchy::flush()
     l1_2m_.flush();
     l2_4k_.flush();
     l2_2m_.flush();
+}
+
+void
+TlbHierarchy::setSimd(bool simd)
+{
+    l1_4k_.setSimd(simd);
+    l1_2m_.setSimd(simd);
+    l2_4k_.setSimd(simd);
+    l2_2m_.setSimd(simd);
 }
 
 void
@@ -196,11 +215,16 @@ Tlb::saveState(Serializer &s) const
     s.u64(stats_.hits);
     s.u64(stats_.fills);
     s.u64(stats_.evictions);
-    s.u64(entries_.size());
-    for (const Entry &e : entries_) {
-        s.u64(e.tag);
-        s.boolean(e.valid);
-        s.u64(e.lastUse);
+    s.u64(static_cast<std::uint64_t>(cfg_.sets) * cfg_.ways);
+    // Padding slots are not checkpointed; invalid slots write a
+    // canonical zero tag (the live lane holds the sentinel instead).
+    for (unsigned set = 0; set < cfg_.sets; ++set) {
+        for (unsigned w = 0; w < cfg_.ways; ++w) {
+            const unsigned i = set * wayStride_ + w;
+            s.u64(valid_[i] ? tags_[i] : 0);
+            s.boolean(valid_[i] != 0);
+            s.u64(lastUse_[i]);
+        }
     }
     s.endSection(sec);
 }
@@ -222,13 +246,18 @@ Tlb::restoreState(Deserializer &d)
     stats_.fills = d.u64();
     stats_.evictions = d.u64();
     const std::uint64_t n = d.u64();
-    if (n != entries_.size())
-        fatal("checkpoint TLB entry count mismatch: %llu vs %zu",
-              static_cast<unsigned long long>(n), entries_.size());
-    for (Entry &e : entries_) {
-        e.tag = d.u64();
-        e.valid = d.boolean();
-        e.lastUse = d.u64();
+    if (n != static_cast<std::uint64_t>(cfg_.sets) * cfg_.ways)
+        fatal("checkpoint TLB entry count mismatch: %llu vs %llu",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(cfg_.sets) * cfg_.ways);
+    for (unsigned set = 0; set < cfg_.sets; ++set) {
+        for (unsigned w = 0; w < cfg_.ways; ++w) {
+            const unsigned i = set * wayStride_ + w;
+            const std::uint64_t tag = d.u64();
+            valid_[i] = d.boolean() ? 1 : 0;
+            tags_[i] = valid_[i] ? tag : simd::kNoTag64;
+            lastUse_[i] = d.u64();
+        }
     }
 }
 

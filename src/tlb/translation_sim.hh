@@ -49,6 +49,28 @@ enum class XlatScheme : std::uint8_t
     Ds,    //!< Direct Segments dual mode
 };
 
+/**
+ * Which replay inner loop runs. Both produce bit-identical
+ * statistics, scheme state and checkpoints (pinned by the engine
+ * golden-equivalence test); only wall-clock time differs, which is
+ * what the micro_xlat_scaling ratio gate measures.
+ */
+enum class XlatEngine : std::uint8_t
+{
+    /**
+     * The historical loop: out-of-line per-way scalar probes and
+     * per-access statistics writes. Retained as the golden reference
+     * and the denominator of the SoA/SIMD speedup.
+     */
+    Reference,
+    /**
+     * The SoA loop: vpn lane precomputed per chunk, inline
+     * SIMD-capable set probes, hit counters sunk into chunk-local
+     * accumulators that flush once per chunk.
+     */
+    Batched,
+};
+
 /** Aggregated simulation results. */
 struct XlatStats
 {
@@ -80,6 +102,7 @@ struct XlatConfig
     TlbHierConfig tlb;
     WalkerConfig walker;
     XlatScheme scheme = XlatScheme::Base;
+    XlatEngine engine = XlatEngine::Batched;
     SpotConfig spot;
     RangeTlbConfig rangeTlb;
     /**
@@ -128,6 +151,13 @@ class TranslationSim
     void accessChunk(const MemAccess *a, std::size_t n);
 
     const XlatStats &stats() const { return stats_; }
+
+    /**
+     * True when the probe structures run the AVX2 kernels: Batched
+     * engine, SIMD compiled in, CPU capable, not forced scalar.
+     */
+    bool simdActive() const;
+
     const Walker &walker() const { return *walker_; }
     const SpotEngine *spot() const { return spot_.get(); }
     const RangeTlb *rangeTlb() const { return rangeTlb_.get(); }
@@ -164,9 +194,18 @@ class TranslationSim
   private:
     void init();
 
-    /** The monomorphized inner loop (scheme + virtualization fixed). */
+    /**
+     * The monomorphized inner loops (scheme + virtualization fixed):
+     * the retained per-access reference and the batched SoA loop.
+     */
     template <XlatScheme S, bool Virt>
-    void runChunk(const MemAccess *a, std::size_t n);
+    void runChunkRef(const MemAccess *a, std::size_t n);
+    template <XlatScheme S, bool Virt>
+    void runChunkBatched(const MemAccess *a, std::size_t n);
+
+    /** Slow path shared by the batched loop: one L2 miss. */
+    template <XlatScheme S, bool Virt>
+    void missPath(const MemAccess &a, Vpn vpn);
 
     XlatConfig cfg_;
     TlbHierarchy tlb_;
@@ -181,6 +220,8 @@ class TranslationSim
      */
     std::vector<DirectSegment> segments_;
     XlatStats stats_;
+    /** Batched engine: chunk-sized vpn lane, reused across chunks. */
+    std::vector<Vpn> vpnLane_;
     /** Exposed translation cycles per L2 miss (walk + scheme effects). */
     Summary l2MissLatency_;
     obs::Phase chunkPhase_;

@@ -8,9 +8,15 @@
 namespace contig
 {
 
+Walker::SoaCache::SoaCache(unsigned n)
+    : entries(n), tags(simd::padLanes(n), simd::kNoTag64),
+      lastUse(simd::padLanes(n), 0), valid(simd::padLanes(n), 0)
+{
+}
+
 Walker::Walker(const PageTable &pt, const WalkerConfig &cfg)
     : pt_(pt), cfg_(cfg), psc_(cfg.pscEntries),
-      nestedTlb_(cfg.nestedTlbEntries)
+      nestedTlb_(cfg.nestedTlbEntries), simd_(simd::enabled())
 {
     if (cfg.memoEnabled)
         memo_ = std::make_unique<WalkMemo>(cfg.memoEntriesLog2);
@@ -19,52 +25,60 @@ Walker::Walker(const PageTable &pt, const WalkerConfig &cfg)
 Walker::Walker(const PageTable &guest_pt, const VirtualMachine &vm,
                const WalkerConfig &cfg)
     : pt_(guest_pt), vm_(&vm), cfg_(cfg), psc_(cfg.pscEntries),
-      nestedTlb_(cfg.nestedTlbEntries)
+      nestedTlb_(cfg.nestedTlbEntries), simd_(simd::enabled())
 {
     if (cfg.memoEnabled)
         memo_ = std::make_unique<WalkMemo>(cfg.memoEntriesLog2);
 }
 
 bool
-Walker::cacheLookup(std::vector<CacheEntry> &cache, std::uint64_t tag)
+Walker::cacheLookup(SoaCache &cache, std::uint64_t tag)
 {
-    for (auto &e : cache) {
-        if (e.valid && e.tag == tag) {
-            e.lastUse = ++clock_;
-            return true;
-        }
-    }
-    return false;
+    const int i = simd::findTag(cache.tags.data(), cache.entries, tag,
+                                simd_);
+    if (i < 0)
+        return false;
+    cache.lastUse[i] = ++clock_;
+    return true;
 }
 
 void
-Walker::cacheFill(std::vector<CacheEntry> &cache, std::uint64_t tag)
+Walker::cacheFill(SoaCache &cache, std::uint64_t tag)
 {
-    CacheEntry *victim = &cache[0];
-    for (auto &e : cache) {
-        if (e.valid && e.tag == tag) {
-            e.lastUse = ++clock_;
+    contig_assert(tag != simd::kNoTag64, "walker cache tag collides "
+                  "with the invalid-lane sentinel");
+    // Deliberately the historical ordered scan: the first invalid
+    // slot is taken as victim even if a matching entry sits after it
+    // (the duplicate is tolerated; cacheLookup returns the earliest).
+    unsigned victim = 0;
+    for (unsigned i = 0; i < cache.entries; ++i) {
+        if (cache.tags[i] == tag) {
+            cache.lastUse[i] = ++clock_;
             return;
         }
-        if (!e.valid) {
-            victim = &e;
+        if (!cache.valid[i]) {
+            victim = i;
             break;
         }
-        if (e.lastUse < victim->lastUse)
-            victim = &e;
+        if (cache.lastUse[i] < cache.lastUse[victim])
+            victim = i;
     }
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lastUse = ++clock_;
+    cache.valid[victim] = 1;
+    cache.tags[victim] = tag;
+    cache.lastUse[victim] = ++clock_;
 }
 
 void
 Walker::flushCaches()
 {
-    for (auto &e : psc_)
-        e.valid = false;
-    for (auto &e : nestedTlb_)
-        e.valid = false;
+    for (std::size_t i = 0; i < psc_.valid.size(); ++i) {
+        psc_.valid[i] = 0;
+        psc_.tags[i] = simd::kNoTag64;
+    }
+    for (std::size_t i = 0; i < nestedTlb_.valid.size(); ++i) {
+        nestedTlb_.valid[i] = 0;
+        nestedTlb_.tags[i] = simd::kNoTag64;
+    }
 }
 
 void
@@ -263,12 +277,14 @@ Walker::saveState(Serializer &s) const
     s.u64(stats_.pscHits);
     s.u64(stats_.nestedTlbHits);
     s.u64(stats_.nestedTlbLookups);
-    const auto save_cache = [&s](const std::vector<CacheEntry> &cache) {
-        s.u64(cache.size());
-        for (const CacheEntry &e : cache) {
-            s.u64(e.tag);
-            s.u64(e.lastUse);
-            s.boolean(e.valid);
+    // Padding slots are not checkpointed; invalid slots write a
+    // canonical zero tag (the live lane holds the sentinel instead).
+    const auto save_cache = [&s](const SoaCache &cache) {
+        s.u64(cache.entries);
+        for (unsigned i = 0; i < cache.entries; ++i) {
+            s.u64(cache.valid[i] ? cache.tags[i] : 0);
+            s.u64(cache.lastUse[i]);
+            s.boolean(cache.valid[i] != 0);
         }
     };
     save_cache(psc_);
@@ -292,17 +308,17 @@ Walker::restoreState(Deserializer &d)
     stats_.pscHits = d.u64();
     stats_.nestedTlbHits = d.u64();
     stats_.nestedTlbLookups = d.u64();
-    const auto restore_cache = [&d](std::vector<CacheEntry> &cache,
-                                    const char *what) {
+    const auto restore_cache = [&d](SoaCache &cache, const char *what) {
         const std::uint64_t n = d.u64();
-        if (n != cache.size())
-            fatal("checkpoint walker %s size mismatch: %llu vs %zu",
+        if (n != cache.entries)
+            fatal("checkpoint walker %s size mismatch: %llu vs %u",
                   what, static_cast<unsigned long long>(n),
-                  cache.size());
-        for (CacheEntry &e : cache) {
-            e.tag = d.u64();
-            e.lastUse = d.u64();
-            e.valid = d.boolean();
+                  cache.entries);
+        for (unsigned i = 0; i < cache.entries; ++i) {
+            const std::uint64_t tag = d.u64();
+            cache.lastUse[i] = d.u64();
+            cache.valid[i] = d.boolean() ? 1 : 0;
+            cache.tags[i] = cache.valid[i] ? tag : simd::kNoTag64;
         }
     };
     restore_cache(psc_, "PSC");

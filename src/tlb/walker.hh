@@ -105,6 +105,11 @@ class Walker
     WalkResult walk(Vpn vpn);
 
     bool virtualized() const { return vm_ != nullptr; }
+
+    /** Select the cache-probe kernel; the answer never depends on it. */
+    void setSimd(bool simd) { simd_ = simd; }
+    bool simdEnabled() const { return simd_; }
+
     const WalkerStats &stats() const { return stats_; }
     const WalkerConfig &config() const { return cfg_; }
     /** Traversal-memo counters (null when the memo is disabled). */
@@ -148,15 +153,26 @@ class Walker
     /** Nested walk of gfn: (hit, node count, exact mapping). */
     void nestedResolve(Pfn gfn, bool &hit, unsigned &count, Mapping &m);
 
-    struct CacheEntry
+    /**
+     * Fully-associative cache stored structure-of-arrays: the tag
+     * lane is padded to the SIMD stride and holds simd::kNoTag64 in
+     * invalid/padding slots, so cacheLookup is one tag-lane search.
+     * cacheFill keeps the historical ordered scan (first invalid slot
+     * wins even when a matching entry sits later) — its victim choice
+     * is part of the pinned replacement behaviour.
+     */
+    struct SoaCache
     {
-        std::uint64_t tag = ~0ull;
-        std::uint64_t lastUse = 0;
-        bool valid = false;
+        explicit SoaCache(unsigned n);
+
+        unsigned entries;
+        std::vector<std::uint64_t> tags;
+        std::vector<std::uint64_t> lastUse;
+        std::vector<std::uint8_t> valid;
     };
 
-    bool cacheLookup(std::vector<CacheEntry> &cache, std::uint64_t tag);
-    void cacheFill(std::vector<CacheEntry> &cache, std::uint64_t tag);
+    bool cacheLookup(SoaCache &cache, std::uint64_t tag);
+    void cacheFill(SoaCache &cache, std::uint64_t tag);
 
     const PageTable &pt_;
     const VirtualMachine *vm_ = nullptr;
@@ -164,9 +180,10 @@ class Walker
     WalkerStats stats_;
 
     /** PSC: skip-to-L2 entries keyed by vpn >> 18 (L4+L3 covered). */
-    std::vector<CacheEntry> psc_;
+    SoaCache psc_;
     /** Nested TLB: gfn -> backed, keyed by gfn (4 KiB grain). */
-    std::vector<CacheEntry> nestedTlb_;
+    SoaCache nestedTlb_;
+    bool simd_;
     std::uint64_t clock_ = 0;
 
     /** Traversal memo (null when disabled). */

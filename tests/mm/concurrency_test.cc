@@ -88,6 +88,47 @@ TEST(Concurrency, ParallelFaultsResolveEveryPage)
 }
 
 /**
+ * The NUMA-sharded physical metadata under the same parallel fault
+ * storm: per-stripe contiguity-map locks, striped buddy top lists
+ * and the sharded kernel pool all race here (TSan covers this in the
+ * CONTIG_SANITIZE=thread CI job). Page conservation must hold and
+ * the striped structures must pass their invariant checks after the
+ * run.
+ */
+TEST(Concurrency, ShardedMetadataSurvivesParallelFaults)
+{
+    for (PolicyKind kind : {PolicyKind::Thp, PolicyKind::Ca}) {
+        KernelConfig cfg = threadedConfig(kind);
+        cfg.numaShards = kThreads;
+        Kernel k(cfg, makePolicy(kind));
+        ASSERT_TRUE(k.threaded());
+
+        ParallelDriverConfig pd;
+        pd.threads = kThreads;
+        pd.bytesPerWorker = 8ull << 20;
+        pd.chunkBytes = 1ull << 20;
+        pd.seed = 0xABCD + static_cast<int>(kind);
+        ParallelDriver driver(k, pd);
+        driver.run();
+
+        const std::uint64_t pages =
+            kThreads * (pd.bytesPerWorker / kPageSize);
+        const FaultStats &st = k.faultStats();
+        EXPECT_EQ(st.baseFaults +
+                      st.hugeFaults * pagesInOrder(kHugeOrder),
+                  pages);
+        driver.exitAll();
+
+        for (unsigned n = 0; n < k.physMem().numNodes(); ++n) {
+            const Zone &z = k.physMem().zone(n);
+            EXPECT_TRUE(z.contigMap().striped());
+            EXPECT_TRUE(z.contigMap().checkInvariants());
+            EXPECT_TRUE(z.buddy().checkInvariants());
+        }
+    }
+}
+
+/**
  * Teardown invariant: after exitProcess() the per-CPU caches drain
  * and every zone's buddy free lists return exactly to their pre-run
  * snapshot (frames parked in a pcp cache would show up here as

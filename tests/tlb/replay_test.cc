@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "base/rng.hh"
+#include "base/serialize.hh"
+#include "base/simd.hh"
 #include "core/config.hh"
 #include "mm/kernel.hh"
 #include "obs/trace.hh"
@@ -233,6 +235,108 @@ TEST_F(ReplayTest, ShardedReplayIsDeterministicAndConserving)
 
     ASSERT_TRUE(a.mergedSpotStats().has_value());
     ASSERT_TRUE(b.mergedSpotStats().has_value());
+}
+
+TEST_F(ReplayTest, BatchedEngineMatchesReferenceAllSchemes)
+{
+    // The engine golden-equivalence contract (tlb/translation_sim.hh):
+    // the batched SoA inner loop is a pure wall-clock rewrite of the
+    // per-access Reference loop — every simulated counter identical,
+    // per scheme, per shard count.
+    const auto t = trace(20000, 31);
+    for (XlatScheme scheme : {XlatScheme::Base, XlatScheme::Spot,
+                              XlatScheme::Rmm, XlatScheme::Ds}) {
+        for (unsigned shards : {1u, 3u}) {
+            XlatConfig ref_cfg = config(scheme);
+            XlatConfig bat_cfg = config(scheme);
+            ref_cfg.engine = XlatEngine::Reference;
+            bat_cfg.engine = XlatEngine::Batched;
+            ReplayEngine ref(ref_cfg, shards, proc.pageTable());
+            ReplayEngine bat(bat_cfg, shards, proc.pageTable());
+            if (scheme == XlatScheme::Rmm || scheme == XlatScheme::Ds) {
+                ref.setSegments(extractSegs(proc.pageTable()));
+                bat.setSegments(extractSegs(proc.pageTable()));
+            }
+            feed(ref, t, 97);
+            feed(bat, t, 97);
+            expectSameStats(bat.mergedStats(), ref.mergedStats());
+        }
+    }
+}
+
+TEST_F(ReplayTest, BatchedEngineMatchesReferenceVirtualized)
+{
+    KernelConfig hcfg;
+    hcfg.phys.bytesPerNode = 256ull << 20;
+    hcfg.phys.numNodes = 1;
+    Kernel host(hcfg, std::make_unique<DefaultThpPolicy>());
+    VmConfig vcfg;
+    vcfg.guestBytesPerNode = 128ull << 20;
+    vcfg.guestNodes = 1;
+    VirtualMachine vm(host, std::make_unique<DefaultThpPolicy>(), vcfg);
+    Process &p = vm.guest().createProcess("g");
+    Vma &gvma = p.mmap(32 * kHugeSize);
+    p.touchRange(gvma.start(), gvma.bytes());
+
+    Rng rng(37);
+    std::vector<MemAccess> t(20000);
+    for (auto &a : t)
+        a = {0x400000 + (rng.below(8) << 3),
+             gvma.start() + (rng.below(gvma.bytes()) & ~7ull)};
+
+    XlatConfig ref_cfg = config(XlatScheme::Spot);
+    XlatConfig bat_cfg = config(XlatScheme::Spot);
+    ref_cfg.engine = XlatEngine::Reference;
+    bat_cfg.engine = XlatEngine::Batched;
+    ReplayEngine ref(ref_cfg, 1, p.pageTable(), vm);
+    ReplayEngine bat(bat_cfg, 1, p.pageTable(), vm);
+    feed(ref, t, 97);
+    feed(bat, t, 97);
+    expectSameStats(bat.mergedStats(), ref.mergedStats());
+}
+
+TEST_F(ReplayTest, ForcedScalarProbesNeverMoveCounters)
+{
+    // simd.hh's probe-width contract: the AVX2 and scalar kernels
+    // return the same lane for the same input, so a forced-scalar
+    // engine replays to identical counters. (On a non-AVX2 host both
+    // engines run scalar and the test is trivially green.)
+    const auto t = trace(20000, 41);
+    ReplayEngine wide(config(XlatScheme::Spot), 1, proc.pageTable());
+    const bool was = simd::forceScalar();
+    simd::setForceScalar(true);
+    ReplayEngine narrow(config(XlatScheme::Spot), 1, proc.pageTable());
+    simd::setForceScalar(was);
+    feed(wide, t, 1024);
+    feed(narrow, t, 1024);
+    expectSameStats(wide.mergedStats(), narrow.mergedStats());
+}
+
+TEST_F(ReplayTest, BatchedEngineCheckpointRoundTrips)
+{
+    // Snapshot mid-replay with the SoA structures live, restore into
+    // a fresh engine, and require the resumed half to land on the
+    // uninterrupted run's counters exactly.
+    const auto t = trace(20000, 43);
+    const std::size_t half = 10000;
+
+    ReplayEngine full(config(XlatScheme::Spot), 2, proc.pageTable());
+    feed(full, t, 512);
+
+    ReplayEngine first(config(XlatScheme::Spot), 2, proc.pageTable());
+    for (std::size_t off = 0; off < half; off += 512)
+        first.replayChunk(&t[off], std::min<std::size_t>(512, half - off));
+    Serializer s;
+    first.saveState(s);
+
+    ReplayEngine resumed(config(XlatScheme::Spot), 2, proc.pageTable());
+    Deserializer d(s.data().data(), s.size(), "test snapshot");
+    resumed.restoreState(d);
+    for (std::size_t off = half; off < t.size(); off += 512)
+        resumed.replayChunk(&t[off],
+                            std::min<std::size_t>(512, t.size() - off));
+    expectSameStats(resumed.mergedStats(), full.mergedStats());
+    EXPECT_EQ(resumed.accesses(), full.accesses());
 }
 
 TEST_F(ReplayTest, ShardPartitionIsPureAndCoversAllShards)

@@ -90,6 +90,16 @@ TEST(Tlb, PowerOfTwoSetCountsUseEverySet)
     }
 }
 
+TEST(TlbHierarchy, OddUnifiedL2WayCountIsFatal)
+{
+    // The unified L2 splits its way budget evenly across the two page
+    // sizes; an odd way count would silently drop a way (and the SoA
+    // lane layout assumes the halves are equal). Reject it loudly.
+    TlbHierConfig cfg;
+    cfg.l2 = {2, 5};
+    EXPECT_DEATH(TlbHierarchy{cfg}, "even");
+}
+
 TEST(TlbHierarchy, L1ThenL2ThenMiss)
 {
     TlbHierarchy h;
